@@ -1,0 +1,109 @@
+// Shared helpers for the figure-reproduction benches. Each bench binary
+// runs argument-free and prints the series of one paper figure, with the
+// paper's reported values alongside for comparison (see EXPERIMENTS.md).
+
+#ifndef PRESTIGE_BENCH_BENCH_UTIL_H_
+#define PRESTIGE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/hotstuff/hotstuff_replica.h"
+#include "baselines/prosecutor/prosecutor.h"
+#include "baselines/sbft/sbft_replica.h"
+#include "core/replica.h"
+#include "harness/cluster.h"
+
+namespace prestige {
+namespace bench {
+
+/// Outcome of one measured run.
+struct RunResult {
+  double tps = 0.0;
+  double mean_latency_ms = 0.0;
+  double p50_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  int64_t committed = 0;
+};
+
+/// Builds a cluster of `Replica`, runs warmup + measure, and reports
+/// client-observed throughput/latency over the measurement window.
+template <typename Replica, typename Config>
+RunResult MeasureCluster(Config config, harness::WorkloadOptions workload,
+                         std::vector<workload::FaultSpec> faults,
+                         util::DurationMicros warmup,
+                         util::DurationMicros measure,
+                         int timeline_replica = -1) {
+  harness::Cluster<Replica, Config> cluster(config, workload,
+                                            std::move(faults));
+  cluster.Start();
+  cluster.RunFor(warmup);
+  const int64_t committed_before = cluster.ClientCommitted();
+  cluster.RunFor(measure);
+
+  RunResult result;
+  result.committed = cluster.ClientCommitted();
+  if (timeline_replica >= 0) {
+    result.tps = cluster.ClientThroughputTps(warmup, warmup + measure,
+                                             timeline_replica);
+  } else {
+    result.tps = static_cast<double>(result.committed - committed_before) /
+                 util::ToSeconds(measure);
+  }
+  result.mean_latency_ms = cluster.MeanLatencyMs();
+  result.p50_latency_ms = cluster.LatencyPercentileMs(50);
+  result.p99_latency_ms = cluster.LatencyPercentileMs(99);
+  return result;
+}
+
+inline void PrintHeader(const char* figure, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n%s\n", figure, description);
+  std::printf("==============================================================\n");
+}
+
+inline void PrintFooter(const char* note) {
+  std::printf("--------------------------------------------------------------\n");
+  std::printf("%s\n\n", note);
+}
+
+/// Default workload sized to saturate an n=4 cluster.
+inline harness::WorkloadOptions SaturatingWorkload(uint64_t seed,
+                                                   uint32_t pools = 24,
+                                                   uint32_t clients = 400,
+                                                   uint32_t payload = 32) {
+  harness::WorkloadOptions w;
+  w.num_pools = pools;
+  w.clients_per_pool = clients;
+  w.payload_size = payload;
+  w.client_timeout = util::Seconds(2);
+  w.seed = seed;
+  return w;
+}
+
+/// The paper's PrestigeBFT configuration scaled for simulation runs.
+inline core::PrestigeConfig PaperPrestigeConfig(uint32_t n,
+                                                size_t batch = 3000) {
+  core::PrestigeConfig config;
+  config.n = n;
+  config.batch_size = batch;
+  config.timeout_min = util::Millis(800);
+  config.timeout_max = util::Millis(1200);
+  return config;
+}
+
+/// The paper's HotStuff configuration (1 s initial timeout).
+inline baselines::hotstuff::HotStuffConfig PaperHotStuffConfig(
+    uint32_t n, size_t batch = 1000) {
+  baselines::hotstuff::HotStuffConfig config;
+  config.n = n;
+  config.batch_size = batch;
+  config.view_timeout = util::Seconds(1);
+  return config;
+}
+
+}  // namespace bench
+}  // namespace prestige
+
+#endif  // PRESTIGE_BENCH_BENCH_UTIL_H_

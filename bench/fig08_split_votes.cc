@@ -1,0 +1,101 @@
+// Figure 8: probability of split votes under timeout randomization.
+//
+// Timeouts are drawn from [800, 800 + eps] ms. For each eps in
+// {0, 10, 50, 100, 200} ms and n in {4, 16, 64}, repeated leader crashes
+// force view changes; a split vote is an election round that expires with
+// no candidate reaching 2f+1 votes. F1 (timeout attacks: f faulty servers
+// mimic the timeout streams of correct victims) is overlaid for the byz_n*
+// series. Paper shape: splits vanish by eps ~= 50 ms without attacks, and
+// eps > 100 ms defeats even F1.
+//
+// The extra randomization aids (stand-down, candidacy courtesy) are
+// disabled here so eps alone controls candidacy collisions.
+
+#include "bench/bench_util.h"
+
+namespace prestige {
+namespace bench {
+namespace {
+
+double MeasureSplitProbability(uint32_t n, int eps_ms, bool with_f1,
+                               int cycles) {
+  core::PrestigeConfig config = PaperPrestigeConfig(n, 200);
+  config.timeout_min = util::Millis(800);
+  config.timeout_max = util::Millis(800 + std::max(eps_ms, 1));
+  config.enable_standdown = false;
+  config.enable_courtesy = false;
+  config.election_timeout = util::Millis(300);
+
+  std::vector<workload::FaultSpec> faults(n, workload::FaultSpec::Honest());
+  if (with_f1) {
+    // f attackers each mimic a distinct correct victim's timeout stream.
+    const uint32_t f = types::MaxFaulty(n);
+    for (uint32_t i = 0; i < f; ++i) {
+      workload::FaultSpec spec = workload::FaultSpec::TimeoutAttack();
+      spec.mimic_target = (n - 1 - i + f) % n;  // Victims among correct ids.
+      spec.has_mimic_target = true;
+      faults[n - 1 - i] = spec;
+    }
+  }
+
+  harness::WorkloadOptions w = SaturatingWorkload(800 + n + eps_ms, 2, 20);
+  harness::Cluster<core::PrestigeReplica, core::PrestigeConfig> cluster(
+      config, w, faults);
+  cluster.Start();
+  cluster.RunFor(util::Millis(500));
+
+  // Crash the current leader repeatedly; each cycle forces one view change.
+  for (int c = 0; c < cycles; ++c) {
+    types::ReplicaId leader = cluster.replica(0).current_leader();
+    for (uint32_t i = 0; i < n; ++i) {
+      if (cluster.replica(i).IsLeader()) leader = i;
+    }
+    cluster.SetReplicaDown(leader, true);
+    cluster.RunFor(util::Millis(2500));
+    cluster.SetReplicaDown(leader, false);
+    cluster.RunFor(util::Millis(300));
+  }
+
+  int64_t splits = 0, campaigns = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    splits += cluster.replica(i).metrics().election_timeouts;
+    campaigns += cluster.replica(i).metrics().campaigns_sent;
+  }
+  if (campaigns == 0) return 0.0;
+  return 100.0 * static_cast<double>(splits) /
+         static_cast<double>(campaigns);
+}
+
+void Run() {
+  PrintHeader("Figure 8",
+              "Split votes vs timeout randomization eps (timeouts in\n"
+              "[800, 800+eps] ms); byz_* rows add F1 timeout attacks");
+  std::printf("%-10s %6s %6s %6s %6s %6s\n", "series", "eps=0", "10", "50",
+              "100", "200");
+
+  for (uint32_t n : {4u, 16u, 64u}) {
+    const int cycles = n <= 16 ? 8 : 3;
+    for (bool byz : {false, true}) {
+      std::printf("%s%-8u ", byz ? "byz_n" : "n    ", n);
+      for (int eps : {0, 10, 50, 100, 200}) {
+        std::printf("%5.1f%% ",
+                    MeasureSplitProbability(n, eps, byz, cycles));
+      }
+      std::printf("\n");
+    }
+  }
+
+  PrintFooter(
+      "Shape to check: split probability falls steeply with eps; ~0% by\n"
+      "eps=50 without attacks; F1 adds a small bump that eps>100 removes\n"
+      "(paper: no splits in 10,000 VCs at eps=50 without faults).");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace prestige
+
+int main() {
+  prestige::bench::Run();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Figure 9: throughput under quiet participants (F2) and equivocation (F3)
+// with timing-policy view changes.
+//
+// pb vs hs, rotation policies r_fast / r_slow (the paper's r10 / r30,
+// scaled 1:3 for simulation time), n=4 (f=0,1) and n=16 (f=0,1,3).
+// Paper shape: hs drops steeply when its passive schedule assigns faulty
+// leaders (each costs ~timeout + switch); pb is nearly unaffected, and F2
+// can even raise its throughput slightly (quiet servers free bandwidth);
+// F3 hurts more than F2 (erroneous messages burn bandwidth/CPU).
+
+#include "bench/bench_util.h"
+
+namespace prestige {
+namespace bench {
+namespace {
+
+constexpr util::DurationMicros kWarmup = util::Seconds(1);
+constexpr util::DurationMicros kMeasure = util::Seconds(4);
+
+std::vector<workload::FaultSpec> MakeFaults(uint32_t n, uint32_t f,
+                                            workload::FaultType type) {
+  std::vector<workload::FaultSpec> faults(n, workload::FaultSpec::Honest());
+  for (uint32_t i = 0; i < f; ++i) {
+    // Spread faulty ids across the schedule (paper: arbitrarily chosen).
+    const uint32_t id = 1 + i * (n > 4 ? 3 : 1);
+    faults[id % n] = type == workload::FaultType::kQuiet
+                         ? workload::FaultSpec::Quiet()
+                         : workload::FaultSpec::Equivocate();
+  }
+  return faults;
+}
+
+void RunScale(uint32_t n, const std::vector<uint32_t>& f_values) {
+  std::printf("--- n=%u ---\n", n);
+  std::printf("%-22s %8s", "series", "f=0");
+  for (size_t i = 1; i < f_values.size(); ++i) {
+    std::printf(" %10s", ("f=" + std::to_string(f_values[i])).c_str());
+  }
+  std::printf("\n");
+
+  struct Policy {
+    const char* name;
+    util::DurationMicros period;
+  };
+  const Policy policies[] = {{"r10", util::Seconds(2)},
+                             {"r30", util::Seconds(6)}};
+  const workload::FaultType fault_types[] = {workload::FaultType::kQuiet,
+                                             workload::FaultType::kEquivocate};
+  const char* fault_names[] = {"quiet", "equiv"};
+
+  for (const Policy& policy : policies) {
+    for (int ft = 0; ft < 2; ++ft) {
+      // PrestigeBFT.
+      std::printf("pb_%s_%-14s", policy.name, fault_names[ft]);
+      for (uint32_t f : f_values) {
+        core::PrestigeConfig config = PaperPrestigeConfig(n, 1000);
+        config.rotation_period = policy.period;
+        auto r = MeasureCluster<core::PrestigeReplica>(
+            config, SaturatingWorkload(900 + n + f + ft, 8, 150),
+            MakeFaults(n, f, fault_types[ft]), kWarmup, kMeasure);
+        std::printf(" %10.0f", r.tps);
+      }
+      std::printf("\n");
+      // HotStuff.
+      std::printf("hs_%s_%-14s", policy.name, fault_names[ft]);
+      for (uint32_t f : f_values) {
+        baselines::hotstuff::HotStuffConfig config =
+            PaperHotStuffConfig(n, 1000);
+        config.rotation_period = policy.period;
+        auto r = MeasureCluster<baselines::hotstuff::HotStuffReplica>(
+            config, SaturatingWorkload(950 + n + f + ft, 8, 150),
+            MakeFaults(n, f, fault_types[ft]), kWarmup, kMeasure);
+        std::printf(" %10.0f", r.tps);
+      }
+      std::printf("\n");
+    }
+  }
+}
+
+void Run() {
+  PrintHeader("Figure 9",
+              "Throughput under F2 (quiet) and F3 (equivocation), timing-\n"
+              "policy rotations (r10/r30 scaled to 2s/6s sim time), TPS");
+  RunScale(4, {0, 1});
+  RunScale(16, {0, 1, 3});
+  PrintFooter(
+      "Shape to check: hs throughput drops sharply with f (passive VC keeps\n"
+      "scheduling the faulty servers; ~1.2 s lost per faulty slot), more at\n"
+      "r10 than r30 and under equiv than quiet; pb stays near its f=0 level\n"
+      "(paper: hs -62%, pb ~0% with a slight gain under quiet).");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace prestige
+
+int main() {
+  prestige::bench::Run();
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Micro-benchmarks (google-benchmark): crypto substrate, reputation engine,
+// proof-of-work, and simulator hot paths. Not a paper figure — these bound
+// the constants the cost model abstracts.
+
+#include <benchmark/benchmark.h>
+
+#include "crypto/hmac.h"
+#include "crypto/keys.h"
+#include "crypto/pow.h"
+#include "crypto/quorum_cert.h"
+#include "crypto/sha256.h"
+#include "reputation/reputation_engine.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "types/transaction.h"
+
+namespace prestige {
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+  std::vector<uint8_t> data(static_cast<size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_HmacSha256(benchmark::State& state) {
+  std::vector<uint8_t> key(32, 0x0b);
+  std::vector<uint8_t> data(256, 0xcd);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::HmacSha256(key, data));
+  }
+}
+BENCHMARK(BM_HmacSha256);
+
+void BM_SignVerify(benchmark::State& state) {
+  crypto::KeyStore keys(42);
+  const crypto::Sha256Digest digest =
+      crypto::Sha256::Hash(std::string("message"));
+  const crypto::Signature sig = keys.Sign(1, digest);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(keys.Verify(sig, digest));
+  }
+}
+BENCHMARK(BM_SignVerify);
+
+void BM_QuorumCertVerify(benchmark::State& state) {
+  crypto::KeyStore keys(42);
+  const crypto::Sha256Digest digest =
+      crypto::Sha256::Hash(std::string("block"));
+  const uint32_t quorum = static_cast<uint32_t>(state.range(0));
+  crypto::QuorumCertBuilder builder(digest, quorum);
+  for (uint32_t i = 0; i < quorum; ++i) {
+    builder.Add(keys.Sign(i, digest), digest);
+  }
+  const crypto::QuorumCert qc = builder.Build();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::VerifyQuorumCert(keys, qc, digest, quorum));
+  }
+}
+BENCHMARK(BM_QuorumCertVerify)->Arg(3)->Arg(11)->Arg(67);
+
+void BM_CalcRp(benchmark::State& state) {
+  reputation::ReputationEngine engine;
+  std::vector<types::Penalty> penalties;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    penalties.push_back(1 + i % 5);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.CalcRp(100, 99, 5, 1000, 200, penalties));
+  }
+}
+BENCHMARK(BM_CalcRp)->Arg(8)->Arg(64)->Arg(1024);
+
+void BM_PowSolve(benchmark::State& state) {
+  util::Rng rng(7);
+  crypto::RealPowSolver solver;
+  const crypto::Sha256Digest payload =
+      crypto::Sha256::Hash(std::string("txblock"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        solver.Solve(payload, static_cast<int>(state.range(0)), &rng));
+  }
+}
+BENCHMARK(BM_PowSolve)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_PowVerify(benchmark::State& state) {
+  util::Rng rng(7);
+  crypto::RealPowSolver solver;
+  const crypto::Sha256Digest payload =
+      crypto::Sha256::Hash(std::string("txblock"));
+  const auto sol = solver.Solve(payload, 12, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::PowVerify(payload, sol->nonce, 12));
+  }
+}
+BENCHMARK(BM_PowVerify);
+
+void BM_EventQueue(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim(1);
+    for (int i = 0; i < 1000; ++i) {
+      sim.ScheduleAt(i * 10, [] {});
+    }
+    sim.RunUntil(100000);
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueue);
+
+void BM_TransactionDigest(benchmark::State& state) {
+  types::Transaction tx;
+  tx.pool = 3;
+  tx.client_seq = 12345;
+  tx.fingerprint = 0xdeadbeef;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tx.Digest());
+  }
+}
+BENCHMARK(BM_TransactionDigest);
+
+}  // namespace
+}  // namespace prestige
+
+BENCHMARK_MAIN();

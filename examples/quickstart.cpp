@@ -1,0 +1,72 @@
+// Quickstart: a 4-server PrestigeBFT cluster committing client requests.
+//
+// Builds a simulated deployment (4 replicas + 2 client pools), runs two
+// seconds of virtual time, and prints throughput, latency, and the state of
+// each replica. This is the smallest end-to-end use of the public API:
+//
+//   harness::Cluster<core::PrestigeReplica, core::PrestigeConfig>
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/replica.h"
+#include "harness/cluster.h"
+
+using namespace prestige;
+
+int main() {
+  // Protocol parameters: n = 3f+1 servers, batching, timeout windows.
+  core::PrestigeConfig config;
+  config.n = 4;
+  config.batch_size = 500;
+  config.timeout_min = util::Millis(800);
+  config.timeout_max = util::Millis(1200);
+
+  // Workload: two pools of 100 closed-loop clients, 32-byte requests, on a
+  // datacenter-like network (sub-2ms one-way latency, 400 MB/s NICs).
+  harness::WorkloadOptions workload;
+  workload.num_pools = 2;
+  workload.clients_per_pool = 100;
+  workload.payload_size = 32;
+  workload.seed = 7;
+
+  harness::Cluster<core::PrestigeReplica, core::PrestigeConfig> cluster(
+      config, workload);
+  cluster.Start();
+
+  std::printf("Running 2 seconds of virtual time...\n\n");
+  cluster.RunFor(util::Seconds(2));
+
+  std::printf("committed requests : %lld\n",
+              static_cast<long long>(cluster.ClientCommitted()));
+  std::printf("throughput         : %.0f tx/s\n",
+              cluster.ClientCommitted() / 2.0);
+  std::printf("mean latency       : %.2f ms\n", cluster.MeanLatencyMs());
+  std::printf("p99 latency        : %.2f ms\n\n",
+              cluster.LatencyPercentileMs(99));
+
+  for (uint32_t i = 0; i < cluster.num_replicas(); ++i) {
+    const core::PrestigeReplica& replica = cluster.replica(i);
+    std::printf(
+        "replica %u: role=%-9s view=%lld chain=%lld blocks rp=%lld\n", i,
+        core::RoleName(replica.role()),
+        static_cast<long long>(replica.view()),
+        static_cast<long long>(replica.store().LatestTxSeq()),
+        static_cast<long long>(replica.EffectiveRp(i)));
+  }
+
+  // Safety check: all replicas agree on the chain prefix.
+  bool consistent = true;
+  const auto& reference = cluster.replica(0).store().tx_chain();
+  for (uint32_t i = 1; i < 4; ++i) {
+    const auto& other = cluster.replica(i).store().tx_chain();
+    const size_t common = std::min(reference.size(), other.size());
+    for (size_t k = 0; k < common; ++k) {
+      if (reference[k].Digest() != other[k].Digest()) consistent = false;
+    }
+  }
+  std::printf("\nchains consistent  : %s\n", consistent ? "yes" : "NO!");
+  return consistent ? 0 : 1;
+}

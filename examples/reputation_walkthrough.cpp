@@ -1,0 +1,84 @@
+// reputation_walkthrough: the paper's Appendix C, executed.
+//
+// Replays the step-by-step reputation-penalty calculations for server S1
+// through the scenarios of Figure 4 (repeated leadership without progress,
+// compensation via replication, leadership indifference) and prints every
+// intermediate quantity next to the paper's reported value.
+
+#include <cstdio>
+
+#include "reputation/reputation_engine.h"
+
+using namespace prestige;
+using reputation::ReputationEngine;
+using reputation::RpResult;
+
+namespace {
+
+void Show(const char* label, const util::Result<RpResult>& r,
+          const char* paper) {
+  if (!r.ok()) {
+    std::printf("%-34s ERROR: %s\n", label, r.status().ToString().c_str());
+    return;
+  }
+  std::printf("%-34s rp_temp=%-3lld dtx=%-5.2f dvc=%-5.2f delta=%-5.2f "
+              "rp'=%-3lld ci'=%-5lld | paper: %s\n",
+              label, static_cast<long long>(r->rp_temp), r->delta_tx,
+              r->delta_vc, r->delta, static_cast<long long>(r->new_rp),
+              static_cast<long long>(r->new_ci), paper);
+}
+
+}  // namespace
+
+int main() {
+  ReputationEngine engine;  // C_delta = 1, initial rp = ci = 1.
+
+  std::printf("PrestigeBFT reputation mechanism — Appendix C walkthrough\n");
+  std::printf("========================================================\n\n");
+
+  std::printf("S1 is leader V1..V5 with no replication (example 1):\n");
+  // Penalties accumulate 1 -> 2 -> 3 -> 4 -> 5 across V2..V5 campaigns.
+  std::vector<types::Penalty> history = {1};
+  types::Penalty rp = 1;
+  for (types::View v_new = 2; v_new <= 5; ++v_new) {
+    std::vector<types::Penalty> p(history.rbegin(), history.rend());
+    p.insert(p.begin(), rp);
+    auto r = engine.CalcRp(v_new, v_new - 1, rp, 1, 1, p);
+    history.push_back(rp);
+    rp = r->new_rp;
+  }
+  std::printf("  after V5: rp = %lld (paper: 5)\n\n",
+              static_cast<long long>(rp));
+
+  std::printf("Campaigning for V6 (P = {1,2,3,4,5}):\n");
+  Show("  no replication (ti=1, ci=1)",
+       engine.CalcRp(6, 5, 5, 1, 1, {1, 2, 3, 4, 5}),
+       "dvc=0.19, delta=0, rp'=6");
+  Show("  20 txBlocks (ti=20, ci=1)",
+       engine.CalcRp(6, 5, 5, 20, 1, {1, 2, 3, 4, 5}),
+       "delta=1.14, rp'=5, ci'=20");
+
+  std::printf("\nCampaigning for V7 (P = {1,2,3,4,5,5}):\n");
+  Show("  ti=50, ci=20 (example 3)",
+       engine.CalcRp(7, 6, 5, 50, 20, {1, 2, 3, 4, 5, 5}),
+       "dtx=0.6, dvc=0.25, delta=0.89, rp'=6");
+  Show("  ti=100, ci=20 (example 4)",
+       engine.CalcRp(7, 6, 5, 100, 20, {1, 2, 3, 4, 5, 5}),
+       "dtx=0.8, delta=1.2, rp'=5");
+
+  std::printf("\nStaying a follower V7..V14, campaigning for V15\n");
+  std::printf("(P = {1,2,3,4} + ten 5s):\n");
+  std::vector<types::Penalty> p5 = {1, 2, 3, 4};
+  p5.insert(p5.end(), 10, 5);
+  Show("  ti=50, ci=20 (example 5)", engine.CalcRp(15, 14, 5, 50, 20, p5),
+       "dvc=0.36, delta=1.29, rp'=5");
+  Show("  ti=400, ci=20 (example 6)", engine.CalcRp(15, 14, 5, 400, 20, p5),
+       "dtx=0.95, delta=2.05, rp'=4");
+
+  std::printf(
+      "\nReading: the mechanism penalizes leadership repossession without\n"
+      "replication, compensates incremental log responsiveness (dtx) and\n"
+      "leadership indifference (dvc), and never compensates more than the\n"
+      "penalization itself (0 <= delta < rp_temp).\n");
+  return 0;
+}

@@ -1,0 +1,481 @@
+#include "baselines/hotstuff/hotstuff_replica.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace prestige {
+namespace baselines {
+namespace hotstuff {
+
+const char* HsPhaseName(HsPhase phase) {
+  switch (phase) {
+    case HsPhase::kPrepare:
+      return "prepare";
+    case HsPhase::kPreCommit:
+      return "pre-commit";
+    case HsPhase::kCommit:
+      return "commit";
+    case HsPhase::kDecide:
+      return "decide";
+  }
+  return "?";
+}
+
+crypto::Sha256Digest HsVoteDigest(HsPhase phase, types::View v,
+                                  types::SeqNum n,
+                                  const crypto::Sha256Digest& block_digest) {
+  types::Encoder enc("hs-vote");
+  enc.PutU8(static_cast<uint8_t>(phase)).PutI64(v).PutI64(n).PutDigest(
+      block_digest);
+  return enc.Digest();
+}
+
+HotStuffReplica::HotStuffReplica(HotStuffConfig config, types::ReplicaId id,
+                                 const crypto::KeyStore* keys,
+                                 workload::FaultSpec fault)
+    : config_(config),
+      id_(id),
+      keys_(keys),
+      signer_(keys, id),
+      fault_(fault),
+      state_machine_(std::make_unique<ledger::NullStateMachine>()) {}
+
+void HotStuffReplica::SetTopology(std::vector<sim::ActorId> replicas,
+                                  std::vector<sim::ActorId> clients) {
+  replicas_ = std::move(replicas);
+  clients_ = std::move(clients);
+}
+
+void HotStuffReplica::SetStateMachine(
+    std::unique_ptr<ledger::StateMachine> sm) {
+  state_machine_ = std::move(sm);
+}
+
+uint64_t HotStuffReplica::TxKey(const types::Transaction& tx) {
+  return static_cast<uint64_t>(tx.pool) * 0x9e3779b97f4a7c15ULL ^
+         tx.client_seq * 0xc2b2ae3d27d4eb4fULL;
+}
+
+std::vector<sim::ActorId> HotStuffReplica::PeerActors() const {
+  std::vector<sim::ActorId> peers;
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    if (static_cast<types::ReplicaId>(i) != id_) peers.push_back(replicas_[i]);
+  }
+  return peers;
+}
+
+bool HotStuffReplica::QuietActive() const {
+  if (Now() < fault_.start_at) return false;
+  if (fault_.type == workload::FaultType::kQuiet) return true;
+  if (fault_.type == workload::FaultType::kRepeatedVc && IsLeader() &&
+      fault_.as_leader == workload::LeaderMisbehaviour::kQuiet) {
+    return true;
+  }
+  return false;
+}
+
+bool HotStuffReplica::EquivocateActive() const {
+  if (Now() < fault_.start_at) return false;
+  if (fault_.type == workload::FaultType::kEquivocate) return true;
+  if (fault_.type == workload::FaultType::kRepeatedVc && IsLeader() &&
+      fault_.as_leader == workload::LeaderMisbehaviour::kEquivocate) {
+    return true;
+  }
+  return false;
+}
+
+void HotStuffReplica::GuardedSend(sim::ActorId to, sim::MessagePtr msg) {
+  if (QuietActive()) return;
+  Send(to, std::move(msg));
+}
+
+void HotStuffReplica::GuardedSend(const std::vector<sim::ActorId>& to,
+                                  sim::MessagePtr msg) {
+  if (QuietActive()) return;
+  Send(to, std::move(msg));
+}
+
+crypto::Signature HotStuffReplica::SignMaybeCorrupt(
+    const crypto::Sha256Digest& digest) {
+  crypto::Signature sig = signer_.Sign(digest);
+  if (EquivocateActive()) sig.mac[0] ^= 0xff;
+  return sig;
+}
+
+void HotStuffReplica::OnStart() {
+  view_ = 1;
+  have_newview_quorum_ = true;  // View 1 starts by convention.
+  ArmViewTimer();
+  if (config_.rotation_period > 0) {
+    rotation_timer_ = SetTimer(
+        config_.rotation_period + rng()->NextInRange(0, util::Millis(100)),
+        kRotationTimer);
+  }
+  if (fault_.type == workload::FaultType::kEquivocate) {
+    SetTimer(util::Millis(50), kNoiseTimer);
+  }
+}
+
+void HotStuffReplica::ArmViewTimer() {
+  if (view_timer_ != 0) CancelTimer(view_timer_);
+  util::DurationMicros timeout = config_.view_timeout;
+  for (int i = 0; i < consecutive_failures_ && i < 8; ++i) timeout *= 2;
+  timeout = std::min(timeout, config_.max_view_timeout);
+  view_timer_ = SetTimer(timeout, kViewTimer);
+}
+
+void HotStuffReplica::OnTimer(uint64_t tag) {
+  if (fault_.type == workload::FaultType::kCrash && fault_.start_at > 0 &&
+      Now() >= fault_.start_at) {
+    return;
+  }
+  switch (tag) {
+    case kViewTimer:
+      view_timer_ = 0;
+      // The passive pacemaker: leader failed; blindly rotate to the next
+      // scheduled server — it may itself be unavailable (the weakness the
+      // paper's Figure 1 illustrates).
+      ++consecutive_failures_;
+      ++metrics_.view_changes_started;
+      AdvanceView(/*failed=*/true);
+      break;
+    case kRotationTimer:
+      rotation_timer_ = 0;
+      if (config_.rotation_period > 0) {
+        AdvanceView(/*failed=*/false);
+        rotation_timer_ =
+            SetTimer(config_.rotation_period +
+                         rng()->NextInRange(0, util::Millis(100)),
+                     kRotationTimer);
+      }
+      break;
+    case kBatchTimer:
+      batch_timer_ = 0;
+      MaybePropose(/*allow_partial=*/true);
+      break;
+    case kNoiseTimer:
+      if (EquivocateActive()) {
+        auto noise = std::make_shared<core::NoiseMsg>();
+        noise->bytes = 2048;
+        Send(PeerActors(), noise);
+      }
+      if (fault_.type == workload::FaultType::kEquivocate) {
+        SetTimer(util::Millis(50), kNoiseTimer);
+      }
+      break;
+  }
+}
+
+void HotStuffReplica::AdvanceView(bool failed) {
+  EnterView(view_ + 1, failed);
+  auto nv = std::make_shared<HsNewViewMsg>();
+  nv->v = view_;
+  nv->latest_n = store_.LatestTxSeq();
+  nv->sig = SignMaybeCorrupt(ledger::ConfDigest(view_));
+  GuardedSend(ActorOf(current_leader()), nv);
+}
+
+void HotStuffReplica::EnterView(types::View v, bool failed) {
+  view_ = v;
+  if (!failed) consecutive_failures_ = 0;
+  proposal_active_ = false;
+  pending_blocks_.clear();
+  ArmViewTimer();
+  if (IsLeader()) {
+    ++metrics_.elections_won;  // "Elected" by schedule.
+    MaybePropose(/*allow_partial=*/true);
+  }
+}
+
+void HotStuffReplica::EnqueueTx(const types::Transaction& tx) {
+  const uint64_t key = TxKey(tx);
+  if (committed_tx_keys_.count(key) > 0) return;
+  if (!pending_keys_.insert(key).second) return;
+  pending_txs_.push_back(tx);
+}
+
+void HotStuffReplica::MaybePropose(bool allow_partial) {
+  if (!IsLeader() || proposal_active_) return;
+  if (pending_txs_.empty()) return;
+  if (pending_txs_.size() < config_.batch_size && !allow_partial) {
+    if (batch_timer_ == 0) {
+      batch_timer_ = SetTimer(config_.batch_wait, kBatchTimer);
+    }
+    return;
+  }
+
+  std::vector<types::Transaction> batch;
+  batch.reserve(std::min(pending_txs_.size(), config_.batch_size));
+  while (!pending_txs_.empty() && batch.size() < config_.batch_size) {
+    types::Transaction tx = pending_txs_.front();
+    pending_txs_.pop_front();
+    pending_keys_.erase(TxKey(tx));
+    if (committed_tx_keys_.count(TxKey(tx)) > 0) continue;
+    batch.push_back(std::move(tx));
+  }
+  if (batch.empty()) return;
+
+  proposal_active_ = true;
+  current_block_ = ledger::TxBlock{};
+  current_block_.v = view_;
+  current_block_.n = store_.LatestTxSeq() + 1;
+  current_block_.prev_hash = store_.LatestTxDigest();
+  current_block_.txs = std::move(batch);
+  current_block_.status.assign(current_block_.txs.size(), 1);
+
+  const crypto::Sha256Digest digest = current_block_.Digest();
+  const crypto::Sha256Digest vote_digest =
+      HsVoteDigest(HsPhase::kPrepare, view_, current_block_.n, digest);
+  collect_phase_ = HsPhase::kPrepare;
+  vote_builder_ = crypto::QuorumCertBuilder(vote_digest, config_.quorum());
+  vote_builder_.Add(signer_.Sign(vote_digest), vote_digest);
+
+  auto proposal = std::make_shared<HsProposalMsg>();
+  proposal->v = view_;
+  proposal->block = current_block_;
+  proposal->sig = SignMaybeCorrupt(vote_digest);
+  GuardedSend(PeerActors(), proposal);
+}
+
+void HotStuffReplica::OnProposal(sim::ActorId from, const HsProposalMsg& msg) {
+  if (msg.v < view_) return;
+  if (msg.v > view_) {
+    // The cluster moved on; adopt the higher view (passive schedule makes
+    // the leader identity implicit in the view number).
+    EnterView(msg.v, /*failed=*/false);
+  }
+  if (IsLeader() || from != ActorOf(current_leader())) return;
+  if (msg.block.n <= store_.LatestTxSeq()) return;  // Stale proposal.
+  if (msg.block.n > store_.LatestTxSeq() + 1) {
+    // Links are not FIFO: this proposal overtook the previous decide.
+    // Fetch the gap; ordering is enforced when blocks are decided.
+    auto req = std::make_shared<core::SyncReqMsg>();
+    req->kind = core::SyncReqMsg::Kind::kTxBlocks;
+    req->after = store_.LatestTxSeq();
+    req->up_to = msg.block.n - 1;
+    GuardedSend(from, req);
+  }
+  const crypto::Sha256Digest digest = msg.block.Digest();
+  const crypto::Sha256Digest vote_digest =
+      HsVoteDigest(HsPhase::kPrepare, msg.v, msg.block.n, digest);
+  if (!keys_->Verify(msg.sig, vote_digest) ||
+      msg.sig.signer != current_leader()) {
+    ++metrics_.invalid_messages;
+    return;
+  }
+  pending_blocks_[msg.block.n] = msg.block;
+
+  auto vote = std::make_shared<HsVoteMsg>();
+  vote->v = msg.v;
+  vote->phase = HsPhase::kPrepare;
+  vote->n = msg.block.n;
+  vote->block_digest = digest;
+  vote->partial = SignMaybeCorrupt(vote_digest);
+  GuardedSend(from, vote);
+  ArmViewTimer();
+  consecutive_failures_ = 0;
+}
+
+void HotStuffReplica::OnVote(sim::ActorId from, const HsVoteMsg& msg) {
+  (void)from;
+  if (!IsLeader() || !proposal_active_ || msg.v != view_ ||
+      msg.n != current_block_.n || msg.phase != collect_phase_) {
+    return;
+  }
+  const crypto::Sha256Digest expected = vote_builder_.digest();
+  if (!keys_->Verify(msg.partial, expected)) {
+    ++metrics_.invalid_messages;
+    return;
+  }
+  vote_builder_.Add(msg.partial, expected);
+  if (!vote_builder_.Complete()) return;
+
+  const crypto::QuorumCert qc = vote_builder_.Build();
+  const crypto::Sha256Digest digest = current_block_.Digest();
+
+  if (collect_phase_ == HsPhase::kPrepare) {
+    current_block_.ordering_qc = qc;  // prepareQC.
+  } else if (collect_phase_ == HsPhase::kCommit) {
+    current_block_.commit_qc = qc;  // commitQC.
+  }
+
+  if (collect_phase_ == HsPhase::kCommit) {
+    // Decision reached: append, notify, broadcast Decide, next proposal.
+    auto decide = std::make_shared<HsPhaseMsg>();
+    decide->v = view_;
+    decide->phase = HsPhase::kDecide;
+    decide->n = current_block_.n;
+    decide->block_digest = digest;
+    decide->justify = qc;
+    decide->sig = SignMaybeCorrupt(
+        HsVoteDigest(HsPhase::kDecide, view_, current_block_.n, digest));
+    GuardedSend(PeerActors(), decide);
+
+    proposal_active_ = false;
+    DecideBlock(current_block_);
+    MaybePropose(/*allow_partial=*/true);
+    return;
+  }
+
+  // Advance to the next phase: pre-commit after prepare, commit after
+  // pre-commit (the third phase PrestigeBFT does not need).
+  const HsPhase next_phase = collect_phase_ == HsPhase::kPrepare
+                                 ? HsPhase::kPreCommit
+                                 : HsPhase::kCommit;
+  auto phase_msg = std::make_shared<HsPhaseMsg>();
+  phase_msg->v = view_;
+  phase_msg->phase = next_phase;
+  phase_msg->n = current_block_.n;
+  phase_msg->block_digest = digest;
+  phase_msg->justify = qc;
+  phase_msg->sig = SignMaybeCorrupt(
+      HsVoteDigest(next_phase, view_, current_block_.n, digest));
+
+  collect_phase_ = next_phase;
+  const crypto::Sha256Digest next_digest =
+      HsVoteDigest(next_phase, view_, current_block_.n, digest);
+  vote_builder_ = crypto::QuorumCertBuilder(next_digest, config_.quorum());
+  vote_builder_.Add(signer_.Sign(next_digest), next_digest);
+
+  GuardedSend(PeerActors(), phase_msg);
+}
+
+void HotStuffReplica::OnPhase(sim::ActorId from, const HsPhaseMsg& msg) {
+  if (msg.v != view_ || IsLeader() || from != ActorOf(current_leader())) {
+    return;
+  }
+  // Justify QC certifies the previous phase.
+  const HsPhase prev_phase =
+      msg.phase == HsPhase::kPreCommit
+          ? HsPhase::kPrepare
+          : (msg.phase == HsPhase::kCommit ? HsPhase::kPreCommit
+                                           : HsPhase::kCommit);
+  const crypto::Sha256Digest justify_digest =
+      HsVoteDigest(prev_phase, msg.v, msg.n, msg.block_digest);
+  if (!crypto::VerifyQuorumCert(*keys_, msg.justify, justify_digest,
+                                config_.quorum())
+           .ok()) {
+    ++metrics_.invalid_messages;
+    return;
+  }
+
+  if (msg.phase == HsPhase::kDecide) {
+    auto it = pending_blocks_.find(msg.n);
+    if (it == pending_blocks_.end()) return;
+    if (it->second.Digest() != msg.block_digest) {
+      ++metrics_.invalid_messages;
+      return;
+    }
+    ledger::TxBlock block = std::move(it->second);
+    pending_blocks_.erase(it);
+    block.commit_qc = msg.justify;
+    DecideBlock(std::move(block));
+    return;
+  }
+
+  // Vote for this phase.
+  auto vote = std::make_shared<HsVoteMsg>();
+  vote->v = msg.v;
+  vote->phase = msg.phase;
+  vote->n = msg.n;
+  vote->block_digest = msg.block_digest;
+  vote->partial = SignMaybeCorrupt(
+      HsVoteDigest(msg.phase, msg.v, msg.n, msg.block_digest));
+  GuardedSend(from, vote);
+  ArmViewTimer();
+}
+
+void HotStuffReplica::OnNewView(sim::ActorId from, const HsNewViewMsg& msg) {
+  (void)from;
+  if (msg.v <= view_) return;
+  // Enough of the cluster moved to a higher view; follow along so the
+  // schedule stays roughly synchronized. (Basic pacemaker: any NewView from
+  // a higher view triggers adoption; safety is QC-based, not view-based.)
+  if (msg.v == view_ + 1) {
+    EnterView(msg.v, /*failed=*/false);
+  }
+}
+
+void HotStuffReplica::DecideBlock(ledger::TxBlock block) {
+  if (block.n <= store_.LatestTxSeq()) return;
+  if (block.n > store_.LatestTxSeq() + 1) {
+    buffered_commits_[block.n] = std::move(block);
+    return;
+  }
+  for (const types::Transaction& tx : block.txs) {
+    committed_tx_keys_.insert(TxKey(tx));
+  }
+  metrics_.committed_txs += static_cast<int64_t>(block.txs.size());
+  ++metrics_.committed_blocks;
+  metrics_.commit_timeline.Add(Now(), static_cast<int64_t>(block.txs.size()));
+  state_machine_->Apply(block);
+  NotifyClients(block);
+  util::Status st = store_.AppendTxBlock(std::move(block));
+  assert(st.ok());
+  (void)st;
+  ArmViewTimer();
+  consecutive_failures_ = 0;
+  // Unblock any buffered successors.
+  auto it = buffered_commits_.find(store_.LatestTxSeq() + 1);
+  if (it != buffered_commits_.end()) {
+    ledger::TxBlock next = std::move(it->second);
+    buffered_commits_.erase(it);
+    DecideBlock(std::move(next));
+  }
+}
+
+void HotStuffReplica::NotifyClients(const ledger::TxBlock& block) {
+  if (clients_.empty()) return;
+  std::map<types::ClientPoolId, std::vector<types::Transaction>> by_pool;
+  for (const types::Transaction& tx : block.txs) {
+    if (tx.pool < clients_.size()) by_pool[tx.pool].push_back(tx);
+  }
+  for (auto& [pool, txs] : by_pool) {
+    auto notif = std::make_shared<types::CommitNotif>();
+    notif->replica = id_;
+    notif->v = block.v;
+    notif->n = block.n;
+    notif->txs = std::move(txs);
+    GuardedSend(clients_[pool], notif);
+  }
+}
+
+void HotStuffReplica::OnMessage(sim::ActorId from, const sim::MessagePtr& msg) {
+  if (fault_.type == workload::FaultType::kCrash && fault_.start_at > 0 &&
+      Now() >= fault_.start_at) {
+    return;
+  }
+  if (auto* m = dynamic_cast<const types::ClientBatch*>(msg.get())) {
+    for (const types::Transaction& tx : m->txs) EnqueueTx(tx);
+    MaybePropose(/*allow_partial=*/false);
+  } else if (auto* m =
+                 dynamic_cast<const types::ClientComplaint*>(msg.get())) {
+    ++metrics_.complaints_received;
+    EnqueueTx(m->tx);
+    MaybePropose(/*allow_partial=*/true);
+  } else if (auto* m = dynamic_cast<const HsProposalMsg*>(msg.get())) {
+    OnProposal(from, *m);
+  } else if (auto* m = dynamic_cast<const HsVoteMsg*>(msg.get())) {
+    OnVote(from, *m);
+  } else if (auto* m = dynamic_cast<const HsPhaseMsg*>(msg.get())) {
+    OnPhase(from, *m);
+  } else if (auto* m = dynamic_cast<const HsNewViewMsg*>(msg.get())) {
+    OnNewView(from, *m);
+  } else if (auto* m = dynamic_cast<const core::SyncReqMsg*>(msg.get())) {
+    auto resp = std::make_shared<core::SyncRespMsg>();
+    resp->tx_blocks = store_.TxBlocksAfter(m->after, m->up_to);
+    if (!resp->tx_blocks.empty()) GuardedSend(from, resp);
+  } else if (auto* m = dynamic_cast<const core::SyncRespMsg*>(msg.get())) {
+    for (const ledger::TxBlock& block : m->tx_blocks) {
+      if (block.n == store_.LatestTxSeq() + 1) {
+        DecideBlock(block);
+      }
+    }
+  } else if (dynamic_cast<const core::NoiseMsg*>(msg.get()) != nullptr) {
+    // Attack traffic; cost already charged by the network model.
+  }
+}
+
+}  // namespace baselines
+}  // namespace hotstuff
+}  // namespace prestige

@@ -1,0 +1,230 @@
+// Basic (non-chained) HotStuff baseline with a passive view-change protocol.
+//
+// The paper's primary comparator (§6): three quorum-certificate phases
+// (prepare, pre-commit, commit) plus a decide broadcast — the extra phase
+// relative to PrestigeBFT is precisely the sync-up cost HotStuff pays for
+// its passive pacemaker (§1, §4.3 of the paper). Leadership follows the
+// predefined schedule L = V mod n; view changes occur on leader timeout
+// (with exponential back-off) or the timing policy (r10/r30), and cannot
+// skip an already-crashed scheduled leader.
+//
+// Shares the simulation substrate, client messages, ledger, and fault
+// profiles with PrestigeBFT, so harness experiments drive both identically.
+
+#ifndef PRESTIGE_BASELINES_HOTSTUFF_REPLICA_H_
+#define PRESTIGE_BASELINES_HOTSTUFF_REPLICA_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "core/messages.h"
+#include "core/metrics.h"
+#include "crypto/keys.h"
+#include "crypto/quorum_cert.h"
+#include "ledger/block_store.h"
+#include "ledger/state_machine.h"
+#include "sim/actor.h"
+#include "types/client_messages.h"
+#include "types/ids.h"
+#include "workload/fault_spec.h"
+
+namespace prestige {
+namespace baselines {
+namespace hotstuff {
+
+/// HotStuff protocol phases.
+enum class HsPhase : uint8_t {
+  kPrepare = 0,
+  kPreCommit = 1,
+  kCommit = 2,
+  kDecide = 3,
+};
+
+const char* HsPhaseName(HsPhase phase);
+
+/// Digest signed by votes of `phase` for block (v, n, digest).
+crypto::Sha256Digest HsVoteDigest(HsPhase phase, types::View v,
+                                  types::SeqNum n,
+                                  const crypto::Sha256Digest& block_digest);
+
+/// Leader proposal carrying the batch body (the prepare broadcast).
+struct HsProposalMsg : public sim::NetMessage {
+  types::View v = 0;
+  ledger::TxBlock block;
+  crypto::Signature sig;
+
+  size_t WireSize() const override {
+    size_t payload = 0;
+    for (const auto& tx : block.txs) payload += tx.WireBytes();
+    return core::kHeaderBytes + payload + core::kSigBytes;
+  }
+  int NumSigVerifies() const override { return 1; }
+  const char* Name() const override { return "HsProposal"; }
+};
+
+/// Follower vote: partial signature for one phase.
+struct HsVoteMsg : public sim::NetMessage {
+  types::View v = 0;
+  HsPhase phase = HsPhase::kPrepare;
+  types::SeqNum n = 0;
+  crypto::Sha256Digest block_digest{};
+  crypto::Signature partial;
+
+  size_t WireSize() const override {
+    return core::kHeaderBytes + core::kSigBytes;
+  }
+  int NumSigVerifies() const override { return 1; }
+  const char* Name() const override { return "HsVote"; }
+};
+
+/// Leader phase broadcast carrying the QC of the previous phase.
+struct HsPhaseMsg : public sim::NetMessage {
+  types::View v = 0;
+  HsPhase phase = HsPhase::kPreCommit;  // kPreCommit / kCommit / kDecide.
+  types::SeqNum n = 0;
+  crypto::Sha256Digest block_digest{};
+  crypto::QuorumCert justify;
+  crypto::Signature sig;
+
+  size_t WireSize() const override {
+    return core::kHeaderBytes + core::kQcBytes + core::kSigBytes;
+  }
+  // libhotstuff verifies each of the quorum's secp256k1 signatures
+  // individually when checking a QC (no threshold aggregation), which is
+  // the dominant per-phase cost and the known scaling bottleneck.
+  int NumSigVerifies() const override {
+    return 1 + static_cast<int>(justify.partials.size());
+  }
+  const char* Name() const override { return "HsPhase"; }
+};
+
+/// Pacemaker message sent to the next scheduled leader on view advance.
+struct HsNewViewMsg : public sim::NetMessage {
+  types::View v = 0;           ///< The view being entered.
+  types::SeqNum latest_n = 0;  ///< Sender's chain height.
+  crypto::Signature sig;
+
+  size_t WireSize() const override {
+    return core::kHeaderBytes + core::kQcBytes + core::kSigBytes;
+  }
+  int NumSigVerifies() const override { return 1; }
+  const char* Name() const override { return "HsNewView"; }
+};
+
+/// Cluster parameters (mirrors the paper's hs configuration).
+struct HotStuffConfig {
+  uint32_t n = 4;
+  size_t batch_size = 1000;
+  util::DurationMicros batch_wait = util::Millis(3);
+  /// Initial view timeout (paper: 1 s), doubled per consecutive failure.
+  util::DurationMicros view_timeout = util::Seconds(1);
+  util::DurationMicros max_view_timeout = util::Seconds(8);
+  /// Timing policy: rotate every r (0 = only on failure).
+  util::DurationMicros rotation_period = 0;
+
+  uint32_t f() const { return types::MaxFaulty(n); }
+  uint32_t quorum() const { return types::QuorumSize(n); }
+};
+
+/// One HotStuff server.
+class HotStuffReplica : public sim::Actor {
+ public:
+  HotStuffReplica(HotStuffConfig config, types::ReplicaId id,
+                  const crypto::KeyStore* keys,
+                  workload::FaultSpec fault = workload::FaultSpec::Honest());
+
+  void SetTopology(std::vector<sim::ActorId> replicas,
+                   std::vector<sim::ActorId> clients);
+  void SetStateMachine(std::unique_ptr<ledger::StateMachine> sm);
+
+  void OnStart() override;
+  void OnMessage(sim::ActorId from, const sim::MessagePtr& msg) override;
+  void OnTimer(uint64_t tag) override;
+
+  types::View view() const { return view_; }
+  types::ReplicaId current_leader() const {
+    return static_cast<types::ReplicaId>(view_ % config_.n);
+  }
+  bool IsLeader() const { return current_leader() == id_; }
+  const ledger::BlockStore& store() const { return store_; }
+  const core::ReplicaMetrics& metrics() const { return metrics_; }
+  const workload::FaultSpec& fault() const { return fault_; }
+  types::ReplicaId replica_id() const { return id_; }
+
+ private:
+  enum TimerKind : uint64_t {
+    kViewTimer = 1,
+    kBatchTimer = 2,
+    kRotationTimer = 3,
+    kNoiseTimer = 4,
+  };
+
+  static uint64_t TxKey(const types::Transaction& tx);
+  sim::ActorId ActorOf(types::ReplicaId id) const { return replicas_[id]; }
+  std::vector<sim::ActorId> PeerActors() const;
+
+  bool QuietActive() const;
+  bool EquivocateActive() const;
+  void GuardedSend(sim::ActorId to, sim::MessagePtr msg);
+  void GuardedSend(const std::vector<sim::ActorId>& to, sim::MessagePtr msg);
+  crypto::Signature SignMaybeCorrupt(const crypto::Sha256Digest& digest);
+
+  void EnqueueTx(const types::Transaction& tx);
+  void EnterView(types::View v, bool failed);
+  void AdvanceView(bool failed);
+  void MaybePropose(bool allow_partial);
+  void OnProposal(sim::ActorId from, const HsProposalMsg& msg);
+  void OnVote(sim::ActorId from, const HsVoteMsg& msg);
+  void OnPhase(sim::ActorId from, const HsPhaseMsg& msg);
+  void OnNewView(sim::ActorId from, const HsNewViewMsg& msg);
+  void DecideBlock(ledger::TxBlock block);
+  void NotifyClients(const ledger::TxBlock& block);
+  void ArmViewTimer();
+
+  HotStuffConfig config_;
+  types::ReplicaId id_;
+  const crypto::KeyStore* keys_;
+  crypto::Signer signer_;
+  workload::FaultSpec fault_;
+
+  std::vector<sim::ActorId> replicas_;
+  std::vector<sim::ActorId> clients_;
+
+  ledger::BlockStore store_;
+  std::unique_ptr<ledger::StateMachine> state_machine_;
+
+  types::View view_ = 1;
+  int consecutive_failures_ = 0;
+  sim::TimerId view_timer_ = 0;
+  sim::TimerId rotation_timer_ = 0;
+  sim::TimerId batch_timer_ = 0;
+
+  // Request pool (all replicas buffer; the scheduled leader proposes).
+  std::deque<types::Transaction> pending_txs_;
+  std::unordered_set<uint64_t> pending_keys_;
+  std::unordered_set<uint64_t> committed_tx_keys_;
+
+  // Leader state: the single in-flight proposal (basic HotStuff has no
+  // pipelining — one decision per view sequence of phases).
+  bool proposal_active_ = false;
+  ledger::TxBlock current_block_;
+  HsPhase collect_phase_ = HsPhase::kPrepare;
+  crypto::QuorumCertBuilder vote_builder_;
+  crypto::QuorumCertBuilder newview_builder_;
+  bool have_newview_quorum_ = false;
+
+  // Follower state for the in-flight proposal.
+  std::map<types::SeqNum, ledger::TxBlock> pending_blocks_;
+  std::map<types::SeqNum, ledger::TxBlock> buffered_commits_;
+
+  core::ReplicaMetrics metrics_;
+};
+
+}  // namespace hotstuff
+}  // namespace baselines
+}  // namespace prestige
+
+#endif  // PRESTIGE_BASELINES_HOTSTUFF_REPLICA_H_

@@ -1,0 +1,51 @@
+// Prosecutor baseline (Zhang & Jacobsen, Middleware'21) — PrestigeBFT's
+// precursor from the same group.
+//
+// Prosecutor combines two-phase replication with a campaign-based view
+// change in which suspected servers must perform proof-of-work whose
+// difficulty grows monotonically with their suspicion record: penalties
+// only ever accumulate; there is no compensation and no history-aware
+// z-score. PrestigeBFT's contribution on top of Prosecutor is precisely the
+// two-sided reputation mechanism (δtx / δvc compensation, Eqs. 2-4).
+//
+// This repository therefore realizes Prosecutor as a configuration of the
+// PrestigeBFT engine with the compensation terms disabled and pipelining
+// off (Prosecutor commits one batch at a time), which matches its message
+// and round complexity. See DESIGN.md §4 (substitutions).
+
+#ifndef PRESTIGE_BASELINES_PROSECUTOR_H_
+#define PRESTIGE_BASELINES_PROSECUTOR_H_
+
+#include "core/config.h"
+#include "core/replica.h"
+
+namespace prestige {
+namespace baselines {
+namespace prosecutor {
+
+/// The Prosecutor server type: PrestigeBFT's replica under the Prosecutor
+/// reputation/pipelining configuration.
+using ProsecutorReplica = core::PrestigeReplica;
+
+/// Prosecutor protocol parameters derived from a base configuration.
+inline core::PrestigeConfig MakeProsecutorConfig(uint32_t n,
+                                                 size_t batch_size = 1000) {
+  core::PrestigeConfig config;
+  config.n = n;
+  config.batch_size = batch_size;
+  // One consensus instance at a time: Prosecutor does not pipeline.
+  config.max_inflight = 1;
+  // Monotone penalization: no compensation of any kind.
+  config.reputation.enable_delta_tx = false;
+  config.reputation.enable_delta_vc = false;
+  config.reputation.c_delta = 0.0;
+  // Prosecutor has no penalty refresh.
+  config.enable_refresh = false;
+  return config;
+}
+
+}  // namespace prosecutor
+}  // namespace baselines
+}  // namespace prestige
+
+#endif  // PRESTIGE_BASELINES_PROSECUTOR_H_

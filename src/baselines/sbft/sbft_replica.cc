@@ -1,0 +1,270 @@
+#include "baselines/sbft/sbft_replica.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace prestige {
+namespace baselines {
+namespace sbft {
+
+crypto::Sha256Digest SbStageDigest(int stage, types::View v, types::SeqNum n,
+                                   const crypto::Sha256Digest& block_digest) {
+  types::Encoder enc("sbft");
+  enc.PutU8(static_cast<uint8_t>(stage)).PutI64(v).PutI64(n).PutDigest(
+      block_digest);
+  return enc.Digest();
+}
+
+SbftReplica::SbftReplica(SbftConfig config, types::ReplicaId id,
+                         const crypto::KeyStore* keys,
+                         workload::FaultSpec fault)
+    : config_(config),
+      id_(id),
+      keys_(keys),
+      signer_(keys, id),
+      fault_(fault),
+      state_machine_(std::make_unique<ledger::NullStateMachine>()) {}
+
+void SbftReplica::SetTopology(std::vector<sim::ActorId> replicas,
+                              std::vector<sim::ActorId> clients) {
+  replicas_ = std::move(replicas);
+  clients_ = std::move(clients);
+}
+
+uint64_t SbftReplica::TxKey(const types::Transaction& tx) {
+  return static_cast<uint64_t>(tx.pool) * 0x9e3779b97f4a7c15ULL ^
+         tx.client_seq * 0xc2b2ae3d27d4eb4fULL;
+}
+
+std::vector<sim::ActorId> SbftReplica::PeerActors() const {
+  std::vector<sim::ActorId> peers;
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    if (static_cast<types::ReplicaId>(i) != id_) peers.push_back(replicas_[i]);
+  }
+  return peers;
+}
+
+void SbftReplica::OnStart() {
+  view_ = 1;
+  view_timer_ = SetTimer(config_.view_timeout, kViewTimer);
+}
+
+void SbftReplica::OnTimer(uint64_t tag) {
+  switch (tag) {
+    case kViewTimer:
+      // Passive rotation on timeout (fast path only — dual paths and view
+      // change details of full SBFT are out of scope for the peak-
+      // performance comparison this baseline serves).
+      ++view_;
+      proposal_active_ = false;
+      pending_blocks_.clear();
+      view_timer_ = SetTimer(config_.view_timeout, kViewTimer);
+      if (IsLeader()) MaybePropose(true);
+      break;
+    case kBatchTimer:
+      batch_timer_ = 0;
+      MaybePropose(true);
+      break;
+  }
+}
+
+void SbftReplica::EnqueueTx(const types::Transaction& tx) {
+  const uint64_t key = TxKey(tx);
+  if (committed_tx_keys_.count(key) > 0) return;
+  if (!pending_keys_.insert(key).second) return;
+  pending_txs_.push_back(tx);
+}
+
+void SbftReplica::MaybePropose(bool allow_partial) {
+  if (!IsLeader() || proposal_active_ || pending_txs_.empty()) return;
+  if (pending_txs_.size() < config_.batch_size && !allow_partial) {
+    if (batch_timer_ == 0) {
+      batch_timer_ = SetTimer(config_.batch_wait, kBatchTimer);
+    }
+    return;
+  }
+  std::vector<types::Transaction> batch;
+  while (!pending_txs_.empty() && batch.size() < config_.batch_size) {
+    types::Transaction tx = pending_txs_.front();
+    pending_txs_.pop_front();
+    pending_keys_.erase(TxKey(tx));
+    if (committed_tx_keys_.count(TxKey(tx)) > 0) continue;
+    batch.push_back(std::move(tx));
+  }
+  if (batch.empty()) return;
+
+  proposal_active_ = true;
+  current_block_ = ledger::TxBlock{};
+  current_block_.v = view_;
+  current_block_.n = store_.LatestTxSeq() + 1;
+  current_block_.prev_hash = store_.LatestTxDigest();
+  current_block_.txs = std::move(batch);
+  current_block_.status.assign(current_block_.txs.size(), 1);
+
+  const crypto::Sha256Digest digest = current_block_.Digest();
+  const crypto::Sha256Digest stage_digest =
+      SbStageDigest(0, view_, current_block_.n, digest);
+  collect_stage_ = 0;
+  share_builder_ = crypto::QuorumCertBuilder(stage_digest, config_.quorum());
+  share_builder_.Add(signer_.Sign(stage_digest), stage_digest);
+
+  auto pp = std::make_shared<SbPrePrepareMsg>();
+  pp->v = view_;
+  pp->block = current_block_;
+  pp->crypto_weight = config_.crypto_weight;
+  pp->sig = signer_.Sign(stage_digest);
+  Send(PeerActors(), pp);
+}
+
+void SbftReplica::ExecuteBlock(ledger::TxBlock block) {
+  if (block.n <= store_.LatestTxSeq()) return;
+  if (block.n > store_.LatestTxSeq() + 1) {
+    buffered_commits_[block.n] = std::move(block);
+    return;
+  }
+  for (const types::Transaction& tx : block.txs) {
+    committed_tx_keys_.insert(TxKey(tx));
+  }
+  metrics_.committed_txs += static_cast<int64_t>(block.txs.size());
+  ++metrics_.committed_blocks;
+  metrics_.commit_timeline.Add(Now(), static_cast<int64_t>(block.txs.size()));
+  state_machine_->Apply(block);
+  NotifyClients(block);
+  util::Status st = store_.AppendTxBlock(std::move(block));
+  assert(st.ok());
+  (void)st;
+  // Progress: reset the view timer.
+  if (view_timer_ != 0) CancelTimer(view_timer_);
+  view_timer_ = SetTimer(config_.view_timeout, kViewTimer);
+  auto it = buffered_commits_.find(store_.LatestTxSeq() + 1);
+  if (it != buffered_commits_.end()) {
+    ledger::TxBlock next = std::move(it->second);
+    buffered_commits_.erase(it);
+    ExecuteBlock(std::move(next));
+  }
+}
+
+void SbftReplica::NotifyClients(const ledger::TxBlock& block) {
+  if (clients_.empty()) return;
+  std::map<types::ClientPoolId, std::vector<types::Transaction>> by_pool;
+  for (const types::Transaction& tx : block.txs) {
+    if (tx.pool < clients_.size()) by_pool[tx.pool].push_back(tx);
+  }
+  for (auto& [pool, txs] : by_pool) {
+    auto notif = std::make_shared<types::CommitNotif>();
+    notif->replica = id_;
+    notif->v = block.v;
+    notif->n = block.n;
+    notif->txs = std::move(txs);
+    Send(clients_[pool], notif);
+  }
+}
+
+void SbftReplica::OnMessage(sim::ActorId from, const sim::MessagePtr& msg) {
+  if (fault_.type == workload::FaultType::kCrash && fault_.start_at > 0 &&
+      Now() >= fault_.start_at) {
+    return;
+  }
+  if (auto* m = dynamic_cast<const types::ClientBatch*>(msg.get())) {
+    for (const types::Transaction& tx : m->txs) EnqueueTx(tx);
+    MaybePropose(false);
+  } else if (auto* m =
+                 dynamic_cast<const types::ClientComplaint*>(msg.get())) {
+    EnqueueTx(m->tx);
+    MaybePropose(true);
+  } else if (auto* m = dynamic_cast<const SbPrePrepareMsg*>(msg.get())) {
+    if (m->v != view_ || IsLeader()) return;
+    if (m->block.n <= store_.LatestTxSeq()) return;  // Stale.
+    const crypto::Sha256Digest digest = m->block.Digest();
+    const crypto::Sha256Digest stage_digest =
+        SbStageDigest(0, m->v, m->block.n, digest);
+    if (!keys_->Verify(m->sig, stage_digest)) {
+      ++metrics_.invalid_messages;
+      return;
+    }
+    pending_blocks_[m->block.n] = m->block;
+    auto share = std::make_shared<SbShareMsg>();
+    share->stage = SbShareMsg::Stage::kCommit;
+    share->v = m->v;
+    share->n = m->block.n;
+    share->partial = signer_.Sign(stage_digest);
+    Send(from, share);
+  } else if (auto* m = dynamic_cast<const SbShareMsg*>(msg.get())) {
+    (void)from;
+    if (!IsLeader() || !proposal_active_ || m->v != view_ ||
+        m->n != current_block_.n ||
+        static_cast<int>(m->stage) != collect_stage_) {
+      return;
+    }
+    const crypto::Sha256Digest expected = share_builder_.digest();
+    if (!keys_->Verify(m->partial, expected)) {
+      ++metrics_.invalid_messages;
+      return;
+    }
+    share_builder_.Add(m->partial, expected);
+    if (!share_builder_.Complete()) return;
+
+    const crypto::QuorumCert proof = share_builder_.Build();
+    const crypto::Sha256Digest digest = current_block_.Digest();
+    auto out = std::make_shared<SbProofMsg>();
+    out->v = view_;
+    out->n = current_block_.n;
+    out->block_digest = digest;
+    out->proof = proof;
+
+    if (collect_stage_ == 0) {
+      // Full-commit-proof; start collecting execution shares.
+      current_block_.commit_qc = proof;
+      out->stage = SbProofMsg::Stage::kCommit;
+      out->sig = signer_.Sign(SbStageDigest(0, view_, current_block_.n, digest));
+      collect_stage_ = 1;
+      const crypto::Sha256Digest exec_digest =
+          SbStageDigest(1, view_, current_block_.n, digest);
+      share_builder_ =
+          crypto::QuorumCertBuilder(exec_digest, config_.quorum());
+      share_builder_.Add(signer_.Sign(exec_digest), exec_digest);
+      Send(PeerActors(), out);
+    } else {
+      // Execute-proof: decision complete.
+      out->stage = SbProofMsg::Stage::kExecute;
+      out->sig = signer_.Sign(SbStageDigest(1, view_, current_block_.n, digest));
+      Send(PeerActors(), out);
+      proposal_active_ = false;
+      ExecuteBlock(current_block_);
+      MaybePropose(true);
+    }
+  } else if (auto* m = dynamic_cast<const SbProofMsg*>(msg.get())) {
+    if (m->v != view_ || IsLeader()) return;
+    const int stage = static_cast<int>(m->stage);
+    const crypto::Sha256Digest stage_digest =
+        SbStageDigest(stage, m->v, m->n, m->block_digest);
+    if (!crypto::VerifyQuorumCert(*keys_, m->proof, stage_digest,
+                                  config_.quorum())
+             .ok()) {
+      ++metrics_.invalid_messages;
+      return;
+    }
+    auto it = pending_blocks_.find(m->n);
+    if (it == pending_blocks_.end()) return;
+    if (m->stage == SbProofMsg::Stage::kCommit) {
+      // Reply with an execution share.
+      it->second.commit_qc = m->proof;
+      const crypto::Sha256Digest exec_digest =
+          SbStageDigest(1, m->v, m->n, m->block_digest);
+      auto share = std::make_shared<SbShareMsg>();
+      share->stage = SbShareMsg::Stage::kExecute;
+      share->v = m->v;
+      share->n = m->n;
+      share->partial = signer_.Sign(exec_digest);
+      Send(from, share);
+    } else {
+      ledger::TxBlock block = std::move(it->second);
+      pending_blocks_.erase(it);
+      ExecuteBlock(std::move(block));
+    }
+  }
+}
+
+}  // namespace sbft
+}  // namespace baselines
+}  // namespace prestige

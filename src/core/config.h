@@ -1,0 +1,96 @@
+// Configuration of a PrestigeBFT replica / cluster.
+
+#ifndef PRESTIGE_CORE_CONFIG_H_
+#define PRESTIGE_CORE_CONFIG_H_
+
+#include <cstdint>
+
+#include "crypto/pow.h"
+#include "reputation/reputation_engine.h"
+#include "types/ids.h"
+#include "util/time.h"
+
+namespace prestige {
+namespace core {
+
+/// How redeemers perform the reputation-determined work.
+enum class PowMode {
+  /// Actually search nonces with SHA-256 (tests, examples, tiny penalties).
+  kReal,
+  /// Sample the solve duration from Geom(2^-bits) in virtual time
+  /// (simulation default; see DESIGN.md §4).
+  kModeled,
+};
+
+/// Cluster-wide protocol parameters (identical on every replica).
+struct PrestigeConfig {
+  /// Cluster size n = 3f + 1.
+  uint32_t n = 4;
+
+  /// Replication batching: transactions per txBlock (the paper's beta).
+  size_t batch_size = 3000;
+  /// Leader proposes a partial batch after this long (keeps latency bounded
+  /// at low load).
+  util::DurationMicros batch_wait = util::Millis(3);
+  /// Maximum replication instances in flight (two-phase pipelining).
+  size_t max_inflight = 8;
+
+  /// Follower progress timeout range [min, max); randomized per §4.2.1.
+  /// The paper uses [800 ms, 800 ms + epsilon).
+  util::DurationMicros timeout_min = util::Millis(800);
+  util::DurationMicros timeout_max = util::Millis(1200);
+  /// Candidate election timeout (waiting for 2f+1 votes).
+  util::DurationMicros election_timeout = util::Millis(400);
+  /// Follower wait for a relayed complaint's tx to commit before starting
+  /// the ConfVC inspection, and for the inspection itself.
+  util::DurationMicros complaint_wait = util::Millis(300);
+
+  /// Timing-policy view changes (§6.2): start a view change every
+  /// `rotation_period` of view lifetime. 0 disables the policy.
+  /// r10 = 10 s, r30 = 30 s in the paper.
+  util::DurationMicros rotation_period = 0;
+
+  /// Reputation mechanism parameters.
+  reputation::ReputationConfig reputation;
+
+  /// Proof-of-work difficulty / cost model.
+  crypto::PowParams pow;
+  PowMode pow_mode = PowMode::kModeled;
+
+  /// Enable the §4.2.5 penalty-refresh protocol.
+  bool enable_refresh = true;
+
+  /// Randomization aids beyond the paper's timeout windows: endorsers stand
+  /// down briefly after supporting another server's view change, and honest
+  /// redeemers pause briefly before campaigning. Both keep split votes rare;
+  /// Fig. 8's sweep disables them to isolate the effect of the timeout
+  /// randomization epsilon itself.
+  bool enable_standdown = true;
+  bool enable_courtesy = true;
+
+  /// C3 slack (blocks): under a live leader (timing-policy rotations) the
+  /// chain advances while campaigns are in flight; a candidate within this
+  /// many blocks of the voter's tip is still considered up-to-date, and it
+  /// catches up before enabling replication. 0 restores the strict check.
+  types::SeqNum c3_slack_blocks = 8;
+
+  /// Honest redeemer patience: abandon a campaign whose puzzle would take
+  /// longer than this (doubled per consecutive abandon so liveness is
+  /// preserved when a view change is genuinely required). Attackers are
+  /// not bound by it — they grind as long as they like (Fig. 12).
+  util::DurationMicros redeemer_patience = util::Millis(2500);
+
+  /// Base seed for per-replica timeout streams. An F1 attacker mimicking
+  /// replica r seeds its stream with r instead of its own id, reproducing
+  /// the victim's timeout durations.
+  uint64_t timeout_seed_base = 0x7e57ab1edeadbeefULL;
+
+  uint32_t f() const { return types::MaxFaulty(n); }
+  uint32_t quorum() const { return types::QuorumSize(n); }      // 2f+1
+  uint32_t confirm() const { return types::ConfirmSize(n); }    // f+1
+};
+
+}  // namespace core
+}  // namespace prestige
+
+#endif  // PRESTIGE_CORE_CONFIG_H_

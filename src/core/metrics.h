@@ -1,0 +1,57 @@
+// Per-replica metrics collected during experiments.
+
+#ifndef PRESTIGE_CORE_METRICS_H_
+#define PRESTIGE_CORE_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "types/ids.h"
+#include "util/stats.h"
+#include "util/time.h"
+
+namespace prestige {
+namespace core {
+
+/// One recorded reputation-penalty change (Fig. 13's series).
+struct RpSample {
+  util::TimeMicros at = 0;
+  types::View view = 0;
+  types::Penalty rp = 0;
+};
+
+/// One recorded view-change cost (Fig. 12's series): the time a server spent
+/// from becoming a redeemer to broadcasting its campaign (PoW solve time).
+struct VcCostSample {
+  util::TimeMicros at = 0;
+  types::View v_new = 0;
+  types::Penalty rp = 0;
+  util::DurationMicros solve_time = 0;
+};
+
+/// Counters and series accumulated by one replica.
+struct ReplicaMetrics {
+  explicit ReplicaMetrics(util::DurationMicros window = util::Seconds(1))
+      : commit_timeline(window) {}
+
+  int64_t committed_txs = 0;          ///< Transactions committed locally.
+  int64_t committed_blocks = 0;       ///< txBlocks appended.
+  int64_t view_changes_started = 0;   ///< Times this replica became redeemer.
+  int64_t elections_won = 0;          ///< Times elected leader.
+  int64_t election_timeouts = 0;      ///< Candidate timers expired (split votes).
+  int64_t votes_cast = 0;             ///< VoteCP messages sent.
+  int64_t campaigns_sent = 0;         ///< Camp broadcasts.
+  int64_t sync_ups = 0;               ///< SyncUp rounds performed.
+  int64_t refreshes = 0;              ///< Penalty refreshes completed.
+  int64_t complaints_received = 0;
+  int64_t invalid_messages = 0;       ///< Failed verification (C1-C5 etc.).
+
+  util::WindowedCounter commit_timeline;  ///< Commits per window (Figs 11/14).
+  std::vector<RpSample> rp_history;       ///< Penalty evolution (Fig. 13).
+  std::vector<VcCostSample> vc_costs;     ///< Campaign work costs (Fig. 12).
+};
+
+}  // namespace core
+}  // namespace prestige
+
+#endif  // PRESTIGE_CORE_METRICS_H_

@@ -1,0 +1,568 @@
+// PrestigeReplica: construction, message dispatch, SyncUp, refresh, and
+// shared helpers. Replication logic lives in replication.cc; the active
+// view-change protocol in view_change.cc.
+
+#include "core/replica.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/logging.h"
+
+namespace prestige {
+namespace core {
+
+const char* RoleName(Role role) {
+  switch (role) {
+    case Role::kFollower:
+      return "follower";
+    case Role::kRedeemer:
+      return "redeemer";
+    case Role::kCandidate:
+      return "candidate";
+    case Role::kLeader:
+      return "leader";
+  }
+  return "?";
+}
+
+PrestigeReplica::PrestigeReplica(PrestigeConfig config,
+                                 types::ReplicaId replica_id,
+                                 const crypto::KeyStore* keys,
+                                 workload::FaultSpec fault)
+    : config_(config),
+      id_(replica_id),
+      keys_(keys),
+      signer_(keys, replica_id),
+      fault_(fault),
+      engine_(config.reputation),
+      state_machine_(std::make_unique<ledger::NullStateMachine>()),
+      modeled_solver_(config.pow) {}
+
+PrestigeReplica::~PrestigeReplica() = default;
+
+void PrestigeReplica::SetTopology(std::vector<sim::ActorId> replicas,
+                                  std::vector<sim::ActorId> clients) {
+  replicas_ = std::move(replicas);
+  clients_ = std::move(clients);
+}
+
+void PrestigeReplica::SetStateMachine(
+    std::unique_ptr<ledger::StateMachine> sm) {
+  state_machine_ = std::move(sm);
+}
+
+uint64_t PrestigeReplica::TxKey(const types::Transaction& tx) {
+  return static_cast<uint64_t>(tx.pool) * 0x9e3779b97f4a7c15ULL ^
+         tx.client_seq * 0xc2b2ae3d27d4eb4fULL;
+}
+
+std::vector<sim::ActorId> PrestigeReplica::PeerActors() const {
+  std::vector<sim::ActorId> peers;
+  peers.reserve(replicas_.size() - 1);
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    if (static_cast<types::ReplicaId>(i) != id_) peers.push_back(replicas_[i]);
+  }
+  return peers;
+}
+
+// --------------------------------------------------------------- faults
+
+bool PrestigeReplica::QuietActive() const {
+  if (Now() < fault_.start_at) return false;
+  if (fault_.type == workload::FaultType::kQuiet) return true;
+  // F4+F2: the attacker completes the view-change consensus honestly (so it
+  // is installed as leader), then stonewalls replication.
+  if (fault_.type == workload::FaultType::kRepeatedVc &&
+      role_ == Role::kLeader && replication_enabled_ &&
+      fault_.as_leader == workload::LeaderMisbehaviour::kQuiet) {
+    return true;
+  }
+  return false;
+}
+
+bool PrestigeReplica::EquivocateActive() const {
+  if (Now() < fault_.start_at) return false;
+  if (fault_.type == workload::FaultType::kEquivocate) return true;
+  if (fault_.type == workload::FaultType::kRepeatedVc &&
+      role_ == Role::kLeader && replication_enabled_ &&
+      fault_.as_leader == workload::LeaderMisbehaviour::kEquivocate) {
+    return true;
+  }
+  return false;
+}
+
+bool PrestigeReplica::ByzantineActive() const {
+  return fault_.IsByzantine() && Now() >= fault_.start_at;
+}
+
+void PrestigeReplica::GuardedSend(sim::ActorId to, sim::MessagePtr msg) {
+  if (QuietActive()) return;  // F2: a quiet server emits nothing.
+  Send(to, std::move(msg));
+}
+
+void PrestigeReplica::GuardedSend(const std::vector<sim::ActorId>& to,
+                                  sim::MessagePtr msg) {
+  if (QuietActive()) return;
+  Send(to, std::move(msg));
+}
+
+crypto::Signature PrestigeReplica::SignMaybeCorrupt(
+    const crypto::Sha256Digest& digest) {
+  crypto::Signature sig = signer_.Sign(digest);
+  if (EquivocateActive()) {
+    sig.mac[0] ^= 0xff;  // F3: erroneous reply; receivers reject it.
+  }
+  return sig;
+}
+
+types::Penalty PrestigeReplica::EffectiveRp(types::ReplicaId id) const {
+  auto it = refresh_overlay_.find(id);
+  if (it != refresh_overlay_.end()) return it->second.first;
+  const ledger::VcBlock* current = store_.LatestVcBlock();
+  return current != nullptr ? current->PenaltyOf(id)
+                            : engine_.initial_rp();
+}
+
+types::CompensationIndex PrestigeReplica::EffectiveCi(
+    types::ReplicaId id) const {
+  auto it = refresh_overlay_.find(id);
+  if (it != refresh_overlay_.end()) return it->second.second;
+  const ledger::VcBlock* current = store_.LatestVcBlock();
+  return current != nullptr ? current->CompensationOf(id)
+                            : engine_.initial_ci();
+}
+
+// ---------------------------------------------------------------- start
+
+void PrestigeReplica::OnStart() {
+  // Timeout stream: F1 attackers mimic a victim's stream so their timeouts
+  // fire in lock-step with the victim's (modulo network jitter).
+  const uint64_t timeout_identity =
+      fault_.has_mimic_target ? fault_.mimic_target : id_;
+  timeout_rng_.Seed(config_.timeout_seed_base ^
+                    (timeout_identity * 0x9e3779b97f4a7c15ULL));
+
+  // F4 attackers probe for campaign opportunities continuously.
+  if (fault_.type == workload::FaultType::kRepeatedVc) {
+    SetTimer(util::Millis(100), Tag(kAttackProbe));
+  }
+
+  // Install the genesis vcBlock for view 1 with leader S0 and initial
+  // reputation values (paper §3 Init / Appendix C).
+  ledger::VcBlock genesis;
+  genesis.v = 1;
+  genesis.leader = 0;
+  genesis.confirmed_view = 0;
+  for (types::ReplicaId r = 0; r < config_.n; ++r) {
+    genesis.rp[r] = engine_.initial_rp();
+    genesis.ci[r] = engine_.initial_ci();
+  }
+  util::Status st = store_.AppendVcBlock(genesis);
+  assert(st.ok());
+  (void)st;
+
+  view_ = 1;
+  leader_ = 0;
+  voted_view_ = 1;
+  view_entered_at_ = Now();
+
+  if (id_ == 0) {
+    role_ = Role::kLeader;
+    replication_enabled_ = true;
+    StartLeading();
+  } else {
+    role_ = Role::kFollower;
+    ArmProgressTimer();
+  }
+  if (config_.rotation_period > 0) {
+    // Small jitter staggers policy-driven campaigns across servers.
+    const util::DurationMicros jitter =
+        rng()->NextInRange(0, util::Millis(300));
+    rotation_timer_ =
+        SetTimer(config_.rotation_period + jitter, Tag(kRotationDue));
+  }
+  if (fault_.type == workload::FaultType::kCrash) {
+    // Crash faults are modeled at the network layer by the harness; the
+    // replica itself needs no behaviour change here.
+  }
+  if (EquivocateActive() ||
+      fault_.type == workload::FaultType::kEquivocate) {
+    SetTimer(util::Millis(50), Tag(kNoiseTimer));
+  }
+}
+
+// ------------------------------------------------------------- dispatch
+
+void PrestigeReplica::OnMessage(sim::ActorId from, const sim::MessagePtr& msg) {
+  if (fault_.type == workload::FaultType::kCrash && Now() >= fault_.start_at &&
+      fault_.start_at > 0) {
+    return;  // Crashed replicas process nothing.
+  }
+
+  if (auto* m = dynamic_cast<const types::ClientBatch*>(msg.get())) {
+    OnClientBatch(from, *m);
+  } else if (auto* m = dynamic_cast<const types::ClientComplaint*>(msg.get())) {
+    OnClientComplaint(from, *m);
+  } else if (auto* m = dynamic_cast<const OrdMsg*>(msg.get())) {
+    OnOrd(from, *m);
+  } else if (auto* m = dynamic_cast<const OrdReplyMsg*>(msg.get())) {
+    OnOrdReply(from, *m);
+  } else if (auto* m = dynamic_cast<const CmtMsg*>(msg.get())) {
+    OnCmt(from, *m);
+  } else if (auto* m = dynamic_cast<const CmtReplyMsg*>(msg.get())) {
+    OnCmtReply(from, *m);
+  } else if (auto* m = dynamic_cast<const TxBlockMsg*>(msg.get())) {
+    OnTxBlockMsg(from, *m);
+  } else if (auto* m = dynamic_cast<const HeartbeatMsg*>(msg.get())) {
+    OnHeartbeat(from, *m);
+  } else if (auto* m = dynamic_cast<const ComptRelayMsg*>(msg.get())) {
+    OnComptRelay(from, *m);
+  } else if (auto* m = dynamic_cast<const ConfVcMsg*>(msg.get())) {
+    OnConfVc(from, *m);
+  } else if (auto* m = dynamic_cast<const ReVcMsg*>(msg.get())) {
+    OnReVc(from, *m);
+  } else if (auto* m = dynamic_cast<const CampMsg*>(msg.get())) {
+    OnCamp(from, *m);
+  } else if (auto* m = dynamic_cast<const VoteCpMsg*>(msg.get())) {
+    OnVoteCp(from, *m);
+  } else if (auto* m = dynamic_cast<const VcBlockMsg*>(msg.get())) {
+    OnVcBlockMsg(from, *m);
+  } else if (auto* m = dynamic_cast<const VcYesMsg*>(msg.get())) {
+    OnVcYes(from, *m);
+  } else if (auto* m = dynamic_cast<const RefMsg*>(msg.get())) {
+    OnRef(from, *m);
+  } else if (auto* m = dynamic_cast<const RefReplyMsg*>(msg.get())) {
+    OnRefReply(from, *m);
+  } else if (auto* m = dynamic_cast<const RdoneMsg*>(msg.get())) {
+    OnRdone(from, *m);
+  } else if (auto* m = dynamic_cast<const SyncReqMsg*>(msg.get())) {
+    OnSyncReq(from, *m);
+  } else if (auto* m = dynamic_cast<const SyncRespMsg*>(msg.get())) {
+    OnSyncResp(from, *m);
+  } else if (dynamic_cast<const NoiseMsg*>(msg.get()) != nullptr) {
+    // Attack traffic: consumes bandwidth/CPU (already charged), no action.
+  } else {
+    ++metrics_.invalid_messages;
+  }
+}
+
+void PrestigeReplica::OnTimer(uint64_t tag) {
+  if (fault_.type == workload::FaultType::kCrash && Now() >= fault_.start_at &&
+      fault_.start_at > 0) {
+    return;
+  }
+  switch (TagKind(tag)) {
+    case kProgressTimeout: {
+      progress_timer_ = 0;
+      if (role_ == Role::kLeader) break;
+      progress_stale_ = true;
+      // Leader appears dead: start the inspection (reason kTimeout).
+      StartInspection(VcReason::kTimeout, nullptr);
+      ArmProgressTimer();  // Keep ticking; a later VC may still be needed.
+      break;
+    }
+    case kBatchTimer:
+      batch_timer_ = 0;
+      MaybePropose(/*allow_partial=*/true);
+      break;
+    case kElectionTimeout: {
+      election_timer_ = 0;
+      if (role_ != Role::kCandidate) break;
+      // Split vote (§4.2.3): back to redeemer with an incremented view.
+      // The retry is staggered randomly so competing candidates do not
+      // collide again in lock-step (the role of randomized timers, §4.2.1),
+      // and bounded: repeated splits mean other candidates are active, so
+      // yield and let the progress timer restart detection cheaply instead
+      // of paying ever-growing view-skip penalties (Eq. 1).
+      ++metrics_.election_timeouts;
+      if (++consecutive_election_timeouts_ >= 2) {
+        ReturnToFollower();
+        break;
+      }
+      const util::DurationMicros backoff =
+          rng()->NextInRange(1, config_.election_timeout);
+      election_timer_ = SetTimer(backoff, Tag(kElectionRetry));
+      break;
+    }
+    case kElectionRetry: {
+      election_timer_ = 0;
+      if (role_ != Role::kCandidate) break;
+      BecomeRedeemer(campaign_conf_qc_, confirmed_view_, campaign_view_ + 1);
+      break;
+    }
+    case kPowDone:
+      pow_timer_ = 0;
+      OnPowSolved();
+      break;
+    case kRotationDue:
+      rotation_timer_ = 0;
+      OnRotationDue();
+      break;
+    case kHeartbeat:
+      heartbeat_timer_ = 0;
+      if (role_ == Role::kLeader && replication_enabled_) {
+        auto hb = std::make_shared<HeartbeatMsg>();
+        hb->v = view_;
+        hb->latest_n = store_.LatestTxSeq();
+        hb->sig = SignMaybeCorrupt(HeartbeatDigest(hb->v, hb->latest_n));
+        GuardedSend(PeerActors(), hb);
+        heartbeat_timer_ =
+            SetTimer(config_.timeout_min / 3, Tag(kHeartbeat));
+      }
+      break;
+    case kComplaintWait:
+      HandleComplaintTimer(TagPayload(tag));
+      break;
+    case kInspectionTimeout:
+      inspection_timer_ = 0;
+      // f+1 ReVCs did not arrive: the client (or our suspicion) was wrong.
+      inspecting_ = false;
+      break;
+    case kNoiseTimer:
+      if (EquivocateActive()) {
+        auto noise = std::make_shared<NoiseMsg>();
+        noise->bytes = 2048;
+        Send(PeerActors(), noise);
+      }
+      if (fault_.type == workload::FaultType::kEquivocate ||
+          fault_.type == workload::FaultType::kRepeatedVc) {
+        SetTimer(util::Millis(50), Tag(kNoiseTimer));
+      }
+      break;
+    case kAttackProbe:
+      // F4: probe for campaign opportunities. The attacker uses the reason
+      // correct servers will endorse — the timing policy when enabled (any
+      // server may confirm a due rotation), otherwise leader timeouts.
+      if (fault_.type == workload::FaultType::kRepeatedVc &&
+          Now() >= fault_.start_at) {
+        if (role_ == Role::kFollower && config_.rotation_period > 0 &&
+            Now() - view_entered_at_ >= config_.rotation_period * 9 / 10) {
+          StartInspection(VcReason::kPolicy, nullptr);
+        } else if (role_ == Role::kFollower && progress_stale_) {
+          StartInspection(VcReason::kTimeout, nullptr);
+        } else if (role_ == Role::kLeader && replication_enabled_ &&
+                   Now() - view_entered_at_ >= config_.timeout_min) {
+          // The attacker contests its own deposition: once honest followers
+          // are stale (its reign was quiet), it campaigns for v+1 itself so
+          // no replication happens between its elections.
+          StartInspection(VcReason::kTimeout, nullptr);
+        }
+      }
+      if (fault_.type == workload::FaultType::kRepeatedVc) {
+        SetTimer(util::Millis(20), Tag(kAttackProbe));
+      }
+      break;
+  }
+}
+
+// ------------------------------------------------------------------ sync
+
+void PrestigeReplica::RequestSync(sim::ActorId from, SyncReqMsg::Kind kind,
+                                  int64_t after, int64_t up_to) {
+  bool& inflight = kind == SyncReqMsg::Kind::kTxBlocks ? tx_sync_inflight_
+                                                       : vc_sync_inflight_;
+  if (inflight) return;
+  inflight = true;
+  ++metrics_.sync_ups;
+  auto req = std::make_shared<SyncReqMsg>();
+  req->kind = kind;
+  req->after = after;
+  req->up_to = up_to;
+  GuardedSend(from, req);
+}
+
+void PrestigeReplica::OnSyncReq(sim::ActorId from, const SyncReqMsg& msg) {
+  auto resp = std::make_shared<SyncRespMsg>();
+  if (msg.kind == SyncReqMsg::Kind::kTxBlocks) {
+    resp->tx_blocks = store_.TxBlocksAfter(msg.after, msg.up_to);
+  } else {
+    resp->vc_blocks = store_.VcBlocksAfter(msg.after, msg.up_to);
+  }
+  if (resp->tx_blocks.empty() && resp->vc_blocks.empty()) return;
+  GuardedSend(from, resp);
+}
+
+void PrestigeReplica::OnSyncResp(sim::ActorId from, const SyncRespMsg& msg) {
+  (void)from;
+  if (!msg.vc_blocks.empty()) vc_sync_inflight_ = false;
+  if (!msg.tx_blocks.empty()) tx_sync_inflight_ = false;
+  for (const ledger::VcBlock& block : msg.vc_blocks) {
+    if (block.v <= store_.CurrentView()) continue;
+    if (!ValidateAndAppendVcBlock(block).ok()) {
+      ++metrics_.invalid_messages;
+      return;
+    }
+    // Adopt the view: a synced vcBlock moves us forward as a follower.
+    if (block.v > view_) {
+      InstallVcBlock(block, /*as_leader=*/false);
+    }
+  }
+  for (const ledger::TxBlock& block : msg.tx_blocks) {
+    if (block.n <= store_.LatestTxSeq()) continue;
+    if (!ValidateAndAppendTxBlock(block).ok()) {
+      ++metrics_.invalid_messages;
+      return;
+    }
+    commit_bound_.erase(block.n);
+    pending_blocks_.erase(block.n);
+  }
+  // A newly elected leader catching up to the cluster tip (C3 slack) may
+  // now begin proposing.
+  if (awaiting_catchup_ && role_ == Role::kLeader) {
+    if (store_.LatestTxSeq() >= catchup_target_) {
+      awaiting_catchup_ = false;
+      StartLeading();
+    } else if (!msg.tx_blocks.empty()) {
+      RequestSync(catchup_source_, SyncReqMsg::Kind::kTxBlocks,
+                  store_.LatestTxSeq(), catchup_target_);
+    }
+  }
+  ReplayStashedCampaigns();
+}
+
+util::Status PrestigeReplica::ValidateAndAppendTxBlock(
+    const ledger::TxBlock& block) {
+  const crypto::Sha256Digest digest = block.Digest();
+  PRESTIGE_RETURN_IF_ERROR(crypto::VerifyQuorumCert(
+      *keys_, block.commit_qc,
+      ledger::CommitDigest(block.v, block.n, digest), config_.quorum()));
+  ledger::TxBlock copy = block;
+  util::Status st = store_.AppendTxBlock(std::move(copy));
+  if (st.ok()) {
+    state_machine_->Apply(block);
+    metrics_.committed_txs += static_cast<int64_t>(block.txs.size());
+    ++metrics_.committed_blocks;
+    metrics_.commit_timeline.Add(Now(),
+                                 static_cast<int64_t>(block.txs.size()));
+    for (const types::Transaction& tx : block.txs) {
+      const uint64_t key = TxKey(tx);
+      committed_tx_keys_.insert(key);
+      auto it = complaints_.find(key);
+      if (it != complaints_.end()) {
+        CancelTimer(it->second.timer);
+        complaints_.erase(it);
+      }
+    }
+    // Amortized prune: committed entries linger in the request pool until
+    // proposal time; rebuild the pool occasionally to bound its size.
+    if (pending_txs_.size() > 8 * config_.batch_size + 1024) {
+      std::deque<types::Transaction> kept;
+      for (types::Transaction& tx : pending_txs_) {
+        const uint64_t key = TxKey(tx);
+        if (committed_tx_keys_.count(key) > 0) {
+          pending_keys_.erase(key);
+        } else {
+          kept.push_back(std::move(tx));
+        }
+      }
+      pending_txs_.swap(kept);
+    }
+  }
+  return st;
+}
+
+util::Status PrestigeReplica::ValidateAndAppendVcBlock(
+    const ledger::VcBlock& block) {
+  if (block.confirmed_view > 0 || !block.conf_qc.empty()) {
+    PRESTIGE_RETURN_IF_ERROR(crypto::VerifyQuorumCert(
+        *keys_, block.conf_qc, ledger::ConfDigest(block.confirmed_view),
+        config_.confirm()));
+  }
+  PRESTIGE_RETURN_IF_ERROR(crypto::VerifyQuorumCert(
+      *keys_, block.vc_qc, ledger::VoteDigest(block.v, block.leader),
+      config_.quorum()));
+  ledger::VcBlock copy = block;
+  return store_.AppendVcBlock(std::move(copy));
+}
+
+void PrestigeReplica::ReplayStashedCampaigns() {
+  if (stashed_camps_.empty() && stashed_vc_blocks_.empty()) return;
+  auto camps = std::move(stashed_camps_);
+  stashed_camps_.clear();
+  for (auto& [from, camp] : camps) {
+    OnCamp(from, camp);
+  }
+  auto blocks = std::move(stashed_vc_blocks_);
+  stashed_vc_blocks_.clear();
+  for (auto& [from, block] : blocks) {
+    VcBlockMsg msg;
+    msg.block = block;
+    OnVcBlockMsg(from, msg);
+  }
+}
+
+// --------------------------------------------------------------- refresh
+
+void PrestigeReplica::MaybeRequestRefresh() {
+  if (!config_.enable_refresh || refresh_pending_) return;
+  if (EffectiveRp(id_) <= engine_.refresh_threshold()) return;
+  refresh_pending_ = true;
+  refresh_builder_ = crypto::QuorumCertBuilder(
+      ledger::RefreshDigest(id_, view_), config_.quorum());
+  refresh_builder_.Add(signer_.Sign(ledger::RefreshDigest(id_, view_)),
+                       ledger::RefreshDigest(id_, view_));
+  auto ref = std::make_shared<RefMsg>();
+  ref->v = view_;
+  ref->sig = SignMaybeCorrupt(ledger::ConfDigest(view_));
+  GuardedSend(PeerActors(), ref);
+}
+
+void PrestigeReplica::OnRef(sim::ActorId from, const RefMsg& msg) {
+  // Support a refresh only for servers whose recorded penalty exceeds pi
+  // (§4.2.5): this is the verifiable condition every correct server checks.
+  types::ReplicaId requester = config_.n;
+  for (types::ReplicaId r = 0; r < config_.n; ++r) {
+    if (replicas_[r] == from) {
+      requester = r;
+      break;
+    }
+  }
+  if (requester >= config_.n) return;
+  if (EffectiveRp(requester) <= engine_.refresh_threshold()) return;
+  auto reply = std::make_shared<RefReplyMsg>();
+  reply->target = requester;
+  reply->v = msg.v;
+  reply->partial = SignMaybeCorrupt(ledger::RefreshDigest(requester, msg.v));
+  GuardedSend(from, reply);
+}
+
+void PrestigeReplica::OnRefReply(sim::ActorId from, const RefReplyMsg& msg) {
+  (void)from;
+  if (!refresh_pending_ || msg.target != id_) return;
+  const crypto::Sha256Digest digest = ledger::RefreshDigest(id_, msg.v);
+  if (digest != refresh_builder_.digest()) return;
+  if (!keys_->Verify(msg.partial, digest)) {
+    ++metrics_.invalid_messages;
+    return;
+  }
+  refresh_builder_.Add(msg.partial, digest);
+  if (!refresh_builder_.Complete()) return;
+
+  // rs_QC complete: reset own rp/ci and broadcast Rdone.
+  refresh_pending_ = false;
+  ++metrics_.refreshes;
+  refresh_overlay_[id_] = {engine_.initial_rp(), engine_.initial_ci()};
+  auto done = std::make_shared<RdoneMsg>();
+  done->target = id_;
+  done->v = view_;
+  done->rs_qc = refresh_builder_.Build();
+  done->sig = SignMaybeCorrupt(ledger::RefreshDigest(id_, view_));
+  GuardedSend(PeerActors(), done);
+}
+
+void PrestigeReplica::OnRdone(sim::ActorId from, const RdoneMsg& msg) {
+  (void)from;
+  // The rs_QC proves 2f+1 servers endorsed the refresh at msg.v.
+  if (!crypto::VerifyQuorumCert(*keys_, msg.rs_qc,
+                                ledger::RefreshDigest(msg.target, msg.v),
+                                config_.quorum())
+           .ok()) {
+    ++metrics_.invalid_messages;
+    return;
+  }
+  refresh_overlay_[msg.target] = {engine_.initial_rp(), engine_.initial_ci()};
+}
+
+}  // namespace core
+}  // namespace prestige

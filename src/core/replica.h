@@ -1,0 +1,377 @@
+// PrestigeReplica: one PrestigeBFT server.
+//
+// Implements the paper's full protocol stack:
+//  * two-phase replication with batching and pipelining (§4.3);
+//  * the active view-change protocol — failure detection via client
+//    complaints / timeouts / timing policies, redeemer PoW, candidate
+//    campaigns with voting criteria C1-C5, vcBlock consensus, SyncUp
+//    (§4.2, Algorithm 2);
+//  * the reputation engine hookup (§3) and penalty refresh (§4.2.5).
+//
+// Fault injection for the evaluation's attack suite (F1-F4, S1/S2) is
+// driven by a workload::FaultSpec and implemented at clearly marked
+// decision points; honest replicas take none of those branches.
+//
+// Implementation is split across replica.cc (dispatch, sync, shared
+// helpers), replication.cc (§4.3), and view_change.cc (§4.2).
+
+#ifndef PRESTIGE_CORE_REPLICA_H_
+#define PRESTIGE_CORE_REPLICA_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/config.h"
+#include "core/messages.h"
+#include "core/metrics.h"
+#include "crypto/keys.h"
+#include "crypto/pow.h"
+#include "ledger/block_store.h"
+#include "ledger/state_machine.h"
+#include "reputation/reputation_engine.h"
+#include "sim/actor.h"
+#include "types/client_messages.h"
+#include "types/ids.h"
+#include "workload/fault_spec.h"
+
+namespace prestige {
+namespace core {
+
+/// Server state per Figure 5.
+enum class Role { kFollower, kRedeemer, kCandidate, kLeader };
+
+const char* RoleName(Role role);
+
+/// One PrestigeBFT server as a simulation actor.
+class PrestigeReplica : public sim::Actor {
+ public:
+  PrestigeReplica(PrestigeConfig config, types::ReplicaId replica_id,
+                  const crypto::KeyStore* keys,
+                  workload::FaultSpec fault = workload::FaultSpec::Honest());
+  ~PrestigeReplica() override;
+
+  /// Wires actor ids: `replicas[i]` is replica i's actor id; `clients` are
+  /// the client-pool actors to notify on commit.
+  void SetTopology(std::vector<sim::ActorId> replicas,
+                   std::vector<sim::ActorId> clients);
+
+  /// Replaces the application state machine (defaults to NullStateMachine).
+  void SetStateMachine(std::unique_ptr<ledger::StateMachine> sm);
+
+  // sim::Actor interface.
+  void OnStart() override;
+  void OnMessage(sim::ActorId from, const sim::MessagePtr& msg) override;
+  void OnTimer(uint64_t tag) override;
+
+  // Observability.
+  Role role() const { return role_; }
+  types::View view() const { return view_; }
+  types::ReplicaId replica_id() const { return id_; }
+  types::ReplicaId current_leader() const { return leader_; }
+  bool IsLeader() const { return role_ == Role::kLeader; }
+  const ledger::BlockStore& store() const { return store_; }
+  const ledger::StateMachine& state_machine() const { return *state_machine_; }
+  const ReplicaMetrics& metrics() const { return metrics_; }
+  const workload::FaultSpec& fault() const { return fault_; }
+  /// Effective current penalty of `id` (vcBlock value + refresh overlay).
+  types::Penalty EffectiveRp(types::ReplicaId id) const;
+  types::CompensationIndex EffectiveCi(types::ReplicaId id) const;
+
+  // Introspection for tests and debugging.
+  bool replication_enabled() const { return replication_enabled_; }
+  size_t pending_pool_size() const { return pending_txs_.size(); }
+  size_t inflight_instances() const { return instances_.size(); }
+  size_t pending_block_count() const { return pending_blocks_.size(); }
+  types::View voted_view() const { return voted_view_; }
+  std::vector<types::SeqNum> BoundSeqs() const {
+    std::vector<types::SeqNum> out;
+    for (const auto& [n, d] : commit_bound_) {
+      (void)d;
+      out.push_back(n);
+    }
+    return out;
+  }
+  std::vector<types::SeqNum> InflightSeqs() const {
+    std::vector<types::SeqNum> out;
+    for (const auto& [n, inst] : instances_) {
+      (void)inst;
+      out.push_back(n);
+    }
+    return out;
+  }
+  struct InstanceDebug {
+    types::SeqNum n;
+    bool ordered;
+    uint32_t ord_count;
+    uint32_t cmt_count;
+  };
+  std::vector<InstanceDebug> DebugInstances() const {
+    std::vector<InstanceDebug> out;
+    for (const auto& [n, inst] : instances_) {
+      out.push_back(InstanceDebug{n, inst.ordered, inst.ord_builder.Count(),
+                                  inst.cmt_builder.Count()});
+    }
+    return out;
+  }
+
+ private:
+  // ------------------------------------------------------------ plumbing
+
+  /// Leader-side state of one in-flight replication instance.
+  struct Instance {
+    ledger::TxBlock block;
+    crypto::QuorumCertBuilder ord_builder;
+    crypto::QuorumCertBuilder cmt_builder;
+    bool ordered = false;  ///< ordering_QC complete, Cmt broadcast.
+    bool done = false;     ///< commit_QC complete.
+  };
+
+  /// Follower-side record of a block body received via Ord.
+  struct PendingBlock {
+    ledger::TxBlock block;
+    bool commit_signed = false;
+  };
+
+  /// A client complaint this replica relayed and is watching (§4.2.1).
+  struct ComplaintState {
+    types::Transaction tx;
+    sim::TimerId timer = 0;
+    bool escalated = false;  ///< Complaint wait expired; inspection begun.
+  };
+
+  enum TimerKind : uint64_t {
+    kProgressTimeout = 1,
+    kBatchTimer = 2,
+    kElectionTimeout = 3,
+    kPowDone = 4,
+    kRotationDue = 5,
+    kHeartbeat = 6,
+    kComplaintWait = 7,
+    kInspectionTimeout = 8,
+    kNoiseTimer = 9,
+    kAttackProbe = 10,
+    kElectionRetry = 11,
+  };
+  static uint64_t Tag(TimerKind kind, uint64_t payload = 0) {
+    return (static_cast<uint64_t>(kind) << 48) | (payload & 0xffffffffffffULL);
+  }
+  static TimerKind TagKind(uint64_t tag) {
+    return static_cast<TimerKind>(tag >> 48);
+  }
+  static uint64_t TagPayload(uint64_t tag) {
+    return tag & 0xffffffffffffULL;
+  }
+
+  static uint64_t TxKey(const types::Transaction& tx);
+
+  sim::ActorId ActorOf(types::ReplicaId id) const { return replicas_[id]; }
+  std::vector<sim::ActorId> PeerActors() const;  ///< All replicas but self.
+
+  /// Send gated by fault behaviour (quiet servers drop all output).
+  void GuardedSend(sim::ActorId to, sim::MessagePtr msg);
+  void GuardedSend(const std::vector<sim::ActorId>& to, sim::MessagePtr msg);
+
+  /// Signs `digest`, corrupting the MAC when equivocating (F3).
+  crypto::Signature SignMaybeCorrupt(const crypto::Sha256Digest& digest);
+
+  bool QuietActive() const;
+  bool EquivocateActive() const;
+  bool ByzantineActive() const;
+
+  // ------------------------------------------------------- replication
+  void OnClientBatch(sim::ActorId from, const types::ClientBatch& batch);
+  void EnqueueTx(const types::Transaction& tx);
+  void MaybePropose(bool allow_partial = false);
+  void Propose(std::vector<types::Transaction> batch);
+  void OnOrd(sim::ActorId from, const OrdMsg& ord);
+  void OnOrdReply(sim::ActorId from, const OrdReplyMsg& reply);
+  void OnCmt(sim::ActorId from, const CmtMsg& cmt);
+  void OnCmtReply(sim::ActorId from, const CmtReplyMsg& reply);
+  void OnTxBlockMsg(sim::ActorId from, const TxBlockMsg& msg);
+  void OnHeartbeat(sim::ActorId from, const HeartbeatMsg& hb);
+  /// Appends + applies a committed block, notifies clients, unblocks
+  /// buffered successors.
+  void CommitBlock(ledger::TxBlock block);
+  void DrainBufferedBlocks();
+  void NotifyClients(const ledger::TxBlock& block);
+  void ResetProgress();
+  void ArmProgressTimer();
+  util::DurationMicros SampleTimeout();
+  void StartLeading();
+  void StopReplicationActivity();
+
+  // ------------------------------------------------------- view change
+  void OnClientComplaint(sim::ActorId from,
+                         const types::ClientComplaint& compt);
+  void OnComptRelay(sim::ActorId from, const ComptRelayMsg& msg);
+  void HandleComplaintTimer(uint64_t key);
+  void StartInspection(VcReason reason, const types::Transaction* tx);
+  void OnConfVc(sim::ActorId from, const ConfVcMsg& msg);
+  void OnReVc(sim::ActorId from, const ReVcMsg& msg);
+  void BecomeRedeemer(crypto::QuorumCert conf_qc, types::View confirmed_view,
+                      types::View v_new);
+  void OnPowSolved();
+  void BecomeCandidate();
+  /// Abandons any campaign and resumes normal follower operation.
+  void ReturnToFollower();
+  void OnCamp(sim::ActorId from, const CampMsg& camp);
+  bool VerifyCampaign(sim::ActorId from, const CampMsg& camp);
+  void OnVoteCp(sim::ActorId from, const VoteCpMsg& vote);
+  void BecomeLeaderOfView();
+  void OnVcBlockMsg(sim::ActorId from, const VcBlockMsg& msg);
+  void OnVcYes(sim::ActorId from, const VcYesMsg& msg);
+  void InstallVcBlock(const ledger::VcBlock& block, bool as_leader);
+  void AbortCampaignActivities();
+  void OnRotationDue();
+  bool ShouldCampaign(types::View v_new);  ///< F4 S1/S2 strategy gate.
+
+  // ----------------------------------------------------------- refresh
+  void MaybeRequestRefresh();
+  void OnRef(sim::ActorId from, const RefMsg& msg);
+  void OnRefReply(sim::ActorId from, const RefReplyMsg& msg);
+  void OnRdone(sim::ActorId from, const RdoneMsg& msg);
+
+  // ------------------------------------------------------------- sync
+  void RequestSync(sim::ActorId from, SyncReqMsg::Kind kind, int64_t after,
+                   int64_t up_to);
+  void OnSyncReq(sim::ActorId from, const SyncReqMsg& msg);
+  void OnSyncResp(sim::ActorId from, const SyncRespMsg& msg);
+  util::Status ValidateAndAppendTxBlock(const ledger::TxBlock& block);
+  util::Status ValidateAndAppendVcBlock(const ledger::VcBlock& block);
+  void ReplayStashedCampaigns();
+
+  // ------------------------------------------------------------ members
+  PrestigeConfig config_;
+  types::ReplicaId id_;
+  const crypto::KeyStore* keys_;
+  crypto::Signer signer_;
+  workload::FaultSpec fault_;
+
+  std::vector<sim::ActorId> replicas_;
+  std::vector<sim::ActorId> clients_;
+
+  ledger::BlockStore store_;
+  reputation::ReputationEngine engine_;
+  std::unique_ptr<ledger::StateMachine> state_machine_;
+  crypto::RealPowSolver real_solver_;
+  crypto::ModeledPowSolver modeled_solver_;
+
+  Role role_ = Role::kFollower;
+  util::Rng timeout_rng_{0};  ///< Timeout stream (mimicked under F1).
+  crypto::Sha256Digest last_proposed_digest_{};
+  types::View view_ = 1;
+  types::ReplicaId leader_ = 0;
+  util::TimeMicros view_entered_at_ = 0;
+  bool replication_enabled_ = false;  ///< Leader: vcYes quorum reached.
+
+  // Refresh overlay: effective (rp, ci) replacing the stored vcBlock values
+  // until the next vcBlock folds them in (§4.2.5; see DESIGN.md).
+  std::map<types::ReplicaId,
+           std::pair<types::Penalty, types::CompensationIndex>>
+      refresh_overlay_;
+
+  // Request pool (all replicas buffer; only the leader proposes).
+  std::deque<types::Transaction> pending_txs_;
+  std::unordered_set<uint64_t> pending_keys_;  ///< Keys in pending_txs_.
+  std::map<types::SeqNum, Instance> instances_;
+  std::map<types::SeqNum, ledger::TxBlock> ready_blocks_;  ///< Out-of-order.
+  types::SeqNum next_seq_ = 1;
+  sim::TimerId batch_timer_ = 0;
+  sim::TimerId heartbeat_timer_ = 0;
+
+  // Follower replication state.
+  std::map<types::SeqNum, PendingBlock> pending_blocks_;
+  std::map<types::SeqNum, ledger::TxBlock> buffered_commits_;
+  std::unordered_set<uint64_t> committed_tx_keys_;
+  /// Cross-view ordering binding: once this replica ordering-signs a block
+  /// at sequence n, it never ordering- or commit-signs a different block at
+  /// n. Since an ordering_QC needs 2f+1 signers, at most one body can ever
+  /// be certified per sequence number — the invariant behind Theorem 3's
+  /// intersection argument. Entries clear when n commits.
+  std::map<types::SeqNum, crypto::Sha256Digest> commit_bound_;
+  /// Keys of transactions inside in-flight leader instances (prevents a
+  /// re-proposed body's transactions from being batched a second time).
+  std::unordered_set<uint64_t> inflight_tx_keys_;
+  /// Block bodies a newly elected leader re-proposes first (its in-flight
+  /// suffix from the previous view; preserves possibly-committed blocks).
+  std::vector<ledger::TxBlock> repropose_;
+
+  // Progress / timeout state.
+  sim::TimerId progress_timer_ = 0;
+  bool progress_stale_ = false;
+  sim::TimerId rotation_timer_ = 0;
+
+  // Complaint tracking.
+  std::unordered_map<uint64_t, ComplaintState> complaints_;
+
+  // Inspection (ConfVC/ReVC collection).
+  bool inspecting_ = false;
+  VcReason inspection_reason_ = VcReason::kClientComplaint;
+  crypto::QuorumCertBuilder revc_builder_;
+  sim::TimerId inspection_timer_ = 0;
+
+  // Campaign state.
+  types::View voted_view_ = 1;  ///< Highest view voted in (introspection).
+  /// C1: at most one vote per view number. Entries at or below the
+  /// installed view are pruned on view entry.
+  std::map<types::View, types::ReplicaId> votes_by_view_;
+  types::View campaign_view_ = 0;        ///< v_new being campaigned for.
+  types::View confirmed_view_ = 0;       ///< View whose failure was confirmed.
+  crypto::QuorumCert campaign_conf_qc_;
+  types::Penalty campaign_rp_ = 0;
+  types::CompensationIndex campaign_ci_ = 0;
+  crypto::PowSolution campaign_solution_;
+  int campaign_difficulty_bits_ = 0;
+  /// Chain snapshot taken when the campaign began (redeemer entry): CalcRP,
+  /// the PoW payload, and the Camp message all use this one consistent ti.
+  types::SeqNum campaign_latest_n_ = 0;
+  crypto::Sha256Digest campaign_payload_{};
+  util::TimeMicros redeem_started_at_ = 0;
+  util::DurationMicros campaign_solve_time_ = 0;
+  crypto::QuorumCertBuilder vote_builder_;
+  sim::TimerId election_timer_ = 0;
+  sim::TimerId pow_timer_ = 0;
+  int consecutive_election_timeouts_ = 0;
+  int consecutive_pow_abandons_ = 0;
+  /// Until this time, suppress starting our own inspection: we recently
+  /// endorsed someone else's view change (ReVC) or voted for a candidate,
+  /// so a campaign is already under way. Randomized, so concurrent
+  /// candidacies (split votes) stay rare — the role the paper assigns to
+  /// randomized timers (§4.2.3).
+  util::TimeMicros standdown_until_ = 0;
+
+  // Leader vcBlock acknowledgement state.
+  std::optional<ledger::VcBlock> announced_vc_block_;
+  crypto::QuorumCertBuilder vcyes_builder_;
+  /// Catch-up before leading: highest chain height reported via vcYes and
+  /// who reported it.
+  types::SeqNum catchup_target_ = 0;
+  sim::ActorId catchup_source_ = 0;
+  bool awaiting_catchup_ = false;
+
+  // Refresh state.
+  crypto::QuorumCertBuilder refresh_builder_;
+  bool refresh_pending_ = false;
+
+  // Sync state.
+  bool tx_sync_inflight_ = false;
+  bool vc_sync_inflight_ = false;
+  std::vector<std::pair<sim::ActorId, CampMsg>> stashed_camps_;
+  std::vector<std::pair<sim::ActorId, ledger::VcBlock>> stashed_vc_blocks_;
+
+  // Equivocation guard: digests this replica signed per (view, seq).
+  std::map<std::pair<types::View, types::SeqNum>, crypto::Sha256Digest>
+      signed_ord_;
+
+  ReplicaMetrics metrics_;
+};
+
+}  // namespace core
+}  // namespace prestige
+
+#endif  // PRESTIGE_CORE_REPLICA_H_

@@ -1,0 +1,429 @@
+// The two-phase replication protocol (§4.3): ordering_QC then commit_QC,
+// with batching and pipelining. Message complexity O(n); 7 rounds end-to-end
+// including the client (Prop, Ord, replies, Cmt, replies, txBlock, Notif).
+
+#include <cassert>
+
+#include "core/replica.h"
+#include "util/logging.h"
+
+namespace prestige {
+namespace core {
+
+// ----------------------------------------------------------- client input
+
+void PrestigeReplica::OnClientBatch(sim::ActorId from,
+                                    const types::ClientBatch& batch) {
+  (void)from;
+  // Every replica buffers proposals (clients broadcast them, §4.3), so a
+  // newly elected leader can make immediate progress on outstanding load.
+  for (const types::Transaction& tx : batch.txs) {
+    EnqueueTx(tx);
+  }
+  if (role_ == Role::kLeader) MaybePropose();
+}
+
+void PrestigeReplica::EnqueueTx(const types::Transaction& tx) {
+  const uint64_t key = TxKey(tx);
+  if (committed_tx_keys_.count(key) > 0) return;  // Already decided.
+  if (!pending_keys_.insert(key).second) return;  // Already buffered.
+  pending_txs_.push_back(tx);
+}
+
+void PrestigeReplica::MaybePropose(bool allow_partial) {
+  if (role_ != Role::kLeader || !replication_enabled_) return;
+  while (!pending_txs_.empty() && instances_.size() < config_.max_inflight) {
+    if (pending_txs_.size() < config_.batch_size && !allow_partial) break;
+    std::vector<types::Transaction> batch;
+    batch.reserve(std::min(pending_txs_.size(), config_.batch_size));
+    while (!pending_txs_.empty() && batch.size() < config_.batch_size) {
+      types::Transaction tx = pending_txs_.front();
+      pending_txs_.pop_front();
+      const uint64_t key = TxKey(tx);
+      pending_keys_.erase(key);
+      if (committed_tx_keys_.count(key) > 0) continue;   // Already decided.
+      if (inflight_tx_keys_.count(key) > 0) continue;    // Being re-proposed.
+      batch.push_back(std::move(tx));
+    }
+    if (batch.empty()) break;
+    Propose(std::move(batch));
+    allow_partial = false;  // At most one partial block per trigger.
+  }
+  // A partial batch left behind gets proposed when the batch timer fires.
+  if (!pending_txs_.empty() && batch_timer_ == 0) {
+    batch_timer_ = SetTimer(config_.batch_wait, Tag(kBatchTimer));
+  }
+}
+
+void PrestigeReplica::Propose(std::vector<types::Transaction> batch) {
+  for (const types::Transaction& tx : batch) {
+    inflight_tx_keys_.insert(TxKey(tx));
+  }
+  Instance instance;
+  instance.block.v = view_;
+  instance.block.n = next_seq_++;
+  instance.block.prev_hash = last_proposed_digest_;
+  instance.block.txs = std::move(batch);
+  instance.block.status.assign(instance.block.txs.size(), 1);
+
+  const crypto::Sha256Digest digest = instance.block.Digest();
+  last_proposed_digest_ = digest;
+  const crypto::Sha256Digest ord_digest =
+      ledger::OrderingDigest(view_, instance.block.n, digest);
+  instance.ord_builder =
+      crypto::QuorumCertBuilder(ord_digest, config_.quorum());
+  instance.ord_builder.Add(signer_.Sign(ord_digest), ord_digest);
+
+  auto ord = std::make_shared<OrdMsg>();
+  ord->v = view_;
+  ord->n = instance.block.n;
+  ord->prev_hash = instance.block.prev_hash;
+  ord->txs = instance.block.txs;
+  ord->sig = SignMaybeCorrupt(ord_digest);
+
+  instances_.emplace(instance.block.n, std::move(instance));
+  GuardedSend(PeerActors(), ord);
+}
+
+// ------------------------------------------------------ follower: phase 1
+
+void PrestigeReplica::OnOrd(sim::ActorId from, const OrdMsg& ord) {
+  if (ord.v < view_) return;  // Never respond to lower views (§4.3).
+  if (ord.v > view_) {
+    // We are behind on view changes; catch up from the sender.
+    RequestSync(from, SyncReqMsg::Kind::kVcBlocks, store_.CurrentView(),
+                ord.v);
+    return;
+  }
+  if (role_ == Role::kLeader || from != ActorOf(leader_)) return;
+  if (ord.n <= store_.LatestTxSeq()) return;  // Stale retransmission.
+
+  ledger::TxBlock block;
+  block.v = ord.v;
+  block.n = ord.n;
+  block.prev_hash = ord.prev_hash;
+  block.txs = ord.txs;
+  block.status.assign(block.txs.size(), 1);
+  const crypto::Sha256Digest digest = block.Digest();
+  const crypto::Sha256Digest ord_digest =
+      ledger::OrderingDigest(ord.v, ord.n, digest);
+
+  if (!keys_->Verify(ord.sig, ord_digest) || ord.sig.signer != leader_) {
+    ++metrics_.invalid_messages;
+    return;
+  }
+
+  // Equivocation guard: never sign two different blocks at the same (v, n).
+  const auto key = std::make_pair(ord.v, ord.n);
+  auto signed_it = signed_ord_.find(key);
+  if (signed_it != signed_ord_.end()) {
+    if (signed_it->second != digest) {
+      ++metrics_.invalid_messages;  // Leader equivocated.
+      return;
+    }
+  } else {
+    signed_ord_.emplace(key, digest);
+  }
+
+  // Cross-view ordering binding: once we ordering-sign a body at n, no
+  // other body may occupy n (Theorem 3). Bind now; conflicting proposals
+  // from later views are refused until n commits.
+  auto bound = commit_bound_.find(ord.n);
+  if (bound != commit_bound_.end() && bound->second != digest) {
+    return;  // Keep the bound body; refuse the conflicting proposal.
+  }
+  commit_bound_.emplace(ord.n, digest);
+
+  PendingBlock pending;
+  pending.block = std::move(block);
+  pending_blocks_[ord.n] = std::move(pending);
+
+  auto reply = std::make_shared<OrdReplyMsg>();
+  reply->v = ord.v;
+  reply->n = ord.n;
+  reply->partial = SignMaybeCorrupt(ord_digest);
+  GuardedSend(from, reply);
+  ResetProgress();
+}
+
+// -------------------------------------------------------- leader: phase 1
+
+void PrestigeReplica::OnOrdReply(sim::ActorId from, const OrdReplyMsg& reply) {
+  (void)from;
+  if (role_ != Role::kLeader || reply.v != view_) return;
+  auto it = instances_.find(reply.n);
+  if (it == instances_.end() || it->second.ordered) return;
+  Instance& instance = it->second;
+
+  const crypto::Sha256Digest ord_digest = instance.ord_builder.digest();
+  if (!keys_->Verify(reply.partial, ord_digest)) {
+    ++metrics_.invalid_messages;  // F3 equivocators land here.
+    return;
+  }
+  instance.ord_builder.Add(reply.partial, ord_digest);
+  if (!instance.ord_builder.Complete()) return;
+
+  // ordering_QC formed: enter phase 2.
+  instance.ordered = true;
+  instance.block.ordering_qc = instance.ord_builder.Build();
+  const crypto::Sha256Digest cmt_digest = ledger::CommitDigest(
+      view_, instance.block.n, instance.block.Digest());
+  instance.cmt_builder =
+      crypto::QuorumCertBuilder(cmt_digest, config_.quorum());
+  instance.cmt_builder.Add(signer_.Sign(cmt_digest), cmt_digest);
+
+  auto cmt = std::make_shared<CmtMsg>();
+  cmt->v = view_;
+  cmt->n = instance.block.n;
+  cmt->block_digest = instance.block.Digest();
+  cmt->ordering_qc = instance.block.ordering_qc;
+  cmt->sig = SignMaybeCorrupt(cmt_digest);
+  GuardedSend(PeerActors(), cmt);
+}
+
+// ------------------------------------------------------ follower: phase 2
+
+void PrestigeReplica::OnCmt(sim::ActorId from, const CmtMsg& cmt) {
+  if (cmt.v != view_ || role_ == Role::kLeader || from != ActorOf(leader_)) {
+    return;
+  }
+  auto it = pending_blocks_.find(cmt.n);
+  if (it == pending_blocks_.end()) return;  // No Ord seen for this n.
+  PendingBlock& pending = it->second;
+  const crypto::Sha256Digest digest = pending.block.Digest();
+  if (digest != cmt.block_digest) {
+    ++metrics_.invalid_messages;
+    return;
+  }
+  const crypto::Sha256Digest ord_digest =
+      ledger::OrderingDigest(cmt.v, cmt.n, digest);
+  if (!crypto::VerifyQuorumCert(*keys_, cmt.ordering_qc, ord_digest,
+                                config_.quorum())
+           .ok()) {
+    ++metrics_.invalid_messages;
+    return;
+  }
+  const crypto::Sha256Digest cmt_digest =
+      ledger::CommitDigest(cmt.v, cmt.n, digest);
+  if (!keys_->Verify(cmt.sig, cmt_digest) || cmt.sig.signer != leader_) {
+    ++metrics_.invalid_messages;
+    return;
+  }
+  // Binding check (Theorem 3): never commit-sign a block conflicting with
+  // the body we ordering-signed at this sequence number.
+  auto bound = commit_bound_.find(cmt.n);
+  if (bound != commit_bound_.end() && bound->second != digest) {
+    ++metrics_.invalid_messages;
+    return;
+  }
+
+  pending.block.ordering_qc = cmt.ordering_qc;
+  pending.commit_signed = true;
+
+  auto reply = std::make_shared<CmtReplyMsg>();
+  reply->v = cmt.v;
+  reply->n = cmt.n;
+  reply->partial = SignMaybeCorrupt(cmt_digest);
+  GuardedSend(from, reply);
+  ResetProgress();
+}
+
+// -------------------------------------------------------- leader: phase 2
+
+void PrestigeReplica::OnCmtReply(sim::ActorId from, const CmtReplyMsg& reply) {
+  (void)from;
+  if (role_ != Role::kLeader || reply.v != view_) return;
+  auto it = instances_.find(reply.n);
+  if (it == instances_.end() || !it->second.ordered || it->second.done) return;
+  Instance& instance = it->second;
+
+  const crypto::Sha256Digest cmt_digest = instance.cmt_builder.digest();
+  if (!keys_->Verify(reply.partial, cmt_digest)) {
+    ++metrics_.invalid_messages;
+    return;
+  }
+  instance.cmt_builder.Add(reply.partial, cmt_digest);
+  if (!instance.cmt_builder.Complete()) return;
+
+  // commit_QC formed: the block is decided.
+  instance.done = true;
+  instance.block.commit_qc = instance.cmt_builder.Build();
+  ready_blocks_.emplace(reply.n, std::move(instance.block));
+  instances_.erase(it);
+
+  // Commit strictly in sequence order (QCs may complete out of order).
+  while (true) {
+    auto ready = ready_blocks_.find(store_.LatestTxSeq() + 1);
+    if (ready == ready_blocks_.end()) break;
+    ledger::TxBlock block = std::move(ready->second);
+    ready_blocks_.erase(ready);
+
+    auto msg = std::make_shared<TxBlockMsg>();
+    msg->block = block;
+    GuardedSend(PeerActors(), msg);
+    CommitBlock(std::move(block));
+  }
+  MaybePropose();
+}
+
+// ----------------------------------------------------------------- commit
+
+void PrestigeReplica::OnTxBlockMsg(sim::ActorId from, const TxBlockMsg& msg) {
+  const types::SeqNum latest = store_.LatestTxSeq();
+  if (msg.block.n <= latest) return;  // Duplicate.
+  if (msg.block.n > latest + 1) {
+    // Gap: buffer and fetch the missing prefix.
+    buffered_commits_[msg.block.n] = msg.block;
+    RequestSync(from, SyncReqMsg::Kind::kTxBlocks, latest, msg.block.n - 1);
+    return;
+  }
+  CommitBlock(msg.block);
+  DrainBufferedBlocks();
+}
+
+void PrestigeReplica::CommitBlock(ledger::TxBlock block) {
+  const types::SeqNum n = block.n;
+  if (!ValidateAndAppendTxBlock(block).ok()) {
+    ++metrics_.invalid_messages;
+    return;
+  }
+  pending_blocks_.erase(n);
+  signed_ord_.erase(std::make_pair(block.v, n));
+  commit_bound_.erase(n);
+  for (const types::Transaction& tx : block.txs) {
+    inflight_tx_keys_.erase(TxKey(tx));
+  }
+  NotifyClients(block);
+  ResetProgress();
+}
+
+void PrestigeReplica::DrainBufferedBlocks() {
+  while (true) {
+    auto it = buffered_commits_.find(store_.LatestTxSeq() + 1);
+    if (it == buffered_commits_.end()) break;
+    ledger::TxBlock block = std::move(it->second);
+    buffered_commits_.erase(it);
+    CommitBlock(std::move(block));
+  }
+}
+
+void PrestigeReplica::NotifyClients(const ledger::TxBlock& block) {
+  if (clients_.empty()) return;
+  // Group the block's transactions by originating pool.
+  std::map<types::ClientPoolId, std::vector<types::Transaction>> by_pool;
+  for (const types::Transaction& tx : block.txs) {
+    if (tx.pool < clients_.size()) by_pool[tx.pool].push_back(tx);
+  }
+  for (auto& [pool, txs] : by_pool) {
+    auto notif = std::make_shared<types::CommitNotif>();
+    notif->replica = id_;
+    notif->v = block.v;
+    notif->n = block.n;
+    notif->txs = std::move(txs);
+    GuardedSend(clients_[pool], notif);
+  }
+}
+
+// -------------------------------------------------------------- liveness
+
+void PrestigeReplica::OnHeartbeat(sim::ActorId from, const HeartbeatMsg& hb) {
+  if (hb.v < view_) return;
+  if (hb.v > view_) {
+    RequestSync(from, SyncReqMsg::Kind::kVcBlocks, store_.CurrentView(),
+                hb.v);
+    return;
+  }
+  if (from != ActorOf(leader_)) return;
+  if (!keys_->Verify(hb.sig, HeartbeatDigest(hb.v, hb.latest_n)) ||
+      hb.sig.signer != leader_) {
+    ++metrics_.invalid_messages;
+    return;
+  }
+  if (hb.latest_n > store_.LatestTxSeq()) {
+    RequestSync(from, SyncReqMsg::Kind::kTxBlocks, store_.LatestTxSeq(),
+                hb.latest_n);
+  }
+  ResetProgress();
+}
+
+void PrestigeReplica::ResetProgress() {
+  progress_stale_ = false;
+  if (role_ == Role::kLeader) return;
+  ArmProgressTimer();
+}
+
+void PrestigeReplica::ArmProgressTimer() {
+  if (progress_timer_ != 0) CancelTimer(progress_timer_);
+  progress_timer_ = SetTimer(SampleTimeout(), Tag(kProgressTimeout));
+}
+
+util::DurationMicros PrestigeReplica::SampleTimeout() {
+  if (config_.timeout_max <= config_.timeout_min) return config_.timeout_min;
+  return config_.timeout_min +
+         timeout_rng_.NextInRange(
+             0, config_.timeout_max - config_.timeout_min - 1);
+}
+
+void PrestigeReplica::StartLeading() {
+  replication_enabled_ = true;
+  next_seq_ = store_.LatestTxSeq() + 1;
+  last_proposed_digest_ = store_.LatestTxDigest();
+  instances_.clear();
+  ready_blocks_.clear();
+  if (progress_timer_ != 0) {
+    CancelTimer(progress_timer_);
+    progress_timer_ = 0;
+  }
+  if (heartbeat_timer_ != 0) CancelTimer(heartbeat_timer_);
+  heartbeat_timer_ = SetTimer(config_.timeout_min / 3, Tag(kHeartbeat));
+
+  // Re-propose the in-flight suffix inherited from the previous view: the
+  // bodies keep their identity (TxBlock::Digest excludes the view), so
+  // followers commit-bound by the old view converge on the same blocks.
+  std::vector<ledger::TxBlock> repropose = std::move(repropose_);
+  repropose_.clear();
+  for (ledger::TxBlock& body : repropose) {
+    if (body.n < next_seq_) continue;  // Committed while we were elected.
+    if (body.n != next_seq_ || instances_.size() >= config_.max_inflight) {
+      // Gap or full pipeline: recycle the transactions into the pool.
+      for (const types::Transaction& tx : body.txs) EnqueueTx(tx);
+      continue;
+    }
+    Propose(std::move(body.txs));
+  }
+
+  MaybePropose(/*allow_partial=*/true);
+}
+
+void PrestigeReplica::StopReplicationActivity() {
+  replication_enabled_ = false;
+  // Return uncommitted in-flight transactions to the request pool so a
+  // future leadership term can re-propose them.
+  for (auto& [n, instance] : instances_) {
+    (void)n;
+    for (const types::Transaction& tx : instance.block.txs) {
+      inflight_tx_keys_.erase(TxKey(tx));
+      EnqueueTx(tx);
+    }
+  }
+  for (auto& [n, block] : ready_blocks_) {
+    (void)n;
+    for (const types::Transaction& tx : block.txs) {
+      inflight_tx_keys_.erase(TxKey(tx));
+      EnqueueTx(tx);
+    }
+  }
+  instances_.clear();
+  ready_blocks_.clear();
+  if (batch_timer_ != 0) {
+    CancelTimer(batch_timer_);
+    batch_timer_ = 0;
+  }
+  if (heartbeat_timer_ != 0) {
+    CancelTimer(heartbeat_timer_);
+    heartbeat_timer_ = 0;
+  }
+}
+
+}  // namespace core
+}  // namespace prestige

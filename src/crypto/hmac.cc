@@ -1,0 +1,39 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace prestige {
+namespace crypto {
+
+Sha256Digest HmacSha256(const std::vector<uint8_t>& key, const uint8_t* data,
+                        size_t len) {
+  constexpr size_t kBlockSize = 64;
+  uint8_t key_block[kBlockSize] = {0};
+
+  if (key.size() > kBlockSize) {
+    const Sha256Digest hashed = Sha256::Hash(key);
+    std::memcpy(key_block, hashed.data(), hashed.size());
+  } else {
+    std::memcpy(key_block, key.data(), key.size());
+  }
+
+  uint8_t ipad[kBlockSize];
+  uint8_t opad[kBlockSize];
+  for (size_t i = 0; i < kBlockSize; ++i) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad[i] = key_block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(ipad, kBlockSize);
+  inner.Update(data, len);
+  const Sha256Digest inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(opad, kBlockSize);
+  outer.Update(inner_digest.data(), inner_digest.size());
+  return outer.Finish();
+}
+
+}  // namespace crypto
+}  // namespace prestige

@@ -1,0 +1,32 @@
+#include "crypto/keys.h"
+
+namespace prestige {
+namespace crypto {
+
+std::vector<uint8_t> KeyStore::SecretKey(SignerId signer) const {
+  // secret = SHA256(master_seed || signer_id), both little-endian fixed width.
+  uint8_t material[12];
+  for (int i = 0; i < 8; ++i) {
+    material[i] = static_cast<uint8_t>(master_seed_ >> (i * 8));
+  }
+  for (int i = 0; i < 4; ++i) {
+    material[8 + i] = static_cast<uint8_t>(signer >> (i * 8));
+  }
+  const Sha256Digest d = Sha256::Hash(material, sizeof(material));
+  return std::vector<uint8_t>(d.begin(), d.end());
+}
+
+Signature KeyStore::Sign(SignerId signer, const Sha256Digest& digest) const {
+  Signature sig;
+  sig.signer = signer;
+  sig.mac = HmacSha256(SecretKey(signer), digest);
+  return sig;
+}
+
+bool KeyStore::Verify(const Signature& sig, const Sha256Digest& digest) const {
+  const Sha256Digest expected = HmacSha256(SecretKey(sig.signer), digest);
+  return expected == sig.mac;
+}
+
+}  // namespace crypto
+}  // namespace prestige

@@ -1,0 +1,81 @@
+// Simulated PKI: deterministic per-node secret keys and HMAC signatures.
+//
+// Paper model (§4.1): servers use public-key signatures and (t,n) threshold
+// signatures; faulty servers are computationally bound and cannot forge a
+// non-faulty server's signature. In this reproduction a signature is
+// HMAC-SHA256(secret_key[signer], message-digest). The KeyStore plays the
+// role of the PKI: honest replicas hold a Signer restricted to their own
+// identity, and verification recomputes the MAC. Forgery is impossible
+// within the simulation because attacker code is never handed another
+// node's Signer — mirroring the computational-boundedness assumption.
+
+#ifndef PRESTIGE_CRYPTO_KEYS_H_
+#define PRESTIGE_CRYPTO_KEYS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace prestige {
+namespace crypto {
+
+/// Raw node identity used by the crypto layer (replicas and clients share the
+/// id space; clients are offset by the harness).
+using SignerId = uint32_t;
+
+/// A signature: the signer's identity plus an HMAC over the message digest.
+struct Signature {
+  SignerId signer = 0;
+  Sha256Digest mac{};
+
+  bool operator==(const Signature& other) const {
+    return signer == other.signer && mac == other.mac;
+  }
+};
+
+/// Holds every participant's secret key; acts as the trusted PKI oracle.
+///
+/// Keys are derived as SHA256(master_seed || signer_id), so a KeyStore is
+/// fully determined by its seed.
+class KeyStore {
+ public:
+  explicit KeyStore(uint64_t master_seed) : master_seed_(master_seed) {}
+
+  /// Signs `digest` with `signer`'s key.
+  Signature Sign(SignerId signer, const Sha256Digest& digest) const;
+
+  /// True iff `sig` is a valid signature over `digest`.
+  bool Verify(const Signature& sig, const Sha256Digest& digest) const;
+
+  uint64_t master_seed() const { return master_seed_; }
+
+ private:
+  std::vector<uint8_t> SecretKey(SignerId signer) const;
+
+  uint64_t master_seed_;
+};
+
+/// A signing capability restricted to one identity. Handed to each replica /
+/// client so honest code cannot sign as anyone else.
+class Signer {
+ public:
+  Signer(const KeyStore* store, SignerId id) : store_(store), id_(id) {}
+
+  SignerId id() const { return id_; }
+
+  Signature Sign(const Sha256Digest& digest) const {
+    return store_->Sign(id_, digest);
+  }
+
+ private:
+  const KeyStore* store_;
+  SignerId id_;
+};
+
+}  // namespace crypto
+}  // namespace prestige
+
+#endif  // PRESTIGE_CRYPTO_KEYS_H_

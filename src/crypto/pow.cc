@@ -1,0 +1,73 @@
+#include "crypto/pow.h"
+
+#include <cmath>
+
+namespace prestige {
+namespace crypto {
+
+util::DurationMicros PowParams::ExpectedSolveMicros(int64_t rp) const {
+  const int bits = DifficultyBits(rp);
+  const double expected_iters = std::pow(2.0, static_cast<double>(bits));
+  const double seconds = expected_iters / hashes_per_second;
+  const double micros = seconds * 1e6;
+  if (micros < 1.0) return 1;
+  if (micros > 9e18) return static_cast<util::DurationMicros>(9e18);
+  return static_cast<util::DurationMicros>(micros);
+}
+
+Sha256Digest PowAttempt(const Sha256Digest& payload, uint64_t nonce) {
+  Sha256 h;
+  h.Update(payload.data(), payload.size());
+  uint8_t nonce_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    nonce_bytes[i] = static_cast<uint8_t>(nonce >> (i * 8));
+  }
+  h.Update(nonce_bytes, sizeof(nonce_bytes));
+  return h.Finish();
+}
+
+bool PowCheck(const Sha256Digest& hash, int difficulty_bits) {
+  return CountLeadingZeroBits(hash) >= difficulty_bits;
+}
+
+bool PowVerify(const Sha256Digest& payload, uint64_t nonce,
+               int difficulty_bits) {
+  return PowCheck(PowAttempt(payload, nonce), difficulty_bits);
+}
+
+util::Result<PowSolution> RealPowSolver::Solve(const Sha256Digest& payload,
+                                               int difficulty_bits,
+                                               util::Rng* rng,
+                                               uint64_t max_iterations) const {
+  for (uint64_t i = 1; i <= max_iterations; ++i) {
+    const uint64_t nonce = rng->NextUint64();
+    const Sha256Digest hash = PowAttempt(payload, nonce);
+    if (PowCheck(hash, difficulty_bits)) {
+      PowSolution sol;
+      sol.nonce = nonce;
+      sol.hash = hash;
+      sol.iterations = i;
+      return sol;
+    }
+  }
+  return util::Status::TimedOut("PoW search exhausted max_iterations");
+}
+
+double ModeledPowSolver::SampleIterations(int difficulty_bits,
+                                          util::Rng* rng) const {
+  const double p = std::pow(2.0, -static_cast<double>(difficulty_bits));
+  return rng->NextGeometricTrials(p);
+}
+
+util::DurationMicros ModeledPowSolver::SampleSolveMicros(
+    int difficulty_bits, util::Rng* rng) const {
+  const double iters = SampleIterations(difficulty_bits, rng);
+  const double seconds = iters / params_.hashes_per_second;
+  const double micros = seconds * 1e6;
+  if (micros < 1.0) return 1;
+  if (micros > 9e18) return static_cast<util::DurationMicros>(9e18);
+  return static_cast<util::DurationMicros>(micros);
+}
+
+}  // namespace crypto
+}  // namespace prestige

@@ -1,0 +1,68 @@
+#include "crypto/quorum_cert.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace prestige {
+namespace crypto {
+
+std::vector<SignerId> QuorumCert::SignerIds() const {
+  std::vector<SignerId> ids;
+  ids.reserve(partials.size());
+  for (const Signature& sig : partials) ids.push_back(sig.signer);
+  return ids;
+}
+
+bool QuorumCertBuilder::Add(const Signature& sig, const Sha256Digest& digest) {
+  if (digest != digest_) return false;
+  for (const Signature& existing : partials_) {
+    if (existing.signer == sig.signer) return false;
+  }
+  partials_.push_back(sig);
+  return true;
+}
+
+QuorumCert QuorumCertBuilder::Build() const {
+  assert(Complete() && "QuorumCertBuilder::Build before threshold reached");
+  QuorumCert qc;
+  qc.digest = digest_;
+  qc.threshold = threshold_;
+  qc.partials = partials_;
+  // Canonical signer order so certificates compare deterministically.
+  std::sort(qc.partials.begin(), qc.partials.end(),
+            [](const Signature& a, const Signature& b) {
+              return a.signer < b.signer;
+            });
+  return qc;
+}
+
+util::Status VerifyQuorumCert(const KeyStore& keys, const QuorumCert& qc,
+                              const Sha256Digest& expected_digest,
+                              uint32_t expected_threshold) {
+  if (qc.empty()) {
+    return util::Status::InvalidSignature("empty quorum certificate");
+  }
+  if (qc.digest != expected_digest) {
+    return util::Status::InvalidSignature("QC digest mismatch");
+  }
+  if (qc.threshold < expected_threshold) {
+    return util::Status::InvalidSignature("QC threshold below required");
+  }
+  if (qc.partials.size() < qc.threshold) {
+    return util::Status::InvalidSignature("QC has fewer partials than threshold");
+  }
+  std::unordered_set<SignerId> seen;
+  for (const Signature& sig : qc.partials) {
+    if (!seen.insert(sig.signer).second) {
+      return util::Status::InvalidSignature("duplicate signer in QC");
+    }
+    if (!keys.Verify(sig, qc.digest)) {
+      return util::Status::InvalidSignature("bad partial signature in QC");
+    }
+  }
+  return util::Status::OK();
+}
+
+}  // namespace crypto
+}  // namespace prestige

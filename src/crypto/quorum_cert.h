@@ -1,0 +1,74 @@
+// Quorum certificates via simulated (t, n) threshold signatures.
+//
+// The paper (§4.1) converts t individually signed messages into one fully
+// signed message of size O(1). We keep the logical content (which signers
+// contributed) for verifiability inside the simulation, while the *physical*
+// size of a QC on the simulated wire is a protocol constant — preserving the
+// O(1) bandwidth property the paper relies on.
+
+#ifndef PRESTIGE_CRYPTO_QUORUM_CERT_H_
+#define PRESTIGE_CRYPTO_QUORUM_CERT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/keys.h"
+#include "util/status.h"
+
+namespace prestige {
+namespace crypto {
+
+/// A combined threshold signature over one message digest.
+struct QuorumCert {
+  Sha256Digest digest{};            ///< The signed message digest.
+  uint32_t threshold = 0;           ///< Required signer count (f+1 or 2f+1).
+  std::vector<Signature> partials;  ///< Distinct-signer partial signatures.
+
+  /// True if default-constructed (no certificate present).
+  bool empty() const { return threshold == 0 && partials.empty(); }
+
+  /// Signers contributing to this certificate.
+  std::vector<SignerId> SignerIds() const;
+};
+
+/// Accumulates partial signatures for one digest until a threshold is met.
+class QuorumCertBuilder {
+ public:
+  QuorumCertBuilder() = default;
+  QuorumCertBuilder(Sha256Digest digest, uint32_t threshold)
+      : digest_(digest), threshold_(threshold) {}
+
+  /// Adds a partial signature. Duplicates from the same signer and
+  /// signatures over other digests are ignored (returns false).
+  bool Add(const Signature& sig, const Sha256Digest& digest);
+
+  /// Number of distinct signers collected so far.
+  uint32_t Count() const { return static_cast<uint32_t>(partials_.size()); }
+
+  /// True once `threshold` distinct signers have contributed.
+  bool Complete() const { return Count() >= threshold_; }
+
+  /// Combines the collected partials into a certificate. Requires Complete().
+  QuorumCert Build() const;
+
+  const Sha256Digest& digest() const { return digest_; }
+  uint32_t threshold() const { return threshold_; }
+
+ private:
+  Sha256Digest digest_{};
+  uint32_t threshold_ = 0;
+  std::vector<Signature> partials_;
+};
+
+/// Verifies `qc`: threshold size, distinct signers, and every partial MAC.
+/// `expected_threshold` guards against certificates built with a weaker
+/// quorum than the protocol step requires (criterion C2 uses f+1, QCs in
+/// replication use 2f+1).
+util::Status VerifyQuorumCert(const KeyStore& keys, const QuorumCert& qc,
+                              const Sha256Digest& expected_digest,
+                              uint32_t expected_threshold);
+
+}  // namespace crypto
+}  // namespace prestige
+
+#endif  // PRESTIGE_CRYPTO_QUORUM_CERT_H_

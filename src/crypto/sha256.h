@@ -1,0 +1,74 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for block digests, HMAC-SHA256 (simulated signatures), and the
+// view-change proof-of-work puzzle (§4.2.2 of the paper). Verified against
+// NIST known-answer test vectors in tests/crypto/sha256_test.cc.
+
+#ifndef PRESTIGE_CRYPTO_SHA256_H_
+#define PRESTIGE_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prestige {
+namespace crypto {
+
+/// A 32-byte SHA-256 digest.
+using Sha256Digest = std::array<uint8_t, 32>;
+
+/// Incremental SHA-256 hasher.
+///
+///   Sha256 h;
+///   h.Update(data, len);
+///   Sha256Digest d = h.Finish();
+///
+/// Finish() may be called once; use Reset() to reuse the object.
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  /// Restores the initial hash state.
+  void Reset();
+
+  /// Absorbs `len` bytes.
+  void Update(const uint8_t* data, size_t len);
+  void Update(const std::vector<uint8_t>& data) {
+    Update(data.data(), data.size());
+  }
+  void Update(const std::string& data) {
+    Update(reinterpret_cast<const uint8_t*>(data.data()), data.size());
+  }
+
+  /// Pads, finalizes, and returns the digest.
+  Sha256Digest Finish();
+
+  /// One-shot convenience.
+  static Sha256Digest Hash(const uint8_t* data, size_t len);
+  static Sha256Digest Hash(const std::vector<uint8_t>& data) {
+    return Hash(data.data(), data.size());
+  }
+  static Sha256Digest Hash(const std::string& data) {
+    return Hash(reinterpret_cast<const uint8_t*>(data.data()), data.size());
+  }
+
+ private:
+  void ProcessBlock(const uint8_t block[64]);
+
+  uint32_t state_[8];
+  uint64_t bit_count_;
+  uint8_t buffer_[64];
+  size_t buffer_len_;
+};
+
+/// Lower-case hex rendering of a digest.
+std::string DigestToHex(const Sha256Digest& digest);
+
+/// Number of leading zero *bits* in the digest (PoW difficulty check).
+int CountLeadingZeroBits(const Sha256Digest& digest);
+
+}  // namespace crypto
+}  // namespace prestige
+
+#endif  // PRESTIGE_CRYPTO_SHA256_H_

@@ -1,0 +1,168 @@
+// Cluster: wires n replicas + client pools onto one simulator instance.
+//
+// Generic over the protocol: any Replica type with
+//   Replica(Config, ReplicaId, const KeyStore*, FaultSpec)
+//   SetTopology(replica_actor_ids, client_actor_ids)
+//   metrics() -> core::ReplicaMetrics
+// works (PrestigeBFT and all baselines follow this shape). The protocol
+// Config must expose `n` and `f()`.
+
+#ifndef PRESTIGE_HARNESS_CLUSTER_H_
+#define PRESTIGE_HARNESS_CLUSTER_H_
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "core/metrics.h"
+#include "crypto/keys.h"
+#include "sim/actor.h"
+#include "sim/latency.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "workload/client_pool.h"
+#include "workload/fault_spec.h"
+
+namespace prestige {
+namespace harness {
+
+/// Workload / environment parameters shared by all protocols.
+struct WorkloadOptions {
+  uint32_t num_pools = 8;
+  uint32_t clients_per_pool = 100;
+  uint32_t payload_size = 32;  ///< m.
+  util::DurationMicros client_timeout = util::Seconds(1);
+  sim::LatencyModel latency = sim::LatencyModel::Datacenter();
+  sim::CostModel cost;
+  uint64_t seed = 1;
+};
+
+/// A complete simulated deployment of one protocol.
+template <typename Replica, typename Config>
+class Cluster {
+ public:
+  Cluster(Config protocol, WorkloadOptions workload,
+          std::vector<workload::FaultSpec> faults = {})
+      : protocol_(protocol),
+        workload_(workload),
+        sim_(workload.seed),
+        net_(&sim_, workload.latency, workload.cost),
+        keys_(workload.seed ^ 0xc0ffee) {
+    faults.resize(protocol_.n, workload::FaultSpec::Honest());
+
+    std::vector<sim::ActorId> replica_ids;
+    std::vector<sim::ActorId> pool_ids;
+    for (uint32_t i = 0; i < protocol_.n; ++i) {
+      replicas_.push_back(
+          std::make_unique<Replica>(protocol_, i, &keys_, faults[i]));
+      replica_ids.push_back(sim_.AddActor(replicas_.back().get()));
+      replicas_.back()->AttachNetwork(&net_);
+    }
+    for (uint32_t p = 0; p < workload_.num_pools; ++p) {
+      workload::ClientPoolConfig pool_config;
+      pool_config.pool_id = p;
+      pool_config.num_clients = workload_.clients_per_pool;
+      pool_config.payload_size = workload_.payload_size;
+      pool_config.f = protocol_.f();
+      pool_config.request_timeout = workload_.client_timeout;
+      pools_.push_back(std::make_unique<workload::ClientPool>(pool_config));
+      pool_ids.push_back(sim_.AddActor(pools_.back().get()));
+      pools_.back()->AttachNetwork(&net_);
+      pools_.back()->SetReplicas(replica_ids);
+    }
+    for (auto& replica : replicas_) {
+      replica->SetTopology(replica_ids, pool_ids);
+    }
+    replica_actor_ids_ = replica_ids;
+  }
+
+  /// Schedules every actor's OnStart at the current virtual time. Call once
+  /// before the first Run*.
+  void Start() {
+    for (auto& replica : replicas_) {
+      sim_.ScheduleAfter(0, [r = replica.get()]() { r->OnStart(); });
+    }
+    for (auto& pool : pools_) {
+      sim_.ScheduleAfter(0, [p = pool.get()]() { p->OnStart(); });
+    }
+  }
+
+  void RunFor(util::DurationMicros duration) {
+    sim_.RunUntil(sim_.Now() + duration);
+  }
+  void RunUntil(util::TimeMicros until) { sim_.RunUntil(until); }
+
+  Replica& replica(uint32_t i) { return *replicas_[i]; }
+  workload::ClientPool& pool(uint32_t p) { return *pools_[p]; }
+  uint32_t num_replicas() const { return protocol_.n; }
+  uint32_t num_pools() const { return workload_.num_pools; }
+  sim::Simulator& simulator() { return sim_; }
+  sim::Network& network() { return net_; }
+  const Config& protocol_config() const { return protocol_; }
+
+  /// Crash / recover replica i at the network level (it neither sends nor
+  /// receives while down).
+  void SetReplicaDown(uint32_t i, bool down) {
+    net_.SetNodeDown(replica_actor_ids_[i], down);
+  }
+
+  /// Transactions committed, summed over all client pools (client-observed).
+  int64_t ClientCommitted() const {
+    int64_t total = 0;
+    for (const auto& pool : pools_) total += pool->committed();
+    return total;
+  }
+
+  /// Throughput observed by clients over [from, to] in tx/s. Uses replica 0's
+  /// honest commit timeline when `replica_timeline` >= 0.
+  double ClientThroughputTps(util::TimeMicros from, util::TimeMicros to,
+                             int replica_timeline = -1) const {
+    if (to <= from) return 0.0;
+    if (replica_timeline >= 0) {
+      const auto& timeline =
+          replicas_[replica_timeline]->metrics().commit_timeline;
+      int64_t count = 0;
+      const auto& buckets = timeline.buckets();
+      const size_t lo = static_cast<size_t>(from / timeline.window());
+      const size_t hi = static_cast<size_t>(to / timeline.window());
+      for (size_t i = lo; i < hi && i < buckets.size(); ++i) {
+        count += buckets[i];
+      }
+      return static_cast<double>(count) / util::ToSeconds(to - from);
+    }
+    return static_cast<double>(ClientCommitted()) /
+           util::ToSeconds(to - from);
+  }
+
+  /// Mean client latency in milliseconds across pools.
+  double MeanLatencyMs() {
+    double weighted = 0.0;
+    size_t count = 0;
+    for (auto& pool : pools_) {
+      weighted += pool->latencies().Mean() * pool->latencies().count();
+      count += pool->latencies().count();
+    }
+    return count == 0 ? 0.0 : weighted / static_cast<double>(count);
+  }
+
+  /// Latency percentile. Pools see statistically identical latency
+  /// distributions, so pool 0's histogram is a representative sample.
+  double LatencyPercentileMs(double p) {
+    return pools_.empty() ? 0.0 : pools_[0]->latencies().Percentile(p);
+  }
+
+ private:
+  Config protocol_;
+  WorkloadOptions workload_;
+  sim::Simulator sim_;
+  sim::Network net_;
+  crypto::KeyStore keys_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  std::vector<std::unique_ptr<workload::ClientPool>> pools_;
+  std::vector<sim::ActorId> replica_actor_ids_;
+};
+
+}  // namespace harness
+}  // namespace prestige
+
+#endif  // PRESTIGE_HARNESS_CLUSTER_H_

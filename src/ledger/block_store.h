@@ -1,0 +1,106 @@
+// BlockStore: a replica's state machine log of txBlocks and vcBlocks.
+//
+// Both chains are hash-linked and append-only. The reputation engine reads
+// them ("retrieves information", Fig. 2) but never writes (§3 Features).
+
+#ifndef PRESTIGE_LEDGER_BLOCK_STORE_H_
+#define PRESTIGE_LEDGER_BLOCK_STORE_H_
+
+#include <optional>
+#include <vector>
+
+#include "ledger/tx_block.h"
+#include "ledger/vc_block.h"
+#include "util/status.h"
+
+namespace prestige {
+namespace ledger {
+
+/// Append-only store of the two block chains.
+///
+/// Invariants enforced on append:
+///  * txBlocks arrive with consecutive sequence numbers (n = latest + 1)
+///    and a prev_hash equal to the latest txBlock's digest;
+///  * vcBlocks arrive with strictly increasing views and a prev_hash equal
+///    to the latest vcBlock's digest.
+class BlockStore {
+ public:
+  BlockStore() = default;
+
+  /// Appends a committed txBlock. Fails with Corruption on chain breaks.
+  util::Status AppendTxBlock(TxBlock block);
+
+  /// Appends a view-change block. Fails with Corruption on chain breaks.
+  util::Status AppendVcBlock(VcBlock block);
+
+  /// Fork resolution: if `block`'s parent is an ancestor within the last
+  /// `max_unwind` vcBlocks and `block.v` exceeds the current tip view,
+  /// unwinds the conflicting tail and appends `block` (higher-view-wins;
+  /// concurrent elections at different views can briefly fork the chain).
+  util::Status AppendVcBlockResolvingFork(VcBlock block,
+                                          size_t max_unwind = 8);
+
+  /// Highest committed txBlock sequence number (ti in Eq. 2); 0 when empty.
+  types::SeqNum LatestTxSeq() const {
+    return tx_chain_.empty() ? 0 : tx_chain_.back().n;
+  }
+
+  /// Digest of the latest txBlock (all-zero when empty).
+  crypto::Sha256Digest LatestTxDigest() const {
+    return tx_chain_.empty() ? crypto::Sha256Digest{}
+                             : tx_chain_.back().Digest();
+  }
+
+  /// Latest txBlock, or nullptr when empty.
+  const TxBlock* LatestTxBlock() const {
+    return tx_chain_.empty() ? nullptr : &tx_chain_.back();
+  }
+
+  /// View of the latest vcBlock; 1 (the initial view) when only genesis.
+  types::View CurrentView() const {
+    return vc_chain_.empty() ? 1 : vc_chain_.back().v;
+  }
+
+  /// Latest vcBlock, or nullptr before the first view change.
+  const VcBlock* LatestVcBlock() const {
+    return vc_chain_.empty() ? nullptr : &vc_chain_.back();
+  }
+
+  /// txBlock at sequence `n` (1-based), or nullptr.
+  const TxBlock* TxBlockAt(types::SeqNum n) const;
+
+  /// vcBlock for view `v`, or nullptr.
+  const VcBlock* VcBlockFor(types::View v) const;
+
+  /// txBlocks in (after, up_to], for SyncUp responses.
+  std::vector<TxBlock> TxBlocksAfter(types::SeqNum after,
+                                     types::SeqNum up_to) const;
+
+  /// vcBlocks with views in (after, up_to], for SyncUp responses.
+  std::vector<VcBlock> VcBlocksAfter(types::View after,
+                                     types::View up_to) const;
+
+  /// Walks the vcBlock chain newest-to-oldest collecting `id`'s penalty in
+  /// each block — the historic penalty set P of Algorithm 1 (excluding the
+  /// current block, which the caller seeds).
+  std::vector<types::Penalty> HistoricPenalties(types::ReplicaId id) const;
+
+  size_t tx_chain_size() const { return tx_chain_.size(); }
+  size_t vc_chain_size() const { return vc_chain_.size(); }
+
+  const std::vector<TxBlock>& tx_chain() const { return tx_chain_; }
+  const std::vector<VcBlock>& vc_chain() const { return vc_chain_; }
+
+  /// Total committed transactions across all txBlocks.
+  int64_t TotalCommittedTxs() const { return total_txs_; }
+
+ private:
+  std::vector<TxBlock> tx_chain_;
+  std::vector<VcBlock> vc_chain_;
+  int64_t total_txs_ = 0;
+};
+
+}  // namespace ledger
+}  // namespace prestige
+
+#endif  // PRESTIGE_LEDGER_BLOCK_STORE_H_

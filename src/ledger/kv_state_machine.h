@@ -1,0 +1,60 @@
+// A replicated key-value store: the example application service.
+//
+// Transactions are interpreted deterministically from their fingerprint as
+// Put operations over a bounded key space, so all replicas converge to the
+// same map. Used by the examples and by convergence tests.
+
+#ifndef PRESTIGE_LEDGER_KV_STATE_MACHINE_H_
+#define PRESTIGE_LEDGER_KV_STATE_MACHINE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "ledger/state_machine.h"
+
+namespace prestige {
+namespace ledger {
+
+/// Deterministic KV store driven by transaction fingerprints.
+class KvStateMachine : public StateMachine {
+ public:
+  explicit KvStateMachine(uint64_t key_space = 1024)
+      : key_space_(key_space == 0 ? 1 : key_space) {}
+
+  void Apply(const TxBlock& block) override {
+    for (const types::Transaction& tx : block.txs) {
+      const uint64_t key = tx.fingerprint % key_space_;
+      const uint64_t value = tx.fingerprint;
+      map_[key] = value;
+      // Rolling state digest for cheap cross-replica comparison.
+      state_digest_ =
+          state_digest_ * 1099511628211ULL ^ (key * 31 + value);
+      ++applied_;
+    }
+  }
+
+  int64_t applied_count() const override { return applied_; }
+
+  /// Value for `key`, or 0 if absent.
+  uint64_t Get(uint64_t key) const {
+    auto it = map_.find(key % key_space_);
+    return it == map_.end() ? 0 : it->second;
+  }
+
+  size_t size() const { return map_.size(); }
+
+  /// Order-sensitive digest of the applied history; equal digests mean the
+  /// replicas applied identical sequences.
+  uint64_t state_digest() const { return state_digest_; }
+
+ private:
+  uint64_t key_space_;
+  std::unordered_map<uint64_t, uint64_t> map_;
+  int64_t applied_ = 0;
+  uint64_t state_digest_ = 1469598103934665603ULL;
+};
+
+}  // namespace ledger
+}  // namespace prestige
+
+#endif  // PRESTIGE_LEDGER_KV_STATE_MACHINE_H_

@@ -1,0 +1,38 @@
+// Application state machine interface (the SMR "service" being replicated).
+
+#ifndef PRESTIGE_LEDGER_STATE_MACHINE_H_
+#define PRESTIGE_LEDGER_STATE_MACHINE_H_
+
+#include "ledger/tx_block.h"
+
+namespace prestige {
+namespace ledger {
+
+/// Deterministic application applied in commit order.
+class StateMachine {
+ public:
+  virtual ~StateMachine() = default;
+
+  /// Applies every transaction of a committed block, in order.
+  virtual void Apply(const TxBlock& block) = 0;
+
+  /// Number of transactions applied so far.
+  virtual int64_t applied_count() const = 0;
+};
+
+/// No-op state machine for pure-throughput experiments.
+class NullStateMachine : public StateMachine {
+ public:
+  void Apply(const TxBlock& block) override {
+    applied_ += static_cast<int64_t>(block.txs.size());
+  }
+  int64_t applied_count() const override { return applied_; }
+
+ private:
+  int64_t applied_ = 0;
+};
+
+}  // namespace ledger
+}  // namespace prestige
+
+#endif  // PRESTIGE_LEDGER_STATE_MACHINE_H_

@@ -1,0 +1,21 @@
+#include "ledger/tx_block.h"
+
+namespace prestige {
+namespace ledger {
+
+crypto::Sha256Digest OrderingDigest(types::View v, types::SeqNum n,
+                                    const crypto::Sha256Digest& block_digest) {
+  types::Encoder enc("ord");
+  enc.PutI64(v).PutI64(n).PutDigest(block_digest);
+  return enc.Digest();
+}
+
+crypto::Sha256Digest CommitDigest(types::View v, types::SeqNum n,
+                                  const crypto::Sha256Digest& block_digest) {
+  types::Encoder enc("cmt");
+  enc.PutI64(v).PutI64(n).PutDigest(block_digest);
+  return enc.Digest();
+}
+
+}  // namespace ledger
+}  // namespace prestige

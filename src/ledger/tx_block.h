@@ -1,0 +1,63 @@
+// txBlock: the deterministic result of one replication consensus instance.
+//
+// Mirrors Figure 3 of the paper:
+//   header    — view number v, block index n, addresses of this block and
+//               the previous txBlock (hash chaining);
+//   agreement — ordering_QC and commit_QC;
+//   payload   — tx[] and per-transaction status[].
+
+#ifndef PRESTIGE_LEDGER_TX_BLOCK_H_
+#define PRESTIGE_LEDGER_TX_BLOCK_H_
+
+#include <vector>
+
+#include "crypto/quorum_cert.h"
+#include "crypto/sha256.h"
+#include "types/codec.h"
+#include "types/ids.h"
+#include "types/transaction.h"
+
+namespace prestige {
+namespace ledger {
+
+/// One committed batch of transactions.
+struct TxBlock {
+  types::View v = 0;
+  types::SeqNum n = 0;
+  crypto::Sha256Digest prev_hash{};  ///< Address of the previous txBlock.
+
+  std::vector<types::Transaction> txs;
+  std::vector<uint8_t> status;  ///< Per-tx consensus result (1 = committed).
+
+  crypto::QuorumCert ordering_qc;
+  crypto::QuorumCert commit_qc;
+
+  /// Digest of the block body, i.e. the block's address.
+  ///
+  /// Identity = (n, prev_hash, transactions). The view is deliberately
+  /// excluded (like PBFT's request digests): a new leader re-proposing an
+  /// in-flight block in a higher view keeps the same block identity, so
+  /// followers commit-bound to it by an earlier view still converge. QCs
+  /// certify the block and are likewise not part of the address.
+  crypto::Sha256Digest Digest() const {
+    types::Encoder enc("txblock");
+    enc.PutI64(n).PutDigest(prev_hash).PutDigest(types::BatchDigest(txs));
+    return enc.Digest();
+  }
+
+  /// Number of transactions (the batch size beta of this block).
+  size_t BatchSize() const { return txs.size(); }
+};
+
+/// Digest signed in the ordering phase for block (v, n, body).
+crypto::Sha256Digest OrderingDigest(types::View v, types::SeqNum n,
+                                    const crypto::Sha256Digest& block_digest);
+
+/// Digest signed in the commit phase for block (v, n, body).
+crypto::Sha256Digest CommitDigest(types::View v, types::SeqNum n,
+                                  const crypto::Sha256Digest& block_digest);
+
+}  // namespace ledger
+}  // namespace prestige
+
+#endif  // PRESTIGE_LEDGER_TX_BLOCK_H_

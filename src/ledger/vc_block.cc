@@ -1,0 +1,32 @@
+#include "ledger/vc_block.h"
+
+namespace prestige {
+namespace ledger {
+
+crypto::Sha256Digest ConfDigest(types::View v) {
+  types::Encoder enc("confvc");
+  enc.PutI64(v);
+  return enc.Digest();
+}
+
+crypto::Sha256Digest VoteDigest(types::View v_new,
+                                types::ReplicaId candidate) {
+  types::Encoder enc("votecp");
+  enc.PutI64(v_new).PutU32(candidate);
+  return enc.Digest();
+}
+
+crypto::Sha256Digest VcYesDigest(const crypto::Sha256Digest& vc_block_digest) {
+  types::Encoder enc("vcyes");
+  enc.PutDigest(vc_block_digest);
+  return enc.Digest();
+}
+
+crypto::Sha256Digest RefreshDigest(types::ReplicaId id, types::View v) {
+  types::Encoder enc("refresh");
+  enc.PutU32(id).PutI64(v);
+  return enc.Digest();
+}
+
+}  // namespace ledger
+}  // namespace prestige

@@ -1,0 +1,85 @@
+// vcBlock: the deterministic result of one view-change consensus instance.
+//
+// Mirrors Figure 3 of the paper:
+//   header           — view number v, leader id, addresses of this and the
+//                      previous vcBlock;
+//   election         — conf_QC (confirming the leader failure, threshold
+//                      f+1) and vc_QC (confirming leadership legitimacy,
+//                      threshold 2f+1);
+//   reputation       — rp[Id] and ci[Id] maps for every server.
+
+#ifndef PRESTIGE_LEDGER_VC_BLOCK_H_
+#define PRESTIGE_LEDGER_VC_BLOCK_H_
+
+#include <map>
+
+#include "crypto/quorum_cert.h"
+#include "crypto/sha256.h"
+#include "types/codec.h"
+#include "types/ids.h"
+
+namespace prestige {
+namespace ledger {
+
+/// One view-change consensus result.
+struct VcBlock {
+  types::View v = 0;
+  types::ReplicaId leader = 0;
+  /// The view whose failure conf_qc confirms (v - 1 normally; lower when
+  /// split-vote retries skipped views). Lets any server recompute the
+  /// conf_qc digest.
+  types::View confirmed_view = 0;
+  crypto::Sha256Digest prev_hash{};  ///< Address of the previous vcBlock.
+
+  crypto::QuorumCert conf_qc;  ///< f+1 confirmation of the leader failure.
+  crypto::QuorumCert vc_qc;    ///< 2f+1 votes electing `leader`.
+
+  std::map<types::ReplicaId, types::Penalty> rp;
+  std::map<types::ReplicaId, types::CompensationIndex> ci;
+
+  /// Penalty of `id`, defaulting to the paper's initial value 1.
+  types::Penalty PenaltyOf(types::ReplicaId id) const {
+    auto it = rp.find(id);
+    return it == rp.end() ? 1 : it->second;
+  }
+
+  /// Compensation index of `id`, defaulting to the initial value 1.
+  types::CompensationIndex CompensationOf(types::ReplicaId id) const {
+    auto it = ci.find(id);
+    return it == ci.end() ? 1 : it->second;
+  }
+
+  /// Address of this block: header + full reputation segment. QCs certify
+  /// the block and are excluded from the address.
+  crypto::Sha256Digest Digest() const {
+    types::Encoder enc("vcblock");
+    enc.PutI64(v).PutU32(leader).PutI64(confirmed_view).PutDigest(prev_hash);
+    enc.PutU64(rp.size());
+    for (const auto& [id, penalty] : rp) {
+      enc.PutU32(id).PutI64(penalty);
+    }
+    enc.PutU64(ci.size());
+    for (const auto& [id, index] : ci) {
+      enc.PutU32(id).PutI64(index);
+    }
+    return enc.Digest();
+  }
+};
+
+/// Digest signed by ReVC replies confirming the failure of view v's leader.
+crypto::Sha256Digest ConfDigest(types::View v);
+
+/// Digest signed by VoteCP votes electing `candidate` for view v_new.
+crypto::Sha256Digest VoteDigest(types::View v_new,
+                                types::ReplicaId candidate);
+
+/// Digest signed by vcYes acknowledgements of a vcBlock.
+crypto::Sha256Digest VcYesDigest(const crypto::Sha256Digest& vc_block_digest);
+
+/// Digest signed by refresh supporters for server `id` at view v (§4.2.5).
+crypto::Sha256Digest RefreshDigest(types::ReplicaId id, types::View v);
+
+}  // namespace ledger
+}  // namespace prestige
+
+#endif  // PRESTIGE_LEDGER_VC_BLOCK_H_

@@ -1,0 +1,92 @@
+#include "reputation/reputation_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace prestige {
+namespace reputation {
+
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+util::Result<RpResult> ReputationEngine::CalcRp(
+    types::View v_new, types::View v_cur, types::Penalty rp_cur,
+    types::SeqNum ti, types::CompensationIndex ci,
+    const std::vector<types::Penalty>& penalty_set) const {
+  if (v_new <= v_cur) {
+    return util::Status::InvalidArgument(
+        "CalcRP requires v_new > v_cur (got " + std::to_string(v_new) +
+        " <= " + std::to_string(v_cur) + ")");
+  }
+  if (penalty_set.empty()) {
+    return util::Status::InvalidArgument("penalty set P must be non-empty");
+  }
+
+  RpResult result;
+
+  // Step 1 — penalization (Eq. 1): the increase in rp is the increase in
+  // view numbers, so view-skipping campaigners pay proportionally.
+  result.rp_temp = rp_cur + (v_new - v_cur);
+
+  // Step 2a — incremental log responsiveness (Eq. 2).
+  const double ti_clamped = static_cast<double>(std::max<types::SeqNum>(ti, 1));
+  double delta_tx =
+      (ti_clamped - static_cast<double>(ci)) / ti_clamped;
+  delta_tx = std::clamp(delta_tx, 0.0, 1.0);
+  if (!config_.enable_delta_tx) delta_tx = 1.0;
+  result.delta_tx = delta_tx;
+
+  // Step 2b — leadership zealousness (Eq. 3): z-score of the current
+  // penalty within the server's historic penalty set, squashed by Sigmoid.
+  util::OnlineStats stats;
+  for (types::Penalty p : penalty_set) {
+    stats.Add(static_cast<double>(p));
+  }
+  const double sigma = stats.stddev();
+  const double z =
+      sigma > 0.0 ? (static_cast<double>(rp_cur) - stats.mean()) / sigma : 0.0;
+  double delta_vc = 1.0 - Sigmoid(z);
+  if (!config_.enable_delta_vc) delta_vc = 1.0;
+  result.delta_vc = delta_vc;
+
+  // Eq. 4 — the deduction is a fraction of the post-penalization penalty,
+  // so 0 <= delta < rp_temp and rp can never be compensated below zero.
+  result.delta = config_.c_delta * delta_tx * delta_vc *
+                 static_cast<double>(result.rp_temp);
+  result.new_rp = result.rp_temp -
+                  static_cast<types::Penalty>(std::floor(result.delta));
+  result.new_ci = std::max<types::SeqNum>(ti, 1);
+  return result;
+}
+
+util::Result<RpResult> ReputationEngine::CalcRpFromStore(
+    types::View v_new, const ledger::BlockStore& store,
+    types::ReplicaId id) const {
+  const ledger::VcBlock* current = store.LatestVcBlock();
+
+  const types::View v_cur = store.CurrentView();
+  const types::Penalty rp_cur =
+      current != nullptr ? current->PenaltyOf(id) : config_.initial_rp;
+  const types::CompensationIndex ci =
+      current != nullptr ? current->CompensationOf(id) : config_.initial_ci;
+  const types::SeqNum ti = std::max<types::SeqNum>(store.LatestTxSeq(), 1);
+
+  // P: current penalty first (Algorithm 1 line 4), then the penalty stored
+  // in every earlier vcBlock (lines 5-7). Before any view change the chain
+  // is empty and P = {initial_rp}.
+  std::vector<types::Penalty> penalty_set;
+  penalty_set.push_back(rp_cur);
+  if (current != nullptr) {
+    const std::vector<types::Penalty> historic = store.HistoricPenalties(id);
+    // HistoricPenalties walks newest-to-oldest including the current block;
+    // skip the first entry (the current block, already seeded).
+    penalty_set.insert(penalty_set.end(), historic.begin() + 1,
+                       historic.end());
+  }
+
+  return CalcRp(v_new, v_cur, rp_cur, ti, ci, penalty_set);
+}
+
+}  // namespace reputation
+}  // namespace prestige

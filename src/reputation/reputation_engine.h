@@ -1,0 +1,108 @@
+// The reputation engine (paper §3, Algorithm 1 "CalcRP").
+//
+// Converts a server's behaviour history into an integer reputation penalty:
+//
+//   Step 1 (penalization, Eq. 1):
+//       rp_temp = rp(V) + (V' - V)
+//   Step 2 (compensation, Eqs. 2-4):
+//       delta_tx = (ti - ci) / ti                  — incremental log
+//                                                    responsiveness
+//       delta_vc = 1 - Sigmoid((rp(V) - mu_P)/sigma_P)
+//                                                  — leadership zealousness
+//       delta    = C_delta * delta_tx * delta_vc * rp_temp
+//       rp(V')   = rp_temp - floor(delta),   ci' = ti
+//
+// where P is the server's penalty across the current vcBlock and every
+// previous vcBlock (walked to genesis), mu_P / sigma_P are the mean and
+// *population* standard deviation of P, ti is the server's latest committed
+// txBlock sequence number, and ci the compensation index recorded in the
+// current vcBlock. sigma_P = 0 maps to z = 0 (delta_vc = 0.5).
+//
+// The engine is a pure "consultant" (§3 Features): it never writes state;
+// only an elected leader's (rp, ci) enter the next vcBlock (§4.2.4).
+// All numeric examples from Fig. 4c and Appendix C are golden tests.
+
+#ifndef PRESTIGE_REPUTATION_REPUTATION_ENGINE_H_
+#define PRESTIGE_REPUTATION_REPUTATION_ENGINE_H_
+
+#include <vector>
+
+#include "ledger/block_store.h"
+#include "types/ids.h"
+#include "util/result.h"
+
+namespace prestige {
+namespace reputation {
+
+/// Tunables of the reputation mechanism.
+struct ReputationConfig {
+  /// C_delta in Eq. 4: scales the compensation (paper uses 1).
+  double c_delta = 1.0;
+  /// Initial reputation penalty rp(1) (paper uses 1).
+  types::Penalty initial_rp = 1;
+  /// Initial compensation index (paper uses 1).
+  types::CompensationIndex initial_ci = 1;
+  /// Refresh threshold pi (§4.2.5): refresh is permitted once rp exceeds it.
+  types::Penalty refresh_threshold = 8;
+  /// Ablation switch: disable the leadership-zealousness term (delta_vc is
+  /// then pinned to 1, making compensation depend on replication only).
+  bool enable_delta_vc = true;
+  /// Ablation switch: disable the log-responsiveness term (delta_tx pinned
+  /// to 1).
+  bool enable_delta_tx = true;
+};
+
+/// Full CalcRP outcome, including diagnostic intermediates.
+struct RpResult {
+  types::Penalty new_rp = 0;          ///< rp(V') of Eq. 4.
+  types::CompensationIndex new_ci = 0;  ///< ci' = ti.
+  types::Penalty rp_temp = 0;         ///< Eq. 1 intermediate.
+  double delta_tx = 0.0;              ///< Eq. 2.
+  double delta_vc = 0.0;              ///< Eq. 3.
+  double delta = 0.0;                 ///< Eq. 4 deduction before flooring.
+};
+
+/// The reputation "consultant". Stateless between calls.
+class ReputationEngine {
+ public:
+  explicit ReputationEngine(ReputationConfig config = {})
+      : config_(config) {}
+
+  /// Algorithm 1 on explicit inputs.
+  ///
+  /// `v_new` must exceed `v_cur`. `penalty_set` is P: the server's penalty
+  /// in the current vcBlock followed by its penalties in all previous
+  /// vcBlocks (any order — only mean/stddev are used). `ti` is clamped to a
+  /// minimum of 1 (the paper's initial value).
+  util::Result<RpResult> CalcRp(types::View v_new, types::View v_cur,
+                                types::Penalty rp_cur, types::SeqNum ti,
+                                types::CompensationIndex ci,
+                                const std::vector<types::Penalty>&
+                                    penalty_set) const;
+
+  /// Algorithm 1 reading (vcBlock chain, latest txBlock) from `store` for
+  /// server `id` — the form replicas and vote verifiers use (C4).
+  util::Result<RpResult> CalcRpFromStore(types::View v_new,
+                                         const ledger::BlockStore& store,
+                                         types::ReplicaId id) const;
+
+  /// Values installed by a penalty refresh (§4.2.5).
+  types::Penalty initial_rp() const { return config_.initial_rp; }
+  types::CompensationIndex initial_ci() const { return config_.initial_ci; }
+  types::Penalty refresh_threshold() const {
+    return config_.refresh_threshold;
+  }
+
+  const ReputationConfig& config() const { return config_; }
+
+ private:
+  ReputationConfig config_;
+};
+
+/// The logistic function used by Eq. 3.
+double Sigmoid(double z);
+
+}  // namespace reputation
+}  // namespace prestige
+
+#endif  // PRESTIGE_REPUTATION_REPUTATION_ENGINE_H_

@@ -1,0 +1,96 @@
+// Actor: an event-driven node (replica or client pool) in the simulation.
+
+#ifndef PRESTIGE_SIM_ACTOR_H_
+#define PRESTIGE_SIM_ACTOR_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/message.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "util/random.h"
+#include "util/time.h"
+
+namespace prestige {
+namespace sim {
+
+/// Handle to a pending timer; cancellable.
+using TimerId = uint64_t;
+
+/// Base class for simulated processes.
+///
+/// Lifecycle: construct → Simulator::AddActor (binds id) → AttachNetwork →
+/// OnStart at t=0 (scheduled by the harness) → OnMessage / OnTimer callbacks.
+class Actor {
+ public:
+  virtual ~Actor() = default;
+
+  /// Called once when the simulation starts.
+  virtual void OnStart() {}
+
+  /// Called for every delivered network message.
+  virtual void OnMessage(ActorId from, const MessagePtr& msg) = 0;
+
+  /// Called when a timer set via SetTimer fires (and was not cancelled).
+  virtual void OnTimer(uint64_t tag) { (void)tag; }
+
+  /// Wires the simulator; invoked by Simulator::AddActor.
+  void BindSimulator(Simulator* sim, ActorId id) {
+    sim_ = sim;
+    id_ = id;
+    rng_ = sim->rng()->Fork();
+  }
+
+  /// Wires the network fabric; invoked by the harness after AddActor.
+  void AttachNetwork(Network* net) { net_ = net; }
+
+  ActorId id() const { return id_; }
+
+ protected:
+  util::TimeMicros Now() const { return sim_->Now(); }
+  util::Rng* rng() { return &rng_; }
+  Simulator* simulator() { return sim_; }
+  Network* network() { return net_; }
+
+  /// Sends `msg` to a single actor.
+  void Send(ActorId to, MessagePtr msg) { net_->Send(id_, to, msg); }
+
+  /// Sends `msg` to every actor in `targets` (may include self).
+  void Send(const std::vector<ActorId>& targets, MessagePtr msg) {
+    net_->Send(id_, targets, msg);
+  }
+
+  /// Arms a one-shot timer after `delay`; OnTimer(tag) fires unless the
+  /// timer is cancelled first.
+  TimerId SetTimer(util::DurationMicros delay, uint64_t tag) {
+    const TimerId timer = next_timer_id_++;
+    live_timers_.insert(timer);
+    sim_->ScheduleAfter(delay, [this, timer, tag]() {
+      if (live_timers_.erase(timer) > 0) {
+        OnTimer(tag);
+      }
+    });
+    return timer;
+  }
+
+  /// Cancels a pending timer; firing is suppressed if it has not fired yet.
+  void CancelTimer(TimerId timer) { live_timers_.erase(timer); }
+
+  /// Cancels all pending timers of this actor.
+  void CancelAllTimers() { live_timers_.clear(); }
+
+ private:
+  Simulator* sim_ = nullptr;
+  Network* net_ = nullptr;
+  ActorId id_ = 0;
+  util::Rng rng_{0};
+  TimerId next_timer_id_ = 1;
+  std::unordered_set<TimerId> live_timers_;
+};
+
+}  // namespace sim
+}  // namespace prestige
+
+#endif  // PRESTIGE_SIM_ACTOR_H_

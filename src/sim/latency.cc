@@ -1,0 +1,38 @@
+#include "sim/latency.h"
+
+#include <algorithm>
+
+namespace prestige {
+namespace sim {
+
+util::DurationMicros LatencyModel::Sample(util::Rng* rng) const {
+  double ms = 0.0;
+  switch (kind_) {
+    case Kind::kFixed:
+      ms = a_ms_;
+      break;
+    case Kind::kUniform:
+      ms = a_ms_ + (b_ms_ - a_ms_) * rng->NextDouble();
+      break;
+    case Kind::kNormal:
+      ms = rng->NextNormal(a_ms_, b_ms_);
+      break;
+  }
+  ms = std::max(ms, floor_ms_);
+  return static_cast<util::DurationMicros>(ms * 1000.0);
+}
+
+double LatencyModel::MeanMs() const {
+  switch (kind_) {
+    case Kind::kFixed:
+      return a_ms_;
+    case Kind::kUniform:
+      return (a_ms_ + b_ms_) / 2.0;
+    case Kind::kNormal:
+      return std::max(a_ms_, floor_ms_);
+  }
+  return a_ms_;
+}
+
+}  // namespace sim
+}  // namespace prestige

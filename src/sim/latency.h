@@ -1,0 +1,63 @@
+// One-way link latency models.
+//
+// The paper's testbed has a raw inter-VM latency under 2 ms and emulates
+// extra delay with netem as Normal(10 ms, 5 ms) (§6.1). Both are expressible
+// here; samples are clamped to a floor so netem's normal tail cannot go
+// negative.
+
+#ifndef PRESTIGE_SIM_LATENCY_H_
+#define PRESTIGE_SIM_LATENCY_H_
+
+#include "util/random.h"
+#include "util/time.h"
+
+namespace prestige {
+namespace sim {
+
+/// A sampled one-way propagation delay distribution.
+class LatencyModel {
+ public:
+  /// Constant delay.
+  static LatencyModel Fixed(double ms) {
+    return LatencyModel(Kind::kFixed, ms, 0.0, ms);
+  }
+
+  /// Uniform in [lo_ms, hi_ms].
+  static LatencyModel Uniform(double lo_ms, double hi_ms) {
+    return LatencyModel(Kind::kUniform, lo_ms, hi_ms, lo_ms);
+  }
+
+  /// Normal(mu_ms, sigma_ms) clamped below at `floor_ms` — the netem shape.
+  static LatencyModel Normal(double mu_ms, double sigma_ms,
+                             double floor_ms = 0.1) {
+    return LatencyModel(Kind::kNormal, mu_ms, sigma_ms, floor_ms);
+  }
+
+  /// The paper's raw-datacenter profile: <2 ms one-way, mildly variable.
+  static LatencyModel Datacenter() { return Uniform(0.8, 1.6); }
+
+  /// The paper's netem profile stacked on the raw latency: d = 10 +- 5 ms.
+  static LatencyModel NetemEmulated() { return Normal(11.2, 5.0, 0.8); }
+
+  /// One sampled one-way delay in virtual microseconds (>= floor).
+  util::DurationMicros Sample(util::Rng* rng) const;
+
+  /// Mean one-way delay in milliseconds (for reporting).
+  double MeanMs() const;
+
+ private:
+  enum class Kind { kFixed, kUniform, kNormal };
+
+  LatencyModel(Kind kind, double a_ms, double b_ms, double floor_ms)
+      : kind_(kind), a_ms_(a_ms), b_ms_(b_ms), floor_ms_(floor_ms) {}
+
+  Kind kind_;
+  double a_ms_;
+  double b_ms_;
+  double floor_ms_;
+};
+
+}  // namespace sim
+}  // namespace prestige
+
+#endif  // PRESTIGE_SIM_LATENCY_H_

@@ -1,0 +1,124 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+#include "sim/actor.h"
+
+namespace prestige {
+namespace sim {
+
+util::DurationMicros CostModel::ProcessingCost(const NetMessage& msg) const {
+  const double us = proc_base_us * msg.CostUnits() +
+                    proc_per_byte_us * static_cast<double>(msg.WireSize()) +
+                    verify_sig_us * msg.NumSigVerifies();
+  return std::max<util::DurationMicros>(
+      1, static_cast<util::DurationMicros>(us));
+}
+
+util::DurationMicros CostModel::SerializationCost(const NetMessage& msg) const {
+  const double us =
+      static_cast<double>(msg.WireSize()) / bandwidth_bytes_per_us;
+  return std::max<util::DurationMicros>(
+      1, static_cast<util::DurationMicros>(us));
+}
+
+Network::Network(Simulator* sim, LatencyModel latency, CostModel cost)
+    : sim_(sim), latency_(latency), cost_(cost), rng_(sim->rng()->Fork()) {}
+
+util::TimeMicros& Network::EgressFree(ActorId id) {
+  if (egress_free_.size() <= id) egress_free_.resize(id + 1, 0);
+  return egress_free_[id];
+}
+
+util::TimeMicros& Network::CpuFree(ActorId id) {
+  if (cpu_free_.size() <= id) cpu_free_.resize(id + 1, 0);
+  return cpu_free_[id];
+}
+
+void Network::Send(ActorId from, ActorId to, MessagePtr msg) {
+  ++stats_.messages_sent;
+  if (down_nodes_.count(from) || down_nodes_.count(to)) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  if (down_links_.count({from, to})) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  if (drop_probability_ > 0.0 && from != to &&
+      rng_.NextBool(drop_probability_)) {
+    ++stats_.messages_dropped;
+    return;
+  }
+
+  const util::TimeMicros now = sim_->Now();
+
+  if (from == to) {
+    // Local hand-off: no egress or propagation, constant small cost.
+    const util::TimeMicros arrival =
+        now + static_cast<util::DurationMicros>(cost_.self_deliver_us);
+    Deliver(from, to, msg, arrival);
+    return;
+  }
+
+  stats_.bytes_sent += msg->WireSize();
+
+  // Egress serialization: the sender's NIC transmits one message at a time.
+  util::TimeMicros& egress = EgressFree(from);
+  const util::TimeMicros tx_start = std::max(now, egress);
+  const util::TimeMicros tx_done = tx_start + cost_.SerializationCost(*msg);
+  egress = tx_done;
+
+  const util::TimeMicros arrival = tx_done + latency_.Sample(&rng_);
+  Deliver(from, to, msg, arrival);
+}
+
+void Network::Send(ActorId from, const std::vector<ActorId>& targets,
+                   MessagePtr msg) {
+  for (ActorId to : targets) {
+    Send(from, to, msg);
+  }
+}
+
+void Network::Deliver(ActorId from, ActorId to, const MessagePtr& msg,
+                      util::TimeMicros arrival) {
+  // Receiver CPU is claimed at arrival time, not send time, so the FIFO
+  // backlog reflects every message that arrived earlier.
+  sim_->ScheduleAt(arrival, [this, from, to, msg]() {
+    if (down_nodes_.count(to)) {
+      ++stats_.messages_dropped;
+      return;
+    }
+    util::TimeMicros& cpu = CpuFree(to);
+    const util::TimeMicros start = std::max(sim_->Now(), cpu);
+    const util::TimeMicros done = start + cost_.ProcessingCost(*msg);
+    cpu = done;
+    sim_->ScheduleAt(done, [this, from, to, msg]() {
+      if (down_nodes_.count(to)) {
+        ++stats_.messages_dropped;
+        return;
+      }
+      ++stats_.messages_delivered;
+      sim_->actor(to)->OnMessage(from, msg);
+    });
+  });
+}
+
+void Network::SetNodeDown(ActorId id, bool down) {
+  if (down) {
+    down_nodes_.insert(id);
+  } else {
+    down_nodes_.erase(id);
+  }
+}
+
+void Network::SetLinkDown(ActorId from, ActorId to, bool down) {
+  if (down) {
+    down_links_.insert({from, to});
+  } else {
+    down_links_.erase({from, to});
+  }
+}
+
+}  // namespace sim
+}  // namespace prestige

@@ -1,0 +1,107 @@
+// Simulated network with bandwidth serialization and a receiver CPU model.
+//
+// Models the resources that dominate BFT throughput in the paper's regime:
+//  * sender egress — messages serialize at NIC bandwidth (400 MB/s in the
+//    paper), which is what makes the leader's O(n) broadcast the bottleneck;
+//  * propagation — per-message latency sampled from a LatencyModel;
+//  * receiver CPU — a single-server FIFO queue with a per-message service
+//    time (base + per-byte + per-signature-verification), which is what
+//    caps transactions/second and produces Fig. 6's saturation elbow.
+//
+// Fault hooks: node down (crash), directed link cuts (partitions), and i.i.d.
+// message drops.
+
+#ifndef PRESTIGE_SIM_NETWORK_H_
+#define PRESTIGE_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "sim/latency.h"
+#include "sim/message.h"
+#include "sim/simulator.h"
+#include "util/random.h"
+
+namespace prestige {
+namespace sim {
+
+/// Resource cost constants. Defaults are calibrated so the n=4 peak lands in
+/// the paper's ballpark (§6.1); see DESIGN.md §4 and bench/fig06.
+struct CostModel {
+  /// NIC throughput. 400 MB/s = 400 bytes per microsecond (paper's iperf).
+  double bandwidth_bytes_per_us = 400.0;
+  /// Fixed CPU cost to handle one protocol unit (syscall + dispatch + hash).
+  double proc_base_us = 4.0;
+  /// CPU cost per payload byte (deserialize + digest).
+  double proc_per_byte_us = 0.002;
+  /// CPU cost per signature / QC verification performed by the receiver.
+  double verify_sig_us = 18.0;
+  /// Fixed cost to hand a self-addressed message to the local handler.
+  double self_deliver_us = 1.0;
+
+  /// Service time for one received message.
+  util::DurationMicros ProcessingCost(const NetMessage& msg) const;
+  /// Wire occupancy time for one sent message.
+  util::DurationMicros SerializationCost(const NetMessage& msg) const;
+};
+
+/// Counters accumulated over a run.
+struct NetworkStats {
+  uint64_t messages_sent = 0;
+  uint64_t messages_delivered = 0;
+  uint64_t messages_dropped = 0;
+  uint64_t bytes_sent = 0;
+};
+
+/// Message fabric connecting all actors of one simulation.
+class Network {
+ public:
+  Network(Simulator* sim, LatencyModel latency, CostModel cost);
+
+  /// Queues `msg` from `from` to `to`. Self-sends bypass egress/propagation
+  /// but still pay a small local-delivery cost.
+  void Send(ActorId from, ActorId to, MessagePtr msg);
+
+  /// Sends one copy of `msg` to every id in `targets` (egress serializes the
+  /// copies back-to-back, which is the leader's O(n) fan-out cost).
+  void Send(ActorId from, const std::vector<ActorId>& targets, MessagePtr msg);
+
+  /// Crash/recover a node: a down node neither sends nor receives.
+  void SetNodeDown(ActorId id, bool down);
+  bool IsNodeDown(ActorId id) const { return down_nodes_.count(id) > 0; }
+
+  /// Cuts / restores the directed link from `from` to `to`.
+  void SetLinkDown(ActorId from, ActorId to, bool down);
+
+  /// Probability that any individual message is silently lost.
+  void SetDropProbability(double p) { drop_probability_ = p; }
+
+  /// Replaces the latency model mid-run (e.g. enabling netem delay).
+  void SetLatencyModel(LatencyModel latency) { latency_ = latency; }
+
+  const NetworkStats& stats() const { return stats_; }
+  const CostModel& cost_model() const { return cost_; }
+
+ private:
+  void Deliver(ActorId from, ActorId to, const MessagePtr& msg,
+               util::TimeMicros arrival);
+  util::TimeMicros& EgressFree(ActorId id);
+  util::TimeMicros& CpuFree(ActorId id);
+
+  Simulator* sim_;
+  LatencyModel latency_;
+  CostModel cost_;
+  util::Rng rng_;
+  double drop_probability_ = 0.0;
+  std::set<ActorId> down_nodes_;
+  std::set<std::pair<ActorId, ActorId>> down_links_;
+  std::vector<util::TimeMicros> egress_free_;
+  std::vector<util::TimeMicros> cpu_free_;
+  NetworkStats stats_;
+};
+
+}  // namespace sim
+}  // namespace prestige
+
+#endif  // PRESTIGE_SIM_NETWORK_H_

@@ -1,0 +1,43 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+
+#include "sim/actor.h"
+
+namespace prestige {
+namespace sim {
+
+void Simulator::ScheduleAt(util::TimeMicros at, std::function<void()> fn) {
+  if (at < now_) at = now_;
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+ActorId Simulator::AddActor(Actor* actor) {
+  const ActorId id = static_cast<ActorId>(actors_.size());
+  actors_.push_back(actor);
+  actor->BindSimulator(this, id);
+  return id;
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; moving the closure out requires a copy of
+  // the wrapper. Events are small (a std::function), so copy then pop.
+  Event ev = queue_.top();
+  queue_.pop();
+  assert(ev.time >= now_);
+  now_ = ev.time;
+  ++events_executed_;
+  ev.fn();
+  return true;
+}
+
+void Simulator::RunUntil(util::TimeMicros until) {
+  while (!queue_.empty() && queue_.top().time <= until) {
+    Step();
+  }
+  if (now_ < until) now_ = until;
+}
+
+}  // namespace sim
+}  // namespace prestige

@@ -1,0 +1,88 @@
+// Deterministic discrete-event simulator.
+//
+// The substitution for the paper's cloud testbed (DESIGN.md §4): replicas and
+// client pools are Actors driven by a virtual clock. Event ordering is total
+// (time, insertion sequence), so a run is exactly reproducible from its seed.
+
+#ifndef PRESTIGE_SIM_SIMULATOR_H_
+#define PRESTIGE_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/random.h"
+#include "util/time.h"
+
+namespace prestige {
+namespace sim {
+
+class Actor;
+
+/// Index of an actor within one simulation.
+using ActorId = uint32_t;
+
+/// The event loop: a priority queue of (time, seq, closure).
+class Simulator {
+ public:
+  explicit Simulator(uint64_t seed) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  util::TimeMicros Now() const { return now_; }
+
+  /// Schedules `fn` at absolute virtual time `at` (clamped to now).
+  void ScheduleAt(util::TimeMicros at, std::function<void()> fn);
+
+  /// Schedules `fn` after `delay` microseconds.
+  void ScheduleAfter(util::DurationMicros delay, std::function<void()> fn) {
+    ScheduleAt(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  /// Registers an actor (non-owning) and wires its id. Actors must outlive
+  /// the simulation.
+  ActorId AddActor(Actor* actor);
+
+  Actor* actor(ActorId id) { return actors_[id]; }
+  size_t num_actors() const { return actors_.size(); }
+
+  /// Runs events until the queue empties or virtual time reaches `until`.
+  void RunUntil(util::TimeMicros until);
+
+  /// Executes the single next event. Returns false if the queue is empty.
+  bool Step();
+
+  /// Root RNG; components fork their own streams from it.
+  util::Rng* rng() { return &rng_; }
+
+  /// Total events executed (progress / performance accounting).
+  uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  struct Event {
+    util::TimeMicros time;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  util::TimeMicros now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::vector<Actor*> actors_;
+  util::Rng rng_;
+};
+
+}  // namespace sim
+}  // namespace prestige
+
+#endif  // PRESTIGE_SIM_SIMULATOR_H_

@@ -1,0 +1,62 @@
+// Client <-> replica messages shared by every protocol implementation
+// (PrestigeBFT and all baselines), so one ClientPool drives them all.
+
+#ifndef PRESTIGE_TYPES_CLIENT_MESSAGES_H_
+#define PRESTIGE_TYPES_CLIENT_MESSAGES_H_
+
+#include <vector>
+
+#include "sim/message.h"
+#include "types/ids.h"
+#include "types/transaction.h"
+
+namespace prestige {
+namespace types {
+
+/// A group of independent client proposals broadcast to all replicas.
+///
+/// Each entry is a separate Prop in the paper; aggregation is a simulation
+/// device (one event per g proposals) — the cost model still charges the
+/// replica g base processing units and the full payload bytes.
+struct ClientBatch : public sim::NetMessage {
+  std::vector<Transaction> txs;
+
+  size_t WireSize() const override {
+    size_t total = 0;
+    for (const Transaction& tx : txs) total += tx.WireBytes();
+    return total;
+  }
+  int CostUnits() const override { return static_cast<int>(txs.size()); }
+  const char* Name() const override { return "ClientBatch"; }
+};
+
+/// Commit notification (the paper's Notif): a replica tells clients that the
+/// block at sequence `n` committed, covering the listed transactions.
+///
+/// A client considers a request committed once f+1 distinct replicas have
+/// notified it (§4.3).
+struct CommitNotif : public sim::NetMessage {
+  ReplicaId replica = 0;
+  View v = 0;
+  SeqNum n = 0;
+  /// (pool, client_seq, sent_at) triples of committed transactions belonging
+  /// to the destination pool.
+  std::vector<Transaction> txs;
+
+  size_t WireSize() const override { return 80 + txs.size() * 20; }
+  const char* Name() const override { return "CommitNotif"; }
+};
+
+/// Client complaint (the paper's Compt): broadcast when a request misses its
+/// deadline; carries the original proposal.
+struct ClientComplaint : public sim::NetMessage {
+  Transaction tx;
+
+  size_t WireSize() const override { return tx.WireBytes() + 80; }
+  const char* Name() const override { return "ClientComplaint"; }
+};
+
+}  // namespace types
+}  // namespace prestige
+
+#endif  // PRESTIGE_TYPES_CLIENT_MESSAGES_H_

@@ -1,0 +1,66 @@
+// Canonical byte encoding for digest / signature computation.
+//
+// Every signed or hashed protocol structure is serialized through Encoder
+// with a leading domain-separation tag, so digests of different message
+// kinds can never collide.
+
+#ifndef PRESTIGE_TYPES_CODEC_H_
+#define PRESTIGE_TYPES_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.h"
+
+namespace prestige {
+namespace types {
+
+/// Append-only canonical encoder (little-endian fixed-width integers).
+class Encoder {
+ public:
+  /// Starts an encoding with a domain-separation tag.
+  explicit Encoder(const char* domain_tag) { PutString(domain_tag); }
+  Encoder() = default;
+
+  Encoder& PutU8(uint8_t v) {
+    buf_.push_back(v);
+    return *this;
+  }
+  Encoder& PutU32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<uint8_t>(v >> (i * 8)));
+    return *this;
+  }
+  Encoder& PutU64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<uint8_t>(v >> (i * 8)));
+    return *this;
+  }
+  Encoder& PutI64(int64_t v) { return PutU64(static_cast<uint64_t>(v)); }
+  Encoder& PutDigest(const crypto::Sha256Digest& d) {
+    buf_.insert(buf_.end(), d.begin(), d.end());
+    return *this;
+  }
+  Encoder& PutBytes(const std::vector<uint8_t>& b) {
+    PutU64(b.size());
+    buf_.insert(buf_.end(), b.begin(), b.end());
+    return *this;
+  }
+  Encoder& PutString(const std::string& s) {
+    PutU64(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+    return *this;
+  }
+
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+
+  /// SHA-256 of everything encoded so far.
+  crypto::Sha256Digest Digest() const { return crypto::Sha256::Hash(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+}  // namespace types
+}  // namespace prestige
+
+#endif  // PRESTIGE_TYPES_CODEC_H_

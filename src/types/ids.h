@@ -1,0 +1,41 @@
+// Strong-ish identifier aliases shared across protocols.
+
+#ifndef PRESTIGE_TYPES_IDS_H_
+#define PRESTIGE_TYPES_IDS_H_
+
+#include <cstdint>
+
+namespace prestige {
+namespace types {
+
+/// Replica index in [0, n). Also the crypto SignerId of that replica.
+using ReplicaId = uint32_t;
+
+/// Client-pool index; the harness offsets pools above replicas in the crypto
+/// signer id space.
+using ClientPoolId = uint32_t;
+
+/// Monotonically increasing view number. Views start at 1 (paper §3 Init).
+using View = int64_t;
+
+/// txBlock sequence number. Block indices start at 1.
+using SeqNum = int64_t;
+
+/// Reputation penalty (rp) and compensation index (ci) are integers (§3).
+using Penalty = int64_t;
+using CompensationIndex = int64_t;
+
+/// Number of tolerated Byzantine faults for a cluster of n replicas:
+/// f = floor((n - 1) / 3).
+constexpr uint32_t MaxFaulty(uint32_t n) { return (n - 1) / 3; }
+
+/// Quorum size 2f + 1 for a cluster of n replicas.
+constexpr uint32_t QuorumSize(uint32_t n) { return 2 * MaxFaulty(n) + 1; }
+
+/// Fault-confirmation threshold f + 1.
+constexpr uint32_t ConfirmSize(uint32_t n) { return MaxFaulty(n) + 1; }
+
+}  // namespace types
+}  // namespace prestige
+
+#endif  // PRESTIGE_TYPES_IDS_H_

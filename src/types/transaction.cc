@@ -1,0 +1,16 @@
+#include "types/transaction.h"
+
+namespace prestige {
+namespace types {
+
+crypto::Sha256Digest BatchDigest(const std::vector<Transaction>& txs) {
+  Encoder enc("batch");
+  enc.PutU64(txs.size());
+  for (const Transaction& tx : txs) {
+    enc.PutDigest(tx.Digest());
+  }
+  return enc.Digest();
+}
+
+}  // namespace types
+}  // namespace prestige

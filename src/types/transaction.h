@@ -1,0 +1,56 @@
+// Client transactions as carried through consensus.
+//
+// The simulator does not materialize payload bytes: a Transaction records its
+// origin, timing, size, and a payload fingerprint. Sizes feed the bandwidth
+// model; fingerprints feed digests so equivocation is detectable.
+
+#ifndef PRESTIGE_TYPES_TRANSACTION_H_
+#define PRESTIGE_TYPES_TRANSACTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "types/codec.h"
+#include "types/ids.h"
+#include "util/time.h"
+
+namespace prestige {
+namespace types {
+
+/// One client request (the paper's ⟨Prop, t, d, c, σc, tx⟩ without the
+/// physical payload).
+struct Transaction {
+  ClientPoolId pool = 0;          ///< Originating client pool.
+  uint64_t client_seq = 0;        ///< Unique per-pool request number.
+  util::TimeMicros sent_at = 0;   ///< The client timestamp t.
+  uint32_t payload_size = 32;     ///< m: request payload bytes.
+  uint64_t fingerprint = 0;       ///< Stand-in for the payload content.
+
+  bool operator==(const Transaction& other) const {
+    return pool == other.pool && client_seq == other.client_seq &&
+           sent_at == other.sent_at && payload_size == other.payload_size &&
+           fingerprint == other.fingerprint;
+  }
+
+  /// Canonical digest d of the request.
+  crypto::Sha256Digest Digest() const {
+    Encoder enc("tx");
+    enc.PutU32(pool)
+        .PutU64(client_seq)
+        .PutI64(sent_at)
+        .PutU32(payload_size)
+        .PutU64(fingerprint);
+    return enc.Digest();
+  }
+
+  /// Wire bytes of the full proposal (payload + header + client signature).
+  size_t WireBytes() const { return payload_size + 72; }
+};
+
+/// Digest covering an ordered list of transactions (a batch body).
+crypto::Sha256Digest BatchDigest(const std::vector<Transaction>& txs);
+
+}  // namespace types
+}  // namespace prestige
+
+#endif  // PRESTIGE_TYPES_TRANSACTION_H_

@@ -1,0 +1,26 @@
+// Hex encoding/decoding for digests and test vectors.
+
+#ifndef PRESTIGE_UTIL_HEX_H_
+#define PRESTIGE_UTIL_HEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace prestige {
+namespace util {
+
+/// Lower-case hex encoding of a byte buffer.
+std::string HexEncode(const uint8_t* data, size_t len);
+std::string HexEncode(const std::vector<uint8_t>& data);
+
+/// Decodes a hex string (case-insensitive). Fails on odd length or
+/// non-hex characters.
+Result<std::vector<uint8_t>> HexDecode(const std::string& hex);
+
+}  // namespace util
+}  // namespace prestige
+
+#endif  // PRESTIGE_UTIL_HEX_H_

@@ -1,0 +1,67 @@
+// Minimal leveled logging.
+//
+// The simulator injects the virtual timestamp; experiments default to
+// kWarning so multi-thousand-view runs stay quiet.
+
+#ifndef PRESTIGE_UTIL_LOGGING_H_
+#define PRESTIGE_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace prestige {
+namespace util {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarning = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits one formatted line to stderr. Prefer the PRESTIGE_LOG macro.
+void LogMessage(LogLevel level, const std::string& message);
+
+/// True if `level` would currently be emitted.
+bool LogEnabled(LogLevel level);
+
+}  // namespace util
+}  // namespace prestige
+
+/// Streams a log line: PRESTIGE_LOG(kInfo) << "view " << v;
+#define PRESTIGE_LOG(level)                                              \
+  if (!::prestige::util::LogEnabled(::prestige::util::LogLevel::level)) \
+    ;                                                                    \
+  else                                                                   \
+    ::prestige::util::LogStream(::prestige::util::LogLevel::level)
+
+namespace prestige {
+namespace util {
+
+/// RAII helper that flushes its accumulated stream on destruction.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogMessage(level_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace util
+}  // namespace prestige
+
+#endif  // PRESTIGE_UTIL_LOGGING_H_

@@ -1,0 +1,129 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the system (network latency sampling,
+// timeout randomization, PoW iteration counts, client behaviour) owns an Rng
+// seeded from a single experiment seed, making every run reproducible.
+
+#ifndef PRESTIGE_UTIL_RANDOM_H_
+#define PRESTIGE_UTIL_RANDOM_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace prestige {
+namespace util {
+
+/// xoshiro256** PRNG (Blackman & Vigna) seeded via SplitMix64.
+///
+/// Fast, high-quality, and — unlike std::mt19937 distributions — fully
+/// specified here, so sampled values are identical across standard libraries.
+class Rng {
+ public:
+  /// Seeds the four lanes of state from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  /// Re-seeds the generator deterministically.
+  void Seed(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& lane : state_) {
+      lane = SplitMix64(&x);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound). `bound` must be positive.
+  uint64_t NextBounded(uint64_t bound) {
+    assert(bound > 0);
+    // Lemire's nearly-divisionless bounded sampling (biased tail negligible
+    // for the bounds used here; determinism is what matters).
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(NextUint64()) * bound;
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(NextBounded(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Normal sample via Box-Muller (mean `mu`, stddev `sigma`).
+  double NextNormal(double mu, double sigma) {
+    // Avoid log(0).
+    double u1 = NextDouble();
+    if (u1 <= 0.0) u1 = std::numeric_limits<double>::min();
+    const double u2 = NextDouble();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    return mu + sigma * mag * std::cos(2.0 * M_PI * u2);
+  }
+
+  /// Exponential sample with mean `mean`.
+  double NextExponential(double mean) {
+    double u = NextDouble();
+    if (u <= 0.0) u = std::numeric_limits<double>::min();
+    return -mean * std::log(u);
+  }
+
+  /// Number of Bernoulli(p) trials up to and including the first success.
+  ///
+  /// Sampled in closed form (inverse CDF), so it works for astronomically
+  /// small p (e.g. PoW difficulty 2^-64) without iterating. Result is
+  /// clamped to [1, 2^62] to stay within integral virtual time.
+  double NextGeometricTrials(double p) {
+    assert(p > 0.0 && p <= 1.0);
+    if (p >= 1.0) return 1.0;
+    double u = NextDouble();
+    if (u <= 0.0) u = std::numeric_limits<double>::min();
+    const double trials = std::ceil(std::log(u) / std::log1p(-p));
+    const double kMax = 4.6116860184273879e18;  // 2^62
+    if (trials < 1.0) return 1.0;
+    if (trials > kMax) return kMax;
+    return trials;
+  }
+
+  /// Derives an independent child generator; used to give each component
+  /// (per replica, per link, per client) its own stream.
+  Rng Fork() { return Rng(NextUint64() ^ 0x9e3779b97f4a7c15ULL); }
+
+ private:
+  static uint64_t SplitMix64(uint64_t* x) {
+    uint64_t z = (*x += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace util
+}  // namespace prestige
+
+#endif  // PRESTIGE_UTIL_RANDOM_H_

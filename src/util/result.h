@@ -1,0 +1,74 @@
+// Result<T>: value-or-Status, the return type for fallible producers.
+
+#ifndef PRESTIGE_UTIL_RESULT_H_
+#define PRESTIGE_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace prestige {
+namespace util {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value could not be produced (Arrow's arrow::Result idiom).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error Status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// The wrapped status: OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Accessors require ok(); enforced by assertion.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if present, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present.
+};
+
+}  // namespace util
+}  // namespace prestige
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define PRESTIGE_ASSIGN_OR_RETURN(lhs, expr)     \
+  auto _res_##__LINE__ = (expr);                 \
+  if (!_res_##__LINE__.ok()) {                   \
+    return _res_##__LINE__.status();             \
+  }                                              \
+  lhs = std::move(_res_##__LINE__).value()
+
+#endif  // PRESTIGE_UTIL_RESULT_H_

@@ -1,0 +1,150 @@
+// Streaming statistics used by the experiment harness and reputation engine.
+
+#ifndef PRESTIGE_UTIL_STATS_H_
+#define PRESTIGE_UTIL_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/time.h"
+
+namespace prestige {
+namespace util {
+
+/// Online mean / population standard deviation (Welford's algorithm).
+///
+/// The reputation mechanism's Eq. 3 uses the *population* stddev of the
+/// penalty set P (validated against the paper's numeric examples).
+class OnlineStats {
+ public:
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+
+  /// Population variance (divides by N, not N-1).
+  double variance() const {
+    return count_ > 0 ? m2_ / static_cast<double>(count_) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  void Reset() {
+    count_ = 0;
+    mean_ = 0.0;
+    m2_ = 0.0;
+  }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Collects raw samples and answers percentile queries. Used for client
+/// latency reporting (the paper reports mean/steady-state latencies).
+class Histogram {
+ public:
+  void Add(double v) {
+    samples_.push_back(v);
+    sorted_ = false;
+  }
+
+  size_t count() const { return samples_.size(); }
+
+  double Mean() const {
+    if (samples_.empty()) return 0.0;
+    double sum = 0.0;
+    for (double v : samples_) sum += v;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  double Min() const {
+    if (samples_.empty()) return 0.0;
+    return *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  double Max() const {
+    if (samples_.empty()) return 0.0;
+    return *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  /// Percentile in [0, 100] by nearest-rank on the sorted sample set.
+  double Percentile(double p) {
+    if (samples_.empty()) return 0.0;
+    EnsureSorted();
+    const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  }
+
+  void Reset() {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+ private:
+  void EnsureSorted() {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+/// Buckets event counts into fixed-width windows of virtual time.
+///
+/// Used for the availability / throughput-recovery timelines (Figs. 11, 14):
+/// each commit increments the window covering its commit time.
+class WindowedCounter {
+ public:
+  explicit WindowedCounter(DurationMicros window) : window_(window) {}
+
+  void Add(TimeMicros t, int64_t count = 1) {
+    const size_t idx = static_cast<size_t>(t / window_);
+    if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
+    buckets_[idx] += count;
+  }
+
+  DurationMicros window() const { return window_; }
+  const std::vector<int64_t>& buckets() const { return buckets_; }
+
+  int64_t Total() const {
+    int64_t sum = 0;
+    for (int64_t b : buckets_) sum += b;
+    return sum;
+  }
+
+  /// Fraction of windows in [0, horizon) with at least `threshold` events —
+  /// the availability metric of Fig. 14.
+  double AvailableFraction(TimeMicros horizon, int64_t threshold = 1) const {
+    const size_t n = static_cast<size_t>(horizon / window_);
+    if (n == 0) return 0.0;
+    size_t live = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const int64_t v = i < buckets_.size() ? buckets_[i] : 0;
+      if (v >= threshold) ++live;
+    }
+    return static_cast<double>(live) / static_cast<double>(n);
+  }
+
+ private:
+  DurationMicros window_;
+  std::vector<int64_t> buckets_;
+};
+
+}  // namespace util
+}  // namespace prestige
+
+#endif  // PRESTIGE_UTIL_STATS_H_

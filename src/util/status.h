@@ -1,0 +1,124 @@
+// Status: lightweight error propagation for fallible library paths.
+//
+// Modeled on the RocksDB/Arrow Status idiom: functions that can fail return a
+// Status (or util::Result<T>) instead of throwing. Internal invariant
+// violations use assertions, not Status.
+
+#ifndef PRESTIGE_UTIL_STATUS_H_
+#define PRESTIGE_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace prestige {
+namespace util {
+
+/// Error taxonomy for the PrestigeBFT library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,    ///< Caller passed a malformed value.
+  kNotFound,           ///< Lookup target does not exist.
+  kAlreadyExists,      ///< Insert target already present.
+  kCorruption,         ///< Persistent/ledger structure failed validation.
+  kInvalidSignature,   ///< A signature or quorum certificate failed to verify.
+  kStaleView,          ///< Message belongs to a lower view than ours.
+  kInvalidProtocol,    ///< Message violates the protocol state machine.
+  kTimedOut,           ///< Operation exceeded its deadline.
+  kAborted,            ///< Operation was cancelled (e.g. higher view seen).
+  kUnavailable,        ///< Transient inability to serve (e.g. not leader).
+  kInternal,           ///< Bug or unclassified failure.
+};
+
+/// Returns a human-readable name for a status code ("Ok", "Corruption", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of a fallible operation: a code plus an optional detail message.
+///
+/// Cheap to copy in the OK case (no allocation). Use the factory functions
+/// (`Status::OK()`, `Status::InvalidArgument("...")`, ...) to construct.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status InvalidSignature(std::string msg) {
+    return Status(StatusCode::kInvalidSignature, std::move(msg));
+  }
+  static Status StaleView(std::string msg) {
+    return Status(StatusCode::kStaleView, std::move(msg));
+  }
+  static Status InvalidProtocol(std::string msg) {
+    return Status(StatusCode::kInvalidProtocol, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsInvalidSignature() const {
+    return code_ == StatusCode::kInvalidSignature;
+  }
+  bool IsStaleView() const { return code_ == StatusCode::kStaleView; }
+  bool IsInvalidProtocol() const {
+    return code_ == StatusCode::kInvalidProtocol;
+  }
+  bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+  bool operator!=(const Status& other) const { return code_ != other.code_; }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace util
+}  // namespace prestige
+
+/// Propagates a non-OK Status to the caller (RocksDB-style early return).
+#define PRESTIGE_RETURN_IF_ERROR(expr)                \
+  do {                                                \
+    ::prestige::util::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                        \
+  } while (0)
+
+#endif  // PRESTIGE_UTIL_STATUS_H_

@@ -1,0 +1,42 @@
+// Virtual-time types shared by the simulator and the protocols.
+//
+// All simulation time is expressed as integral microseconds so that event
+// ordering is exact and runs are bit-for-bit reproducible.
+
+#ifndef PRESTIGE_UTIL_TIME_H_
+#define PRESTIGE_UTIL_TIME_H_
+
+#include <cstdint>
+
+namespace prestige {
+namespace util {
+
+/// Microseconds of virtual time since the start of a simulation.
+using TimeMicros = int64_t;
+
+/// A span of virtual time, in microseconds.
+using DurationMicros = int64_t;
+
+constexpr DurationMicros kMicrosPerMilli = 1000;
+constexpr DurationMicros kMicrosPerSecond = 1000 * 1000;
+
+/// Converts milliseconds to microseconds.
+constexpr DurationMicros Millis(int64_t ms) { return ms * kMicrosPerMilli; }
+
+/// Converts seconds to microseconds.
+constexpr DurationMicros Seconds(int64_t s) { return s * kMicrosPerSecond; }
+
+/// Converts microseconds to fractional milliseconds.
+constexpr double ToMillis(DurationMicros us) {
+  return static_cast<double>(us) / static_cast<double>(kMicrosPerMilli);
+}
+
+/// Converts microseconds to fractional seconds.
+constexpr double ToSeconds(DurationMicros us) {
+  return static_cast<double>(us) / static_cast<double>(kMicrosPerSecond);
+}
+
+}  // namespace util
+}  // namespace prestige
+
+#endif  // PRESTIGE_UTIL_TIME_H_

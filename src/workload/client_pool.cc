@@ -1,0 +1,92 @@
+#include "workload/client_pool.h"
+
+namespace prestige {
+namespace workload {
+
+void ClientPool::OnStart() {
+  for (uint32_t i = 0; i < config_.num_clients; ++i) {
+    IssueRequest();
+  }
+  Flush();
+  SetTimer(config_.complaint_scan_period, kComplaintScan);
+}
+
+void ClientPool::IssueRequest() {
+  if (config_.stop_at != 0 && Now() >= config_.stop_at) return;
+  types::Transaction tx;
+  tx.pool = config_.pool_id;
+  tx.client_seq = next_seq_++;
+  tx.sent_at = Now();
+  tx.payload_size = config_.payload_size;
+  tx.fingerprint = rng()->NextUint64();
+  Outstanding out;
+  out.tx = tx;
+  outstanding_.emplace(TxKey(tx), std::move(out));
+  pending_send_.push_back(tx);
+}
+
+void ClientPool::Flush() {
+  if (pending_send_.empty()) return;
+  auto batch = std::make_shared<types::ClientBatch>();
+  batch->txs = std::move(pending_send_);
+  pending_send_.clear();
+  Send(replicas_, batch);
+}
+
+void ClientPool::OnMessage(sim::ActorId from, const sim::MessagePtr& msg) {
+  (void)from;
+  const auto* notif = dynamic_cast<const types::CommitNotif*>(msg.get());
+  if (notif == nullptr) return;
+  if (notif->replica >= 128) return;
+
+  bool issued = false;
+  for (const types::Transaction& tx : notif->txs) {
+    if (tx.pool != config_.pool_id) continue;
+    auto it = outstanding_.find(TxKey(tx));
+    if (it == outstanding_.end()) continue;  // Already completed.
+    Outstanding& out = it->second;
+    const __uint128_t bit = static_cast<__uint128_t>(1) << notif->replica;
+    if ((out.ack_mask & bit) != 0) continue;  // Duplicate ack.
+    out.ack_mask |= bit;
+    if (++out.acks < static_cast<int>(config_.f) + 1) continue;
+
+    // f+1 Notifs: the request is committed (§4.3).
+    latencies_.Add(util::ToMillis(Now() - out.tx.sent_at));
+    ++committed_;
+    outstanding_.erase(it);
+    IssueRequest();  // Closed loop: next request for this virtual client.
+    issued = true;
+  }
+  if (issued && !flush_armed_) {
+    flush_armed_ = true;
+    SetTimer(config_.aggregation_window, kFlush);
+  }
+}
+
+void ClientPool::OnTimer(uint64_t tag) {
+  switch (tag) {
+    case kFlush:
+      flush_armed_ = false;
+      Flush();
+      break;
+    case kComplaintScan: {
+      const util::TimeMicros now = Now();
+      for (auto& [key, out] : outstanding_) {
+        (void)key;
+        const util::TimeMicros reference =
+            out.last_complaint == 0 ? out.tx.sent_at : out.last_complaint;
+        if (now - reference < config_.request_timeout) continue;
+        out.last_complaint = now;
+        ++complaints_sent_;
+        auto compt = std::make_shared<types::ClientComplaint>();
+        compt->tx = out.tx;
+        Send(replicas_, compt);
+      }
+      SetTimer(config_.complaint_scan_period, kComplaintScan);
+      break;
+    }
+  }
+}
+
+}  // namespace workload
+}  // namespace prestige

@@ -1,0 +1,101 @@
+// Byzantine fault profiles for the paper's attack suite (§6.2).
+//
+// F1 — timeout attacks: faulty servers copy correct servers' timeouts to
+//      maximize the chance of simultaneous candidacies (split votes).
+// F2 — quiet participants: faulty servers stop responding (crash-like).
+// F3 — equivocation: faulty servers answer with erroneous messages.
+// F4 — repeated view-change attacks: faulty servers campaign for leadership
+//      whenever they are not the leader (strategy S1) or only when the
+//      reputation engine would grant them compensation (strategy S2), and
+//      behave as F2 or F3 once in power.
+//
+// Faulty servers may collude (§4.1): they share logs and perform joint PoW
+// computation, modeled as a hash-rate multiplier.
+
+#ifndef PRESTIGE_WORKLOAD_FAULT_SPEC_H_
+#define PRESTIGE_WORKLOAD_FAULT_SPEC_H_
+
+#include "util/time.h"
+
+namespace prestige {
+namespace workload {
+
+/// Behaviour class of one replica.
+enum class FaultType {
+  kHonest,
+  kCrash,          ///< Stops entirely at `start_at` (network-level down).
+  kQuiet,          ///< F2: alive but never sends anything.
+  kEquivocate,     ///< F3: sends corrupted replies / votes.
+  kTimeoutAttack,  ///< F1: pins its timeout to the minimum (mimics peers).
+  kRepeatedVc,     ///< F4: campaigns at every view-change opportunity.
+};
+
+/// F4 sub-strategies (§6.2 "Availability").
+enum class AttackStrategy {
+  kS1,  ///< Attack whenever not the leader.
+  kS2,  ///< Attack only when compensation keeps rp from growing.
+};
+
+/// What an F4 attacker does once it wins leadership.
+enum class LeaderMisbehaviour {
+  kQuiet,        ///< F4+F2.
+  kEquivocate,   ///< F4+F3.
+};
+
+/// Complete per-replica fault configuration.
+struct FaultSpec {
+  FaultType type = FaultType::kHonest;
+  AttackStrategy strategy = AttackStrategy::kS1;
+  LeaderMisbehaviour as_leader = LeaderMisbehaviour::kQuiet;
+  /// Virtual time at which the behaviour activates.
+  util::TimeMicros start_at = 0;
+  /// PoW speed-up from colluding attackers pooling computation (joint
+  /// computation, §6.2); 1.0 = no collusion.
+  double collusion_speedup = 1.0;
+  /// F1: replica whose timeout stream this attacker copies (its own id when
+  /// honest). Mimicked timeouts fire in lock-step modulo network jitter.
+  uint32_t mimic_target = 0;
+  bool has_mimic_target = false;
+
+  bool IsByzantine() const { return type != FaultType::kHonest; }
+
+  static FaultSpec Honest() { return FaultSpec{}; }
+  static FaultSpec Quiet(util::TimeMicros at = 0) {
+    FaultSpec s;
+    s.type = FaultType::kQuiet;
+    s.start_at = at;
+    return s;
+  }
+  static FaultSpec Equivocate(util::TimeMicros at = 0) {
+    FaultSpec s;
+    s.type = FaultType::kEquivocate;
+    s.start_at = at;
+    return s;
+  }
+  static FaultSpec Crash(util::TimeMicros at = 0) {
+    FaultSpec s;
+    s.type = FaultType::kCrash;
+    s.start_at = at;
+    return s;
+  }
+  static FaultSpec TimeoutAttack() {
+    FaultSpec s;
+    s.type = FaultType::kTimeoutAttack;
+    return s;
+  }
+  static FaultSpec RepeatedVc(AttackStrategy strategy,
+                              LeaderMisbehaviour as_leader,
+                              double collusion_speedup = 1.0) {
+    FaultSpec s;
+    s.type = FaultType::kRepeatedVc;
+    s.strategy = strategy;
+    s.as_leader = as_leader;
+    s.collusion_speedup = collusion_speedup;
+    return s;
+  }
+};
+
+}  // namespace workload
+}  // namespace prestige
+
+#endif  // PRESTIGE_WORKLOAD_FAULT_SPEC_H_

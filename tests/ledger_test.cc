@@ -1,0 +1,226 @@
+// Unit tests for the ledger substrate: blocks, chaining, block store, KV SM.
+
+#include <gtest/gtest.h>
+
+#include "ledger/block_store.h"
+#include "ledger/kv_state_machine.h"
+#include "ledger/tx_block.h"
+#include "ledger/vc_block.h"
+
+namespace prestige {
+namespace ledger {
+namespace {
+
+types::Transaction MakeTx(uint64_t seq, uint64_t fingerprint = 0) {
+  types::Transaction tx;
+  tx.pool = 0;
+  tx.client_seq = seq;
+  tx.sent_at = static_cast<util::TimeMicros>(seq * 10);
+  tx.payload_size = 32;
+  tx.fingerprint = fingerprint == 0 ? seq * 7919 : fingerprint;
+  return tx;
+}
+
+TxBlock MakeTxBlock(types::SeqNum n, types::View v,
+                    const crypto::Sha256Digest& prev, size_t txs = 3) {
+  TxBlock b;
+  b.n = n;
+  b.v = v;
+  b.prev_hash = prev;
+  for (size_t i = 0; i < txs; ++i) {
+    b.txs.push_back(MakeTx(static_cast<uint64_t>(n) * 100 + i));
+  }
+  b.status.assign(b.txs.size(), 1);
+  return b;
+}
+
+VcBlock MakeVcBlock(types::View v, types::ReplicaId leader,
+                    const crypto::Sha256Digest& prev) {
+  VcBlock b;
+  b.v = v;
+  b.leader = leader;
+  b.prev_hash = prev;
+  for (types::ReplicaId id = 0; id < 4; ++id) {
+    b.rp[id] = 1;
+    b.ci[id] = 1;
+  }
+  return b;
+}
+
+// ----------------------------------------------------------------- Blocks
+
+TEST(TxBlockTest, DigestCoversContent) {
+  TxBlock a = MakeTxBlock(1, 1, {});
+  TxBlock b = a;
+  EXPECT_EQ(a.Digest(), b.Digest());
+  b.txs[0].fingerprint ^= 1;
+  EXPECT_NE(a.Digest(), b.Digest());
+  b = a;
+  b.n = 2;
+  EXPECT_NE(a.Digest(), b.Digest());
+}
+
+TEST(TxBlockTest, DigestIgnoresQcs) {
+  // QCs certify the block; they are not part of its address.
+  TxBlock a = MakeTxBlock(1, 1, {});
+  const crypto::Sha256Digest before = a.Digest();
+  a.ordering_qc.threshold = 3;
+  EXPECT_EQ(a.Digest(), before);
+}
+
+TEST(VcBlockTest, DigestCoversReputationSegment) {
+  VcBlock a = MakeVcBlock(2, 1, {});
+  VcBlock b = a;
+  EXPECT_EQ(a.Digest(), b.Digest());
+  b.rp[2] = 5;
+  EXPECT_NE(a.Digest(), b.Digest());
+  b = a;
+  b.ci[3] = 10;
+  EXPECT_NE(a.Digest(), b.Digest());
+  b = a;
+  b.leader = 2;
+  EXPECT_NE(a.Digest(), b.Digest());
+}
+
+TEST(VcBlockTest, PenaltyDefaultsToInitial) {
+  VcBlock b;
+  EXPECT_EQ(b.PenaltyOf(7), 1);
+  EXPECT_EQ(b.CompensationOf(7), 1);
+  b.rp[7] = 4;
+  EXPECT_EQ(b.PenaltyOf(7), 4);
+}
+
+TEST(DigestDomainsTest, SigningDigestsAreDomainSeparated) {
+  const crypto::Sha256Digest block = MakeTxBlock(1, 1, {}).Digest();
+  EXPECT_NE(OrderingDigest(1, 1, block), CommitDigest(1, 1, block));
+  EXPECT_NE(ConfDigest(1), VoteDigest(1, 0));
+  EXPECT_NE(RefreshDigest(0, 1), ConfDigest(1));
+}
+
+// ------------------------------------------------------------- BlockStore
+
+TEST(BlockStoreTest, AppendsChainedTxBlocks) {
+  BlockStore store;
+  EXPECT_EQ(store.LatestTxSeq(), 0);
+  ASSERT_TRUE(store.AppendTxBlock(MakeTxBlock(1, 1, {})).ok());
+  ASSERT_TRUE(
+      store.AppendTxBlock(MakeTxBlock(2, 1, store.LatestTxDigest())).ok());
+  EXPECT_EQ(store.LatestTxSeq(), 2);
+  EXPECT_EQ(store.TotalCommittedTxs(), 6);
+}
+
+TEST(BlockStoreTest, RejectsSequenceGap) {
+  BlockStore store;
+  ASSERT_TRUE(store.AppendTxBlock(MakeTxBlock(1, 1, {})).ok());
+  EXPECT_TRUE(store.AppendTxBlock(MakeTxBlock(3, 1, store.LatestTxDigest()))
+                  .IsCorruption());
+}
+
+TEST(BlockStoreTest, RejectsBrokenHashChain) {
+  BlockStore store;
+  ASSERT_TRUE(store.AppendTxBlock(MakeTxBlock(1, 1, {})).ok());
+  crypto::Sha256Digest wrong{};
+  wrong[0] = 0xab;
+  EXPECT_TRUE(store.AppendTxBlock(MakeTxBlock(2, 1, wrong)).IsCorruption());
+}
+
+TEST(BlockStoreTest, RejectsNonIncreasingViews) {
+  BlockStore store;
+  ASSERT_TRUE(store.AppendVcBlock(MakeVcBlock(2, 1, {})).ok());
+  EXPECT_TRUE(store.AppendVcBlock(MakeVcBlock(2, 2, store.LatestVcBlock()->Digest()))
+                  .IsCorruption());
+}
+
+TEST(BlockStoreTest, ViewsMaySkip) {
+  BlockStore store;
+  ASSERT_TRUE(store.AppendVcBlock(MakeVcBlock(2, 1, {})).ok());
+  ASSERT_TRUE(
+      store.AppendVcBlock(MakeVcBlock(5, 2, store.LatestVcBlock()->Digest()))
+          .ok());
+  EXPECT_EQ(store.CurrentView(), 5);
+  EXPECT_NE(store.VcBlockFor(5), nullptr);
+  EXPECT_EQ(store.VcBlockFor(3), nullptr);
+}
+
+TEST(BlockStoreTest, LookupByIndexAndView) {
+  BlockStore store;
+  ASSERT_TRUE(store.AppendTxBlock(MakeTxBlock(1, 1, {})).ok());
+  ASSERT_TRUE(
+      store.AppendTxBlock(MakeTxBlock(2, 1, store.LatestTxDigest())).ok());
+  ASSERT_NE(store.TxBlockAt(1), nullptr);
+  EXPECT_EQ(store.TxBlockAt(1)->n, 1);
+  EXPECT_EQ(store.TxBlockAt(0), nullptr);
+  EXPECT_EQ(store.TxBlockAt(3), nullptr);
+}
+
+TEST(BlockStoreTest, RangeQueriesForSyncUp) {
+  BlockStore store;
+  crypto::Sha256Digest prev{};
+  for (types::SeqNum n = 1; n <= 5; ++n) {
+    ASSERT_TRUE(store.AppendTxBlock(MakeTxBlock(n, 1, prev)).ok());
+    prev = store.LatestTxDigest();
+  }
+  const auto blocks = store.TxBlocksAfter(2, 4);
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0].n, 3);
+  EXPECT_EQ(blocks[1].n, 4);
+}
+
+TEST(BlockStoreTest, HistoricPenaltiesNewestFirst) {
+  BlockStore store;
+  VcBlock b2 = MakeVcBlock(2, 0, {});
+  b2.rp[0] = 2;
+  ASSERT_TRUE(store.AppendVcBlock(b2).ok());
+  VcBlock b3 = MakeVcBlock(3, 0, store.LatestVcBlock()->Digest());
+  b3.rp[0] = 3;
+  ASSERT_TRUE(store.AppendVcBlock(b3).ok());
+  const auto penalties = store.HistoricPenalties(0);
+  ASSERT_EQ(penalties.size(), 2u);
+  EXPECT_EQ(penalties[0], 3);
+  EXPECT_EQ(penalties[1], 2);
+}
+
+// --------------------------------------------------------- State machines
+
+TEST(KvStateMachineTest, AppliesDeterministically) {
+  KvStateMachine a(64), b(64);
+  const TxBlock block = MakeTxBlock(1, 1, {});
+  a.Apply(block);
+  b.Apply(block);
+  EXPECT_EQ(a.state_digest(), b.state_digest());
+  EXPECT_EQ(a.applied_count(), 3);
+  EXPECT_GT(a.size(), 0u);
+}
+
+TEST(KvStateMachineTest, OrderMatters) {
+  KvStateMachine a(64), b(64);
+  TxBlock b1 = MakeTxBlock(1, 1, {});
+  TxBlock b2 = MakeTxBlock(2, 1, b1.Digest());
+  a.Apply(b1);
+  a.Apply(b2);
+  b.Apply(b2);
+  b.Apply(b1);
+  EXPECT_NE(a.state_digest(), b.state_digest());
+}
+
+TEST(KvStateMachineTest, GetReflectsPut) {
+  KvStateMachine kv(1024);
+  TxBlock block;
+  block.n = 1;
+  block.v = 1;
+  types::Transaction tx = MakeTx(1, /*fingerprint=*/12345);
+  block.txs.push_back(tx);
+  kv.Apply(block);
+  EXPECT_EQ(kv.Get(12345 % 1024), 12345u);
+  EXPECT_EQ(kv.Get(999), 0u);
+}
+
+TEST(NullStateMachineTest, CountsOnly) {
+  NullStateMachine sm;
+  sm.Apply(MakeTxBlock(1, 1, {}));
+  EXPECT_EQ(sm.applied_count(), 3);
+}
+
+}  // namespace
+}  // namespace ledger
+}  // namespace prestige

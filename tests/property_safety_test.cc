@@ -1,0 +1,228 @@
+// Property-based safety and liveness tests: randomized adversarial
+// schedules over many seeds, asserting the paper's core guarantees on
+// every run:
+//   * Safety (Theorem 3): no two replicas commit different blocks at the
+//     same sequence number; chains are prefix-consistent.
+//   * No duplicate commits: a transaction appears at most once per chain.
+//   * Liveness (Theorem 2): after faults stop / stabilize, commits resume.
+//   * Lemma 10: unsuccessful elections never change a server's penalty.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/replica.h"
+#include "harness/cluster.h"
+
+namespace prestige {
+namespace core {
+namespace {
+
+using harness::Cluster;
+using harness::WorkloadOptions;
+using util::Millis;
+using util::Seconds;
+
+using PrestigeCluster = Cluster<PrestigeReplica, PrestigeConfig>;
+
+PrestigeConfig FastConfig(uint32_t n) {
+  PrestigeConfig config;
+  config.n = n;
+  config.batch_size = 100;
+  config.timeout_min = Millis(400);
+  config.timeout_max = Millis(600);
+  config.election_timeout = Millis(300);
+  config.complaint_wait = Millis(200);
+  return config;
+}
+
+void AssertChainsConsistent(PrestigeCluster& cluster, uint32_t n) {
+  for (uint32_t i = 1; i < n; ++i) {
+    const auto& a = cluster.replica(0).store().tx_chain();
+    const auto& b = cluster.replica(i).store().tx_chain();
+    const size_t common = std::min(a.size(), b.size());
+    for (size_t k = 0; k < common; ++k) {
+      ASSERT_EQ(a[k].Digest(), b[k].Digest())
+          << "divergence at block " << k << " replica " << i;
+    }
+  }
+}
+
+void AssertNoDuplicateCommits(PrestigeCluster& cluster, uint32_t n) {
+  for (uint32_t i = 0; i < n; ++i) {
+    std::set<std::pair<uint32_t, uint64_t>> seen;
+    for (const auto& block : cluster.replica(i).store().tx_chain()) {
+      for (const auto& tx : block.txs) {
+        ASSERT_TRUE(seen.insert({tx.pool, tx.client_seq}).second)
+            << "tx (" << tx.pool << "," << tx.client_seq
+            << ") committed twice on replica " << i;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------- randomized adversary
+
+struct AdversaryCase {
+  uint64_t seed;
+  uint32_t n;
+  workload::FaultType fault;
+};
+
+class RandomAdversaryTest : public ::testing::TestWithParam<AdversaryCase> {};
+
+TEST_P(RandomAdversaryTest, SafetyHoldsUnderFaultsAndRotation) {
+  const AdversaryCase c = GetParam();
+  PrestigeConfig config = FastConfig(c.n);
+  config.rotation_period = Seconds(1);
+
+  std::vector<workload::FaultSpec> faults(c.n, workload::FaultSpec::Honest());
+  const uint32_t f = types::MaxFaulty(c.n);
+  util::Rng rng(c.seed);
+  std::set<uint32_t> chosen;
+  while (chosen.size() < f) {
+    chosen.insert(static_cast<uint32_t>(rng.NextBounded(c.n)));
+  }
+  for (uint32_t id : chosen) {
+    workload::FaultSpec spec;
+    spec.type = c.fault;
+    spec.start_at = Millis(rng.NextInRange(0, 2000));
+    if (c.fault == workload::FaultType::kRepeatedVc) {
+      spec.strategy = rng.NextBool(0.5) ? workload::AttackStrategy::kS1
+                                        : workload::AttackStrategy::kS2;
+      spec.as_leader = rng.NextBool(0.5)
+                           ? workload::LeaderMisbehaviour::kQuiet
+                           : workload::LeaderMisbehaviour::kEquivocate;
+    }
+    faults[id] = spec;
+  }
+
+  WorkloadOptions w;
+  w.num_pools = 4;
+  w.clients_per_pool = 40;
+  w.client_timeout = Millis(800);
+  w.seed = c.seed;
+
+  PrestigeCluster cluster(config, w, faults);
+  cluster.Start();
+  cluster.RunFor(Seconds(8));
+
+  AssertChainsConsistent(cluster, c.n);
+  AssertNoDuplicateCommits(cluster, c.n);
+  EXPECT_GT(cluster.ClientCommitted(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, RandomAdversaryTest,
+    ::testing::Values(
+        AdversaryCase{101, 4, workload::FaultType::kQuiet},
+        AdversaryCase{102, 4, workload::FaultType::kEquivocate},
+        AdversaryCase{103, 4, workload::FaultType::kRepeatedVc},
+        AdversaryCase{104, 7, workload::FaultType::kQuiet},
+        AdversaryCase{105, 7, workload::FaultType::kRepeatedVc},
+        AdversaryCase{106, 7, workload::FaultType::kEquivocate},
+        AdversaryCase{107, 4, workload::FaultType::kRepeatedVc},
+        AdversaryCase{108, 7, workload::FaultType::kRepeatedVc}));
+
+// ----------------------------------------------- crash-recover schedules
+
+class CrashScheduleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CrashScheduleTest, RepeatedLeaderCrashesPreserveSafetyAndLiveness) {
+  const uint64_t seed = GetParam();
+  PrestigeConfig config = FastConfig(4);
+  WorkloadOptions w;
+  w.num_pools = 4;
+  w.clients_per_pool = 40;
+  w.client_timeout = Millis(800);
+  w.seed = seed;
+  PrestigeCluster cluster(config, w);
+  cluster.Start();
+  cluster.RunFor(Seconds(1));
+
+  util::Rng rng(seed * 31);
+  uint32_t down = 4;  // None.
+  for (int round = 0; round < 3; ++round) {
+    // Crash the current leader; recover the previously crashed replica so
+    // at most one is down at a time (f = 1).
+    uint32_t leader = 0;
+    for (uint32_t i = 0; i < 4; ++i) {
+      if (cluster.replica(i).IsLeader()) leader = i;
+    }
+    if (down < 4) cluster.SetReplicaDown(down, false);
+    cluster.SetReplicaDown(leader, true);
+    down = leader;
+    cluster.RunFor(Seconds(3) + Millis(rng.NextInRange(0, 500)));
+  }
+
+  AssertChainsConsistent(cluster, 4);
+  AssertNoDuplicateCommits(cluster, 4);
+
+  // Liveness: commits resumed after the final crash settled.
+  const int64_t before = cluster.ClientCommitted();
+  cluster.RunFor(Seconds(3));
+  EXPECT_GT(cluster.ClientCommitted(), before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrashScheduleTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+// ----------------------------------------------------- reputation lemmas
+
+TEST(ReputationLemmaTest, UnsuccessfulElectionsDoNotChangePenalty) {
+  // Lemma 10: only elected leaders' (rp, ci) enter vcBlocks. Verify that
+  // every vcBlock changes at most the new leader's entries.
+  PrestigeConfig config = FastConfig(4);
+  config.rotation_period = Seconds(1);
+  WorkloadOptions w;
+  w.num_pools = 4;
+  w.clients_per_pool = 40;
+  w.seed = 55;
+  PrestigeCluster cluster(config, w);
+  cluster.Start();
+  cluster.RunFor(Seconds(8));
+
+  const auto& chain = cluster.replica(0).store().vc_chain();
+  ASSERT_GT(chain.size(), 2u);
+  for (size_t i = 1; i < chain.size(); ++i) {
+    const auto& prev = chain[i - 1];
+    const auto& cur = chain[i];
+    for (uint32_t r = 0; r < 4; ++r) {
+      if (r == cur.leader) continue;
+      EXPECT_EQ(cur.PenaltyOf(r), prev.PenaltyOf(r))
+          << "non-leader penalty changed at view " << cur.v;
+      EXPECT_EQ(cur.CompensationOf(r), prev.CompensationOf(r))
+          << "non-leader ci changed at view " << cur.v;
+    }
+  }
+}
+
+TEST(ReputationLemmaTest, ElectedLeaderIsAlwaysVerifiable) {
+  // Property P3: every vcBlock's recorded leader penalty must be
+  // recomputable from the previous chain state via CalcRP. (Verified
+  // implicitly by every replica at vote time; re-checked here offline for
+  // penalization-only growth: rp' <= rp + view skip.)
+  PrestigeConfig config = FastConfig(4);
+  config.rotation_period = Seconds(1);
+  WorkloadOptions w;
+  w.num_pools = 4;
+  w.clients_per_pool = 40;
+  w.seed = 77;
+  PrestigeCluster cluster(config, w);
+  cluster.Start();
+  cluster.RunFor(Seconds(8));
+
+  const auto& chain = cluster.replica(0).store().vc_chain();
+  for (size_t i = 1; i < chain.size(); ++i) {
+    const auto& prev = chain[i - 1];
+    const auto& cur = chain[i];
+    const types::Penalty before = prev.PenaltyOf(cur.leader);
+    const types::Penalty after = cur.PenaltyOf(cur.leader);
+    EXPECT_GE(after, 1);
+    EXPECT_LE(after, before + (cur.v - prev.v));
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace prestige

@@ -1,0 +1,318 @@
+// Golden tests for the reputation engine against every numeric example in
+// the paper: Figure 4c rows 1-5 and the step-by-step calculations in
+// Appendix C (examples 1-6), plus edge cases and property sweeps.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ledger/block_store.h"
+#include "reputation/reputation_engine.h"
+
+namespace prestige {
+namespace reputation {
+namespace {
+
+using types::Penalty;
+
+std::vector<Penalty> PaperSetFive() { return {1, 2, 3, 4, 5}; }
+std::vector<Penalty> PaperSetSix() { return {1, 2, 3, 4, 5, 5}; }
+std::vector<Penalty> PaperSetP5() {
+  // {1,2,3,4} plus ten 5s (Appendix C example 5).
+  std::vector<Penalty> p = {1, 2, 3, 4};
+  p.insert(p.end(), 10, 5);
+  return p;
+}
+
+class ReputationGoldenTest : public ::testing::Test {
+ protected:
+  ReputationEngine engine_;
+};
+
+// Fig. 4c row 1: ci=1 ti=1, P={1..5}, delta_vc=0.19, delta=0, rp(V')=6.
+TEST_F(ReputationGoldenTest, Row1NoReplicationNoCompensation) {
+  auto r = engine_.CalcRp(/*v_new=*/6, /*v_cur=*/5, /*rp_cur=*/5,
+                          /*ti=*/1, /*ci=*/1, PaperSetFive());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rp_temp, 6);
+  EXPECT_DOUBLE_EQ(r->delta_tx, 0.0);
+  EXPECT_NEAR(r->delta_vc, 0.19, 0.01);
+  EXPECT_NEAR(r->delta, 0.0, 1e-12);
+  EXPECT_EQ(r->new_rp, 6);
+}
+
+// Fig. 4c row 2: ci=1 ti=20, delta ~= 1.14 (paper rounds delta_tx to 1),
+// rp(V')=5. Appendix C confirms compensation of 1.
+TEST_F(ReputationGoldenTest, Row2FullCompensation) {
+  auto r = engine_.CalcRp(6, 5, 5, /*ti=*/20, /*ci=*/1, PaperSetFive());
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->delta_tx, 0.95, 1e-9);  // (20-1)/20; paper rounds to 1.
+  EXPECT_NEAR(r->delta_vc, 0.19, 0.01);
+  EXPECT_NEAR(r->delta, 1.14, 0.07);
+  EXPECT_EQ(r->new_rp, 5);  // Compensated by 1: unchanged from rp=5.
+  EXPECT_EQ(r->new_ci, 20);
+}
+
+// Fig. 4c row 3: ci=20 ti=50, P={1,2,3,4,5,5}, delta_vc=0.25, delta=0.89,
+// no compensation, rp(V')=6.
+TEST_F(ReputationGoldenTest, Row3InsufficientIncrementalReplication) {
+  auto r = engine_.CalcRp(7, 6, 5, /*ti=*/50, /*ci=*/20, PaperSetSix());
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->delta_tx, 0.6, 1e-9);
+  EXPECT_NEAR(r->delta_vc, 0.25, 0.005);
+  EXPECT_NEAR(r->delta, 0.89, 0.02);
+  EXPECT_EQ(r->new_rp, 6);
+  EXPECT_EQ(r->new_ci, 50);
+}
+
+// Fig. 4c row 4: ci=20 ti=100, delta=1.2, compensated, rp(V')=5.
+TEST_F(ReputationGoldenTest, Row4MoreReplicationEarnsCompensation) {
+  auto r = engine_.CalcRp(7, 6, 5, /*ti=*/100, /*ci=*/20, PaperSetSix());
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->delta_tx, 0.8, 1e-9);
+  EXPECT_NEAR(r->delta_vc, 0.25, 0.005);
+  EXPECT_NEAR(r->delta, 1.2, 0.02);
+  EXPECT_EQ(r->new_rp, 5);
+}
+
+// Fig. 4c row 5 / Appendix C example 5: staying a follower through V7..V14
+// grows P to {1,2,3,4,5 x10}; delta_vc=0.36, delta=1.29, rp(15)=5.
+TEST_F(ReputationGoldenTest, Row5IndifferenceToLeadershipRaisesDeltaVc) {
+  auto r = engine_.CalcRp(15, 14, 5, /*ti=*/50, /*ci=*/20, PaperSetP5());
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->delta_tx, 0.6, 1e-9);
+  EXPECT_NEAR(r->delta_vc, 0.36, 0.01);
+  EXPECT_NEAR(r->delta, 1.29, 0.03);
+  EXPECT_EQ(r->new_rp, 5);
+}
+
+// Appendix C example 6: ti=400 -> delta_tx=0.95, delta=2.05, rp(15)=4.
+TEST_F(ReputationGoldenTest, Example6HighReplicationReducesPenalty) {
+  auto r = engine_.CalcRp(15, 14, 5, /*ti=*/400, /*ci=*/20, PaperSetP5());
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->delta_tx, 0.95, 1e-9);
+  EXPECT_NEAR(r->delta, 2.05, 0.04);
+  EXPECT_EQ(r->new_rp, 4);
+}
+
+// Appendix C first calculation: campaigning V1 -> V2 with no replication:
+// rp_temp = 1 + 1 = 2, no compensation, rp(2)=2.
+TEST_F(ReputationGoldenTest, InitialCampaignWithoutReplication) {
+  auto r = engine_.CalcRp(2, 1, 1, /*ti=*/1, /*ci=*/1, {1});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rp_temp, 2);
+  EXPECT_DOUBLE_EQ(r->delta_tx, 0.0);
+  EXPECT_EQ(r->new_rp, 2);
+}
+
+// Paper §3 example 1: leader from V1 to V5 without replication reaches
+// rp(6)=6 — iterate the engine through the whole history.
+TEST_F(ReputationGoldenTest, RepeatedRepossessionWithoutProgress) {
+  std::vector<Penalty> history;  // Oldest last; rebuilt each view.
+  Penalty rp = 1;
+  types::View v = 1;
+  for (types::View v_new = 2; v_new <= 6; ++v_new) {
+    std::vector<Penalty> p;
+    p.push_back(rp);
+    p.insert(p.end(), history.rbegin(), history.rend());
+    auto r = engine_.CalcRp(v_new, v, rp, /*ti=*/1, /*ci=*/1, p);
+    ASSERT_TRUE(r.ok());
+    history.push_back(rp);
+    rp = r->new_rp;
+    v = v_new;
+  }
+  EXPECT_EQ(rp, 6);  // rp grows 1,2,3,4,5 -> 6 at the V6 campaign.
+}
+
+// ------------------------------------------------------------ Edge cases
+
+TEST_F(ReputationGoldenTest, RejectsNonIncreasingView) {
+  EXPECT_FALSE(engine_.CalcRp(5, 5, 1, 1, 1, {1}).ok());
+  EXPECT_FALSE(engine_.CalcRp(4, 5, 1, 1, 1, {1}).ok());
+}
+
+TEST_F(ReputationGoldenTest, RejectsEmptyPenaltySet) {
+  EXPECT_FALSE(engine_.CalcRp(2, 1, 1, 1, 1, {}).ok());
+}
+
+TEST_F(ReputationGoldenTest, ZeroSigmaGivesHalfDeltaVc) {
+  // All penalties identical -> z := 0 -> delta_vc = 0.5.
+  auto r = engine_.CalcRp(2, 1, 1, /*ti=*/10, /*ci=*/1, {1});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->delta_vc, 0.5);
+}
+
+TEST_F(ReputationGoldenTest, ViewSkipPenalizedProportionally) {
+  // A campaigner jumping 10 views pays 10 (Eq. 1 anti-overflow rule).
+  auto r = engine_.CalcRp(11, 1, 1, 1, 1, {1});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rp_temp, 11);
+  EXPECT_EQ(r->new_rp, 11);
+}
+
+TEST_F(ReputationGoldenTest, TiClampedToOne) {
+  auto r = engine_.CalcRp(2, 1, 1, /*ti=*/0, /*ci=*/1, {1});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->delta_tx, 0.0);
+  EXPECT_EQ(r->new_ci, 1);
+}
+
+TEST_F(ReputationGoldenTest, CompensationNeverExceedsPenalization) {
+  // 0 <= delta < rp_temp must hold for any input (paper invariant).
+  ReputationEngine engine;
+  for (Penalty rp = 1; rp <= 20; ++rp) {
+    for (types::SeqNum ti : {1, 10, 100, 10000}) {
+      auto r = engine.CalcRp(rp + 2, rp + 1, rp, ti, 1,
+                             {rp, rp / 2 + 1, 1});
+      ASSERT_TRUE(r.ok());
+      EXPECT_GE(r->delta, 0.0);
+      EXPECT_LT(r->delta, static_cast<double>(r->rp_temp));
+      EXPECT_GE(r->new_rp, 1);
+      EXPECT_LE(r->new_rp, r->rp_temp);
+    }
+  }
+}
+
+TEST_F(ReputationGoldenTest, CDeltaScalesCompensation) {
+  ReputationConfig strong;
+  strong.c_delta = 2.0;
+  ReputationEngine eager(strong);
+  auto weak = engine_.CalcRp(7, 6, 5, 100, 20, PaperSetSix());
+  auto boosted = eager.CalcRp(7, 6, 5, 100, 20, PaperSetSix());
+  ASSERT_TRUE(weak.ok());
+  ASSERT_TRUE(boosted.ok());
+  EXPECT_GT(boosted->delta, weak->delta);
+  EXPECT_LE(boosted->new_rp, weak->new_rp);
+}
+
+TEST_F(ReputationGoldenTest, AblationDisablingDeltaVc) {
+  ReputationConfig cfg;
+  cfg.enable_delta_vc = false;
+  ReputationEngine ablated(cfg);
+  auto r = ablated.CalcRp(6, 5, 5, 20, 1, PaperSetFive());
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->delta_vc, 1.0);
+  // Compensation now much larger: floor(0.95 * 1 * 6) = 5.
+  EXPECT_EQ(r->new_rp, 1);
+}
+
+TEST(SigmoidTest, StandardValues) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(1.414), 0.804, 0.01);
+  EXPECT_NEAR(Sigmoid(-1.414), 0.196, 0.01);
+  EXPECT_GT(Sigmoid(10.0), 0.9999);
+  EXPECT_LT(Sigmoid(-10.0), 0.0001);
+}
+
+// -------------------------------------------------- Store-driven CalcRP
+
+class StoreDrivenTest : public ::testing::Test {
+ protected:
+  // Builds the Appendix C scenario in an actual BlockStore: S1 is leader
+  // V1..V5 with no replication, replicates 20 txBlocks in V5, campaigns V6.
+  void BuildAppendixChain() {
+    crypto::Sha256Digest prev{};
+    Penalty rp = 1;
+    for (types::View v = 2; v <= 5; ++v) {
+      ledger::VcBlock b;
+      b.v = v;
+      b.leader = 0;
+      b.prev_hash = prev;
+      for (types::ReplicaId id = 0; id < 4; ++id) {
+        b.rp[id] = 1;
+        b.ci[id] = 1;
+      }
+      b.rp[0] = ++rp;  // S1 penalized 2,3,4,5 across V2..V5.
+      ASSERT_TRUE(store_.AppendVcBlock(b).ok());
+      prev = store_.LatestVcBlock()->Digest();
+    }
+    crypto::Sha256Digest tx_prev{};
+    for (types::SeqNum n = 1; n <= 20; ++n) {
+      ledger::TxBlock b;
+      b.n = n;
+      b.v = 5;
+      b.prev_hash = tx_prev;
+      b.txs.push_back(types::Transaction{});
+      ASSERT_TRUE(store_.AppendTxBlock(b).ok());
+      tx_prev = store_.LatestTxDigest();
+    }
+  }
+
+  ledger::BlockStore store_;
+  ReputationEngine engine_;
+};
+
+TEST_F(StoreDrivenTest, MatchesAppendixVcBlockV6) {
+  BuildAppendixChain();
+  // Note: the store has vcBlocks V2..V5 (V1 is implicit genesis with rp=1),
+  // so P = {5,4,3,2,1} exactly as the appendix requires... except the
+  // appendix's V1 entry comes from genesis. Add it via an explicit call:
+  auto r = engine_.CalcRpFromStore(6, store_, /*id=*/0);
+  ASSERT_TRUE(r.ok());
+  // P from the chain is {5,4,3,2} + seeded current 5 -> close to the paper's
+  // {1,2,3,4,5}; with the genesis block appended it is exact. Verify the
+  // exact variant:
+  auto exact = engine_.CalcRp(6, 5, 5, 20, 1, PaperSetFive());
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact->new_rp, 5);
+  // And the store-driven result agrees on the decision (compensated by 1).
+  EXPECT_EQ(r->new_rp, 5);
+  EXPECT_EQ(r->new_ci, 20);
+}
+
+TEST_F(StoreDrivenTest, FreshStoreUsesInitialValues) {
+  auto r = engine_.CalcRpFromStore(2, store_, 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rp_temp, 2);
+  EXPECT_EQ(r->new_rp, 2);
+}
+
+// --------------------------------------------- Parameterized properties
+
+struct RpSweepCase {
+  types::SeqNum ti;
+  types::CompensationIndex ci;
+};
+
+class RpMonotonicityTest : public ::testing::TestWithParam<RpSweepCase> {};
+
+TEST_P(RpMonotonicityTest, MoreReplicationNeverHurts) {
+  // For fixed history, a larger ti never yields a larger new_rp.
+  ReputationEngine engine;
+  const RpSweepCase c = GetParam();
+  auto base = engine.CalcRp(7, 6, 5, c.ti, c.ci, PaperSetSix());
+  auto more = engine.CalcRp(7, 6, 5, c.ti * 2, c.ci, PaperSetSix());
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(more.ok());
+  EXPECT_LE(more->new_rp, base->new_rp);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RpMonotonicityTest,
+    ::testing::Values(RpSweepCase{10, 1}, RpSweepCase{20, 10},
+                      RpSweepCase{50, 20}, RpSweepCase{100, 20},
+                      RpSweepCase{400, 100}, RpSweepCase{1000, 999}));
+
+class DeltaVcHistoryTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeltaVcHistoryTest, LongerQuietHistoryRaisesDeltaVc) {
+  // Appendix C example 5's mechanism: the longer a penalized server stays a
+  // follower (its penalty constant), the larger delta_vc grows.
+  ReputationEngine engine;
+  const int quiet_views = GetParam();
+  std::vector<Penalty> p = {1, 2, 3, 4};
+  p.insert(p.end(), static_cast<size_t>(quiet_views), 5);
+  auto shorter = engine.CalcRp(100, 99, 5, 50, 20, p);
+  p.insert(p.end(), 5, 5);
+  auto longer = engine.CalcRp(100, 99, 5, 50, 20, p);
+  ASSERT_TRUE(shorter.ok());
+  ASSERT_TRUE(longer.ok());
+  EXPECT_GT(longer->delta_vc, shorter->delta_vc);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DeltaVcHistoryTest,
+                         ::testing::Values(2, 5, 10, 20, 50));
+
+}  // namespace
+}  // namespace reputation
+}  // namespace prestige

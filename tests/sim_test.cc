@@ -1,0 +1,321 @@
+// Unit tests for the discrete-event simulator, latency models, and network.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/actor.h"
+#include "sim/latency.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "util/stats.h"
+
+namespace prestige {
+namespace sim {
+namespace {
+
+using util::Millis;
+using util::Seconds;
+
+struct TestMessage : public NetMessage {
+  explicit TestMessage(size_t size = 100, int verifies = 0, int units = 1)
+      : size_(size), verifies_(verifies), units_(units) {}
+  size_t WireSize() const override { return size_; }
+  int NumSigVerifies() const override { return verifies_; }
+  int CostUnits() const override { return units_; }
+  const char* Name() const override { return "TestMessage"; }
+  size_t size_;
+  int verifies_;
+  int units_;
+};
+
+/// Records deliveries and timer fires with their timestamps.
+class RecordingActor : public Actor {
+ public:
+  void OnMessage(ActorId from, const MessagePtr& msg) override {
+    deliveries.push_back({Now(), from, msg});
+  }
+  void OnTimer(uint64_t tag) override { timer_fires.push_back({Now(), tag}); }
+
+  struct Delivery {
+    util::TimeMicros at;
+    ActorId from;
+    MessagePtr msg;
+  };
+  std::vector<Delivery> deliveries;
+  std::vector<std::pair<util::TimeMicros, uint64_t>> timer_fires;
+
+  using Actor::CancelTimer;
+  using Actor::SetTimer;
+};
+
+// ------------------------------------------------------------- Simulator
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim(1);
+  std::vector<int> order;
+  sim.ScheduleAt(300, [&] { order.push_back(3); });
+  sim.ScheduleAt(100, [&] { order.push_back(1); });
+  sim.ScheduleAt(200, [&] { order.push_back(2); });
+  sim.RunUntil(1000);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 1000);
+}
+
+TEST(SimulatorTest, TiesBreakByInsertionOrder) {
+  Simulator sim(1);
+  std::vector<int> order;
+  sim.ScheduleAt(100, [&] { order.push_back(1); });
+  sim.ScheduleAt(100, [&] { order.push_back(2); });
+  sim.ScheduleAt(100, [&] { order.push_back(3); });
+  sim.RunUntil(1000);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator sim(1);
+  int fired = 0;
+  sim.ScheduleAt(10, [&] {
+    sim.ScheduleAfter(5, [&] { fired = 1; });
+  });
+  sim.RunUntil(100);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim(1);
+  int fired = 0;
+  sim.ScheduleAt(500, [&] { fired = 1; });
+  sim.RunUntil(499);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.Now(), 499);
+  sim.RunUntil(500);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, PastSchedulingClampsToNow) {
+  Simulator sim(1);
+  sim.ScheduleAt(100, [] {});
+  sim.RunUntil(100);
+  int fired = 0;
+  sim.ScheduleAt(50, [&] { fired = 1; });  // In the past.
+  sim.RunUntil(200);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, StepReturnsFalseWhenEmpty) {
+  Simulator sim(1);
+  EXPECT_FALSE(sim.Step());
+  sim.ScheduleAt(1, [] {});
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+}
+
+// --------------------------------------------------------------- Latency
+
+TEST(LatencyTest, FixedIsConstant) {
+  util::Rng rng(1);
+  const LatencyModel m = LatencyModel::Fixed(2.0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(m.Sample(&rng), 2000);
+  }
+}
+
+TEST(LatencyTest, UniformWithinBounds) {
+  util::Rng rng(2);
+  const LatencyModel m = LatencyModel::Uniform(1.0, 3.0);
+  for (int i = 0; i < 1000; ++i) {
+    const auto s = m.Sample(&rng);
+    EXPECT_GE(s, 1000);
+    EXPECT_LE(s, 3000);
+  }
+}
+
+TEST(LatencyTest, NormalRespectsFloorAndMean) {
+  util::Rng rng(3);
+  const LatencyModel m = LatencyModel::Normal(10.0, 5.0, 0.8);
+  util::OnlineStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    const auto s = m.Sample(&rng);
+    EXPECT_GE(s, 800);
+    stats.Add(static_cast<double>(s) / 1000.0);
+  }
+  // Mean shifted slightly up by the floor clamp; near 10 ms.
+  EXPECT_NEAR(stats.mean(), 10.0, 0.7);
+}
+
+TEST(LatencyTest, PaperProfilesAreSane) {
+  util::Rng rng(4);
+  EXPECT_LT(LatencyModel::Datacenter().Sample(&rng), Millis(2));
+  EXPECT_GT(LatencyModel::NetemEmulated().MeanMs(), 8.0);
+}
+
+// ----------------------------------------------------------------- Costs
+
+TEST(CostModelTest, ProcessingScalesWithUnitsBytesAndSigs) {
+  CostModel cost;
+  const TestMessage small(100, 0, 1);
+  const TestMessage sigs(100, 3, 1);
+  const TestMessage units(100, 0, 10);
+  const TestMessage big(100000, 0, 1);
+  EXPECT_LT(cost.ProcessingCost(small), cost.ProcessingCost(sigs));
+  EXPECT_LT(cost.ProcessingCost(small), cost.ProcessingCost(units));
+  EXPECT_LT(cost.ProcessingCost(small), cost.ProcessingCost(big));
+}
+
+TEST(CostModelTest, SerializationMatchesBandwidth) {
+  CostModel cost;
+  cost.bandwidth_bytes_per_us = 400.0;
+  const TestMessage msg(40000);  // 40 KB at 400 B/us = 100 us.
+  EXPECT_EQ(cost.SerializationCost(msg), 100);
+}
+
+// --------------------------------------------------------------- Network
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sim_ = std::make_unique<Simulator>(7);
+    net_ = std::make_unique<Network>(sim_.get(), LatencyModel::Fixed(1.0),
+                                     CostModel{});
+    for (auto& actor : actors_) {
+      sim_->AddActor(&actor);
+      actor.AttachNetwork(net_.get());
+    }
+  }
+
+  std::unique_ptr<Simulator> sim_;
+  std::unique_ptr<Network> net_;
+  RecordingActor actors_[4];
+};
+
+TEST_F(NetworkTest, DeliversWithLatencyAndCosts) {
+  net_->Send(0, 1, std::make_shared<TestMessage>(400));
+  sim_->RunUntil(Seconds(1));
+  ASSERT_EQ(actors_[1].deliveries.size(), 1u);
+  // serialization (1 us) + latency (1000 us) + processing (~4.8 us).
+  EXPECT_GE(actors_[1].deliveries[0].at, 1001);
+  EXPECT_LE(actors_[1].deliveries[0].at, 1020);
+}
+
+TEST_F(NetworkTest, SelfSendBypassesLatency) {
+  net_->Send(2, 2, std::make_shared<TestMessage>(400));
+  sim_->RunUntil(Millis(1));
+  ASSERT_EQ(actors_[2].deliveries.size(), 1u);
+  EXPECT_LT(actors_[2].deliveries[0].at, 100);
+}
+
+TEST_F(NetworkTest, EgressSerializesBroadcast) {
+  // 40 KB messages at 400 B/us: each copy occupies the NIC for 100 us, so
+  // the third target's copy cannot even depart before 300 us.
+  net_->Send(0, {1, 2, 3}, std::make_shared<TestMessage>(40000));
+  sim_->RunUntil(Seconds(1));
+  ASSERT_EQ(actors_[3].deliveries.size(), 1u);
+  EXPECT_GE(actors_[3].deliveries[0].at, 300 + 1000);
+  // And the first target's copy departs after ~100 us.
+  EXPECT_GE(actors_[1].deliveries[0].at, 100 + 1000);
+  EXPECT_LT(actors_[1].deliveries[0].at, 300 + 1000);
+}
+
+TEST_F(NetworkTest, ReceiverCpuQueues) {
+  // Many signature-heavy messages serialize on the receiver's CPU.
+  for (int i = 0; i < 10; ++i) {
+    net_->Send(0, 1, std::make_shared<TestMessage>(100, 5));
+  }
+  sim_->RunUntil(Seconds(1));
+  ASSERT_EQ(actors_[1].deliveries.size(), 10u);
+  // Each message costs ~ 4 + 0.2 + 90 us of CPU; the last one cannot finish
+  // before 10 * 90 us after the first arrival.
+  const auto first = actors_[1].deliveries.front().at;
+  const auto last = actors_[1].deliveries.back().at;
+  EXPECT_GE(last - first, 9 * 90);
+}
+
+TEST_F(NetworkTest, DownNodeReceivesNothing) {
+  net_->SetNodeDown(1, true);
+  net_->Send(0, 1, std::make_shared<TestMessage>());
+  sim_->RunUntil(Millis(10));
+  EXPECT_TRUE(actors_[1].deliveries.empty());
+  EXPECT_EQ(net_->stats().messages_dropped, 1u);
+
+  net_->SetNodeDown(1, false);
+  net_->Send(0, 1, std::make_shared<TestMessage>());
+  sim_->RunUntil(Millis(20));
+  EXPECT_EQ(actors_[1].deliveries.size(), 1u);
+}
+
+TEST_F(NetworkTest, DownNodeSendsNothing) {
+  net_->SetNodeDown(0, true);
+  net_->Send(0, 1, std::make_shared<TestMessage>());
+  sim_->RunUntil(Millis(10));
+  EXPECT_TRUE(actors_[1].deliveries.empty());
+}
+
+TEST_F(NetworkTest, LinkCutIsDirected) {
+  net_->SetLinkDown(0, 1, true);
+  net_->Send(0, 1, std::make_shared<TestMessage>());
+  net_->Send(1, 0, std::make_shared<TestMessage>());
+  sim_->RunUntil(Millis(10));
+  EXPECT_TRUE(actors_[1].deliveries.empty());
+  EXPECT_EQ(actors_[0].deliveries.size(), 1u);
+}
+
+TEST_F(NetworkTest, DropProbabilityLosesRoughlyThatFraction) {
+  net_->SetDropProbability(0.5);
+  for (int i = 0; i < 1000; ++i) {
+    net_->Send(0, 1, std::make_shared<TestMessage>(10));
+  }
+  sim_->RunUntil(Seconds(10));
+  EXPECT_GT(actors_[1].deliveries.size(), 350u);
+  EXPECT_LT(actors_[1].deliveries.size(), 650u);
+}
+
+TEST_F(NetworkTest, StatsAccumulate) {
+  net_->Send(0, {1, 2}, std::make_shared<TestMessage>(100));
+  sim_->RunUntil(Millis(10));
+  EXPECT_EQ(net_->stats().messages_sent, 2u);
+  EXPECT_EQ(net_->stats().messages_delivered, 2u);
+  EXPECT_EQ(net_->stats().bytes_sent, 200u);
+}
+
+// ----------------------------------------------------------------- Timers
+
+TEST_F(NetworkTest, TimerFiresWithTag) {
+  actors_[0].SetTimer(Millis(5), 42);
+  sim_->RunUntil(Millis(10));
+  ASSERT_EQ(actors_[0].timer_fires.size(), 1u);
+  EXPECT_EQ(actors_[0].timer_fires[0].first, Millis(5));
+  EXPECT_EQ(actors_[0].timer_fires[0].second, 42u);
+}
+
+TEST_F(NetworkTest, CancelledTimerDoesNotFire) {
+  const TimerId t = actors_[0].SetTimer(Millis(5), 1);
+  actors_[0].CancelTimer(t);
+  sim_->RunUntil(Millis(10));
+  EXPECT_TRUE(actors_[0].timer_fires.empty());
+}
+
+TEST(DeterminismTest, IdenticalSeedsProduceIdenticalRuns) {
+  auto run = [](uint64_t seed) {
+    Simulator sim(seed);
+    Network net(&sim, LatencyModel::Normal(5.0, 2.0), CostModel{});
+    RecordingActor a, b;
+    sim.AddActor(&a);
+    sim.AddActor(&b);
+    a.AttachNetwork(&net);
+    b.AttachNetwork(&net);
+    for (int i = 0; i < 100; ++i) {
+      net.Send(0, 1, std::make_shared<TestMessage>(100 + i));
+    }
+    sim.RunUntil(Seconds(1));
+    std::vector<util::TimeMicros> times;
+    for (const auto& d : b.deliveries) times.push_back(d.at);
+    return times;
+  };
+  EXPECT_EQ(run(99), run(99));
+  EXPECT_NE(run(99), run(100));
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace prestige

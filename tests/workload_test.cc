@@ -1,0 +1,177 @@
+// Unit tests for the workload layer: closed-loop client pools and fault
+// specifications.
+
+#include <gtest/gtest.h>
+
+#include "sim/actor.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "types/client_messages.h"
+#include "workload/client_pool.h"
+#include "workload/fault_spec.h"
+
+namespace prestige {
+namespace workload {
+namespace {
+
+using util::Millis;
+using util::Seconds;
+
+/// A scripted replica that acknowledges commits for everything it receives,
+/// optionally with a delay and from a configurable number of replica ids.
+class AckingReplica : public sim::Actor {
+ public:
+  explicit AckingReplica(types::ReplicaId id, int ack_replicas = 1)
+      : id_(id), ack_replicas_(ack_replicas) {}
+
+  void OnMessage(sim::ActorId from, const sim::MessagePtr& msg) override {
+    if (auto* batch = dynamic_cast<const types::ClientBatch*>(msg.get())) {
+      received_ += static_cast<int64_t>(batch->txs.size());
+      if (!respond_) return;
+      // Send `ack_replicas_` distinct acks (simulating a quorum).
+      for (int r = 0; r < ack_replicas_; ++r) {
+        auto notif = std::make_shared<types::CommitNotif>();
+        notif->replica = static_cast<types::ReplicaId>(r);
+        notif->n = ++seq_;
+        notif->txs = batch->txs;
+        Send(from, notif);
+      }
+    } else if (auto* compt =
+                   dynamic_cast<const types::ClientComplaint*>(msg.get())) {
+      ++complaints_;
+      (void)compt;
+    }
+  }
+
+  void set_respond(bool respond) { respond_ = respond; }
+  int64_t received() const { return received_; }
+  int64_t complaints() const { return complaints_; }
+
+ private:
+  types::ReplicaId id_;
+  int ack_replicas_;
+  bool respond_ = true;
+  int64_t received_ = 0;
+  int64_t complaints_ = 0;
+  types::SeqNum seq_ = 0;
+};
+
+struct PoolFixture {
+  explicit PoolFixture(ClientPoolConfig config, int ack_replicas = 2)
+      : sim(1), net(&sim, sim::LatencyModel::Fixed(1.0), sim::CostModel{}),
+        replica(0, ack_replicas), pool(config) {
+    sim.AddActor(&replica);
+    replica.AttachNetwork(&net);
+    sim.AddActor(&pool);
+    pool.AttachNetwork(&net);
+    pool.SetReplicas({0});
+  }
+
+  sim::Simulator sim;
+  sim::Network net;
+  AckingReplica replica;
+  ClientPool pool;
+};
+
+ClientPoolConfig PoolConfig(uint32_t clients = 10, uint32_t f = 1) {
+  ClientPoolConfig config;
+  config.pool_id = 0;
+  config.num_clients = clients;
+  config.f = f;
+  config.request_timeout = Millis(500);
+  return config;
+}
+
+TEST(ClientPoolTest, IssuesOneRequestPerClientAtStart) {
+  PoolFixture fx(PoolConfig(25));
+  fx.replica.set_respond(false);
+  fx.sim.ScheduleAfter(0, [&] { fx.pool.OnStart(); });
+  fx.sim.RunUntil(Millis(100));
+  EXPECT_EQ(fx.replica.received(), 25);
+  EXPECT_EQ(fx.pool.outstanding(), 25u);
+}
+
+TEST(ClientPoolTest, ClosedLoopIssuesNextAfterCommit) {
+  PoolFixture fx(PoolConfig(10));
+  fx.sim.ScheduleAfter(0, [&] { fx.pool.OnStart(); });
+  fx.sim.RunUntil(Millis(200));
+  // With immediate acks the loop spins: far more than 10 requests total.
+  EXPECT_GT(fx.pool.committed(), 50);
+  EXPECT_EQ(fx.pool.outstanding(), 10u);  // Always exactly one per client.
+}
+
+TEST(ClientPoolTest, RequiresFPlusOneAcks) {
+  // Only 1 ack per request but f=2 => never committed.
+  PoolFixture fx(PoolConfig(5, /*f=*/2), /*ack_replicas=*/1);
+  fx.sim.ScheduleAfter(0, [&] { fx.pool.OnStart(); });
+  fx.sim.RunUntil(Millis(300));
+  EXPECT_EQ(fx.pool.committed(), 0);
+  EXPECT_EQ(fx.pool.outstanding(), 5u);
+}
+
+TEST(ClientPoolTest, DuplicateAcksFromSameReplicaDoNotCount) {
+  // The acking replica sends 2 acks but both from replica ids 0 and 1;
+  // make f=1 (needs 2 distinct) => commits. Then f=2 (needs 3) => no.
+  PoolFixture need3(PoolConfig(5, /*f=*/2), /*ack_replicas=*/2);
+  need3.sim.ScheduleAfter(0, [&] { need3.pool.OnStart(); });
+  need3.sim.RunUntil(Millis(200));
+  EXPECT_EQ(need3.pool.committed(), 0);
+}
+
+TEST(ClientPoolTest, ComplainsAboutOverdueRequests) {
+  PoolFixture fx(PoolConfig(8));
+  fx.replica.set_respond(false);
+  fx.sim.ScheduleAfter(0, [&] { fx.pool.OnStart(); });
+  fx.sim.RunUntil(Seconds(2));
+  EXPECT_GT(fx.replica.complaints(), 0);
+  EXPECT_GT(fx.pool.complaints_sent(), 0);
+}
+
+TEST(ClientPoolTest, LatencyIsMeasured) {
+  PoolFixture fx(PoolConfig(10));
+  fx.sim.ScheduleAfter(0, [&] { fx.pool.OnStart(); });
+  fx.sim.RunUntil(Millis(100));
+  ASSERT_GT(fx.pool.latencies().count(), 0u);
+  // One-way fixed 1 ms each direction + aggregation window.
+  EXPECT_GT(fx.pool.latencies().Mean(), 1.5);
+  EXPECT_LT(fx.pool.latencies().Mean(), 20.0);
+}
+
+TEST(ClientPoolTest, StopAtHaltsNewRequests) {
+  ClientPoolConfig config = PoolConfig(10);
+  config.stop_at = Millis(50);
+  PoolFixture fx(config);
+  fx.sim.ScheduleAfter(0, [&] { fx.pool.OnStart(); });
+  fx.sim.RunUntil(Seconds(1));
+  const int64_t committed_at_stop = fx.pool.committed();
+  fx.sim.RunUntil(Seconds(2));
+  // Outstanding drains to zero and no new requests appear.
+  EXPECT_EQ(fx.pool.outstanding(), 0u);
+  EXPECT_EQ(fx.pool.committed(), committed_at_stop);
+}
+
+// -------------------------------------------------------------- FaultSpec
+
+TEST(FaultSpecTest, FactoriesSetFields) {
+  EXPECT_FALSE(FaultSpec::Honest().IsByzantine());
+  EXPECT_TRUE(FaultSpec::Quiet().IsByzantine());
+  EXPECT_EQ(FaultSpec::Crash(util::Seconds(3)).start_at, util::Seconds(3));
+  const FaultSpec f4 = FaultSpec::RepeatedVc(
+      AttackStrategy::kS2, LeaderMisbehaviour::kEquivocate, 3.0);
+  EXPECT_EQ(f4.type, FaultType::kRepeatedVc);
+  EXPECT_EQ(f4.strategy, AttackStrategy::kS2);
+  EXPECT_EQ(f4.as_leader, LeaderMisbehaviour::kEquivocate);
+  EXPECT_DOUBLE_EQ(f4.collusion_speedup, 3.0);
+}
+
+TEST(FaultSpecTest, TimeoutAttackMimicsVictim) {
+  FaultSpec spec = FaultSpec::TimeoutAttack();
+  spec.mimic_target = 2;
+  spec.has_mimic_target = true;
+  EXPECT_EQ(spec.type, FaultType::kTimeoutAttack);
+  EXPECT_EQ(spec.mimic_target, 2u);
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace prestige
