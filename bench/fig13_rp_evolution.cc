@@ -38,8 +38,8 @@ void Run() {
   size_t printed = 0;
   for (const auto& block : chain) {
     if (printed++ % 2 != 0 && printed < chain.size() - 4) continue;
-    std::printf("%-6lld S%-6u", static_cast<long long>(block.v),
-                block.leader);
+    std::printf("%-6lld S%-6u", static_cast<long long>(block.v()),
+                block.leader());
     for (uint32_t r = 0; r < n; ++r) {
       std::printf("%2lld ", static_cast<long long>(block.PenaltyOf(r)));
     }

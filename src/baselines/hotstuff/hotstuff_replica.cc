@@ -218,14 +218,14 @@ void HotStuffReplica::MaybePropose(bool allow_partial) {
   proposal_active_ = true;
   current_block_ = ledger::TxBlock{};
   current_block_.v = view_;
-  current_block_.n = store_.LatestTxSeq() + 1;
-  current_block_.prev_hash = store_.LatestTxDigest();
-  current_block_.txs = std::move(batch);
-  current_block_.status.assign(current_block_.txs.size(), 1);
+  current_block_.set_n(store_.LatestTxSeq() + 1);
+  current_block_.set_prev_hash(store_.LatestTxDigest());
+  current_block_.set_txs(std::move(batch));
+  current_block_.status.assign(current_block_.BatchSize(), 1);
 
   const crypto::Sha256Digest digest = current_block_.Digest();
   const crypto::Sha256Digest vote_digest =
-      HsVoteDigest(HsPhase::kPrepare, view_, current_block_.n, digest);
+      HsVoteDigest(HsPhase::kPrepare, view_, current_block_.n(), digest);
   collect_phase_ = HsPhase::kPrepare;
   vote_builder_ = crypto::QuorumCertBuilder(vote_digest, config_.quorum());
   vote_builder_.Add(signer_.Sign(vote_digest), vote_digest);
@@ -245,30 +245,30 @@ void HotStuffReplica::OnProposal(sim::ActorId from, const HsProposalMsg& msg) {
     EnterView(msg.v, /*failed=*/false);
   }
   if (IsLeader() || from != ActorOf(current_leader())) return;
-  if (msg.block.n <= store_.LatestTxSeq()) return;  // Stale proposal.
-  if (msg.block.n > store_.LatestTxSeq() + 1) {
+  if (msg.block.n() <= store_.LatestTxSeq()) return;  // Stale proposal.
+  if (msg.block.n() > store_.LatestTxSeq() + 1) {
     // Links are not FIFO: this proposal overtook the previous decide.
     // Fetch the gap; ordering is enforced when blocks are decided.
     auto req = std::make_shared<core::SyncReqMsg>();
     req->kind = core::SyncReqMsg::Kind::kTxBlocks;
     req->after = store_.LatestTxSeq();
-    req->up_to = msg.block.n - 1;
+    req->up_to = msg.block.n() - 1;
     GuardedSend(from, req);
   }
   const crypto::Sha256Digest digest = msg.block.Digest();
   const crypto::Sha256Digest vote_digest =
-      HsVoteDigest(HsPhase::kPrepare, msg.v, msg.block.n, digest);
+      HsVoteDigest(HsPhase::kPrepare, msg.v, msg.block.n(), digest);
   if (!keys_->Verify(msg.sig, vote_digest) ||
       msg.sig.signer != current_leader()) {
     ++metrics_.invalid_messages;
     return;
   }
-  pending_blocks_[msg.block.n] = msg.block;
+  pending_blocks_[msg.block.n()] = msg.block;
 
   auto vote = std::make_shared<HsVoteMsg>();
   vote->v = msg.v;
   vote->phase = HsPhase::kPrepare;
-  vote->n = msg.block.n;
+  vote->n = msg.block.n();
   vote->block_digest = digest;
   vote->partial = SignMaybeCorrupt(vote_digest);
   GuardedSend(from, vote);
@@ -279,7 +279,7 @@ void HotStuffReplica::OnProposal(sim::ActorId from, const HsProposalMsg& msg) {
 void HotStuffReplica::OnVote(sim::ActorId from, const HsVoteMsg& msg) {
   (void)from;
   if (!IsLeader() || !proposal_active_ || msg.v != view_ ||
-      msg.n != current_block_.n || msg.phase != collect_phase_) {
+      msg.n != current_block_.n() || msg.phase != collect_phase_) {
     return;
   }
   const crypto::Sha256Digest expected = vote_builder_.digest();
@@ -304,11 +304,11 @@ void HotStuffReplica::OnVote(sim::ActorId from, const HsVoteMsg& msg) {
     auto decide = std::make_shared<HsPhaseMsg>();
     decide->v = view_;
     decide->phase = HsPhase::kDecide;
-    decide->n = current_block_.n;
+    decide->n = current_block_.n();
     decide->block_digest = digest;
     decide->justify = qc;
     decide->sig = SignMaybeCorrupt(
-        HsVoteDigest(HsPhase::kDecide, view_, current_block_.n, digest));
+        HsVoteDigest(HsPhase::kDecide, view_, current_block_.n(), digest));
     GuardedSend(PeerActors(), decide);
 
     proposal_active_ = false;
@@ -325,15 +325,15 @@ void HotStuffReplica::OnVote(sim::ActorId from, const HsVoteMsg& msg) {
   auto phase_msg = std::make_shared<HsPhaseMsg>();
   phase_msg->v = view_;
   phase_msg->phase = next_phase;
-  phase_msg->n = current_block_.n;
+  phase_msg->n = current_block_.n();
   phase_msg->block_digest = digest;
   phase_msg->justify = qc;
   phase_msg->sig = SignMaybeCorrupt(
-      HsVoteDigest(next_phase, view_, current_block_.n, digest));
+      HsVoteDigest(next_phase, view_, current_block_.n(), digest));
 
   collect_phase_ = next_phase;
   const crypto::Sha256Digest next_digest =
-      HsVoteDigest(next_phase, view_, current_block_.n, digest);
+      HsVoteDigest(next_phase, view_, current_block_.n(), digest);
   vote_builder_ = crypto::QuorumCertBuilder(next_digest, config_.quorum());
   vote_builder_.Add(signer_.Sign(next_digest), next_digest);
 
@@ -397,17 +397,17 @@ void HotStuffReplica::OnNewView(sim::ActorId from, const HsNewViewMsg& msg) {
 }
 
 void HotStuffReplica::DecideBlock(ledger::TxBlock block) {
-  if (block.n <= store_.LatestTxSeq()) return;
-  if (block.n > store_.LatestTxSeq() + 1) {
-    buffered_commits_[block.n] = std::move(block);
+  if (block.n() <= store_.LatestTxSeq()) return;
+  if (block.n() > store_.LatestTxSeq() + 1) {
+    buffered_commits_[block.n()] = std::move(block);
     return;
   }
-  for (const types::Transaction& tx : block.txs) {
+  for (const types::Transaction& tx : block.txs()) {
     committed_tx_keys_.insert(TxKey(tx));
   }
-  metrics_.committed_txs += static_cast<int64_t>(block.txs.size());
+  metrics_.committed_txs += static_cast<int64_t>(block.txs().size());
   ++metrics_.committed_blocks;
-  metrics_.commit_timeline.Add(Now(), static_cast<int64_t>(block.txs.size()));
+  metrics_.commit_timeline.Add(Now(), static_cast<int64_t>(block.txs().size()));
   state_machine_->Apply(block);
   NotifyClients(block);
   util::Status st = store_.AppendTxBlock(std::move(block));
@@ -427,14 +427,14 @@ void HotStuffReplica::DecideBlock(ledger::TxBlock block) {
 void HotStuffReplica::NotifyClients(const ledger::TxBlock& block) {
   if (clients_.empty()) return;
   std::map<types::ClientPoolId, std::vector<types::Transaction>> by_pool;
-  for (const types::Transaction& tx : block.txs) {
+  for (const types::Transaction& tx : block.txs()) {
     if (tx.pool < clients_.size()) by_pool[tx.pool].push_back(tx);
   }
   for (auto& [pool, txs] : by_pool) {
     auto notif = std::make_shared<types::CommitNotif>();
     notif->replica = id_;
     notif->v = block.v;
-    notif->n = block.n;
+    notif->n = block.n();
     notif->txs = std::move(txs);
     GuardedSend(clients_[pool], notif);
   }
@@ -467,7 +467,7 @@ void HotStuffReplica::OnMessage(sim::ActorId from, const sim::MessagePtr& msg) {
     if (!resp->tx_blocks.empty()) GuardedSend(from, resp);
   } else if (auto* m = dynamic_cast<const core::SyncRespMsg*>(msg.get())) {
     for (const ledger::TxBlock& block : m->tx_blocks) {
-      if (block.n == store_.LatestTxSeq() + 1) {
+      if (block.n() == store_.LatestTxSeq() + 1) {
         DecideBlock(block);
       }
     }

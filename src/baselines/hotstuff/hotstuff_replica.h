@@ -58,7 +58,7 @@ struct HsProposalMsg : public sim::NetMessage {
 
   size_t WireSize() const override {
     size_t payload = 0;
-    for (const auto& tx : block.txs) payload += tx.WireBytes();
+    for (const auto& tx : block.txs()) payload += tx.WireBytes();
     return core::kHeaderBytes + payload + core::kSigBytes;
   }
   int NumSigVerifies() const override { return 1; }

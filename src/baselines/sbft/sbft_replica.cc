@@ -96,14 +96,14 @@ void SbftReplica::MaybePropose(bool allow_partial) {
   proposal_active_ = true;
   current_block_ = ledger::TxBlock{};
   current_block_.v = view_;
-  current_block_.n = store_.LatestTxSeq() + 1;
-  current_block_.prev_hash = store_.LatestTxDigest();
-  current_block_.txs = std::move(batch);
-  current_block_.status.assign(current_block_.txs.size(), 1);
+  current_block_.set_n(store_.LatestTxSeq() + 1);
+  current_block_.set_prev_hash(store_.LatestTxDigest());
+  current_block_.set_txs(std::move(batch));
+  current_block_.status.assign(current_block_.BatchSize(), 1);
 
   const crypto::Sha256Digest digest = current_block_.Digest();
   const crypto::Sha256Digest stage_digest =
-      SbStageDigest(0, view_, current_block_.n, digest);
+      SbStageDigest(0, view_, current_block_.n(), digest);
   collect_stage_ = 0;
   share_builder_ = crypto::QuorumCertBuilder(stage_digest, config_.quorum());
   share_builder_.Add(signer_.Sign(stage_digest), stage_digest);
@@ -117,17 +117,17 @@ void SbftReplica::MaybePropose(bool allow_partial) {
 }
 
 void SbftReplica::ExecuteBlock(ledger::TxBlock block) {
-  if (block.n <= store_.LatestTxSeq()) return;
-  if (block.n > store_.LatestTxSeq() + 1) {
-    buffered_commits_[block.n] = std::move(block);
+  if (block.n() <= store_.LatestTxSeq()) return;
+  if (block.n() > store_.LatestTxSeq() + 1) {
+    buffered_commits_[block.n()] = std::move(block);
     return;
   }
-  for (const types::Transaction& tx : block.txs) {
+  for (const types::Transaction& tx : block.txs()) {
     committed_tx_keys_.insert(TxKey(tx));
   }
-  metrics_.committed_txs += static_cast<int64_t>(block.txs.size());
+  metrics_.committed_txs += static_cast<int64_t>(block.txs().size());
   ++metrics_.committed_blocks;
-  metrics_.commit_timeline.Add(Now(), static_cast<int64_t>(block.txs.size()));
+  metrics_.commit_timeline.Add(Now(), static_cast<int64_t>(block.txs().size()));
   state_machine_->Apply(block);
   NotifyClients(block);
   util::Status st = store_.AppendTxBlock(std::move(block));
@@ -147,14 +147,14 @@ void SbftReplica::ExecuteBlock(ledger::TxBlock block) {
 void SbftReplica::NotifyClients(const ledger::TxBlock& block) {
   if (clients_.empty()) return;
   std::map<types::ClientPoolId, std::vector<types::Transaction>> by_pool;
-  for (const types::Transaction& tx : block.txs) {
+  for (const types::Transaction& tx : block.txs()) {
     if (tx.pool < clients_.size()) by_pool[tx.pool].push_back(tx);
   }
   for (auto& [pool, txs] : by_pool) {
     auto notif = std::make_shared<types::CommitNotif>();
     notif->replica = id_;
     notif->v = block.v;
-    notif->n = block.n;
+    notif->n = block.n();
     notif->txs = std::move(txs);
     Send(clients_[pool], notif);
   }
@@ -174,25 +174,25 @@ void SbftReplica::OnMessage(sim::ActorId from, const sim::MessagePtr& msg) {
     MaybePropose(true);
   } else if (auto* m = dynamic_cast<const SbPrePrepareMsg*>(msg.get())) {
     if (m->v != view_ || IsLeader()) return;
-    if (m->block.n <= store_.LatestTxSeq()) return;  // Stale.
+    if (m->block.n() <= store_.LatestTxSeq()) return;  // Stale.
     const crypto::Sha256Digest digest = m->block.Digest();
     const crypto::Sha256Digest stage_digest =
-        SbStageDigest(0, m->v, m->block.n, digest);
+        SbStageDigest(0, m->v, m->block.n(), digest);
     if (!keys_->Verify(m->sig, stage_digest)) {
       ++metrics_.invalid_messages;
       return;
     }
-    pending_blocks_[m->block.n] = m->block;
+    pending_blocks_[m->block.n()] = m->block;
     auto share = std::make_shared<SbShareMsg>();
     share->stage = SbShareMsg::Stage::kCommit;
     share->v = m->v;
-    share->n = m->block.n;
+    share->n = m->block.n();
     share->partial = signer_.Sign(stage_digest);
     Send(from, share);
   } else if (auto* m = dynamic_cast<const SbShareMsg*>(msg.get())) {
     (void)from;
     if (!IsLeader() || !proposal_active_ || m->v != view_ ||
-        m->n != current_block_.n ||
+        m->n != current_block_.n() ||
         static_cast<int>(m->stage) != collect_stage_) {
       return;
     }
@@ -208,7 +208,7 @@ void SbftReplica::OnMessage(sim::ActorId from, const sim::MessagePtr& msg) {
     const crypto::Sha256Digest digest = current_block_.Digest();
     auto out = std::make_shared<SbProofMsg>();
     out->v = view_;
-    out->n = current_block_.n;
+    out->n = current_block_.n();
     out->block_digest = digest;
     out->proof = proof;
 
@@ -216,10 +216,10 @@ void SbftReplica::OnMessage(sim::ActorId from, const sim::MessagePtr& msg) {
       // Full-commit-proof; start collecting execution shares.
       current_block_.commit_qc = proof;
       out->stage = SbProofMsg::Stage::kCommit;
-      out->sig = signer_.Sign(SbStageDigest(0, view_, current_block_.n, digest));
+      out->sig = signer_.Sign(SbStageDigest(0, view_, current_block_.n(), digest));
       collect_stage_ = 1;
       const crypto::Sha256Digest exec_digest =
-          SbStageDigest(1, view_, current_block_.n, digest);
+          SbStageDigest(1, view_, current_block_.n(), digest);
       share_builder_ =
           crypto::QuorumCertBuilder(exec_digest, config_.quorum());
       share_builder_.Add(signer_.Sign(exec_digest), exec_digest);
@@ -227,7 +227,7 @@ void SbftReplica::OnMessage(sim::ActorId from, const sim::MessagePtr& msg) {
     } else {
       // Execute-proof: decision complete.
       out->stage = SbProofMsg::Stage::kExecute;
-      out->sig = signer_.Sign(SbStageDigest(1, view_, current_block_.n, digest));
+      out->sig = signer_.Sign(SbStageDigest(1, view_, current_block_.n(), digest));
       Send(PeerActors(), out);
       proposal_active_ = false;
       ExecuteBlock(current_block_);

@@ -45,11 +45,11 @@ struct SbPrePrepareMsg : public sim::NetMessage {
 
   size_t WireSize() const override {
     size_t payload = 0;
-    for (const auto& tx : block.txs) payload += tx.WireBytes();
+    for (const auto& tx : block.txs()) payload += tx.WireBytes();
     return core::kHeaderBytes + payload + core::kSigBytes;
   }
   int NumSigVerifies() const override {
-    return 1 + crypto_weight * static_cast<int>(block.txs.size());
+    return 1 + crypto_weight * static_cast<int>(block.BatchSize());
   }
   const char* Name() const override { return "SbPrePrepare"; }
 };

@@ -172,7 +172,7 @@ struct VcBlockMsg : public sim::NetMessage {
   ledger::VcBlock block;
 
   size_t WireSize() const override {
-    return kHeaderBytes + 2 * kQcBytes + block.rp.size() * 24;
+    return kHeaderBytes + 2 * kQcBytes + block.rp().size() * 24;
   }
   int NumSigVerifies() const override { return 2; }  // conf_QC + vc_QC.
   const char* Name() const override { return "VcBlockMsg"; }
@@ -245,7 +245,7 @@ struct SyncRespMsg : public sim::NetMessage {
     size_t total = kHeaderBytes;
     for (const auto& b : tx_blocks) {
       total += kHeaderBytes + 2 * kQcBytes;
-      for (const auto& tx : b.txs) total += tx.WireBytes();
+      for (const auto& tx : b.txs()) total += tx.WireBytes();
     }
     total += vc_blocks.size() * (kHeaderBytes + 2 * kQcBytes + 64);
     return total;

@@ -151,12 +151,12 @@ void PrestigeReplica::OnStart() {
   // Install the genesis vcBlock for view 1 with leader S0 and initial
   // reputation values (paper §3 Init / Appendix C).
   ledger::VcBlock genesis;
-  genesis.v = 1;
-  genesis.leader = 0;
-  genesis.confirmed_view = 0;
+  genesis.set_v(1);
+  genesis.set_leader(0);
+  genesis.set_confirmed_view(0);
   for (types::ReplicaId r = 0; r < config_.n; ++r) {
-    genesis.rp[r] = engine_.initial_rp();
-    genesis.ci[r] = engine_.initial_ci();
+    genesis.SetPenalty(r, engine_.initial_rp());
+    genesis.SetCompensation(r, engine_.initial_ci());
   }
   util::Status st = store_.AppendVcBlock(genesis);
   assert(st.ok());
@@ -388,24 +388,24 @@ void PrestigeReplica::OnSyncResp(sim::ActorId from, const SyncRespMsg& msg) {
   if (!msg.vc_blocks.empty()) vc_sync_inflight_ = false;
   if (!msg.tx_blocks.empty()) tx_sync_inflight_ = false;
   for (const ledger::VcBlock& block : msg.vc_blocks) {
-    if (block.v <= store_.CurrentView()) continue;
+    if (block.v() <= store_.CurrentView()) continue;
     if (!ValidateAndAppendVcBlock(block).ok()) {
       ++metrics_.invalid_messages;
       return;
     }
     // Adopt the view: a synced vcBlock moves us forward as a follower.
-    if (block.v > view_) {
+    if (block.v() > view_) {
       InstallVcBlock(block, /*as_leader=*/false);
     }
   }
   for (const ledger::TxBlock& block : msg.tx_blocks) {
-    if (block.n <= store_.LatestTxSeq()) continue;
+    if (block.n() <= store_.LatestTxSeq()) continue;
     if (!ValidateAndAppendTxBlock(block).ok()) {
       ++metrics_.invalid_messages;
       return;
     }
-    commit_bound_.erase(block.n);
-    pending_blocks_.erase(block.n);
+    commit_bound_.erase(block.n());
+    pending_blocks_.erase(block.n());
   }
   // A newly elected leader catching up to the cluster tip (C3 slack) may
   // now begin proposing.
@@ -426,16 +426,16 @@ util::Status PrestigeReplica::ValidateAndAppendTxBlock(
   const crypto::Sha256Digest digest = block.Digest();
   PRESTIGE_RETURN_IF_ERROR(crypto::VerifyQuorumCert(
       *keys_, block.commit_qc,
-      ledger::CommitDigest(block.v, block.n, digest), config_.quorum()));
+      ledger::CommitDigest(block.v, block.n(), digest), config_.quorum()));
   ledger::TxBlock copy = block;
   util::Status st = store_.AppendTxBlock(std::move(copy));
   if (st.ok()) {
     state_machine_->Apply(block);
-    metrics_.committed_txs += static_cast<int64_t>(block.txs.size());
+    metrics_.committed_txs += static_cast<int64_t>(block.BatchSize());
     ++metrics_.committed_blocks;
     metrics_.commit_timeline.Add(Now(),
-                                 static_cast<int64_t>(block.txs.size()));
-    for (const types::Transaction& tx : block.txs) {
+                                 static_cast<int64_t>(block.BatchSize()));
+    for (const types::Transaction& tx : block.txs()) {
       const uint64_t key = TxKey(tx);
       committed_tx_keys_.insert(key);
       auto it = complaints_.find(key);
@@ -464,13 +464,13 @@ util::Status PrestigeReplica::ValidateAndAppendTxBlock(
 
 util::Status PrestigeReplica::ValidateAndAppendVcBlock(
     const ledger::VcBlock& block) {
-  if (block.confirmed_view > 0 || !block.conf_qc.empty()) {
+  if (block.confirmed_view() > 0 || !block.conf_qc.empty()) {
     PRESTIGE_RETURN_IF_ERROR(crypto::VerifyQuorumCert(
-        *keys_, block.conf_qc, ledger::ConfDigest(block.confirmed_view),
+        *keys_, block.conf_qc, ledger::ConfDigest(block.confirmed_view()),
         config_.confirm()));
   }
   PRESTIGE_RETURN_IF_ERROR(crypto::VerifyQuorumCert(
-      *keys_, block.vc_qc, ledger::VoteDigest(block.v, block.leader),
+      *keys_, block.vc_qc, ledger::VoteDigest(block.v(), block.leader()),
       config_.quorum()));
   ledger::VcBlock copy = block;
   return store_.AppendVcBlock(std::move(copy));

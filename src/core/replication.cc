@@ -61,27 +61,27 @@ void PrestigeReplica::Propose(std::vector<types::Transaction> batch) {
   }
   Instance instance;
   instance.block.v = view_;
-  instance.block.n = next_seq_++;
-  instance.block.prev_hash = last_proposed_digest_;
-  instance.block.txs = std::move(batch);
-  instance.block.status.assign(instance.block.txs.size(), 1);
+  instance.block.set_n(next_seq_++);
+  instance.block.set_prev_hash(last_proposed_digest_);
+  instance.block.set_txs(std::move(batch));
+  instance.block.status.assign(instance.block.BatchSize(), 1);
 
   const crypto::Sha256Digest digest = instance.block.Digest();
   last_proposed_digest_ = digest;
   const crypto::Sha256Digest ord_digest =
-      ledger::OrderingDigest(view_, instance.block.n, digest);
+      ledger::OrderingDigest(view_, instance.block.n(), digest);
   instance.ord_builder =
       crypto::QuorumCertBuilder(ord_digest, config_.quorum());
   instance.ord_builder.Add(signer_.Sign(ord_digest), ord_digest);
 
   auto ord = std::make_shared<OrdMsg>();
   ord->v = view_;
-  ord->n = instance.block.n;
-  ord->prev_hash = instance.block.prev_hash;
-  ord->txs = instance.block.txs;
+  ord->n = instance.block.n();
+  ord->prev_hash = instance.block.prev_hash();
+  ord->txs = instance.block.txs();
   ord->sig = SignMaybeCorrupt(ord_digest);
 
-  instances_.emplace(instance.block.n, std::move(instance));
+  instances_.emplace(instance.block.n(), std::move(instance));
   GuardedSend(PeerActors(), ord);
 }
 
@@ -100,10 +100,10 @@ void PrestigeReplica::OnOrd(sim::ActorId from, const OrdMsg& ord) {
 
   ledger::TxBlock block;
   block.v = ord.v;
-  block.n = ord.n;
-  block.prev_hash = ord.prev_hash;
-  block.txs = ord.txs;
-  block.status.assign(block.txs.size(), 1);
+  block.set_n(ord.n);
+  block.set_prev_hash(ord.prev_hash);
+  block.set_txs(ord.txs);
+  block.status.assign(block.BatchSize(), 1);
   const crypto::Sha256Digest digest = block.Digest();
   const crypto::Sha256Digest ord_digest =
       ledger::OrderingDigest(ord.v, ord.n, digest);
@@ -166,16 +166,17 @@ void PrestigeReplica::OnOrdReply(sim::ActorId from, const OrdReplyMsg& reply) {
   // ordering_QC formed: enter phase 2.
   instance.ordered = true;
   instance.block.ordering_qc = instance.ord_builder.Build();
-  const crypto::Sha256Digest cmt_digest = ledger::CommitDigest(
-      view_, instance.block.n, instance.block.Digest());
+  const crypto::Sha256Digest& block_digest = instance.block.Digest();
+  const crypto::Sha256Digest cmt_digest =
+      ledger::CommitDigest(view_, instance.block.n(), block_digest);
   instance.cmt_builder =
       crypto::QuorumCertBuilder(cmt_digest, config_.quorum());
   instance.cmt_builder.Add(signer_.Sign(cmt_digest), cmt_digest);
 
   auto cmt = std::make_shared<CmtMsg>();
   cmt->v = view_;
-  cmt->n = instance.block.n;
-  cmt->block_digest = instance.block.Digest();
+  cmt->n = instance.block.n();
+  cmt->block_digest = block_digest;
   cmt->ordering_qc = instance.block.ordering_qc;
   cmt->sig = SignMaybeCorrupt(cmt_digest);
   GuardedSend(PeerActors(), cmt);
@@ -270,11 +271,11 @@ void PrestigeReplica::OnCmtReply(sim::ActorId from, const CmtReplyMsg& reply) {
 
 void PrestigeReplica::OnTxBlockMsg(sim::ActorId from, const TxBlockMsg& msg) {
   const types::SeqNum latest = store_.LatestTxSeq();
-  if (msg.block.n <= latest) return;  // Duplicate.
-  if (msg.block.n > latest + 1) {
+  if (msg.block.n() <= latest) return;  // Duplicate.
+  if (msg.block.n() > latest + 1) {
     // Gap: buffer and fetch the missing prefix.
-    buffered_commits_[msg.block.n] = msg.block;
-    RequestSync(from, SyncReqMsg::Kind::kTxBlocks, latest, msg.block.n - 1);
+    buffered_commits_[msg.block.n()] = msg.block;
+    RequestSync(from, SyncReqMsg::Kind::kTxBlocks, latest, msg.block.n() - 1);
     return;
   }
   CommitBlock(msg.block);
@@ -282,7 +283,7 @@ void PrestigeReplica::OnTxBlockMsg(sim::ActorId from, const TxBlockMsg& msg) {
 }
 
 void PrestigeReplica::CommitBlock(ledger::TxBlock block) {
-  const types::SeqNum n = block.n;
+  const types::SeqNum n = block.n();
   if (!ValidateAndAppendTxBlock(block).ok()) {
     ++metrics_.invalid_messages;
     return;
@@ -290,7 +291,7 @@ void PrestigeReplica::CommitBlock(ledger::TxBlock block) {
   pending_blocks_.erase(n);
   signed_ord_.erase(std::make_pair(block.v, n));
   commit_bound_.erase(n);
-  for (const types::Transaction& tx : block.txs) {
+  for (const types::Transaction& tx : block.txs()) {
     inflight_tx_keys_.erase(TxKey(tx));
   }
   NotifyClients(block);
@@ -311,14 +312,14 @@ void PrestigeReplica::NotifyClients(const ledger::TxBlock& block) {
   if (clients_.empty()) return;
   // Group the block's transactions by originating pool.
   std::map<types::ClientPoolId, std::vector<types::Transaction>> by_pool;
-  for (const types::Transaction& tx : block.txs) {
+  for (const types::Transaction& tx : block.txs()) {
     if (tx.pool < clients_.size()) by_pool[tx.pool].push_back(tx);
   }
   for (auto& [pool, txs] : by_pool) {
     auto notif = std::make_shared<types::CommitNotif>();
     notif->replica = id_;
     notif->v = block.v;
-    notif->n = block.n;
+    notif->n = block.n();
     notif->txs = std::move(txs);
     GuardedSend(clients_[pool], notif);
   }
@@ -383,13 +384,13 @@ void PrestigeReplica::StartLeading() {
   std::vector<ledger::TxBlock> repropose = std::move(repropose_);
   repropose_.clear();
   for (ledger::TxBlock& body : repropose) {
-    if (body.n < next_seq_) continue;  // Committed while we were elected.
-    if (body.n != next_seq_ || instances_.size() >= config_.max_inflight) {
+    if (body.n() < next_seq_) continue;  // Committed while we were elected.
+    if (body.n() != next_seq_ || instances_.size() >= config_.max_inflight) {
       // Gap or full pipeline: recycle the transactions into the pool.
-      for (const types::Transaction& tx : body.txs) EnqueueTx(tx);
+      for (const types::Transaction& tx : body.txs()) EnqueueTx(tx);
       continue;
     }
-    Propose(std::move(body.txs));
+    Propose(body.release_txs());
   }
 
   MaybePropose(/*allow_partial=*/true);
@@ -401,14 +402,14 @@ void PrestigeReplica::StopReplicationActivity() {
   // future leadership term can re-propose them.
   for (auto& [n, instance] : instances_) {
     (void)n;
-    for (const types::Transaction& tx : instance.block.txs) {
+    for (const types::Transaction& tx : instance.block.txs()) {
       inflight_tx_keys_.erase(TxKey(tx));
       EnqueueTx(tx);
     }
   }
   for (auto& [n, block] : ready_blocks_) {
     (void)n;
-    for (const types::Transaction& tx : block.txs) {
+    for (const types::Transaction& tx : block.txs()) {
       inflight_tx_keys_.erase(TxKey(tx));
       EnqueueTx(tx);
     }

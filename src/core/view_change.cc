@@ -169,7 +169,7 @@ void PrestigeReplica::OnConfVc(sim::ActorId from, const ConfVcMsg& msg) {
 void PrestigeReplica::OnReVc(sim::ActorId from, const ReVcMsg& msg) {
   (void)from;
   if (!inspecting_ || msg.v != view_) return;
-  const crypto::Sha256Digest conf_digest = ledger::ConfDigest(view_);
+  const crypto::Sha256Digest& conf_digest = revc_builder_.digest();
   if (!keys_->Verify(msg.partial, conf_digest)) {
     ++metrics_.invalid_messages;
     return;
@@ -415,7 +415,7 @@ bool PrestigeReplica::VerifyCampaign(sim::ActorId from, const CampMsg& camp) {
     const ledger::TxBlock* mine = store_.TxBlockAt(camp.latest_n);
     if (mine == nullptr) return false;
     payload = mine->Digest();
-    if (camp.latest_tx_block.n != camp.latest_n ||
+    if (camp.latest_tx_block.n() != camp.latest_n ||
         camp.latest_tx_block.Digest() != payload) {
       return false;
     }
@@ -484,8 +484,7 @@ void PrestigeReplica::OnVoteCp(sim::ActorId from, const VoteCpMsg& vote) {
       vote.candidate != id_) {
     return;
   }
-  const crypto::Sha256Digest digest =
-      ledger::VoteDigest(campaign_view_, id_);
+  const crypto::Sha256Digest& digest = vote_builder_.digest();
   if (!keys_->Verify(vote.partial, digest)) {
     ++metrics_.invalid_messages;
     return;
@@ -510,18 +509,18 @@ void PrestigeReplica::BecomeLeaderOfView() {
   // Prepare the new vcBlock (§4.2.4): inherit the previous reputation
   // segment (with refresh overlay folded in) and update only our own entry.
   ledger::VcBlock block;
-  block.v = campaign_view_;
-  block.leader = id_;
-  block.confirmed_view = confirmed_view_;
-  block.prev_hash = store_.LatestVcBlock()->Digest();
+  block.set_v(campaign_view_);
+  block.set_leader(id_);
+  block.set_confirmed_view(confirmed_view_);
+  block.set_prev_hash(store_.LatestVcBlock()->Digest());
   block.conf_qc = campaign_conf_qc_;
   block.vc_qc = vote_builder_.Build();
   for (types::ReplicaId r = 0; r < config_.n; ++r) {
-    block.rp[r] = EffectiveRp(r);
-    block.ci[r] = EffectiveCi(r);
+    block.SetPenalty(r, EffectiveRp(r));
+    block.SetCompensation(r, EffectiveCi(r));
   }
-  block.rp[id_] = campaign_rp_;
-  block.ci[id_] = campaign_ci_;
+  block.SetPenalty(id_, campaign_rp_);
+  block.SetCompensation(id_, campaign_ci_);
 
   const crypto::Sha256Digest yes_digest =
       ledger::VcYesDigest(block.Digest());
@@ -541,21 +540,21 @@ void PrestigeReplica::BecomeLeaderOfView() {
 
 void PrestigeReplica::OnVcBlockMsg(sim::ActorId from, const VcBlockMsg& msg) {
   const ledger::VcBlock& block = msg.block;
-  if (block.v <= store_.CurrentView()) return;  // Old news.
+  if (block.v() <= store_.CurrentView()) return;  // Old news.
 
   const bool extends_tip =
       store_.LatestVcBlock() == nullptr ||
-      block.prev_hash == store_.LatestVcBlock()->Digest();
+      block.prev_hash() == store_.LatestVcBlock()->Digest();
 
   if (extends_tip) {
     // Normal path: validate QCs and the reputation segment — the only
     // change from our current segment may be the new leader's rp and ci
     // (§4.2.4).
     for (types::ReplicaId r = 0; r < config_.n; ++r) {
-      if (r == block.leader) continue;
-      if (block.rp.count(r) == 0 || block.ci.count(r) == 0 ||
-          block.rp.at(r) != EffectiveRp(r) ||
-          block.ci.at(r) != EffectiveCi(r)) {
+      if (r == block.leader()) continue;
+      if (block.rp().count(r) == 0 || block.ci().count(r) == 0 ||
+          block.rp().at(r) != EffectiveRp(r) ||
+          block.ci().at(r) != EffectiveCi(r)) {
         ++metrics_.invalid_messages;
         return;
       }
@@ -572,11 +571,11 @@ void PrestigeReplica::OnVcBlockMsg(sim::ActorId from, const VcBlockMsg& msg) {
     // majority's endorsement; the per-entry segment check is meaningful
     // only against the block's own parent.)
     if (!crypto::VerifyQuorumCert(*keys_, block.conf_qc,
-                                  ledger::ConfDigest(block.confirmed_view),
+                                  ledger::ConfDigest(block.confirmed_view()),
                                   config_.confirm())
              .ok() ||
         !crypto::VerifyQuorumCert(*keys_, block.vc_qc,
-                                  ledger::VoteDigest(block.v, block.leader),
+                                  ledger::VoteDigest(block.v(), block.leader()),
                                   config_.quorum())
              .ok()) {
       ++metrics_.invalid_messages;
@@ -586,13 +585,13 @@ void PrestigeReplica::OnVcBlockMsg(sim::ActorId from, const VcBlockMsg& msg) {
       // Not a shallow fork: we are missing history; fetch and retry.
       stashed_vc_blocks_.emplace_back(from, block);
       RequestSync(from, SyncReqMsg::Kind::kVcBlocks, store_.CurrentView(),
-                  block.v);
+                  block.v());
       return;
     }
   }
 
   auto yes = std::make_shared<VcYesMsg>();
-  yes->v = block.v;
+  yes->v = block.v();
   yes->latest_n = store_.LatestTxSeq();
   yes->partial = SignMaybeCorrupt(ledger::VcYesDigest(block.Digest()));
   GuardedSend(from, yes);
@@ -605,8 +604,7 @@ void PrestigeReplica::OnVcYes(sim::ActorId from, const VcYesMsg& msg) {
       role_ != Role::kLeader) {
     return;
   }
-  const crypto::Sha256Digest digest =
-      ledger::VcYesDigest(announced_vc_block_->Digest());
+  const crypto::Sha256Digest& digest = vcyes_builder_.digest();
   if (!keys_->Verify(msg.partial, digest)) {
     ++metrics_.invalid_messages;
     return;
@@ -634,12 +632,12 @@ void PrestigeReplica::OnVcYes(sim::ActorId from, const VcYesMsg& msg) {
 
 void PrestigeReplica::InstallVcBlock(const ledger::VcBlock& block,
                                      bool as_leader) {
-  view_ = block.v;
-  leader_ = block.leader;
+  view_ = block.v();
+  leader_ = block.leader();
   view_entered_at_ = Now();
-  voted_view_ = std::max(voted_view_, block.v);
+  voted_view_ = std::max(voted_view_, block.v());
   votes_by_view_.erase(votes_by_view_.begin(),
-                       votes_by_view_.upper_bound(block.v));
+                       votes_by_view_.upper_bound(block.v()));
   consecutive_election_timeouts_ = 0;
   consecutive_pow_abandons_ = 0;
   refresh_overlay_.clear();

@@ -107,7 +107,14 @@ void Sha256::Update(const uint8_t* data, size_t len) {
   }
 }
 
+namespace {
+uint64_t g_total_finished = 0;
+}  // namespace
+
+uint64_t Sha256::TotalFinished() { return g_total_finished; }
+
 Sha256Digest Sha256::Finish() {
+  ++g_total_finished;
   const uint64_t total_bits = bit_count_;
   // Append 0x80, pad with zeros to 56 mod 64, append 64-bit length.
   uint8_t pad = 0x80;

@@ -44,6 +44,11 @@ class Sha256 {
   /// Pads, finalizes, and returns the digest.
   Sha256Digest Finish();
 
+  /// Process-wide count of completed SHA-256 computations (Finish calls).
+  /// The simulation is single-threaded; the counter is plain. Benchmarks
+  /// diff it around a run to report how much hashing the run cost.
+  static uint64_t TotalFinished();
+
   /// One-shot convenience.
   static Sha256Digest Hash(const uint8_t* data, size_t len);
   static Sha256Digest Hash(const std::vector<uint8_t>& data) {

@@ -42,7 +42,7 @@ class BlockStore {
 
   /// Highest committed txBlock sequence number (ti in Eq. 2); 0 when empty.
   types::SeqNum LatestTxSeq() const {
-    return tx_chain_.empty() ? 0 : tx_chain_.back().n;
+    return tx_chain_.empty() ? 0 : tx_chain_.back().n();
   }
 
   /// Digest of the latest txBlock (all-zero when empty).
@@ -58,7 +58,7 @@ class BlockStore {
 
   /// View of the latest vcBlock; 1 (the initial view) when only genesis.
   types::View CurrentView() const {
-    return vc_chain_.empty() ? 1 : vc_chain_.back().v;
+    return vc_chain_.empty() ? 1 : vc_chain_.back().v();
   }
 
   /// Latest vcBlock, or nullptr before the first view change.

@@ -1,0 +1,40 @@
+// Memoized SHA-256 digest for block types whose identity fields mutate
+// rarely but whose Digest() is read once per protocol message.
+
+#ifndef PRESTIGE_LEDGER_DIGEST_CACHE_H_
+#define PRESTIGE_LEDGER_DIGEST_CACHE_H_
+
+#include "crypto/sha256.h"
+
+namespace prestige {
+namespace ledger {
+
+/// Lazily computed digest with explicit invalidation.
+///
+/// The owning block calls Invalidate() from every mutator of a field the
+/// digest covers; Get() then recomputes at most once per invalidation.
+/// Copying a cache alongside its fields keeps the cached value valid, so
+/// blocks remain freely copyable.
+class DigestCache {
+ public:
+  void Invalidate() { valid_ = false; }
+  bool valid() const { return valid_; }
+
+  template <typename ComputeFn>
+  const crypto::Sha256Digest& Get(ComputeFn&& compute) const {
+    if (!valid_) {
+      digest_ = compute();
+      valid_ = true;
+    }
+    return digest_;
+  }
+
+ private:
+  mutable crypto::Sha256Digest digest_{};
+  mutable bool valid_ = false;
+};
+
+}  // namespace ledger
+}  // namespace prestige
+
+#endif  // PRESTIGE_LEDGER_DIGEST_CACHE_H_

@@ -22,7 +22,7 @@ class KvStateMachine : public StateMachine {
       : key_space_(key_space == 0 ? 1 : key_space) {}
 
   void Apply(const TxBlock& block) override {
-    for (const types::Transaction& tx : block.txs) {
+    for (const types::Transaction& tx : block.txs()) {
       const uint64_t key = tx.fingerprint % key_space_;
       const uint64_t value = tx.fingerprint;
       map_[key] = value;

@@ -24,7 +24,7 @@ class StateMachine {
 class NullStateMachine : public StateMachine {
  public:
   void Apply(const TxBlock& block) override {
-    applied_ += static_cast<int64_t>(block.txs.size());
+    applied_ += static_cast<int64_t>(block.BatchSize());
   }
   int64_t applied_count() const override { return applied_; }
 

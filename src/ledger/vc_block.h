@@ -15,6 +15,7 @@
 
 #include "crypto/quorum_cert.h"
 #include "crypto/sha256.h"
+#include "ledger/digest_cache.h"
 #include "types/codec.h"
 #include "types/ids.h"
 
@@ -22,48 +23,94 @@ namespace prestige {
 namespace ledger {
 
 /// One view-change consensus result.
-struct VcBlock {
-  types::View v = 0;
-  types::ReplicaId leader = 0;
+///
+/// Everything the address covers (header + reputation segment) is private
+/// behind mutators so the memoized Digest() can never go stale. The QCs
+/// certify the block, are excluded from the address, and stay public.
+class VcBlock {
+ public:
+  crypto::QuorumCert conf_qc;  ///< f+1 confirmation of the leader failure.
+  crypto::QuorumCert vc_qc;    ///< 2f+1 votes electing the leader.
+
+  types::View v() const { return v_; }
+  void set_v(types::View v) {
+    v_ = v;
+    cache_.Invalidate();
+  }
+
+  types::ReplicaId leader() const { return leader_; }
+  void set_leader(types::ReplicaId leader) {
+    leader_ = leader;
+    cache_.Invalidate();
+  }
+
   /// The view whose failure conf_qc confirms (v - 1 normally; lower when
   /// split-vote retries skipped views). Lets any server recompute the
   /// conf_qc digest.
-  types::View confirmed_view = 0;
-  crypto::Sha256Digest prev_hash{};  ///< Address of the previous vcBlock.
+  types::View confirmed_view() const { return confirmed_view_; }
+  void set_confirmed_view(types::View v) {
+    confirmed_view_ = v;
+    cache_.Invalidate();
+  }
 
-  crypto::QuorumCert conf_qc;  ///< f+1 confirmation of the leader failure.
-  crypto::QuorumCert vc_qc;    ///< 2f+1 votes electing `leader`.
+  const crypto::Sha256Digest& prev_hash() const { return prev_hash_; }
+  void set_prev_hash(const crypto::Sha256Digest& h) {
+    prev_hash_ = h;
+    cache_.Invalidate();
+  }
 
-  std::map<types::ReplicaId, types::Penalty> rp;
-  std::map<types::ReplicaId, types::CompensationIndex> ci;
+  const std::map<types::ReplicaId, types::Penalty>& rp() const { return rp_; }
+  const std::map<types::ReplicaId, types::CompensationIndex>& ci() const {
+    return ci_;
+  }
+  void SetPenalty(types::ReplicaId id, types::Penalty penalty) {
+    rp_[id] = penalty;
+    cache_.Invalidate();
+  }
+  void SetCompensation(types::ReplicaId id, types::CompensationIndex index) {
+    ci_[id] = index;
+    cache_.Invalidate();
+  }
 
   /// Penalty of `id`, defaulting to the paper's initial value 1.
   types::Penalty PenaltyOf(types::ReplicaId id) const {
-    auto it = rp.find(id);
-    return it == rp.end() ? 1 : it->second;
+    auto it = rp_.find(id);
+    return it == rp_.end() ? 1 : it->second;
   }
 
   /// Compensation index of `id`, defaulting to the initial value 1.
   types::CompensationIndex CompensationOf(types::ReplicaId id) const {
-    auto it = ci.find(id);
-    return it == ci.end() ? 1 : it->second;
+    auto it = ci_.find(id);
+    return it == ci_.end() ? 1 : it->second;
   }
 
-  /// Address of this block: header + full reputation segment. QCs certify
-  /// the block and are excluded from the address.
-  crypto::Sha256Digest Digest() const {
-    types::Encoder enc("vcblock");
-    enc.PutI64(v).PutU32(leader).PutI64(confirmed_view).PutDigest(prev_hash);
-    enc.PutU64(rp.size());
-    for (const auto& [id, penalty] : rp) {
-      enc.PutU32(id).PutI64(penalty);
-    }
-    enc.PutU64(ci.size());
-    for (const auto& [id, index] : ci) {
-      enc.PutU32(id).PutI64(index);
-    }
-    return enc.Digest();
+  /// Address of this block: header + full reputation segment. Memoized;
+  /// valid until the next mutation of a covered field.
+  const crypto::Sha256Digest& Digest() const {
+    return cache_.Get([this] {
+      types::Encoder enc("vcblock");
+      enc.PutI64(v_).PutU32(leader_).PutI64(confirmed_view_).PutDigest(
+          prev_hash_);
+      enc.PutU64(rp_.size());
+      for (const auto& [id, penalty] : rp_) {
+        enc.PutU32(id).PutI64(penalty);
+      }
+      enc.PutU64(ci_.size());
+      for (const auto& [id, index] : ci_) {
+        enc.PutU32(id).PutI64(index);
+      }
+      return enc.Digest();
+    });
   }
+
+ private:
+  types::View v_ = 0;
+  types::ReplicaId leader_ = 0;
+  types::View confirmed_view_ = 0;
+  crypto::Sha256Digest prev_hash_{};  ///< Address of the previous vcBlock.
+  std::map<types::ReplicaId, types::Penalty> rp_;
+  std::map<types::ReplicaId, types::CompensationIndex> ci_;
+  DigestCache cache_;
 };
 
 /// Digest signed by ReVC replies confirming the failure of view v's leader.

@@ -19,9 +19,11 @@ namespace types {
 /// Append-only canonical encoder (little-endian fixed-width integers).
 class Encoder {
  public:
-  /// Starts an encoding with a domain-separation tag.
+  /// Starts an encoding with a domain-separation tag. There is no tagless
+  /// constructor on purpose: every digest in the system must commit to its
+  /// message kind, or digests of two kinds with identical payloads could
+  /// collide and a signature for one could be replayed as the other.
   explicit Encoder(const char* domain_tag) { PutString(domain_tag); }
-  Encoder() = default;
 
   Encoder& PutU8(uint8_t v) {
     buf_.push_back(v);

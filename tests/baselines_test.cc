@@ -153,7 +153,7 @@ TEST(ProsecutorTest, PenaltiesAreMonotone) {
     types::Penalty last = 0;
     for (const auto& block : history) {
       EXPECT_GE(block.PenaltyOf(r), last >= 1 ? 1 : last);
-      if (block.leader == r) {
+      if (block.leader() == r) {
         EXPECT_GE(block.PenaltyOf(r), last);
       }
       last = block.PenaltyOf(r);

@@ -90,9 +90,9 @@ class ReplicaUnitTest : public ::testing::Test {
 
     ledger::TxBlock block;
     block.v = ord->v;
-    block.n = ord->n;
-    block.prev_hash = ord->prev_hash;
-    block.txs = ord->txs;
+    block.set_n(ord->n);
+    block.set_prev_hash(ord->prev_hash);
+    block.set_txs(ord->txs);
     const crypto::Sha256Digest ord_digest =
         ledger::OrderingDigest(ord->v, ord->n, block.Digest());
     ord->sig = keys_.Sign(0, ord_digest);  // Leader is replica 0.
@@ -135,9 +135,9 @@ TEST_F(ReplicaUnitTest, RejectsOrdImpersonatingLeader) {
   auto ord = MakeOrd(1);
   ledger::TxBlock block;
   block.v = ord->v;
-  block.n = ord->n;
-  block.prev_hash = ord->prev_hash;
-  block.txs = ord->txs;
+  block.set_n(ord->n);
+  block.set_prev_hash(ord->prev_hash);
+  block.set_txs(ord->txs);
   ord->sig = keys_.Sign(2, ledger::OrderingDigest(1, 1, block.Digest()));
   Deliver(2, ord);
   EXPECT_EQ(probes_[2].Count<OrdReplyMsg>(), 0);
@@ -168,9 +168,9 @@ TEST_F(ReplicaUnitTest, CmtRequiresValidOrderingQc) {
 
   ledger::TxBlock block;
   block.v = 1;
-  block.n = 1;
-  block.prev_hash = ord->prev_hash;
-  block.txs = ord->txs;
+  block.set_n(1);
+  block.set_prev_hash(ord->prev_hash);
+  block.set_txs(ord->txs);
   const crypto::Sha256Digest digest = block.Digest();
 
   auto cmt = std::make_shared<CmtMsg>();
@@ -197,9 +197,9 @@ TEST_F(ReplicaUnitTest, FullTwoPhaseCommitDeliversNotif) {
 
   ledger::TxBlock block;
   block.v = 1;
-  block.n = 1;
-  block.prev_hash = ord->prev_hash;
-  block.txs = ord->txs;
+  block.set_n(1);
+  block.set_prev_hash(ord->prev_hash);
+  block.set_txs(ord->txs);
   const crypto::Sha256Digest digest = block.Digest();
   const crypto::Sha256Digest ord_digest =
       ledger::OrderingDigest(1, 1, digest);
@@ -237,9 +237,9 @@ TEST_F(ReplicaUnitTest, TxBlockWithForgedQcRejected) {
   auto ord = MakeOrd(1);
   ledger::TxBlock block;
   block.v = 1;
-  block.n = 1;
-  block.prev_hash = ord->prev_hash;
-  block.txs = ord->txs;
+  block.set_n(1);
+  block.set_prev_hash(ord->prev_hash);
+  block.set_txs(ord->txs);
   const crypto::Sha256Digest cmt_digest =
       ledger::CommitDigest(1, 1, block.Digest());
   crypto::QuorumCertBuilder builder(cmt_digest, 3);

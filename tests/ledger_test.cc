@@ -24,25 +24,27 @@ types::Transaction MakeTx(uint64_t seq, uint64_t fingerprint = 0) {
 TxBlock MakeTxBlock(types::SeqNum n, types::View v,
                     const crypto::Sha256Digest& prev, size_t txs = 3) {
   TxBlock b;
-  b.n = n;
+  b.set_n(n);
   b.v = v;
-  b.prev_hash = prev;
+  b.set_prev_hash(prev);
+  std::vector<types::Transaction> batch;
   for (size_t i = 0; i < txs; ++i) {
-    b.txs.push_back(MakeTx(static_cast<uint64_t>(n) * 100 + i));
+    batch.push_back(MakeTx(static_cast<uint64_t>(n) * 100 + i));
   }
-  b.status.assign(b.txs.size(), 1);
+  b.set_txs(std::move(batch));
+  b.status.assign(b.BatchSize(), 1);
   return b;
 }
 
 VcBlock MakeVcBlock(types::View v, types::ReplicaId leader,
                     const crypto::Sha256Digest& prev) {
   VcBlock b;
-  b.v = v;
-  b.leader = leader;
-  b.prev_hash = prev;
+  b.set_v(v);
+  b.set_leader(leader);
+  b.set_prev_hash(prev);
   for (types::ReplicaId id = 0; id < 4; ++id) {
-    b.rp[id] = 1;
-    b.ci[id] = 1;
+    b.SetPenalty(id, 1);
+    b.SetCompensation(id, 1);
   }
   return b;
 }
@@ -53,10 +55,12 @@ TEST(TxBlockTest, DigestCoversContent) {
   TxBlock a = MakeTxBlock(1, 1, {});
   TxBlock b = a;
   EXPECT_EQ(a.Digest(), b.Digest());
-  b.txs[0].fingerprint ^= 1;
+  std::vector<types::Transaction> txs = b.txs();
+  txs[0].fingerprint ^= 1;
+  b.set_txs(std::move(txs));
   EXPECT_NE(a.Digest(), b.Digest());
   b = a;
-  b.n = 2;
+  b.set_n(2);
   EXPECT_NE(a.Digest(), b.Digest());
 }
 
@@ -72,13 +76,13 @@ TEST(VcBlockTest, DigestCoversReputationSegment) {
   VcBlock a = MakeVcBlock(2, 1, {});
   VcBlock b = a;
   EXPECT_EQ(a.Digest(), b.Digest());
-  b.rp[2] = 5;
+  b.SetPenalty(2, 5);
   EXPECT_NE(a.Digest(), b.Digest());
   b = a;
-  b.ci[3] = 10;
+  b.SetCompensation(3, 10);
   EXPECT_NE(a.Digest(), b.Digest());
   b = a;
-  b.leader = 2;
+  b.set_leader(2);
   EXPECT_NE(a.Digest(), b.Digest());
 }
 
@@ -86,7 +90,7 @@ TEST(VcBlockTest, PenaltyDefaultsToInitial) {
   VcBlock b;
   EXPECT_EQ(b.PenaltyOf(7), 1);
   EXPECT_EQ(b.CompensationOf(7), 1);
-  b.rp[7] = 4;
+  b.SetPenalty(7, 4);
   EXPECT_EQ(b.PenaltyOf(7), 4);
 }
 
@@ -148,7 +152,7 @@ TEST(BlockStoreTest, LookupByIndexAndView) {
   ASSERT_TRUE(
       store.AppendTxBlock(MakeTxBlock(2, 1, store.LatestTxDigest())).ok());
   ASSERT_NE(store.TxBlockAt(1), nullptr);
-  EXPECT_EQ(store.TxBlockAt(1)->n, 1);
+  EXPECT_EQ(store.TxBlockAt(1)->n(), 1);
   EXPECT_EQ(store.TxBlockAt(0), nullptr);
   EXPECT_EQ(store.TxBlockAt(3), nullptr);
 }
@@ -162,17 +166,17 @@ TEST(BlockStoreTest, RangeQueriesForSyncUp) {
   }
   const auto blocks = store.TxBlocksAfter(2, 4);
   ASSERT_EQ(blocks.size(), 2u);
-  EXPECT_EQ(blocks[0].n, 3);
-  EXPECT_EQ(blocks[1].n, 4);
+  EXPECT_EQ(blocks[0].n(), 3);
+  EXPECT_EQ(blocks[1].n(), 4);
 }
 
 TEST(BlockStoreTest, HistoricPenaltiesNewestFirst) {
   BlockStore store;
   VcBlock b2 = MakeVcBlock(2, 0, {});
-  b2.rp[0] = 2;
+  b2.SetPenalty(0, 2);
   ASSERT_TRUE(store.AppendVcBlock(b2).ok());
   VcBlock b3 = MakeVcBlock(3, 0, store.LatestVcBlock()->Digest());
-  b3.rp[0] = 3;
+  b3.SetPenalty(0, 3);
   ASSERT_TRUE(store.AppendVcBlock(b3).ok());
   const auto penalties = store.HistoricPenalties(0);
   ASSERT_EQ(penalties.size(), 2u);
@@ -206,10 +210,9 @@ TEST(KvStateMachineTest, OrderMatters) {
 TEST(KvStateMachineTest, GetReflectsPut) {
   KvStateMachine kv(1024);
   TxBlock block;
-  block.n = 1;
+  block.set_n(1);
   block.v = 1;
-  types::Transaction tx = MakeTx(1, /*fingerprint=*/12345);
-  block.txs.push_back(tx);
+  block.set_txs({MakeTx(1, /*fingerprint=*/12345)});
   kv.Apply(block);
   EXPECT_EQ(kv.Get(12345 % 1024), 12345u);
   EXPECT_EQ(kv.Get(999), 0u);

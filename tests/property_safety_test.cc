@@ -52,7 +52,7 @@ void AssertNoDuplicateCommits(PrestigeCluster& cluster, uint32_t n) {
   for (uint32_t i = 0; i < n; ++i) {
     std::set<std::pair<uint32_t, uint64_t>> seen;
     for (const auto& block : cluster.replica(i).store().tx_chain()) {
-      for (const auto& tx : block.txs) {
+      for (const auto& tx : block.txs()) {
         ASSERT_TRUE(seen.insert({tx.pool, tx.client_seq}).second)
             << "tx (" << tx.pool << "," << tx.client_seq
             << ") committed twice on replica " << i;
@@ -188,11 +188,11 @@ TEST(ReputationLemmaTest, UnsuccessfulElectionsDoNotChangePenalty) {
     const auto& prev = chain[i - 1];
     const auto& cur = chain[i];
     for (uint32_t r = 0; r < 4; ++r) {
-      if (r == cur.leader) continue;
+      if (r == cur.leader()) continue;
       EXPECT_EQ(cur.PenaltyOf(r), prev.PenaltyOf(r))
-          << "non-leader penalty changed at view " << cur.v;
+          << "non-leader penalty changed at view " << cur.v();
       EXPECT_EQ(cur.CompensationOf(r), prev.CompensationOf(r))
-          << "non-leader ci changed at view " << cur.v;
+          << "non-leader ci changed at view " << cur.v();
     }
   }
 }
@@ -216,10 +216,10 @@ TEST(ReputationLemmaTest, ElectedLeaderIsAlwaysVerifiable) {
   for (size_t i = 1; i < chain.size(); ++i) {
     const auto& prev = chain[i - 1];
     const auto& cur = chain[i];
-    const types::Penalty before = prev.PenaltyOf(cur.leader);
-    const types::Penalty after = cur.PenaltyOf(cur.leader);
+    const types::Penalty before = prev.PenaltyOf(cur.leader());
+    const types::Penalty after = cur.PenaltyOf(cur.leader());
     EXPECT_GE(after, 1);
-    EXPECT_LE(after, before + (cur.v - prev.v));
+    EXPECT_LE(after, before + (cur.v() - prev.v()));
   }
 }
 

@@ -17,13 +17,13 @@ namespace {
 ledger::VcBlock Vc(types::View v, types::ReplicaId leader,
                    const crypto::Sha256Digest& prev) {
   ledger::VcBlock b;
-  b.v = v;
-  b.leader = leader;
-  b.confirmed_view = v - 1;
-  b.prev_hash = prev;
+  b.set_v(v);
+  b.set_leader(leader);
+  b.set_confirmed_view(v - 1);
+  b.set_prev_hash(prev);
   for (types::ReplicaId r = 0; r < 4; ++r) {
-    b.rp[r] = 1;
-    b.ci[r] = 1;
+    b.SetPenalty(r, 1);
+    b.SetCompensation(r, 1);
   }
   return b;
 }
@@ -55,7 +55,7 @@ TEST_F(ForkResolutionTest, HigherViewSiblingUnwindsTail) {
   EXPECT_TRUE(store_.AppendVcBlockResolvingFork(fork).ok());
   EXPECT_EQ(store_.CurrentView(), 3);
   EXPECT_EQ(store_.VcBlockFor(2), nullptr);  // Unwound.
-  EXPECT_EQ(store_.LatestVcBlock()->leader, 2u);
+  EXPECT_EQ(store_.LatestVcBlock()->leader(), 2u);
 }
 
 TEST_F(ForkResolutionTest, LowerViewSiblingRejected) {
@@ -63,7 +63,7 @@ TEST_F(ForkResolutionTest, LowerViewSiblingRejected) {
   // A sibling at the same view as the tip cannot replace it.
   ledger::VcBlock fork = Vc(2, 3, v1_digest);
   EXPECT_TRUE(store_.AppendVcBlockResolvingFork(fork).IsCorruption());
-  EXPECT_EQ(store_.LatestVcBlock()->leader, 1u);
+  EXPECT_EQ(store_.LatestVcBlock()->leader(), 1u);
 }
 
 TEST_F(ForkResolutionTest, UnknownParentRejected) {
@@ -149,7 +149,7 @@ TEST(MessageModelTest, VcBlockDigestCoversConfirmedView) {
   ledger::VcBlock a = Vc(5, 1, {});
   ledger::VcBlock b = a;
   EXPECT_EQ(a.Digest(), b.Digest());
-  b.confirmed_view = 3;
+  b.set_confirmed_view(3);
   EXPECT_NE(a.Digest(), b.Digest());
 }
 

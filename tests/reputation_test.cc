@@ -215,24 +215,24 @@ class StoreDrivenTest : public ::testing::Test {
     Penalty rp = 1;
     for (types::View v = 2; v <= 5; ++v) {
       ledger::VcBlock b;
-      b.v = v;
-      b.leader = 0;
-      b.prev_hash = prev;
+      b.set_v(v);
+      b.set_leader(0);
+      b.set_prev_hash(prev);
       for (types::ReplicaId id = 0; id < 4; ++id) {
-        b.rp[id] = 1;
-        b.ci[id] = 1;
+        b.SetPenalty(id, 1);
+        b.SetCompensation(id, 1);
       }
-      b.rp[0] = ++rp;  // S1 penalized 2,3,4,5 across V2..V5.
+      b.SetPenalty(0, ++rp);  // S1 penalized 2,3,4,5 across V2..V5.
       ASSERT_TRUE(store_.AppendVcBlock(b).ok());
       prev = store_.LatestVcBlock()->Digest();
     }
     crypto::Sha256Digest tx_prev{};
     for (types::SeqNum n = 1; n <= 20; ++n) {
       ledger::TxBlock b;
-      b.n = n;
+      b.set_n(n);
       b.v = 5;
-      b.prev_hash = tx_prev;
-      b.txs.push_back(types::Transaction{});
+      b.set_prev_hash(tx_prev);
+      b.set_txs({types::Transaction{}});
       ASSERT_TRUE(store_.AppendTxBlock(b).ok());
       tx_prev = store_.LatestTxDigest();
     }
