@@ -2,7 +2,8 @@
 //
 // Unlike the fig*_ binaries (which pretty-print one paper figure each),
 // this driver exists so CI and future PRs can track the performance
-// trajectory numerically. Each scenario writes BENCH_<scenario>.json:
+// trajectory numerically. Each scenario writes BENCH_<scenario>.json
+// (full schema: docs/BENCHMARKS.md). Flat fields shared by every file:
 //
 //   {
 //     "scenario":      name,
@@ -16,14 +17,23 @@
 //     "sha256_hashes": SHA-256 computations the run performed
 //   }
 //
+// Declarative fault scenarios (src/harness/scenario.h) additionally carry
+// a "protocols" array: a seed sweep per protocol (PrestigeBFT, HotStuff,
+// SBFT) with per-seed virtual-time metrics and safety verdicts. The flat
+// fields then mirror the PrestigeBFT aggregate so trajectory tooling can
+// read every BENCH file uniformly.
+//
 // Virtual-time metrics (tps, latency) track protocol behaviour; wall
 // time and the hash counter track implementation cost — digest caching
 // and similar optimisations show up there even when simulated network
 // latency dominates the virtual clock.
 //
-// Usage: bench_runner [--outdir DIR] [scenario ...]
+// Usage: bench_runner [--outdir DIR] [--seeds N] [--seed BASE] [scenario ...]
+//        bench_runner --scenario NAME [--scenario NAME ...]
 //        bench_runner --list
-// With no scenario arguments, every scenario runs.
+// With no scenario arguments, every scenario runs. Exit status is 2 on
+// usage errors, 1 when any output failed to write OR any declarative
+// scenario violated a safety invariant — CI keys off this.
 
 #include <algorithm>
 #include <chrono>
@@ -35,6 +45,8 @@
 
 #include "bench/bench_util.h"
 #include "crypto/sha256.h"
+#include "harness/scenario.h"
+#include "harness/scenario_runner.h"
 
 namespace prestige {
 namespace bench {
@@ -50,7 +62,17 @@ struct ScenarioResult {
   int64_t elections_won = 0;
   double wall_seconds = 0.0;
   uint64_t sha256_hashes = 0;
+  /// Declarative scenarios: false when any seed of any protocol violated a
+  /// safety invariant (drives the process exit code).
+  bool safe = true;
+  /// Extra JSON members appended verbatim to the BENCH file (the per-
+  /// protocol seed-sweep detail); empty for classic scenarios.
+  std::string extra_json;
 };
+
+// Seed-sweep knobs for declarative scenarios (set from the command line).
+uint32_t g_sweep_seeds = 3;
+uint64_t g_sweep_base_seed = 1;
 
 /// Runs `body` with wall-clock and hash-count accounting around it.
 ScenarioResult Instrumented(const std::function<void(ScenarioResult&)>& body) {
@@ -187,6 +209,113 @@ ScenarioResult RunDigestMicro() {
   });
 }
 
+// --------------------------------------------- declarative fault scenarios
+
+/// Modest closed-loop load for fault scenarios: enough traffic to keep the
+/// pipeline busy without making a 20-seed × 3-protocol sweep slow.
+harness::WorkloadOptions ScenarioWorkload(uint64_t seed) {
+  harness::WorkloadOptions w;
+  w.num_pools = 4;
+  w.clients_per_pool = 50;
+  w.payload_size = 32;
+  w.client_timeout = util::Seconds(1);
+  w.seed = seed;
+  return w;
+}
+
+/// One protocol's sweep rendered as a JSON object.
+std::string ProtocolJson(const char* protocol,
+                         const harness::ScenarioAggregate& agg) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "    {\n"
+                "      \"protocol\": \"%s\",\n"
+                "      \"all_safe\": %s,\n"
+                "      \"throughput_tps_mean\": %.1f,\n"
+                "      \"throughput_tps_min\": %.1f,\n"
+                "      \"throughput_tps_max\": %.1f,\n"
+                "      \"p50_latency_ms_mean\": %.3f,\n"
+                "      \"p99_latency_ms_mean\": %.3f,\n"
+                "      \"committed\": %lld,\n"
+                "      \"view_changes\": %lld,\n"
+                "      \"elections_won\": %lld,\n"
+                "      \"messages_dropped\": %llu,\n"
+                "      \"per_seed\": [\n",
+                protocol, agg.all_safe ? "true" : "false", agg.tps_mean,
+                agg.tps_min, agg.tps_max, agg.p50_ms_mean, agg.p99_ms_mean,
+                static_cast<long long>(agg.committed_total),
+                static_cast<long long>(agg.view_changes_total),
+                static_cast<long long>(agg.elections_won_total),
+                static_cast<unsigned long long>(agg.messages_dropped_total));
+  std::string out = buf;
+  for (size_t i = 0; i < agg.seeds.size(); ++i) {
+    out += "        ";
+    out += harness::SeedResultJson(agg.seeds[i]);
+    if (i + 1 < agg.seeds.size()) out += ",";
+    out += "\n";
+  }
+  out += "      ]\n    }";
+  return out;
+}
+
+/// Runs `spec` as a seed sweep on PrestigeBFT + the HotStuff and SBFT
+/// baselines. Flat result fields mirror the PrestigeBFT aggregate.
+ScenarioResult RunDeclarative(const harness::ScenarioSpec& spec) {
+  const uint32_t seeds = g_sweep_seeds;
+  const uint64_t base_seed = g_sweep_base_seed;
+  return Instrumented([&](ScenarioResult& r) {
+    r.n = spec.n;
+
+    const auto prestige =
+        harness::RunScenarioSweep<core::PrestigeReplica, core::PrestigeConfig>(
+            spec, PaperPrestigeConfig(spec.n, 500), ScenarioWorkload(0),
+            base_seed, seeds);
+    const auto hotstuff = harness::RunScenarioSweep<
+        baselines::hotstuff::HotStuffReplica,
+        baselines::hotstuff::HotStuffConfig>(
+        spec, PaperHotStuffConfig(spec.n, 500), ScenarioWorkload(0),
+        base_seed, seeds);
+    baselines::sbft::SbftConfig sbft_config;
+    sbft_config.n = spec.n;
+    sbft_config.batch_size = 500;
+    const auto sbft =
+        harness::RunScenarioSweep<baselines::sbft::SbftReplica,
+                                  baselines::sbft::SbftConfig>(
+            spec, sbft_config, ScenarioWorkload(0), base_seed, seeds);
+
+    r.committed = prestige.committed_total;
+    r.tps = prestige.tps_mean;
+    r.p50_ms = prestige.p50_ms_mean;
+    r.p99_ms = prestige.p99_ms_mean;
+    r.view_changes = prestige.view_changes_total;
+    r.elections_won = prestige.elections_won_total;
+    r.safe = prestige.all_safe && hotstuff.all_safe && sbft.all_safe;
+
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"seeds\": %u,\n  \"base_seed\": %llu,\n"
+                  "  \"all_safe\": %s,\n  \"protocols\": [\n",
+                  seeds, static_cast<unsigned long long>(base_seed),
+                  r.safe ? "true" : "false");
+    r.extra_json = buf;
+    r.extra_json += ProtocolJson("prestigebft", prestige) + ",\n";
+    r.extra_json += ProtocolJson("hotstuff", hotstuff) + ",\n";
+    r.extra_json += ProtocolJson("sbft", sbft) + "\n  ],\n";
+
+    for (const auto* agg : {&prestige, &hotstuff, &sbft}) {
+      for (const auto& seed : agg->seeds) {
+        if (!seed.safety_ok) {
+          std::fprintf(stderr,
+                       "bench_runner: SAFETY VIOLATION %s seed %llu: %s\n",
+                       spec.name.c_str(),
+                       static_cast<unsigned long long>(seed.seed),
+                       seed.violation.c_str());
+        }
+      }
+    }
+  });
+}
+
 struct Scenario {
   const char* name;
   const char* description;
@@ -194,18 +323,28 @@ struct Scenario {
 };
 
 const std::vector<Scenario>& Scenarios() {
-  static const std::vector<Scenario> kScenarios = {
-      {"replication_n4", "steady-state replication, n=4, fault-free",
-       [] { return RunReplication(4); }},
-      {"replication_n16", "steady-state replication, n=16, fault-free",
-       [] { return RunReplication(16); }},
-      {"view_change_churn", "1s leader rotation, n=8 (active view changes)",
-       [] { return RunViewChangeChurn(); }},
-      {"leader_crash", "leader crash at t=3s, n=4 (forced view change)",
-       [] { return RunLeaderCrash(); }},
-      {"digest_micro", "repeated TxBlock/VcBlock digest reads (hot path)",
-       [] { return RunDigestMicro(); }},
-  };
+  static const std::vector<Scenario> kScenarios = [] {
+    std::vector<Scenario> scenarios = {
+        {"replication_n4", "steady-state replication, n=4, fault-free",
+         [] { return RunReplication(4); }},
+        {"replication_n16", "steady-state replication, n=16, fault-free",
+         [] { return RunReplication(16); }},
+        {"view_change_churn", "1s leader rotation, n=8 (active view changes)",
+         [] { return RunViewChangeChurn(); }},
+        {"leader_crash", "leader crash at t=3s, n=4 (forced view change)",
+         [] { return RunLeaderCrash(); }},
+        {"digest_micro", "repeated TxBlock/VcBlock digest reads (hot path)",
+         [] { return RunDigestMicro(); }},
+    };
+    // Declarative fault scenarios (seed-swept over all three protocols).
+    // The specs live in a function-local static, so the c_str() pointers
+    // stay valid for the process lifetime.
+    for (const harness::ScenarioSpec& spec : harness::NamedScenarios()) {
+      scenarios.push_back({spec.name.c_str(), spec.description.c_str(),
+                           [&spec] { return RunDeclarative(spec); }});
+    }
+    return scenarios;
+  }();
   return kScenarios;
 }
 
@@ -227,12 +366,14 @@ bool WriteJson(const std::string& outdir, const char* scenario,
                "  \"p99_latency_ms\": %.3f,\n"
                "  \"view_changes\": %lld,\n"
                "  \"elections_won\": %lld,\n"
+               "%s"
                "  \"wall_seconds\": %.3f,\n"
                "  \"sha256_hashes\": %llu\n"
                "}\n",
                scenario, r.n, static_cast<long long>(r.committed), r.tps,
                r.p50_ms, r.p99_ms, static_cast<long long>(r.view_changes),
-               static_cast<long long>(r.elections_won), r.wall_seconds,
+               static_cast<long long>(r.elections_won), r.extra_json.c_str(),
+               r.wall_seconds,
                static_cast<unsigned long long>(r.sha256_hashes));
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
@@ -245,13 +386,33 @@ int Main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--list") == 0) {
       for (const Scenario& s : Scenarios()) {
-        std::printf("%-20s %s\n", s.name, s.description);
+        std::printf("%-28s %s\n", s.name, s.description);
       }
       return 0;
     }
     if (std::strcmp(argv[i], "--outdir") == 0 && i + 1 < argc) {
       outdir = argv[++i];
       continue;
+    }
+    if (std::strcmp(argv[i], "--scenario") == 0 && i + 1 < argc) {
+      selected.emplace_back(argv[++i]);
+      continue;
+    }
+    if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
+      g_sweep_seeds = static_cast<uint32_t>(std::atoi(argv[++i]));
+      if (g_sweep_seeds == 0) {
+        std::fprintf(stderr, "bench_runner: --seeds must be >= 1\n");
+        return 2;
+      }
+      continue;
+    }
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      g_sweep_base_seed = std::strtoull(argv[++i], nullptr, 10);
+      continue;
+    }
+    if (argv[i][0] == '-') {
+      std::fprintf(stderr, "bench_runner: unknown flag '%s'\n", argv[i]);
+      return 2;
     }
     selected.emplace_back(argv[i]);
   }
@@ -279,15 +440,16 @@ int Main(int argc, char** argv) {
       continue;
     }
     any = true;
-    std::printf("running %-20s (%s)\n", s.name, s.description);
+    std::printf("running %-28s (%s)\n", s.name, s.description);
     const ScenarioResult r = s.run();
     std::printf(
         "  n=%u committed=%lld tps=%.1f p50=%.2fms p99=%.2fms vc=%lld "
-        "wall=%.2fs sha256=%llu\n",
+        "wall=%.2fs sha256=%llu%s\n",
         r.n, static_cast<long long>(r.committed), r.tps, r.p50_ms, r.p99_ms,
         static_cast<long long>(r.view_changes), r.wall_seconds,
-        static_cast<unsigned long long>(r.sha256_hashes));
-    ok = WriteJson(outdir, s.name, r) && ok;
+        static_cast<unsigned long long>(r.sha256_hashes),
+        r.safe ? "" : "  ** SAFETY VIOLATION **");
+    ok = WriteJson(outdir, s.name, r) && r.safe && ok;
   }
   if (!any) {
     std::fprintf(stderr,

@@ -179,7 +179,9 @@ void HotStuffReplica::EnterView(types::View v, bool failed) {
   view_ = v;
   if (!failed) consecutive_failures_ = 0;
   proposal_active_ = false;
-  pending_blocks_.clear();
+  // Pending bodies survive the rotation: the vote binding refuses
+  // conflicting bodies at their sequences, so the next leader re-proposes
+  // the inherited body instead of a fresh batch.
   ArmViewTimer();
   if (IsLeader()) {
     ++metrics_.elections_won;  // "Elected" by schedule.
@@ -196,34 +198,56 @@ void HotStuffReplica::EnqueueTx(const types::Transaction& tx) {
 
 void HotStuffReplica::MaybePropose(bool allow_partial) {
   if (!IsLeader() || proposal_active_) return;
-  if (pending_txs_.empty()) return;
-  if (pending_txs_.size() < config_.batch_size && !allow_partial) {
-    if (batch_timer_ == 0) {
-      batch_timer_ = SetTimer(config_.batch_wait, kBatchTimer);
-    }
+  const types::SeqNum next = store_.LatestTxSeq() + 1;
+  // Inherited in-flight body first: peers vote-bound to a body at the next
+  // sequence refuse anything else there, so a new leader re-proposes the
+  // body it saw instead of composing a fresh batch. If we are bound at
+  // `next` but no longer hold the matching body, stand down *before*
+  // consuming the request pool — until the schedule reaches a leader that
+  // still has it.
+  auto inherited = pending_blocks_.find(next);
+  auto bound = vote_bound_.find(next);
+  if (bound != vote_bound_.end() &&
+      (inherited == pending_blocks_.end() ||
+       inherited->second.Digest() != bound->second)) {
     return;
   }
-
   std::vector<types::Transaction> batch;
-  batch.reserve(std::min(pending_txs_.size(), config_.batch_size));
-  while (!pending_txs_.empty() && batch.size() < config_.batch_size) {
-    types::Transaction tx = pending_txs_.front();
-    pending_txs_.pop_front();
-    pending_keys_.erase(TxKey(tx));
-    if (committed_tx_keys_.count(TxKey(tx)) > 0) continue;
-    batch.push_back(std::move(tx));
+  if (inherited != pending_blocks_.end()) {
+    batch = inherited->second.txs();
+  } else {
+    if (pending_txs_.empty()) return;
+    if (pending_txs_.size() < config_.batch_size && !allow_partial) {
+      if (batch_timer_ == 0) {
+        batch_timer_ = SetTimer(config_.batch_wait, kBatchTimer);
+      }
+      return;
+    }
+    batch.reserve(std::min(pending_txs_.size(), config_.batch_size));
+    while (!pending_txs_.empty() && batch.size() < config_.batch_size) {
+      types::Transaction tx = pending_txs_.front();
+      pending_txs_.pop_front();
+      pending_keys_.erase(TxKey(tx));
+      if (committed_tx_keys_.count(TxKey(tx)) > 0) continue;
+      batch.push_back(std::move(tx));
+    }
   }
   if (batch.empty()) return;
 
   proposal_active_ = true;
   current_block_ = ledger::TxBlock{};
   current_block_.v = view_;
-  current_block_.set_n(store_.LatestTxSeq() + 1);
+  current_block_.set_n(next);
   current_block_.set_prev_hash(store_.LatestTxDigest());
   current_block_.set_txs(std::move(batch));
   current_block_.status.assign(current_block_.BatchSize(), 1);
 
   const crypto::Sha256Digest digest = current_block_.Digest();
+  // The leader's own prepare vote binds it like any follower's. (A bound
+  // conflict is impossible here: the stand-down above covered it, and an
+  // inherited body reproduces the bound digest — TxBlock digests exclude
+  // the view.)
+  vote_bound_.emplace(current_block_.n(), digest);
   const crypto::Sha256Digest vote_digest =
       HsVoteDigest(HsPhase::kPrepare, view_, current_block_.n(), digest);
   collect_phase_ = HsPhase::kPrepare;
@@ -256,6 +280,11 @@ void HotStuffReplica::OnProposal(sim::ActorId from, const HsProposalMsg& msg) {
     GuardedSend(from, req);
   }
   const crypto::Sha256Digest digest = msg.block.Digest();
+  // Vote binding: never back a second body at a sequence we already voted
+  // for (commit quorums need 2f+1 votes, so this keeps at most one
+  // certifiable body per sequence across view rotations).
+  auto bound = vote_bound_.find(msg.block.n());
+  if (bound != vote_bound_.end() && bound->second != digest) return;
   const crypto::Sha256Digest vote_digest =
       HsVoteDigest(HsPhase::kPrepare, msg.v, msg.block.n(), digest);
   if (!keys_->Verify(msg.sig, vote_digest) ||
@@ -263,6 +292,7 @@ void HotStuffReplica::OnProposal(sim::ActorId from, const HsProposalMsg& msg) {
     ++metrics_.invalid_messages;
     return;
   }
+  vote_bound_.emplace(msg.block.n(), digest);
   pending_blocks_[msg.block.n()] = msg.block;
 
   auto vote = std::make_shared<HsVoteMsg>();
@@ -373,7 +403,12 @@ void HotStuffReplica::OnPhase(sim::ActorId from, const HsPhaseMsg& msg) {
     return;
   }
 
-  // Vote for this phase.
+  // Vote for this phase (binding: refuse conflicting bodies at this n).
+  auto bound = vote_bound_.find(msg.n);
+  if (bound != vote_bound_.end() && bound->second != msg.block_digest) {
+    return;
+  }
+  vote_bound_.emplace(msg.n, msg.block_digest);
   auto vote = std::make_shared<HsVoteMsg>();
   vote->v = msg.v;
   vote->phase = msg.phase;
@@ -413,6 +448,11 @@ void HotStuffReplica::DecideBlock(ledger::TxBlock block) {
   util::Status st = store_.AppendTxBlock(std::move(block));
   assert(st.ok());
   (void)st;
+  // Decided sequences release their bindings and pending bodies.
+  vote_bound_.erase(vote_bound_.begin(),
+                    vote_bound_.upper_bound(store_.LatestTxSeq()));
+  pending_blocks_.erase(pending_blocks_.begin(),
+                        pending_blocks_.upper_bound(store_.LatestTxSeq()));
   ArmViewTimer();
   consecutive_failures_ = 0;
   // Unblock any buffered successors.

@@ -219,6 +219,13 @@ class HotStuffReplica : public sim::Actor {
   // Follower state for the in-flight proposal.
   std::map<types::SeqNum, ledger::TxBlock> pending_blocks_;
   std::map<types::SeqNum, ledger::TxBlock> buffered_commits_;
+  /// Cross-view vote binding (the role basic HotStuff's lock rule plays):
+  /// once this replica votes — in any phase — for a block body at sequence
+  /// n, it refuses votes for a different body at n until n decides. Every
+  /// commitQC needs 2f+1 votes, so at most one body is ever certifiable per
+  /// sequence even when views drift under message loss (found by the
+  /// flaky-links scenario).
+  std::map<types::SeqNum, crypto::Sha256Digest> vote_bound_;
 
   core::ReplicaMetrics metrics_;
 };

@@ -54,10 +54,11 @@ void SbftReplica::OnTimer(uint64_t tag) {
     case kViewTimer:
       // Passive rotation on timeout (fast path only — dual paths and view
       // change details of full SBFT are out of scope for the peak-
-      // performance comparison this baseline serves).
+      // performance comparison this baseline serves). Pending block bodies
+      // survive the rotation: the share binding refuses conflicting bodies
+      // at their sequences, so the new leader must re-propose them.
       ++view_;
       proposal_active_ = false;
-      pending_blocks_.clear();
       view_timer_ = SetTimer(config_.view_timeout, kViewTimer);
       if (IsLeader()) MaybePropose(true);
       break;
@@ -76,32 +77,55 @@ void SbftReplica::EnqueueTx(const types::Transaction& tx) {
 }
 
 void SbftReplica::MaybePropose(bool allow_partial) {
-  if (!IsLeader() || proposal_active_ || pending_txs_.empty()) return;
-  if (pending_txs_.size() < config_.batch_size && !allow_partial) {
-    if (batch_timer_ == 0) {
-      batch_timer_ = SetTimer(config_.batch_wait, kBatchTimer);
-    }
+  if (!IsLeader() || proposal_active_) return;
+  const types::SeqNum next = store_.LatestTxSeq() + 1;
+  // Inherited in-flight body first: peers share-bound to a body at the
+  // next sequence refuse anything else there, so a new leader re-proposes
+  // the body it saw instead of composing a fresh batch. If we are bound at
+  // `next` but no longer hold the matching body, stand down *before*
+  // consuming the request pool — a leader that still has the body will
+  // re-propose it after a rotation.
+  auto inherited = pending_blocks_.find(next);
+  auto bound = share_bound_.find(next);
+  if (bound != share_bound_.end() &&
+      (inherited == pending_blocks_.end() ||
+       inherited->second.Digest() != bound->second)) {
     return;
   }
   std::vector<types::Transaction> batch;
-  while (!pending_txs_.empty() && batch.size() < config_.batch_size) {
-    types::Transaction tx = pending_txs_.front();
-    pending_txs_.pop_front();
-    pending_keys_.erase(TxKey(tx));
-    if (committed_tx_keys_.count(TxKey(tx)) > 0) continue;
-    batch.push_back(std::move(tx));
+  if (inherited != pending_blocks_.end()) {
+    batch = inherited->second.txs();
+  } else {
+    if (pending_txs_.empty()) return;
+    if (pending_txs_.size() < config_.batch_size && !allow_partial) {
+      if (batch_timer_ == 0) {
+        batch_timer_ = SetTimer(config_.batch_wait, kBatchTimer);
+      }
+      return;
+    }
+    while (!pending_txs_.empty() && batch.size() < config_.batch_size) {
+      types::Transaction tx = pending_txs_.front();
+      pending_txs_.pop_front();
+      pending_keys_.erase(TxKey(tx));
+      if (committed_tx_keys_.count(TxKey(tx)) > 0) continue;
+      batch.push_back(std::move(tx));
+    }
   }
   if (batch.empty()) return;
 
   proposal_active_ = true;
   current_block_ = ledger::TxBlock{};
   current_block_.v = view_;
-  current_block_.set_n(store_.LatestTxSeq() + 1);
+  current_block_.set_n(next);
   current_block_.set_prev_hash(store_.LatestTxDigest());
   current_block_.set_txs(std::move(batch));
   current_block_.status.assign(current_block_.BatchSize(), 1);
 
   const crypto::Sha256Digest digest = current_block_.Digest();
+  // The leader's own share binds it like any follower's. (A bound conflict
+  // is impossible here: the stand-down above covered it, and an inherited
+  // body reproduces the bound digest — TxBlock digests exclude the view.)
+  share_bound_.emplace(current_block_.n(), digest);
   const crypto::Sha256Digest stage_digest =
       SbStageDigest(0, view_, current_block_.n(), digest);
   collect_stage_ = 0;
@@ -133,6 +157,11 @@ void SbftReplica::ExecuteBlock(ledger::TxBlock block) {
   util::Status st = store_.AppendTxBlock(std::move(block));
   assert(st.ok());
   (void)st;
+  // Executed sequences release their bindings and pending bodies.
+  share_bound_.erase(share_bound_.begin(),
+                     share_bound_.upper_bound(store_.LatestTxSeq()));
+  pending_blocks_.erase(pending_blocks_.begin(),
+                        pending_blocks_.upper_bound(store_.LatestTxSeq()));
   // Progress: reset the view timer.
   if (view_timer_ != 0) CancelTimer(view_timer_);
   view_timer_ = SetTimer(config_.view_timeout, kViewTimer);
@@ -176,12 +205,18 @@ void SbftReplica::OnMessage(sim::ActorId from, const sim::MessagePtr& msg) {
     if (m->v != view_ || IsLeader()) return;
     if (m->block.n() <= store_.LatestTxSeq()) return;  // Stale.
     const crypto::Sha256Digest digest = m->block.Digest();
+    // Share binding: never back a second body at a sequence we already
+    // shared for (commit quorums need 2f+1 shares, so this keeps at most
+    // one certifiable body per sequence across view rotations).
+    auto bound = share_bound_.find(m->block.n());
+    if (bound != share_bound_.end() && bound->second != digest) return;
     const crypto::Sha256Digest stage_digest =
         SbStageDigest(0, m->v, m->block.n(), digest);
     if (!keys_->Verify(m->sig, stage_digest)) {
       ++metrics_.invalid_messages;
       return;
     }
+    share_bound_.emplace(m->block.n(), digest);
     pending_blocks_[m->block.n()] = m->block;
     auto share = std::make_shared<SbShareMsg>();
     share->stage = SbShareMsg::Stage::kCommit;
@@ -246,6 +281,12 @@ void SbftReplica::OnMessage(sim::ActorId from, const sim::MessagePtr& msg) {
     }
     auto it = pending_blocks_.find(m->n);
     if (it == pending_blocks_.end()) return;
+    if (it->second.Digest() != m->block_digest) {
+      // Proof for a different body than the one we hold; never certify or
+      // execute a body under another body's proof.
+      ++metrics_.invalid_messages;
+      return;
+    }
     if (m->stage == SbProofMsg::Stage::kCommit) {
       // Reply with an execution share.
       it->second.commit_qc = m->proof;

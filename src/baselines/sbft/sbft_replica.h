@@ -116,11 +116,13 @@ class SbftReplica : public sim::Actor {
   void OnTimer(uint64_t tag) override;
 
   types::View view() const { return view_; }
-  bool IsLeader() const {
-    return static_cast<types::ReplicaId>(view_ % config_.n) == id_;
+  types::ReplicaId current_leader() const {
+    return static_cast<types::ReplicaId>(view_ % config_.n);
   }
+  bool IsLeader() const { return current_leader() == id_; }
   const ledger::BlockStore& store() const { return store_; }
   const core::ReplicaMetrics& metrics() const { return metrics_; }
+  const workload::FaultSpec& fault() const { return fault_; }
 
  private:
   enum TimerKind : uint64_t { kViewTimer = 1, kBatchTimer = 2 };
@@ -159,6 +161,13 @@ class SbftReplica : public sim::Actor {
 
   std::map<types::SeqNum, ledger::TxBlock> pending_blocks_;
   std::map<types::SeqNum, ledger::TxBlock> buffered_commits_;
+  /// Cross-view share binding: once this replica sends a share for a block
+  /// body at sequence n, it never shares for a *different* body at n until
+  /// n executes. Any execute-proof needs 2f+1 shares, so at most one body
+  /// can ever be certified per sequence — without this, view drift under
+  /// message loss lets two leaders certify conflicting blocks at the same
+  /// height (found by the flaky-links scenario).
+  std::map<types::SeqNum, crypto::Sha256Digest> share_bound_;
 
   core::ReplicaMetrics metrics_;
 };

@@ -264,6 +264,10 @@ void PrestigeReplica::OnTimer(uint64_t tag) {
     }
     case kBatchTimer:
       batch_timer_ = 0;
+      // Record the expired deadline before proposing: if the pipeline is
+      // full right now, the pending partial must still go out as soon as a
+      // slot frees (MaybePropose clears the flag once it does).
+      partial_due_ = true;
       MaybePropose(/*allow_partial=*/true);
       break;
     case kElectionTimeout: {
@@ -307,6 +311,7 @@ void PrestigeReplica::OnTimer(uint64_t tag) {
         hb->latest_n = store_.LatestTxSeq();
         hb->sig = SignMaybeCorrupt(HeartbeatDigest(hb->v, hb->latest_n));
         GuardedSend(PeerActors(), hb);
+        RetransmitStalledInstances();
         heartbeat_timer_ =
             SetTimer(config_.timeout_min / 3, Tag(kHeartbeat));
       }
@@ -360,10 +365,11 @@ void PrestigeReplica::OnTimer(uint64_t tag) {
 
 void PrestigeReplica::RequestSync(sim::ActorId from, SyncReqMsg::Kind kind,
                                   int64_t after, int64_t up_to) {
-  bool& inflight = kind == SyncReqMsg::Kind::kTxBlocks ? tx_sync_inflight_
-                                                       : vc_sync_inflight_;
-  if (inflight) return;
-  inflight = true;
+  util::TimeMicros& backoff_until = kind == SyncReqMsg::Kind::kTxBlocks
+                                        ? tx_sync_backoff_until_
+                                        : vc_sync_backoff_until_;
+  if (Now() < backoff_until) return;
+  backoff_until = Now() + config_.complaint_wait;
   ++metrics_.sync_ups;
   auto req = std::make_shared<SyncReqMsg>();
   req->kind = kind;
@@ -385,8 +391,8 @@ void PrestigeReplica::OnSyncReq(sim::ActorId from, const SyncReqMsg& msg) {
 
 void PrestigeReplica::OnSyncResp(sim::ActorId from, const SyncRespMsg& msg) {
   (void)from;
-  if (!msg.vc_blocks.empty()) vc_sync_inflight_ = false;
-  if (!msg.tx_blocks.empty()) tx_sync_inflight_ = false;
+  if (!msg.vc_blocks.empty()) vc_sync_backoff_until_ = 0;
+  if (!msg.tx_blocks.empty()) tx_sync_backoff_until_ = 0;
   for (const ledger::VcBlock& block : msg.vc_blocks) {
     if (block.v() <= store_.CurrentView()) continue;
     if (!ValidateAndAppendVcBlock(block).ok()) {
@@ -441,6 +447,7 @@ util::Status PrestigeReplica::ValidateAndAppendTxBlock(
       auto it = complaints_.find(key);
       if (it != complaints_.end()) {
         CancelTimer(it->second.timer);
+        complaint_probe_keys_.erase(it->second.probe);
         complaints_.erase(it);
       }
     }

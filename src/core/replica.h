@@ -129,6 +129,9 @@ class PrestigeReplica : public sim::Actor {
     crypto::QuorumCertBuilder cmt_builder;
     bool ordered = false;  ///< ordering_QC complete, Cmt broadcast.
     bool done = false;     ///< commit_QC complete.
+    /// Last Ord/Cmt broadcast for this instance (stalled-instance
+    /// retransmits refresh it, giving a per-instance rebroadcast interval).
+    util::TimeMicros last_broadcast_at = 0;
   };
 
   /// Follower-side record of a block body received via Ord.
@@ -141,6 +144,7 @@ class PrestigeReplica : public sim::Actor {
   struct ComplaintState {
     types::Transaction tx;
     sim::TimerId timer = 0;
+    uint64_t probe = 0;      ///< complaint_probe_keys_ entry for the timer.
     bool escalated = false;  ///< Complaint wait expired; inspection begun.
   };
 
@@ -204,12 +208,20 @@ class PrestigeReplica : public sim::Actor {
   util::DurationMicros SampleTimeout();
   void StartLeading();
   void StopReplicationActivity();
+  /// Re-broadcasts Ord / Cmt for in-flight instances whose quorum stalled
+  /// (lost replies on lossy links); piggybacks on the heartbeat tick.
+  void RetransmitStalledInstances();
 
   // ------------------------------------------------------- view change
   void OnClientComplaint(sim::ActorId from,
                          const types::ClientComplaint& compt);
   void OnComptRelay(sim::ActorId from, const ComptRelayMsg& msg);
-  void HandleComplaintTimer(uint64_t key);
+  /// Arms a complaint-wait timer for the complaint keyed by `key`, filling
+  /// `state`'s timer/probe fields. Timer tags carry only 48 payload bits,
+  /// so the 64-bit key is mapped through a small probe-id table instead of
+  /// being truncated into the tag.
+  void ArmComplaintTimer(uint64_t key, ComplaintState& state);
+  void HandleComplaintTimer(uint64_t probe);
   void StartInspection(VcReason reason, const types::Transaction* tx);
   void OnConfVc(sim::ActorId from, const ConfVcMsg& msg);
   void OnReVc(sim::ActorId from, const ReVcMsg& msg);
@@ -283,6 +295,10 @@ class PrestigeReplica : public sim::Actor {
   types::SeqNum next_seq_ = 1;
   sim::TimerId batch_timer_ = 0;
   sim::TimerId heartbeat_timer_ = 0;
+  /// The batch-wait deadline expired while the pipeline was full: propose
+  /// the partial batch as soon as a slot frees instead of waiting for
+  /// another full batch_wait.
+  bool partial_due_ = false;
 
   // Follower replication state.
   std::map<types::SeqNum, PendingBlock> pending_blocks_;
@@ -308,6 +324,10 @@ class PrestigeReplica : public sim::Actor {
 
   // Complaint tracking.
   std::unordered_map<uint64_t, ComplaintState> complaints_;
+  /// Probe-id -> complaint key for pending complaint-wait timers (keys are
+  /// 64-bit; timer tags only carry 48 payload bits).
+  std::unordered_map<uint64_t, uint64_t> complaint_probe_keys_;
+  uint64_t next_complaint_probe_ = 1;
 
   // Inspection (ConfVC/ReVC collection).
   bool inspecting_ = false;
@@ -359,8 +379,11 @@ class PrestigeReplica : public sim::Actor {
   bool refresh_pending_ = false;
 
   // Sync state.
-  bool tx_sync_inflight_ = false;
-  bool vc_sync_inflight_ = false;
+  /// Sync back-off: no new request of that kind until the deadline passes.
+  /// A deadline (rather than a latch) keeps a lost SyncReq / SyncResp from
+  /// suppressing catch-up forever on lossy links.
+  util::TimeMicros tx_sync_backoff_until_ = 0;
+  util::TimeMicros vc_sync_backoff_until_ = 0;
   std::vector<std::pair<sim::ActorId, CampMsg>> stashed_camps_;
   std::vector<std::pair<sim::ActorId, ledger::VcBlock>> stashed_vc_blocks_;
 

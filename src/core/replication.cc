@@ -32,6 +32,10 @@ void PrestigeReplica::EnqueueTx(const types::Transaction& tx) {
 
 void PrestigeReplica::MaybePropose(bool allow_partial) {
   if (role_ != Role::kLeader || !replication_enabled_) return;
+  // An expired batch-wait deadline stays in force until the partial batch
+  // actually goes out: when the timer fires while the pipeline is full, the
+  // trigger must survive to the next free slot, not be dropped.
+  if (partial_due_) allow_partial = true;
   while (!pending_txs_.empty() && instances_.size() < config_.max_inflight) {
     if (pending_txs_.size() < config_.batch_size && !allow_partial) break;
     std::vector<types::Transaction> batch;
@@ -48,7 +52,9 @@ void PrestigeReplica::MaybePropose(bool allow_partial) {
     if (batch.empty()) break;
     Propose(std::move(batch));
     allow_partial = false;  // At most one partial block per trigger.
+    partial_due_ = false;   // The overdue front of the pool was proposed.
   }
+  if (pending_txs_.empty()) partial_due_ = false;
   // A partial batch left behind gets proposed when the batch timer fires.
   if (!pending_txs_.empty() && batch_timer_ == 0) {
     batch_timer_ = SetTimer(config_.batch_wait, Tag(kBatchTimer));
@@ -60,6 +66,7 @@ void PrestigeReplica::Propose(std::vector<types::Transaction> batch) {
     inflight_tx_keys_.insert(TxKey(tx));
   }
   Instance instance;
+  instance.last_broadcast_at = Now();
   instance.block.v = view_;
   instance.block.set_n(next_seq_++);
   instance.block.set_prev_hash(last_proposed_digest_);
@@ -165,6 +172,7 @@ void PrestigeReplica::OnOrdReply(sim::ActorId from, const OrdReplyMsg& reply) {
 
   // ordering_QC formed: enter phase 2.
   instance.ordered = true;
+  instance.last_broadcast_at = Now();  // The Cmt broadcast below.
   instance.block.ordering_qc = instance.ord_builder.Build();
   const crypto::Sha256Digest& block_digest = instance.block.Digest();
   const crypto::Sha256Digest cmt_digest =
@@ -416,6 +424,7 @@ void PrestigeReplica::StopReplicationActivity() {
   }
   instances_.clear();
   ready_blocks_.clear();
+  partial_due_ = false;
   if (batch_timer_ != 0) {
     CancelTimer(batch_timer_);
     batch_timer_ = 0;
@@ -423,6 +432,42 @@ void PrestigeReplica::StopReplicationActivity() {
   if (heartbeat_timer_ != 0) {
     CancelTimer(heartbeat_timer_);
     heartbeat_timer_ = 0;
+  }
+}
+
+void PrestigeReplica::RetransmitStalledInstances() {
+  // On lossy links an instance wedges when an Ord/Cmt copy or enough
+  // replies are lost: the leader would otherwise wait forever (followers
+  // keep seeing heartbeats, so only the slow complaint path would recover
+  // via a full view change). Re-broadcast the current phase of any
+  // instance older than one heartbeat interval; followers treat the
+  // repeats idempotently and re-send their replies.
+  const util::DurationMicros stall_age = config_.timeout_min / 3;
+  for (auto& [n, instance] : instances_) {
+    if (instance.done || Now() - instance.last_broadcast_at < stall_age) {
+      continue;
+    }
+    instance.last_broadcast_at = Now();
+    const crypto::Sha256Digest& digest = instance.block.Digest();
+    if (!instance.ordered) {
+      auto ord = std::make_shared<OrdMsg>();
+      ord->v = instance.block.v;
+      ord->n = n;
+      ord->prev_hash = instance.block.prev_hash();
+      ord->txs = instance.block.txs();
+      ord->sig = SignMaybeCorrupt(
+          ledger::OrderingDigest(instance.block.v, n, digest));
+      GuardedSend(PeerActors(), ord);
+    } else {
+      auto cmt = std::make_shared<CmtMsg>();
+      cmt->v = instance.block.v;
+      cmt->n = n;
+      cmt->block_digest = digest;
+      cmt->ordering_qc = instance.block.ordering_qc;
+      cmt->sig = SignMaybeCorrupt(
+          ledger::CommitDigest(instance.block.v, n, digest));
+      GuardedSend(PeerActors(), cmt);
+    }
   }
 }
 

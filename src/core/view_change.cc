@@ -37,8 +37,7 @@ void PrestigeReplica::OnClientComplaint(sim::ActorId from,
     // Re-complaint: if the previous escalation fizzled, watch again.
     if (existing->second.escalated) {
       existing->second.escalated = false;
-      existing->second.timer =
-          SetTimer(config_.complaint_wait, Tag(kComplaintWait, key));
+      ArmComplaintTimer(key, existing->second);
     }
     return;
   }
@@ -57,8 +56,21 @@ void PrestigeReplica::OnClientComplaint(sim::ActorId from,
 
   ComplaintState state;
   state.tx = compt.tx;
-  state.timer = SetTimer(config_.complaint_wait, Tag(kComplaintWait, key));
+  ArmComplaintTimer(key, state);
   complaints_.emplace(key, std::move(state));
+}
+
+void PrestigeReplica::ArmComplaintTimer(uint64_t key, ComplaintState& state) {
+  // The 64-bit complaint key cannot ride in the 48-bit tag payload without
+  // truncation (which would make HandleComplaintTimer miss every lookup and
+  // silently disable complaint-driven view changes); route it through a
+  // sequential probe id instead. The probe is recorded in the state so the
+  // table entry can be reclaimed when the complaint is erased before its
+  // timer fires.
+  const uint64_t probe = next_complaint_probe_++;
+  complaint_probe_keys_[probe] = key;
+  state.probe = probe;
+  state.timer = SetTimer(config_.complaint_wait, Tag(kComplaintWait, probe));
 }
 
 void PrestigeReplica::OnComptRelay(sim::ActorId from, const ComptRelayMsg& msg) {
@@ -72,7 +84,11 @@ void PrestigeReplica::OnComptRelay(sim::ActorId from, const ComptRelayMsg& msg) 
   MaybePropose(/*allow_partial=*/true);
 }
 
-void PrestigeReplica::HandleComplaintTimer(uint64_t key) {
+void PrestigeReplica::HandleComplaintTimer(uint64_t probe) {
+  auto probe_it = complaint_probe_keys_.find(probe);
+  if (probe_it == complaint_probe_keys_.end()) return;
+  const uint64_t key = probe_it->second;
+  complaint_probe_keys_.erase(probe_it);
   auto it = complaints_.find(key);
   if (it == complaints_.end()) return;  // Committed in the meantime.
   it->second.escalated = true;  // Entry kept: peers' ConfVCs need it.
@@ -671,6 +687,7 @@ void PrestigeReplica::InstallVcBlock(const ledger::VcBlock& block,
     if (state.timer != 0) CancelTimer(state.timer);
   }
   complaints_.clear();
+  complaint_probe_keys_.clear();
 
   metrics_.rp_history.push_back(
       RpSample{Now(), view_, block.PenaltyOf(id_)});

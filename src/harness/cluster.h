@@ -93,7 +93,12 @@ class Cluster {
   void RunUntil(util::TimeMicros until) { sim_.RunUntil(until); }
 
   Replica& replica(uint32_t i) { return *replicas_[i]; }
+  const Replica& replica(uint32_t i) const { return *replicas_[i]; }
   workload::ClientPool& pool(uint32_t p) { return *pools_[p]; }
+  /// Actor id of replica i (for fault-plane partitions / link faults).
+  sim::ActorId replica_actor_id(uint32_t i) const {
+    return replica_actor_ids_[i];
+  }
   uint32_t num_replicas() const { return protocol_.n; }
   uint32_t num_pools() const { return workload_.num_pools; }
   sim::Simulator& simulator() { return sim_; }

@@ -1,0 +1,94 @@
+// Cross-replica safety invariants, checked between scenario phases.
+//
+// Two checks over the honest replicas' committed txBlock chains:
+//  1. agreement at every sequence number — no two honest replicas hold
+//     different blocks at the same height (Theorem 3's guarantee);
+//  2. committed-prefix agreement — combined with (1) and BlockStore's
+//     append-time hash-chain enforcement, equal digests at every common
+//     height imply one replica's chain is a prefix of the other's.
+//
+// Byzantine replicas (per their FaultSpec) are excluded: an equivocator's
+// local bookkeeping carries no safety obligation. Crashed replicas are
+// honest — they simply stopped early, and their (shorter) prefix must
+// still agree.
+
+#ifndef PRESTIGE_HARNESS_INVARIANTS_H_
+#define PRESTIGE_HARNESS_INVARIANTS_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ledger/block_store.h"
+#include "util/hex.h"
+
+namespace prestige {
+namespace harness {
+
+/// Outcome of one safety sweep.
+struct SafetyReport {
+  bool ok = true;
+  std::string violation;  ///< Human-readable description when !ok.
+  types::SeqNum min_height = 0;  ///< Shortest honest committed chain.
+  types::SeqNum max_height = 0;  ///< Longest honest committed chain.
+};
+
+/// Checks chain agreement across every honest replica of `cluster`. Works
+/// for any Cluster<Replica, Config> whose Replica exposes store() and
+/// fault() (PrestigeBFT, HotStuff, and SBFT all do).
+template <typename Cluster>
+SafetyReport CheckSafety(const Cluster& cluster) {
+  SafetyReport report;
+  // Reference chain per height: (digest, owner) of the first honest
+  // replica seen holding that height.
+  struct Reference {
+    crypto::Sha256Digest digest;
+    uint32_t owner;
+  };
+  std::vector<Reference> reference;
+  bool first_honest = true;
+
+  for (uint32_t i = 0; i < cluster.num_replicas(); ++i) {
+    const auto& replica = cluster.replica(i);
+    if (replica.fault().IsByzantine() &&
+        replica.fault().type != workload::FaultType::kCrash) {
+      continue;
+    }
+    const auto& chain = replica.store().tx_chain();
+    const types::SeqNum height = static_cast<types::SeqNum>(chain.size());
+    if (first_honest || height < report.min_height) {
+      report.min_height = height;
+    }
+    if (first_honest || height > report.max_height) {
+      report.max_height = height;
+    }
+    first_honest = false;
+
+    if (reference.size() < chain.size()) reference.resize(chain.size());
+    for (size_t k = 0; k < chain.size(); ++k) {
+      const crypto::Sha256Digest& digest = chain[k].Digest();
+      if (reference[k].digest == crypto::Sha256Digest{}) {
+        reference[k] = Reference{digest, i};
+        continue;
+      }
+      if (reference[k].digest != digest) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "conflicting txBlocks at n=%lld: replica %u has %s…, "
+                      "replica %u has %s…",
+                      static_cast<long long>(chain[k].n()), reference[k].owner,
+                      util::HexEncode(reference[k].digest.data(), 4).c_str(),
+                      i, util::HexEncode(digest.data(), 4).c_str());
+        report.ok = false;
+        report.violation = buf;
+        return report;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace harness
+}  // namespace prestige
+
+#endif  // PRESTIGE_HARNESS_INVARIANTS_H_

@@ -1,0 +1,168 @@
+// Built-in scenario library. Each spec targets one adversarial regime the
+// paper's evaluation cares about (§6.2) but that the fig* benches cannot
+// express: partitions, asymmetric flaky links, and faults timed against the
+// view-change window.
+
+#include "harness/scenario.h"
+
+namespace prestige {
+namespace harness {
+namespace {
+
+Phase Warmup(util::DurationMicros duration = util::Seconds(2)) {
+  Phase p;
+  p.name = "warmup";
+  p.duration = duration;
+  return p;
+}
+
+Phase HealAll(const char* name, util::DurationMicros duration) {
+  Phase p;
+  p.name = name;
+  p.duration = duration;
+  p.set_partition = true;  // Empty group list = heal.
+  p.set_link_faults = true;  // No faults listed = clean links.
+  return p;
+}
+
+/// A minority replica is cut off; the majority must keep committing and,
+/// on heal, the minority catches up without forking.
+ScenarioSpec PartitionMinority() {
+  ScenarioSpec s;
+  s.name = "partition-minority";
+  s.description = "n=4: replica 3 partitioned 3s, then healed";
+  s.n = 4;
+  s.phases.push_back(Warmup());
+
+  Phase split;
+  split.name = "minority-cut";
+  split.duration = util::Seconds(3);
+  split.set_partition = true;
+  split.partition = {{0, 1, 2}, {3}};
+  s.phases.push_back(split);
+
+  s.phases.push_back(HealAll("heal", util::Seconds(3)));
+  return s;
+}
+
+/// The *leader* is cut off mid-run: the majority side must detect the
+/// failure and elect a replacement (active view change under partition).
+ScenarioSpec PartitionLeader() {
+  ScenarioSpec s;
+  s.name = "partition-leader";
+  s.description = "n=4: current leader isolated 4s (forced view change)";
+  s.n = 4;
+  s.phases.push_back(Warmup());
+
+  Phase cut;
+  cut.name = "leader-cut";
+  cut.duration = util::Seconds(4);
+  cut.partition_leader = true;
+  s.phases.push_back(cut);
+
+  s.phases.push_back(HealAll("heal", util::Seconds(3)));
+  return s;
+}
+
+/// Every link degrades at once: loss, duplication, and reordering. The
+/// protocols must stay safe and keep (reduced) throughput.
+ScenarioSpec FlakyLinks() {
+  ScenarioSpec s;
+  s.name = "flaky-links";
+  s.description =
+      "n=4: all links 5% loss / 2% duplication / 10% reordering for 4s";
+  s.n = 4;
+  s.phases.push_back(Warmup());
+
+  Phase flaky;
+  flaky.name = "flaky";
+  flaky.duration = util::Seconds(4);
+  flaky.set_link_faults = true;
+  flaky.default_link_fault = sim::LinkFault::Flaky(0.05, 0.02, 0.10);
+  s.phases.push_back(flaky);
+
+  s.phases.push_back(HealAll("clean", util::Seconds(2)));
+  return s;
+}
+
+/// Rolling crash/recovery churn under reduced load: one replica at a time
+/// goes down, a previously crashed one comes back.
+ScenarioSpec Churn() {
+  ScenarioSpec s;
+  s.name = "churn";
+  s.description = "n=7: rolling single-replica crash/recovery at half load";
+  s.n = 7;
+  s.phases.push_back(Warmup());
+
+  const uint32_t victims[] = {1, 2, 3};
+  uint32_t previous = 0;
+  bool first = true;
+  for (uint32_t victim : victims) {
+    Phase p;
+    p.name = "crash-" + std::to_string(victim);
+    p.duration = util::Seconds(2);
+    p.crash = {victim};
+    if (!first) p.recover = {previous};
+    p.load = 0.5;
+    s.phases.push_back(p);
+    previous = victim;
+    first = false;
+  }
+
+  Phase recover;
+  recover.name = "recover-all";
+  recover.duration = util::Seconds(3);
+  recover.recover = {previous};
+  s.phases.push_back(recover);
+  return s;
+}
+
+/// The nastiest timing: the leader crashes, and while the survivors are
+/// mid view change the survivor set itself partitions (no quorum anywhere).
+/// Nothing may commit on either side of the split; after heal the three
+/// survivors (exactly 2f+1) must finish the election and resume.
+ScenarioSpec PartitionDuringViewChange() {
+  ScenarioSpec s;
+  s.name = "partition-during-view-change";
+  s.description =
+      "n=4: leader crash, then survivors partition mid view change";
+  s.n = 4;
+  s.phases.push_back(Warmup());
+
+  Phase crash;
+  crash.name = "leader-crash";
+  crash.duration = util::Millis(600);  // Inside the timeout window.
+  crash.crash = {0};
+  s.phases.push_back(crash);
+
+  Phase split;
+  split.name = "split-survivors";
+  split.duration = util::Seconds(3);
+  split.set_partition = true;
+  split.partition = {{1}, {2, 3}};  // No side holds a 2f+1 quorum.
+  s.phases.push_back(split);
+
+  Phase heal = HealAll("heal-elect", util::Seconds(4));
+  s.phases.push_back(heal);
+  return s;
+}
+
+}  // namespace
+
+const std::vector<ScenarioSpec>& NamedScenarios() {
+  static const std::vector<ScenarioSpec> kScenarios = {
+      PartitionMinority(), PartitionLeader(), FlakyLinks(), Churn(),
+      PartitionDuringViewChange(),
+  };
+  return kScenarios;
+}
+
+const ScenarioSpec* FindScenario(const std::string& name) {
+  for (const ScenarioSpec& s : NamedScenarios()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace harness
+}  // namespace prestige

@@ -1,0 +1,299 @@
+// Executes a ScenarioSpec on any Cluster<Replica, Config>.
+//
+// The runner walks the spec's phases in virtual time: at each phase start
+// it applies the phase's partition / link faults / crashes / load settings,
+// runs the cluster for the phase's duration, then sweeps the cross-replica
+// safety invariants (invariants.h). A seed sweep repeats the whole run for
+// N consecutive seeds and aggregates the per-seed results.
+//
+// Everything virtual-time here is deterministic: the same (spec, config,
+// workload.seed) triple reproduces byte-identical ScenarioSeedResults —
+// SeedResultJson() exists so tests and bench_runner can assert exactly that.
+
+#ifndef PRESTIGE_HARNESS_SCENARIO_RUNNER_H_
+#define PRESTIGE_HARNESS_SCENARIO_RUNNER_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/cluster.h"
+#include "harness/invariants.h"
+#include "harness/scenario.h"
+
+namespace prestige {
+namespace harness {
+
+/// Per-phase record of one scenario run.
+struct PhaseOutcome {
+  std::string name;
+  util::TimeMicros start = 0;
+  util::TimeMicros end = 0;
+  int64_t committed = 0;  ///< Client-observed commits during the phase.
+  SafetyReport safety;
+};
+
+/// All virtual-time metrics of one (spec, seed) execution. Contains no
+/// wall-clock quantities, so equal seeds produce byte-identical results.
+struct ScenarioSeedResult {
+  uint64_t seed = 0;
+  bool safety_ok = true;
+  std::string violation;
+  int64_t committed = 0;
+  double tps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  int64_t view_changes = 0;
+  int64_t elections_won = 0;
+  types::SeqNum min_height = 0;
+  types::SeqNum max_height = 0;
+  uint64_t messages_sent = 0;
+  uint64_t messages_dropped = 0;
+  uint64_t messages_cut = 0;
+  uint64_t messages_duplicated = 0;
+  uint64_t messages_reordered = 0;
+  std::vector<PhaseOutcome> phases;
+};
+
+/// Seed-sweep aggregate over one protocol.
+struct ScenarioAggregate {
+  std::string scenario;
+  uint32_t n = 0;
+  uint64_t base_seed = 0;
+  uint32_t num_seeds = 0;
+  bool all_safe = true;
+  double tps_mean = 0.0;
+  double tps_min = 0.0;
+  double tps_max = 0.0;
+  double p50_ms_mean = 0.0;
+  double p99_ms_mean = 0.0;
+  int64_t committed_total = 0;
+  int64_t view_changes_total = 0;
+  int64_t elections_won_total = 0;
+  uint64_t messages_dropped_total = 0;
+  std::vector<ScenarioSeedResult> seeds;
+};
+
+/// Replica index a majority of honest replicas currently consider leader
+/// (ties break toward the lowest index; every protocol here exposes
+/// current_leader()).
+template <typename Cluster>
+uint32_t CurrentLeaderIndex(const Cluster& cluster) {
+  std::vector<uint32_t> votes(cluster.num_replicas(), 0);
+  for (uint32_t i = 0; i < cluster.num_replicas(); ++i) {
+    const auto& replica = cluster.replica(i);
+    if (replica.fault().IsByzantine()) continue;
+    const uint32_t leader = replica.current_leader();
+    if (leader < votes.size()) ++votes[leader];
+  }
+  return static_cast<uint32_t>(
+      std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+/// Applies one phase's settings to the cluster at the current virtual time.
+template <typename Cluster>
+void ApplyPhase(Cluster& cluster, const Phase& phase) {
+  sim::FaultPlane& plane = cluster.network().fault_plane();
+
+  auto replica_group = [&](const std::vector<uint32_t>& indices) {
+    std::vector<sim::ActorId> ids;
+    ids.reserve(indices.size());
+    for (uint32_t i : indices) ids.push_back(cluster.replica_actor_id(i));
+    return ids;
+  };
+
+  if (phase.set_partition) {
+    if (phase.partition.empty()) {
+      plane.Heal();
+    } else {
+      std::vector<std::vector<sim::ActorId>> groups;
+      groups.reserve(phase.partition.size());
+      for (const auto& group : phase.partition) {
+        groups.push_back(replica_group(group));
+      }
+      plane.Partition(groups);
+    }
+  } else if (phase.partition_leader) {
+    const uint32_t leader = CurrentLeaderIndex(cluster);
+    std::vector<uint32_t> rest;
+    for (uint32_t i = 0; i < cluster.num_replicas(); ++i) {
+      if (i != leader) rest.push_back(i);
+    }
+    plane.Partition({replica_group({leader}), replica_group(rest)});
+  }
+
+  if (phase.set_link_faults) {
+    plane.ClearAllLinkFaults();
+    // The phase's default degrades every replica-to-replica link; client
+    // links stay clean (the scenarios target the consensus fabric).
+    if (phase.default_link_fault.has_value() &&
+        phase.default_link_fault->Active()) {
+      for (uint32_t a = 0; a < cluster.num_replicas(); ++a) {
+        for (uint32_t b = 0; b < cluster.num_replicas(); ++b) {
+          if (a == b) continue;
+          plane.SetLinkFault(cluster.replica_actor_id(a),
+                             cluster.replica_actor_id(b),
+                             *phase.default_link_fault);
+        }
+      }
+    }
+    for (const LinkFaultRule& rule : phase.link_faults) {
+      plane.SetLinkFault(cluster.replica_actor_id(rule.from),
+                         cluster.replica_actor_id(rule.to), rule.fault);
+    }
+  }
+
+  for (uint32_t i : phase.crash) cluster.SetReplicaDown(i, true);
+  for (uint32_t i : phase.recover) cluster.SetReplicaDown(i, false);
+
+  const double load = std::min(1.0, std::max(0.0, phase.load));
+  const uint32_t active_pools = static_cast<uint32_t>(
+      std::lround(load * static_cast<double>(cluster.num_pools())));
+  for (uint32_t p = 0; p < cluster.num_pools(); ++p) {
+    cluster.pool(p).SetActive(p < active_pools);
+  }
+}
+
+/// Runs `spec` once on a fresh cluster built from (config, workload).
+/// config.n is overridden by the spec's cluster size.
+template <typename Replica, typename Config>
+ScenarioSeedResult RunScenarioSeed(const ScenarioSpec& spec, Config config,
+                                   WorkloadOptions workload) {
+  config.n = spec.n;
+  std::vector<workload::FaultSpec> faults = spec.byzantine;
+  faults.resize(spec.n, workload::FaultSpec::Honest());
+
+  Cluster<Replica, Config> cluster(config, workload, faults);
+  cluster.network().fault_plane().Seed(workload.seed);
+  cluster.Start();
+
+  ScenarioSeedResult result;
+  result.seed = workload.seed;
+
+  int64_t committed_at_phase_start = 0;
+  for (const Phase& phase : spec.phases) {
+    PhaseOutcome outcome;
+    outcome.name = phase.name;
+    outcome.start = cluster.simulator().Now();
+    ApplyPhase(cluster, phase);
+    cluster.RunFor(phase.duration);
+    outcome.end = cluster.simulator().Now();
+    const int64_t committed_now = cluster.ClientCommitted();
+    outcome.committed = committed_now - committed_at_phase_start;
+    committed_at_phase_start = committed_now;
+    outcome.safety = CheckSafety(cluster);
+    if (!outcome.safety.ok && result.safety_ok) {
+      result.safety_ok = false;
+      result.violation = phase.name + ": " + outcome.safety.violation;
+    }
+    result.phases.push_back(std::move(outcome));
+  }
+
+  result.committed = cluster.ClientCommitted();
+  result.tps = static_cast<double>(result.committed) /
+               util::ToSeconds(std::max<util::DurationMicros>(
+                   1, spec.TotalDuration()));
+  result.p50_ms = cluster.LatencyPercentileMs(50);
+  result.p99_ms = cluster.LatencyPercentileMs(99);
+  for (uint32_t i = 0; i < cluster.num_replicas(); ++i) {
+    result.view_changes += cluster.replica(i).metrics().view_changes_started;
+    result.elections_won += cluster.replica(i).metrics().elections_won;
+  }
+  if (!result.phases.empty()) {
+    result.min_height = result.phases.back().safety.min_height;
+    result.max_height = result.phases.back().safety.max_height;
+  }
+  const sim::NetworkStats& net = cluster.network().stats();
+  result.messages_sent = net.messages_sent;
+  result.messages_dropped = net.messages_dropped;
+  result.messages_cut = net.messages_cut;
+  result.messages_duplicated = net.messages_duplicated;
+  result.messages_reordered = net.messages_reordered;
+  return result;
+}
+
+/// Runs `spec` for `num_seeds` consecutive seeds starting at `base_seed`
+/// and aggregates. Each seed gets a fresh cluster; workload.seed is
+/// overridden per run.
+template <typename Replica, typename Config>
+ScenarioAggregate RunScenarioSweep(const ScenarioSpec& spec, Config config,
+                                   WorkloadOptions workload,
+                                   uint64_t base_seed, uint32_t num_seeds) {
+  ScenarioAggregate agg;
+  agg.scenario = spec.name;
+  agg.n = spec.n;
+  agg.base_seed = base_seed;
+  agg.num_seeds = num_seeds;
+  for (uint32_t i = 0; i < num_seeds; ++i) {
+    workload.seed = base_seed + i;
+    ScenarioSeedResult r =
+        RunScenarioSeed<Replica, Config>(spec, config, workload);
+    agg.all_safe = agg.all_safe && r.safety_ok;
+    agg.committed_total += r.committed;
+    agg.view_changes_total += r.view_changes;
+    agg.elections_won_total += r.elections_won;
+    agg.messages_dropped_total += r.messages_dropped;
+    agg.tps_mean += r.tps;
+    agg.p50_ms_mean += r.p50_ms;
+    agg.p99_ms_mean += r.p99_ms;
+    if (i == 0 || r.tps < agg.tps_min) agg.tps_min = r.tps;
+    if (i == 0 || r.tps > agg.tps_max) agg.tps_max = r.tps;
+    agg.seeds.push_back(std::move(r));
+  }
+  if (num_seeds > 0) {
+    agg.tps_mean /= num_seeds;
+    agg.p50_ms_mean /= num_seeds;
+    agg.p99_ms_mean /= num_seeds;
+  }
+  return agg;
+}
+
+/// Canonical JSON rendering of one seed's virtual-time metrics. Two runs of
+/// the same (spec, seed) must produce byte-identical strings — asserted by
+/// tests/sim_fault_test.cc and usable as a quick determinism probe.
+inline std::string SeedResultJson(const ScenarioSeedResult& r) {
+  char buf[512];
+  std::string out = "{";
+  std::snprintf(buf, sizeof(buf),
+                "\"seed\": %llu, \"safety_ok\": %s, \"committed\": %lld, "
+                "\"tps\": %.3f, \"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+                "\"view_changes\": %lld, \"elections_won\": %lld, "
+                "\"min_height\": %lld, \"max_height\": %lld, "
+                "\"messages_sent\": %llu, \"messages_dropped\": %llu, "
+                "\"messages_cut\": %llu, \"messages_duplicated\": %llu, "
+                "\"messages_reordered\": %llu, \"phases\": [",
+                static_cast<unsigned long long>(r.seed),
+                r.safety_ok ? "true" : "false",
+                static_cast<long long>(r.committed), r.tps, r.p50_ms,
+                r.p99_ms, static_cast<long long>(r.view_changes),
+                static_cast<long long>(r.elections_won),
+                static_cast<long long>(r.min_height),
+                static_cast<long long>(r.max_height),
+                static_cast<unsigned long long>(r.messages_sent),
+                static_cast<unsigned long long>(r.messages_dropped),
+                static_cast<unsigned long long>(r.messages_cut),
+                static_cast<unsigned long long>(r.messages_duplicated),
+                static_cast<unsigned long long>(r.messages_reordered));
+  out += buf;
+  for (size_t i = 0; i < r.phases.size(); ++i) {
+    const PhaseOutcome& p = r.phases[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\": \"%s\", \"start_us\": %lld, \"end_us\": "
+                  "%lld, \"committed\": %lld, \"safe\": %s}",
+                  i == 0 ? "" : ", ", p.name.c_str(),
+                  static_cast<long long>(p.start),
+                  static_cast<long long>(p.end),
+                  static_cast<long long>(p.committed),
+                  p.safety.ok ? "true" : "false");
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace harness
+}  // namespace prestige
+
+#endif  // PRESTIGE_HARNESS_SCENARIO_RUNNER_H_

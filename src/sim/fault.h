@@ -1,0 +1,180 @@
+// Link-level fault injection for the simulated network.
+//
+// The base Network models the *resources* of a healthy deployment
+// (bandwidth, propagation, receiver CPU) plus crash-style faults (node
+// down, hard link cuts). This layer adds the *degraded* regimes the
+// evaluation's adversarial scenarios need — the regime where active,
+// reputation-priced view changes differentiate from passive pacemakers:
+//
+//  * probabilistic message loss per directed link (flaky links),
+//  * message duplication (retransmitting middleboxes),
+//  * message reordering (a message is held back so later traffic
+//    overtakes it),
+//  * deterministic extra one-way delay (asymmetric / congested links),
+//  * directed partitions expressed as node groups with a heal operation.
+//
+// All randomness comes from the plane's own RNG stream, which is only
+// consulted for links that actually have a fault configured. A run with
+// no faults configured therefore consumes *zero* draws from this stream
+// and is bit-for-bit identical to a run against the base network —
+// existing seeds and BENCH baselines stay valid.
+
+#ifndef PRESTIGE_SIM_FAULT_H_
+#define PRESTIGE_SIM_FAULT_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/random.h"
+#include "util/time.h"
+
+namespace prestige {
+namespace sim {
+
+/// Index of an actor within one simulation (mirrors simulator.h; kept as a
+/// plain typedef here to avoid an include cycle with network.h).
+using ActorId = uint32_t;
+
+/// Degradation profile of one directed link (or of all links, when used as
+/// the plane's default). Probabilities are i.i.d. per message.
+struct LinkFault {
+  /// P(message silently lost).
+  double drop = 0.0;
+  /// P(message delivered twice). The copy arrives shortly after the
+  /// original; duplication is modeled in the network core, so the sender
+  /// pays egress only once (a middlebox duplicate, not a resend).
+  double duplicate = 0.0;
+  /// P(message held back so that later traffic can overtake it).
+  double reorder = 0.0;
+  /// Extra hold applied to a reordered message, sampled uniformly from
+  /// [1, reorder_window] virtual microseconds.
+  util::DurationMicros reorder_window = util::Millis(5);
+  /// Deterministic extra one-way delay added to every message.
+  util::DurationMicros extra_delay = 0;
+
+  /// True when this fault changes any delivery at all.
+  bool Active() const {
+    return drop > 0.0 || duplicate > 0.0 || reorder > 0.0 || extra_delay > 0;
+  }
+
+  static LinkFault Lossy(double p) {
+    LinkFault f;
+    f.drop = p;
+    return f;
+  }
+  static LinkFault Slow(util::DurationMicros extra) {
+    LinkFault f;
+    f.extra_delay = extra;
+    return f;
+  }
+  static LinkFault Flaky(double drop, double duplicate, double reorder) {
+    LinkFault f;
+    f.drop = drop;
+    f.duplicate = duplicate;
+    f.reorder = reorder;
+    return f;
+  }
+};
+
+/// The fault state consulted by Network on every send: partitions plus
+/// per-link / default degradation. Pure bookkeeping — the Network applies
+/// the consequences (dropping, duplicating, delaying).
+class FaultPlane {
+ public:
+  FaultPlane() : rng_(kDefaultSeed) {}
+
+  /// Re-seeds the fault RNG stream. Scenario runners call this with the
+  /// experiment seed so fault decisions vary across a seed sweep yet stay
+  /// reproducible within one seed.
+  void Seed(uint64_t seed) { rng_.Seed(seed ^ kSeedSalt); }
+
+  // ------------------------------------------------------------ partitions
+
+  /// Installs a partition: actors inside a group reach only their own
+  /// group. Actors not named in any group are unrestricted — they can talk
+  /// to (and be reached from) everyone; this is how client pools keep
+  /// reaching all replicas while the replica set is split.
+  void Partition(const std::vector<std::vector<ActorId>>& groups) {
+    partition_group_.clear();
+    uint32_t group_id = 0;
+    for (const auto& group : groups) {
+      for (ActorId id : group) partition_group_[id] = group_id;
+      ++group_id;
+    }
+  }
+
+  /// Removes the partition; all links deliver again (faults permitting).
+  void Heal() { partition_group_.clear(); }
+
+  bool partitioned() const { return !partition_group_.empty(); }
+
+  /// True when the partition severs the directed link `from` -> `to`.
+  bool Severed(ActorId from, ActorId to) const {
+    if (partition_group_.empty() || from == to) return false;
+    const auto a = partition_group_.find(from);
+    const auto b = partition_group_.find(to);
+    if (a == partition_group_.end() || b == partition_group_.end()) {
+      return false;  // Unrestricted endpoint.
+    }
+    return a->second != b->second;
+  }
+
+  // ----------------------------------------------------------- link faults
+
+  /// Applies `fault` to every directed link without a per-link override.
+  void SetDefaultLinkFault(const LinkFault& fault) { default_fault_ = fault; }
+  void ClearDefaultLinkFault() { default_fault_.reset(); }
+
+  /// Applies `fault` to the directed link `from` -> `to` (overrides the
+  /// default for that link).
+  void SetLinkFault(ActorId from, ActorId to, const LinkFault& fault) {
+    link_faults_[{from, to}] = fault;
+  }
+  void ClearLinkFault(ActorId from, ActorId to) {
+    link_faults_.erase({from, to});
+  }
+  void ClearAllLinkFaults() {
+    link_faults_.clear();
+    default_fault_.reset();
+  }
+
+  /// The fault governing `from` -> `to`, or nullptr when the link is clean.
+  /// Self-sends are never faulted.
+  const LinkFault* FaultFor(ActorId from, ActorId to) const {
+    if (from == to) return nullptr;
+    const auto it = link_faults_.find({from, to});
+    if (it != link_faults_.end()) {
+      return it->second.Active() ? &it->second : nullptr;
+    }
+    if (default_fault_.has_value() && default_fault_->Active()) {
+      return &*default_fault_;
+    }
+    return nullptr;
+  }
+
+  /// True when any fault or partition is configured (fast path guard).
+  bool AnyConfigured() const {
+    return !partition_group_.empty() || !link_faults_.empty() ||
+           default_fault_.has_value();
+  }
+
+  /// The plane's private RNG stream for fault decisions.
+  util::Rng* rng() { return &rng_; }
+
+ private:
+  static constexpr uint64_t kDefaultSeed = 0x5eedfa017ULL;
+  static constexpr uint64_t kSeedSalt = 0xfa017b1a5e5eedULL;
+
+  std::map<std::pair<ActorId, ActorId>, LinkFault> link_faults_;
+  std::optional<LinkFault> default_fault_;
+  std::map<ActorId, uint32_t> partition_group_;
+  util::Rng rng_;
+};
+
+}  // namespace sim
+}  // namespace prestige
+
+#endif  // PRESTIGE_SIM_FAULT_H_

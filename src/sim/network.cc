@@ -45,6 +45,24 @@ void Network::Send(ActorId from, ActorId to, MessagePtr msg) {
     ++stats_.messages_dropped;
     return;
   }
+  // Fault plane: partitions sever the link outright; a LinkFault may lose
+  // the message probabilistically. Both consult only the plane's own RNG
+  // stream, so unfaulted runs are bit-identical to pre-fault-plane runs.
+  const LinkFault* fault = nullptr;
+  if (faults_.AnyConfigured()) {
+    if (faults_.Severed(from, to)) {
+      ++stats_.messages_cut;
+      ++stats_.messages_dropped;
+      return;
+    }
+    fault = faults_.FaultFor(from, to);
+    if (fault != nullptr && fault->drop > 0.0 &&
+        faults_.rng()->NextBool(fault->drop)) {
+      ++stats_.messages_fault_dropped;
+      ++stats_.messages_dropped;
+      return;
+    }
+  }
   if (drop_probability_ > 0.0 && from != to &&
       rng_.NextBool(drop_probability_)) {
     ++stats_.messages_dropped;
@@ -69,7 +87,23 @@ void Network::Send(ActorId from, ActorId to, MessagePtr msg) {
   const util::TimeMicros tx_done = tx_start + cost_.SerializationCost(*msg);
   egress = tx_done;
 
-  const util::TimeMicros arrival = tx_done + latency_.Sample(&rng_);
+  util::TimeMicros arrival = tx_done + latency_.Sample(&rng_);
+  if (fault != nullptr) {
+    arrival += fault->extra_delay;
+    if (fault->reorder > 0.0 && faults_.rng()->NextBool(fault->reorder)) {
+      // Hold the message back so traffic sent after it can overtake it.
+      ++stats_.messages_reordered;
+      arrival += faults_.rng()->NextInRange(1, fault->reorder_window);
+    }
+    if (fault->duplicate > 0.0 && faults_.rng()->NextBool(fault->duplicate)) {
+      // Middlebox-style duplicate: no second egress charge; the copy trails
+      // the original by a small random gap.
+      ++stats_.messages_duplicated;
+      const util::TimeMicros copy_arrival =
+          arrival + 1 + faults_.rng()->NextInRange(0, fault->reorder_window);
+      Deliver(from, to, msg, copy_arrival);
+    }
+  }
   Deliver(from, to, msg, arrival);
 }
 

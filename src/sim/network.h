@@ -8,8 +8,9 @@
 //    time (base + per-byte + per-signature-verification), which is what
 //    caps transactions/second and produces Fig. 6's saturation elbow.
 //
-// Fault hooks: node down (crash), directed link cuts (partitions), and i.i.d.
-// message drops.
+// Fault hooks: node down (crash), directed link cuts, i.i.d. message drops,
+// and a FaultPlane (sim/fault.h) for partitions and per-link
+// drop/duplicate/reorder/delay degradation.
 
 #ifndef PRESTIGE_SIM_NETWORK_H_
 #define PRESTIGE_SIM_NETWORK_H_
@@ -18,6 +19,7 @@
 #include <set>
 #include <vector>
 
+#include "sim/fault.h"
 #include "sim/latency.h"
 #include "sim/message.h"
 #include "sim/simulator.h"
@@ -50,8 +52,13 @@ struct CostModel {
 struct NetworkStats {
   uint64_t messages_sent = 0;
   uint64_t messages_delivered = 0;
-  uint64_t messages_dropped = 0;
+  uint64_t messages_dropped = 0;  ///< All losses (incl. cut / fault drops).
   uint64_t bytes_sent = 0;
+  // Fault-plane breakdowns (subsets of the counters above).
+  uint64_t messages_cut = 0;         ///< Severed by a partition.
+  uint64_t messages_fault_dropped = 0;  ///< Lost to a LinkFault drop.
+  uint64_t messages_duplicated = 0;  ///< Extra copies delivered.
+  uint64_t messages_reordered = 0;   ///< Held back past later traffic.
 };
 
 /// Message fabric connecting all actors of one simulation.
@@ -80,6 +87,11 @@ class Network {
   /// Replaces the latency model mid-run (e.g. enabling netem delay).
   void SetLatencyModel(LatencyModel latency) { latency_ = latency; }
 
+  /// Partition / link-degradation state consulted on every send. Runs that
+  /// never touch the plane behave exactly as before it existed.
+  FaultPlane& fault_plane() { return faults_; }
+  const FaultPlane& fault_plane() const { return faults_; }
+
   const NetworkStats& stats() const { return stats_; }
   const CostModel& cost_model() const { return cost_; }
 
@@ -93,6 +105,7 @@ class Network {
   LatencyModel latency_;
   CostModel cost_;
   util::Rng rng_;
+  FaultPlane faults_;
   double drop_probability_ = 0.0;
   std::set<ActorId> down_nodes_;
   std::set<std::pair<ActorId, ActorId>> down_links_;

@@ -11,8 +11,23 @@ void ClientPool::OnStart() {
   SetTimer(config_.complaint_scan_period, kComplaintScan);
 }
 
+void ClientPool::SetActive(bool active) {
+  if (active == active_) return;
+  active_ = active;
+  if (!active_) return;
+  // Wake the clients that completed while the pool was paused.
+  const uint32_t deferred = deferred_requests_;
+  deferred_requests_ = 0;
+  for (uint32_t i = 0; i < deferred; ++i) IssueRequest();
+  Flush();
+}
+
 void ClientPool::IssueRequest() {
   if (config_.stop_at != 0 && Now() >= config_.stop_at) return;
+  if (!active_) {
+    ++deferred_requests_;
+    return;
+  }
   types::Transaction tx;
   tx.pool = config_.pool_id;
   tx.client_seq = next_seq_++;

@@ -53,6 +53,13 @@ class ClientPool : public sim::Actor {
   void OnMessage(sim::ActorId from, const sim::MessagePtr& msg) override;
   void OnTimer(uint64_t tag) override;
 
+  /// Pauses / resumes request issuance (scenario workload-intensity
+  /// phases). While inactive, completed closed-loop clients defer their
+  /// next request instead of issuing it; resuming issues every deferred
+  /// request immediately. Safe to call between simulation runs.
+  void SetActive(bool active);
+  bool active() const { return active_; }
+
   /// Completed-request latencies in milliseconds.
   util::Histogram& latencies() { return latencies_; }
   int64_t committed() const { return committed_; }
@@ -79,6 +86,8 @@ class ClientPool : public sim::Actor {
 
   ClientPoolConfig config_;
   std::vector<sim::ActorId> replicas_;
+  bool active_ = true;
+  uint32_t deferred_requests_ = 0;  ///< Clients idled while inactive.
   uint64_t next_seq_ = 1;
   std::unordered_map<uint64_t, Outstanding> outstanding_;
   std::vector<types::Transaction> pending_send_;

@@ -359,6 +359,117 @@ TEST_F(ReplicaUnitTest, StaleViewMessagesIgnored) {
   EXPECT_EQ(probes_[0].Count<OrdReplyMsg>(), 0);
 }
 
+// ------------------------------------------------------------ leader side
+
+/// Replica 0 as the genesis leader surrounded by probes: exercises the
+/// leader's batching pipeline directly.
+class LeaderUnitTest : public ::testing::Test {
+ protected:
+  LeaderUnitTest()
+      : sim_(1),
+        net_(&sim_, sim::LatencyModel::Fixed(0.5), sim::CostModel{}),
+        keys_(99) {
+    PrestigeConfig config;
+    config.n = 4;
+    config.batch_size = 10;
+    config.max_inflight = 1;  // A single full batch wedges the pipeline.
+    config.batch_wait = Millis(20);
+    // Keep heartbeats / retransmissions / timeouts out of the test window.
+    config.timeout_min = util::Seconds(10);
+    config.timeout_max = util::Seconds(11);
+    leader_ = std::make_unique<PrestigeReplica>(config, 0, &keys_);
+
+    sim_.AddActor(leader_.get());
+    leader_->AttachNetwork(&net_);
+    for (int i = 1; i <= 3; ++i) {
+      sim_.AddActor(&probes_[i]);
+      probes_[i].AttachNetwork(&net_);
+    }
+    sim_.AddActor(&client_probe_);
+    client_probe_.AttachNetwork(&net_);
+
+    leader_->SetTopology({0, 1, 2, 3}, {4});
+    sim_.ScheduleAfter(0, [this] { leader_->OnStart(); });
+    sim_.RunUntil(1);
+  }
+
+  sim::Simulator sim_;
+  sim::Network net_;
+  crypto::KeyStore keys_;
+  std::unique_ptr<PrestigeReplica> leader_;
+  Probe probes_[4];  // Indices 1..3 are the peer replicas.
+  Probe client_probe_;
+};
+
+// Regression: the batch timer fired while the pipeline was full used to
+// consume the partial-batch trigger — the leftover transactions then waited
+// a whole extra batch_wait after a slot freed (and kept starving while the
+// timer kept landing on a full pipeline). The expired deadline must survive
+// until the partial is actually proposed.
+TEST_F(LeaderUnitTest, PartialBatchSurvivesFullPipeline) {
+  // 13 transactions: one full batch (10) occupies the single pipeline
+  // slot; 3 are left pending behind the armed batch timer.
+  auto batch = std::make_shared<types::ClientBatch>();
+  for (uint64_t i = 0; i < 13; ++i) {
+    types::Transaction tx;
+    tx.pool = 0;
+    tx.client_seq = i + 1;
+    tx.fingerprint = 0x1000 + i;
+    batch->txs.push_back(tx);
+  }
+  sim_.ScheduleAt(Millis(1), [&] { net_.Send(4, 0, batch); });
+  sim_.RunUntil(Millis(5));
+  ASSERT_EQ(probes_[1].Count<OrdMsg>(), 1);
+  EXPECT_EQ(leader_->inflight_instances(), 1u);
+  EXPECT_EQ(leader_->pending_pool_size(), 3u);
+
+  // The batch timer fires (~22 ms) while the pipeline is still full: the
+  // partial cannot go out, but the trigger must not be lost.
+  sim_.RunUntil(Millis(30));
+  ASSERT_EQ(probes_[1].Count<OrdMsg>(), 1);
+  EXPECT_EQ(leader_->pending_pool_size(), 3u);
+
+  // Complete the in-flight instance: ordering replies from replicas 2 + 3
+  // (quorum with the leader's own signature), then commit replies.
+  const OrdMsg* ord = probes_[1].Last<OrdMsg>();
+  ASSERT_NE(ord, nullptr);
+  ledger::TxBlock block;
+  block.v = ord->v;
+  block.set_n(ord->n);
+  block.set_prev_hash(ord->prev_hash);
+  block.set_txs(ord->txs);
+  block.status.assign(block.BatchSize(), 1);
+  const crypto::Sha256Digest digest = block.Digest();
+  const crypto::Sha256Digest ord_digest =
+      ledger::OrderingDigest(ord->v, ord->n, digest);
+  for (uint32_t r : {2u, 3u}) {
+    auto reply = std::make_shared<OrdReplyMsg>();
+    reply->v = ord->v;
+    reply->n = ord->n;
+    reply->partial = crypto::Signer(&keys_, r).Sign(ord_digest);
+    net_.Send(r, 0, reply);
+  }
+  sim_.RunUntil(Millis(32));
+  ASSERT_EQ(probes_[1].Count<CmtMsg>(), 1);
+  const crypto::Sha256Digest cmt_digest =
+      ledger::CommitDigest(ord->v, ord->n, digest);
+  for (uint32_t r : {2u, 3u}) {
+    auto reply = std::make_shared<CmtReplyMsg>();
+    reply->v = ord->v;
+    reply->n = ord->n;
+    reply->partial = crypto::Signer(&keys_, r).Sign(cmt_digest);
+    net_.Send(r, 0, reply);
+  }
+
+  // The slot frees on commit (~33 ms). The overdue partial must be
+  // proposed immediately — the re-armed timer alone would only fire at
+  // ~42 ms, after this deadline.
+  sim_.RunUntil(Millis(38));
+  ASSERT_EQ(probes_[1].Count<OrdMsg>(), 2);
+  EXPECT_EQ(probes_[1].Last<OrdMsg>()->txs.size(), 3u);
+  EXPECT_EQ(leader_->pending_pool_size(), 0u);
+}
+
 }  // namespace
 }  // namespace core
 }  // namespace prestige

@@ -1,0 +1,367 @@
+// Tests for the fault-injection layer (sim/fault.h + network wiring) and
+// the declarative scenario engine (harness/scenario*.h): partition / heal
+// delivery semantics, drop / duplicate / reorder determinism under a fixed
+// seed, and byte-identical metrics for repeated (ScenarioSpec, seed) runs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "core/replica.h"
+#include "harness/cluster.h"
+#include "harness/scenario.h"
+#include "harness/scenario_runner.h"
+#include "sim/actor.h"
+#include "sim/fault.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace prestige {
+namespace sim {
+namespace {
+
+using util::Millis;
+using util::Seconds;
+
+struct TestMessage : public NetMessage {
+  explicit TestMessage(size_t size = 100, uint64_t tag = 0)
+      : size_(size), tag_(tag) {}
+  size_t WireSize() const override { return size_; }
+  int NumSigVerifies() const override { return 0; }
+  const char* Name() const override { return "TestMessage"; }
+  size_t size_;
+  uint64_t tag_;
+};
+
+class RecordingActor : public Actor {
+ public:
+  void OnMessage(ActorId from, const MessagePtr& msg) override {
+    deliveries.push_back({Now(), from, msg});
+  }
+  struct Delivery {
+    util::TimeMicros at;
+    ActorId from;
+    MessagePtr msg;
+  };
+  std::vector<Delivery> deliveries;
+};
+
+class FaultNetworkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sim_ = std::make_unique<Simulator>(7);
+    net_ = std::make_unique<Network>(sim_.get(), LatencyModel::Fixed(1.0),
+                                     CostModel{});
+    for (auto& actor : actors_) {
+      sim_->AddActor(&actor);
+      actor.AttachNetwork(net_.get());
+    }
+  }
+
+  std::unique_ptr<Simulator> sim_;
+  std::unique_ptr<Network> net_;
+  RecordingActor actors_[5];
+};
+
+// ------------------------------------------------------------- partitions
+
+TEST_F(FaultNetworkTest, PartitionSeversCrossGroupBothDirections) {
+  net_->fault_plane().Partition({{0, 1}, {2, 3}});
+  net_->Send(0, 2, std::make_shared<TestMessage>());
+  net_->Send(2, 0, std::make_shared<TestMessage>());
+  net_->Send(0, 1, std::make_shared<TestMessage>());  // Same group: flows.
+  net_->Send(3, 2, std::make_shared<TestMessage>());  // Same group: flows.
+  sim_->RunUntil(Millis(10));
+  EXPECT_TRUE(actors_[2].deliveries.empty() || actors_[2].deliveries[0].from == 3);
+  EXPECT_TRUE(actors_[0].deliveries.empty());
+  EXPECT_EQ(actors_[1].deliveries.size(), 1u);
+  EXPECT_EQ(actors_[2].deliveries.size(), 1u);
+  EXPECT_EQ(net_->stats().messages_cut, 2u);
+  EXPECT_EQ(net_->stats().messages_dropped, 2u);
+}
+
+TEST_F(FaultNetworkTest, UnlistedActorsAreUnrestricted) {
+  // Actor 4 (a "client") is in no group: it reaches both sides and both
+  // sides reach it.
+  net_->fault_plane().Partition({{0, 1}, {2, 3}});
+  net_->Send(4, 0, std::make_shared<TestMessage>());
+  net_->Send(4, 2, std::make_shared<TestMessage>());
+  net_->Send(0, 4, std::make_shared<TestMessage>());
+  net_->Send(2, 4, std::make_shared<TestMessage>());
+  sim_->RunUntil(Millis(10));
+  EXPECT_EQ(actors_[0].deliveries.size(), 1u);
+  EXPECT_EQ(actors_[2].deliveries.size(), 1u);
+  EXPECT_EQ(actors_[4].deliveries.size(), 2u);
+  EXPECT_EQ(net_->stats().messages_cut, 0u);
+}
+
+TEST_F(FaultNetworkTest, HealRestoresDelivery) {
+  net_->fault_plane().Partition({{0}, {1}});
+  net_->Send(0, 1, std::make_shared<TestMessage>());
+  sim_->RunUntil(Millis(10));
+  EXPECT_TRUE(actors_[1].deliveries.empty());
+
+  net_->fault_plane().Heal();
+  net_->Send(0, 1, std::make_shared<TestMessage>());
+  sim_->RunUntil(Millis(20));
+  EXPECT_EQ(actors_[1].deliveries.size(), 1u);
+}
+
+// ------------------------------------------------------------ link faults
+
+TEST_F(FaultNetworkTest, DropFaultLosesRoughlyThatFraction) {
+  net_->fault_plane().SetLinkFault(0, 1, LinkFault::Lossy(0.5));
+  for (int i = 0; i < 1000; ++i) {
+    net_->Send(0, 1, std::make_shared<TestMessage>(10));
+  }
+  sim_->RunUntil(Seconds(10));
+  EXPECT_GT(actors_[1].deliveries.size(), 350u);
+  EXPECT_LT(actors_[1].deliveries.size(), 650u);
+  EXPECT_EQ(net_->stats().messages_fault_dropped,
+            1000u - actors_[1].deliveries.size());
+}
+
+TEST_F(FaultNetworkTest, FaultIsPerDirectedLink) {
+  net_->fault_plane().SetLinkFault(0, 1, LinkFault::Lossy(1.0));
+  net_->Send(0, 1, std::make_shared<TestMessage>());
+  net_->Send(1, 0, std::make_shared<TestMessage>());  // Reverse unaffected.
+  net_->Send(0, 2, std::make_shared<TestMessage>());  // Other link clean.
+  sim_->RunUntil(Millis(10));
+  EXPECT_TRUE(actors_[1].deliveries.empty());
+  EXPECT_EQ(actors_[0].deliveries.size(), 1u);
+  EXPECT_EQ(actors_[2].deliveries.size(), 1u);
+}
+
+TEST_F(FaultNetworkTest, DefaultFaultAppliesWithPerLinkOverride) {
+  net_->fault_plane().SetDefaultLinkFault(LinkFault::Lossy(1.0));
+  net_->fault_plane().SetLinkFault(0, 2, LinkFault{});  // Clean override.
+  net_->Send(0, 1, std::make_shared<TestMessage>());
+  net_->Send(0, 2, std::make_shared<TestMessage>());
+  sim_->RunUntil(Millis(10));
+  EXPECT_TRUE(actors_[1].deliveries.empty());
+  EXPECT_EQ(actors_[2].deliveries.size(), 1u);
+}
+
+TEST_F(FaultNetworkTest, DuplicateFaultDeliversExtraCopies) {
+  LinkFault fault;
+  fault.duplicate = 1.0;  // Every message duplicated.
+  net_->fault_plane().SetLinkFault(0, 1, fault);
+  for (int i = 0; i < 10; ++i) {
+    net_->Send(0, 1, std::make_shared<TestMessage>(10));
+  }
+  sim_->RunUntil(Seconds(1));
+  EXPECT_EQ(actors_[1].deliveries.size(), 20u);
+  EXPECT_EQ(net_->stats().messages_duplicated, 10u);
+}
+
+TEST_F(FaultNetworkTest, ExtraDelaySlowsTheLink) {
+  net_->fault_plane().SetLinkFault(0, 1, LinkFault::Slow(Millis(50)));
+  net_->Send(0, 1, std::make_shared<TestMessage>(10));
+  net_->Send(0, 2, std::make_shared<TestMessage>(10));
+  sim_->RunUntil(Seconds(1));
+  ASSERT_EQ(actors_[1].deliveries.size(), 1u);
+  ASSERT_EQ(actors_[2].deliveries.size(), 1u);
+  EXPECT_GE(actors_[1].deliveries[0].at,
+            actors_[2].deliveries[0].at + Millis(49));
+}
+
+TEST_F(FaultNetworkTest, ReorderFaultOvertakesLaterTraffic) {
+  LinkFault fault;
+  fault.reorder = 0.3;
+  fault.reorder_window = Millis(20);
+  net_->fault_plane().SetLinkFault(0, 1, fault);
+  for (uint64_t i = 0; i < 50; ++i) {
+    net_->Send(0, 1, std::make_shared<TestMessage>(10, i));
+  }
+  sim_->RunUntil(Seconds(1));
+  ASSERT_EQ(actors_[1].deliveries.size(), 50u);
+  EXPECT_GT(net_->stats().messages_reordered, 0u);
+  // At least one message must have been overtaken: the tag sequence as
+  // delivered is not sorted.
+  std::vector<uint64_t> tags;
+  for (const auto& d : actors_[1].deliveries) {
+    tags.push_back(static_cast<const TestMessage*>(d.msg.get())->tag_);
+  }
+  EXPECT_FALSE(std::is_sorted(tags.begin(), tags.end()));
+}
+
+// ----------------------------------------------------------- determinism
+
+std::vector<util::TimeMicros> RunFaultedSequence(uint64_t fault_seed) {
+  Simulator sim(42);
+  Network net(&sim, LatencyModel::Normal(5.0, 2.0), CostModel{});
+  RecordingActor a, b;
+  sim.AddActor(&a);
+  sim.AddActor(&b);
+  a.AttachNetwork(&net);
+  b.AttachNetwork(&net);
+  net.fault_plane().Seed(fault_seed);
+  net.fault_plane().SetDefaultLinkFault(LinkFault::Flaky(0.2, 0.1, 0.2));
+  for (int i = 0; i < 200; ++i) {
+    net.Send(0, 1, std::make_shared<TestMessage>(100 + i));
+  }
+  sim.RunUntil(Seconds(1));
+  std::vector<util::TimeMicros> times;
+  for (const auto& d : b.deliveries) times.push_back(d.at);
+  return times;
+}
+
+TEST(FaultDeterminismTest, SameSeedSameFaults) {
+  EXPECT_EQ(RunFaultedSequence(5), RunFaultedSequence(5));
+  EXPECT_NE(RunFaultedSequence(5), RunFaultedSequence(6));
+}
+
+TEST(FaultDeterminismTest, UnfaultedRunsMatchPreFaultPlaneBehaviour) {
+  // Configuring and then fully clearing the plane must not perturb the
+  // latency RNG stream: delivery times equal a run that never touched it.
+  auto run = [](bool touch_plane) {
+    Simulator sim(11);
+    Network net(&sim, LatencyModel::Normal(5.0, 2.0), CostModel{});
+    RecordingActor a, b;
+    sim.AddActor(&a);
+    sim.AddActor(&b);
+    a.AttachNetwork(&net);
+    b.AttachNetwork(&net);
+    if (touch_plane) {
+      net.fault_plane().SetDefaultLinkFault(LinkFault::Lossy(0.9));
+      net.fault_plane().Partition({{0}, {1}});
+      net.fault_plane().ClearAllLinkFaults();
+      net.fault_plane().Heal();
+    }
+    for (int i = 0; i < 100; ++i) {
+      net.Send(0, 1, std::make_shared<TestMessage>(100));
+    }
+    sim.RunUntil(Seconds(1));
+    std::vector<util::TimeMicros> times;
+    for (const auto& d : b.deliveries) times.push_back(d.at);
+    return times;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+}  // namespace
+}  // namespace sim
+
+// --------------------------------------------------------- scenario engine
+
+namespace harness {
+namespace {
+
+using util::Millis;
+using util::Seconds;
+
+/// A small but eventful spec: degraded links, a minority partition, heal.
+ScenarioSpec SmallSpec() {
+  ScenarioSpec spec;
+  spec.name = "test-small";
+  spec.n = 4;
+
+  Phase warmup;
+  warmup.name = "warmup";
+  warmup.duration = Millis(500);
+  spec.phases.push_back(warmup);
+
+  Phase flaky;
+  flaky.name = "flaky";
+  flaky.duration = Millis(500);
+  flaky.set_link_faults = true;
+  flaky.default_link_fault = sim::LinkFault::Flaky(0.05, 0.02, 0.10);
+  spec.phases.push_back(flaky);
+
+  Phase split;
+  split.name = "split";
+  split.duration = Seconds(1);
+  split.set_partition = true;
+  split.set_link_faults = true;  // Links clean again.
+  split.partition = {{0, 1, 2}, {3}};
+  spec.phases.push_back(split);
+
+  Phase heal;
+  heal.name = "heal";
+  heal.duration = Seconds(1);
+  heal.set_partition = true;  // Empty groups = heal.
+  spec.phases.push_back(heal);
+  return spec;
+}
+
+WorkloadOptions SmallWorkload(uint64_t seed) {
+  WorkloadOptions w;
+  w.num_pools = 2;
+  w.clients_per_pool = 25;
+  w.seed = seed;
+  return w;
+}
+
+core::PrestigeConfig SmallConfig() {
+  core::PrestigeConfig config;
+  config.batch_size = 100;
+  return config;
+}
+
+TEST(ScenarioRunnerTest, SameSpecAndSeedProduceByteIdenticalMetrics) {
+  const ScenarioSpec spec = SmallSpec();
+  const ScenarioSeedResult a =
+      RunScenarioSeed<core::PrestigeReplica, core::PrestigeConfig>(
+          spec, SmallConfig(), SmallWorkload(3));
+  const ScenarioSeedResult b =
+      RunScenarioSeed<core::PrestigeReplica, core::PrestigeConfig>(
+          spec, SmallConfig(), SmallWorkload(3));
+  EXPECT_EQ(SeedResultJson(a), SeedResultJson(b));
+
+  const ScenarioSeedResult c =
+      RunScenarioSeed<core::PrestigeReplica, core::PrestigeConfig>(
+          spec, SmallConfig(), SmallWorkload(4));
+  EXPECT_NE(SeedResultJson(a), SeedResultJson(c));
+}
+
+TEST(ScenarioRunnerTest, MinorityPartitionStallsOnlyTheMinority) {
+  const ScenarioSpec spec = SmallSpec();
+  const ScenarioSeedResult r =
+      RunScenarioSeed<core::PrestigeReplica, core::PrestigeConfig>(
+          spec, SmallConfig(), SmallWorkload(3));
+  ASSERT_EQ(r.phases.size(), 4u);
+  EXPECT_TRUE(r.safety_ok) << r.violation;
+  // The majority keeps committing through the split...
+  EXPECT_GT(r.phases[2].committed, 0);
+  // ...while the cut-off minority replica falls behind...
+  EXPECT_LT(r.phases[2].safety.min_height, r.phases[2].safety.max_height);
+  // ...and catches up after the heal.
+  EXPECT_GT(r.phases[3].safety.min_height, r.phases[2].safety.min_height);
+}
+
+TEST(ScenarioRunnerTest, SweepAggregatesEverySeed) {
+  const ScenarioSpec spec = SmallSpec();
+  const ScenarioAggregate agg =
+      RunScenarioSweep<core::PrestigeReplica, core::PrestigeConfig>(
+          spec, SmallConfig(), SmallWorkload(0), /*base_seed=*/1,
+          /*num_seeds=*/3);
+  EXPECT_EQ(agg.num_seeds, 3u);
+  ASSERT_EQ(agg.seeds.size(), 3u);
+  EXPECT_TRUE(agg.all_safe);
+  EXPECT_EQ(agg.seeds[0].seed, 1u);
+  EXPECT_EQ(agg.seeds[2].seed, 3u);
+  EXPECT_EQ(agg.committed_total,
+            agg.seeds[0].committed + agg.seeds[1].committed +
+                agg.seeds[2].committed);
+  EXPECT_GE(agg.tps_max, agg.tps_mean);
+  EXPECT_GE(agg.tps_mean, agg.tps_min);
+}
+
+TEST(ScenarioLibraryTest, NamedScenariosResolve) {
+  EXPECT_GE(NamedScenarios().size(), 5u);
+  for (const char* name :
+       {"partition-minority", "partition-leader", "flaky-links", "churn",
+        "partition-during-view-change"}) {
+    const ScenarioSpec* spec = FindScenario(name);
+    ASSERT_NE(spec, nullptr) << name;
+    EXPECT_FALSE(spec->phases.empty()) << name;
+    EXPECT_GT(spec->TotalDuration(), 0) << name;
+  }
+  EXPECT_EQ(FindScenario("no-such-scenario"), nullptr);
+}
+
+}  // namespace
+}  // namespace harness
+}  // namespace prestige
