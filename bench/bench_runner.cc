@@ -13,8 +13,9 @@
 //     "p50_latency_ms" / "p99_latency_ms": client latency percentiles,
 //     "view_changes":  redeemer activations summed over replicas,
 //     "elections_won": completed elections summed over replicas,
-//     "wall_seconds":  host CPU wall time for the run,
-//     "sha256_hashes": SHA-256 computations the run performed
+//     "wall_seconds" / "wall_ms": host wall time for the run,
+//     "events" / "events_per_sec": simulator events executed / host rate,
+//     "hashes" == "sha256_hashes": SHA-256 computations the run performed
 //   }
 //
 // Declarative fault scenarios (src/harness/scenario.h) additionally carry
@@ -28,10 +29,14 @@
 // and similar optimisations show up there even when simulated network
 // latency dominates the virtual clock.
 //
-// Usage: bench_runner [--outdir DIR] [--seeds N] [--seed BASE] [scenario ...]
+// Usage: bench_runner [--outdir DIR] [--seeds N] [--seed BASE] [--jobs N]
+//                     [scenario ...]
 //        bench_runner --scenario NAME [--scenario NAME ...]
 //        bench_runner --list
-// With no scenario arguments, every scenario runs. Exit status is 2 on
+// With no scenario arguments — or with the pseudo-name "all" — every
+// scenario runs. `--jobs N` fans declarative seed sweeps out over N worker
+// threads (default: hardware concurrency); per-seed metric blocks are
+// byte-identical to the serial path regardless of N. Exit status is 2 on
 // usage errors, 1 when any output failed to write OR any declarative
 // scenario violated a safety invariant — CI keys off this.
 
@@ -41,6 +46,7 @@
 #include <cstring>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -62,6 +68,7 @@ struct ScenarioResult {
   int64_t elections_won = 0;
   double wall_seconds = 0.0;
   uint64_t sha256_hashes = 0;
+  uint64_t events = 0;  ///< Simulator events executed across the run.
   /// Declarative scenarios: false when any seed of any protocol violated a
   /// safety invariant (drives the process exit code).
   bool safe = true;
@@ -74,16 +81,30 @@ struct ScenarioResult {
 uint32_t g_sweep_seeds = 3;
 uint64_t g_sweep_base_seed = 1;
 
-/// Runs `body` with wall-clock and hash-count accounting around it.
+/// Worker threads for declarative seed sweeps (--jobs). Defaults to the
+/// machine's hardware concurrency so sweeps saturate it out of the box.
+uint32_t DefaultJobs() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+uint32_t g_jobs = 0;  // 0 = not set; resolved to DefaultJobs() in Main.
+
+/// Runs `body` with wall-clock and hash-count accounting around it. The
+/// CryptoMeter credits hashing done on this thread outside any nested
+/// per-run meter; declarative sweeps add their workers' per-run counts to
+/// r.sha256_hashes themselves, so the sum stays exact for any --jobs.
 ScenarioResult Instrumented(const std::function<void(ScenarioResult&)>& body) {
   ScenarioResult r;
-  const uint64_t hashes_before = crypto::Sha256::TotalFinished();
+  crypto::CryptoMeter meter;
   const auto wall_before = std::chrono::steady_clock::now();
-  body(r);
+  {
+    crypto::ScopedCryptoMeter scope(&meter);
+    body(r);
+  }
   const auto wall_after = std::chrono::steady_clock::now();
   r.wall_seconds =
       std::chrono::duration<double>(wall_after - wall_before).count();
-  r.sha256_hashes = crypto::Sha256::TotalFinished() - hashes_before;
+  r.sha256_hashes += meter.finished;
   return r;
 }
 
@@ -113,6 +134,7 @@ ScenarioResult RunReplication(uint32_t n) {
     r.p50_ms = cluster.LatencyPercentileMs(50);
     r.p99_ms = cluster.LatencyPercentileMs(99);
     FillClusterCounters(cluster, r);
+    r.events = cluster.simulator().events_executed();
   });
 }
 
@@ -137,6 +159,7 @@ ScenarioResult RunViewChangeChurn() {
     r.p50_ms = cluster.LatencyPercentileMs(50);
     r.p99_ms = cluster.LatencyPercentileMs(99);
     FillClusterCounters(cluster, r);
+    r.events = cluster.simulator().events_executed();
   });
 }
 
@@ -163,6 +186,7 @@ ScenarioResult RunLeaderCrash() {
     r.p50_ms = cluster.LatencyPercentileMs(50);
     r.p99_ms = cluster.LatencyPercentileMs(99);
     FillClusterCounters(cluster, r);
+    r.events = cluster.simulator().events_executed();
   });
 }
 
@@ -223,10 +247,12 @@ harness::WorkloadOptions ScenarioWorkload(uint64_t seed) {
   return w;
 }
 
-/// One protocol's sweep rendered as a JSON object.
+/// One protocol's sweep rendered as a JSON object. events/hashes are
+/// deterministic sums over the seeds; run_wall_ms sums per-run CPU wall
+/// time (with --jobs > 1 it exceeds elapsed time by roughly the speedup).
 std::string ProtocolJson(const char* protocol,
                          const harness::ScenarioAggregate& agg) {
-  char buf[512];
+  char buf[768];
   std::snprintf(buf, sizeof(buf),
                 "    {\n"
                 "      \"protocol\": \"%s\",\n"
@@ -240,13 +266,19 @@ std::string ProtocolJson(const char* protocol,
                 "      \"view_changes\": %lld,\n"
                 "      \"elections_won\": %lld,\n"
                 "      \"messages_dropped\": %llu,\n"
+                "      \"events\": %llu,\n"
+                "      \"hashes\": %llu,\n"
+                "      \"run_wall_ms\": %.3f,\n"
                 "      \"per_seed\": [\n",
                 protocol, agg.all_safe ? "true" : "false", agg.tps_mean,
                 agg.tps_min, agg.tps_max, agg.p50_ms_mean, agg.p99_ms_mean,
                 static_cast<long long>(agg.committed_total),
                 static_cast<long long>(agg.view_changes_total),
                 static_cast<long long>(agg.elections_won_total),
-                static_cast<unsigned long long>(agg.messages_dropped_total));
+                static_cast<unsigned long long>(agg.messages_dropped_total),
+                static_cast<unsigned long long>(agg.events_total),
+                static_cast<unsigned long long>(agg.hashes_total),
+                agg.run_wall_ms_total);
   std::string out = buf;
   for (size_t i = 0; i < agg.seeds.size(); ++i) {
     out += "        ";
@@ -263,25 +295,26 @@ std::string ProtocolJson(const char* protocol,
 ScenarioResult RunDeclarative(const harness::ScenarioSpec& spec) {
   const uint32_t seeds = g_sweep_seeds;
   const uint64_t base_seed = g_sweep_base_seed;
+  const uint32_t jobs = g_jobs == 0 ? DefaultJobs() : g_jobs;
   return Instrumented([&](ScenarioResult& r) {
     r.n = spec.n;
 
     const auto prestige =
         harness::RunScenarioSweep<core::PrestigeReplica, core::PrestigeConfig>(
             spec, PaperPrestigeConfig(spec.n, 500), ScenarioWorkload(0),
-            base_seed, seeds);
+            base_seed, seeds, jobs);
     const auto hotstuff = harness::RunScenarioSweep<
         baselines::hotstuff::HotStuffReplica,
         baselines::hotstuff::HotStuffConfig>(
         spec, PaperHotStuffConfig(spec.n, 500), ScenarioWorkload(0),
-        base_seed, seeds);
+        base_seed, seeds, jobs);
     baselines::sbft::SbftConfig sbft_config;
     sbft_config.n = spec.n;
     sbft_config.batch_size = 500;
     const auto sbft =
         harness::RunScenarioSweep<baselines::sbft::SbftReplica,
                                   baselines::sbft::SbftConfig>(
-            spec, sbft_config, ScenarioWorkload(0), base_seed, seeds);
+            spec, sbft_config, ScenarioWorkload(0), base_seed, seeds, jobs);
 
     r.committed = prestige.committed_total;
     r.tps = prestige.tps_mean;
@@ -290,12 +323,19 @@ ScenarioResult RunDeclarative(const harness::ScenarioSpec& spec) {
     r.view_changes = prestige.view_changes_total;
     r.elections_won = prestige.elections_won_total;
     r.safe = prestige.all_safe && hotstuff.all_safe && sbft.all_safe;
+    // Per-run meters on the sweep workers counted this hashing; add it to
+    // the (calling-thread) Instrumented meter's count.
+    r.sha256_hashes = prestige.hashes_total + hotstuff.hashes_total +
+                      sbft.hashes_total;
+    r.events = prestige.events_total + hotstuff.events_total +
+               sbft.events_total;
 
-    char buf[160];
+    char buf[192];
     std::snprintf(buf, sizeof(buf),
                   "  \"seeds\": %u,\n  \"base_seed\": %llu,\n"
+                  "  \"jobs\": %u,\n"
                   "  \"all_safe\": %s,\n  \"protocols\": [\n",
-                  seeds, static_cast<unsigned long long>(base_seed),
+                  seeds, static_cast<unsigned long long>(base_seed), jobs,
                   r.safe ? "true" : "false");
     r.extra_json = buf;
     r.extra_json += ProtocolJson("prestigebft", prestige) + ",\n";
@@ -356,6 +396,13 @@ bool WriteJson(const std::string& outdir, const char* scenario,
     std::fprintf(stderr, "bench_runner: cannot open %s\n", path.c_str());
     return false;
   }
+  // wall_ms duplicates wall_seconds and hashes duplicates sha256_hashes:
+  // wall_ms/events_per_sec/hashes are the canonical wall-clock trio shared
+  // by every BENCH consumer going forward; the older two names stay so the
+  // BENCH_*.json trajectory across PRs remains directly comparable.
+  const double events_per_sec =
+      r.wall_seconds > 0.0 ? static_cast<double>(r.events) / r.wall_seconds
+                           : 0.0;
   std::fprintf(f,
                "{\n"
                "  \"scenario\": \"%s\",\n"
@@ -368,12 +415,18 @@ bool WriteJson(const std::string& outdir, const char* scenario,
                "  \"elections_won\": %lld,\n"
                "%s"
                "  \"wall_seconds\": %.3f,\n"
+               "  \"wall_ms\": %.3f,\n"
+               "  \"events\": %llu,\n"
+               "  \"events_per_sec\": %.1f,\n"
+               "  \"hashes\": %llu,\n"
                "  \"sha256_hashes\": %llu\n"
                "}\n",
                scenario, r.n, static_cast<long long>(r.committed), r.tps,
                r.p50_ms, r.p99_ms, static_cast<long long>(r.view_changes),
                static_cast<long long>(r.elections_won), r.extra_json.c_str(),
-               r.wall_seconds,
+               r.wall_seconds, r.wall_seconds * 1000.0,
+               static_cast<unsigned long long>(r.events), events_per_sec,
+               static_cast<unsigned long long>(r.sha256_hashes),
                static_cast<unsigned long long>(r.sha256_hashes));
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
@@ -410,11 +463,25 @@ int Main(int argc, char** argv) {
       g_sweep_base_seed = std::strtoull(argv[++i], nullptr, 10);
       continue;
     }
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      const int jobs = std::atoi(argv[++i]);
+      if (jobs < 1) {
+        std::fprintf(stderr, "bench_runner: --jobs must be >= 1\n");
+        return 2;
+      }
+      g_jobs = static_cast<uint32_t>(jobs);
+      continue;
+    }
     if (argv[i][0] == '-') {
       std::fprintf(stderr, "bench_runner: unknown flag '%s'\n", argv[i]);
       return 2;
     }
     selected.emplace_back(argv[i]);
+  }
+
+  // The pseudo-name "all" selects every scenario, same as passing none.
+  if (std::find(selected.begin(), selected.end(), "all") != selected.end()) {
+    selected.clear();
   }
 
   // Reject unknown names up front so a typo cannot silently drop a

@@ -24,7 +24,7 @@ const char* HsPhaseName(HsPhase phase) {
 crypto::Sha256Digest HsVoteDigest(HsPhase phase, types::View v,
                                   types::SeqNum n,
                                   const crypto::Sha256Digest& block_digest) {
-  types::Encoder enc("hs-vote");
+  types::HashingEncoder enc("hs-vote");
   enc.PutU8(static_cast<uint8_t>(phase)).PutI64(v).PutI64(n).PutDigest(
       block_digest);
   return enc.Digest();

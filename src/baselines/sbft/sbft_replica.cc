@@ -9,7 +9,7 @@ namespace sbft {
 
 crypto::Sha256Digest SbStageDigest(int stage, types::View v, types::SeqNum n,
                                    const crypto::Sha256Digest& block_digest) {
-  types::Encoder enc("sbft");
+  types::HashingEncoder enc("sbft");
   enc.PutU8(static_cast<uint8_t>(stage)).PutI64(v).PutI64(n).PutDigest(
       block_digest);
   return enc.Digest();

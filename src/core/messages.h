@@ -276,7 +276,7 @@ struct NoiseMsg : public sim::NetMessage {
 
 /// Digest a candidate signs over its campaign message.
 inline crypto::Sha256Digest CampaignDigest(const CampMsg& camp) {
-  types::Encoder enc("camp");
+  types::HashingEncoder enc("camp");
   enc.PutI64(camp.v)
       .PutI64(camp.v_new)
       .PutI64(camp.rp)
@@ -289,7 +289,7 @@ inline crypto::Sha256Digest CampaignDigest(const CampMsg& camp) {
 
 /// Digest signed by heartbeats.
 inline crypto::Sha256Digest HeartbeatDigest(types::View v, types::SeqNum n) {
-  types::Encoder enc("heartbeat");
+  types::HashingEncoder enc("heartbeat");
   enc.PutI64(v).PutI64(n);
   return enc.Digest();
 }

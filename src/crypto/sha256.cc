@@ -32,7 +32,56 @@ constexpr uint32_t kRoundConstants[64] = {
 
 inline uint32_t Rotr(uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
 
+inline uint32_t BigSigma0(uint32_t x) {
+  return Rotr(x, 2) ^ Rotr(x, 13) ^ Rotr(x, 22);
+}
+inline uint32_t BigSigma1(uint32_t x) {
+  return Rotr(x, 6) ^ Rotr(x, 11) ^ Rotr(x, 25);
+}
+inline uint32_t SmallSigma0(uint32_t x) {
+  return Rotr(x, 7) ^ Rotr(x, 18) ^ (x >> 3);
+}
+inline uint32_t SmallSigma1(uint32_t x) {
+  return Rotr(x, 17) ^ Rotr(x, 19) ^ (x >> 10);
+}
+inline uint32_t Ch(uint32_t e, uint32_t f, uint32_t g) {
+  return (e & f) ^ (~e & g);
+}
+inline uint32_t Maj(uint32_t a, uint32_t b, uint32_t c) {
+  return (a & b) ^ (a & c) ^ (b & c);
+}
+
+/// Big-endian 32-bit load; a single bswap instruction on little-endian
+/// targets instead of four shift-or byte loads.
+inline uint32_t LoadBe32(const uint8_t* p) {
+#if defined(__GNUC__) && defined(__BYTE_ORDER__) && \
+    __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return __builtin_bswap32(v);
+#else
+  return (static_cast<uint32_t>(p[0]) << 24) |
+         (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+#endif
+}
+
+// Hash accounting. Thread-local on purpose: parallel seed sweeps run one
+// Simulator per worker thread, and per-run attribution must not race or
+// bleed across runs. t_active is the innermost installed CryptoMeter (or
+// null); t_total_finished is the thread's cumulative count backing
+// Sha256::TotalFinished().
+thread_local uint64_t t_total_finished = 0;
+thread_local CryptoMeter* t_active_meter = nullptr;
+
 }  // namespace
+
+ScopedCryptoMeter::ScopedCryptoMeter(CryptoMeter* meter)
+    : prev_(t_active_meter) {
+  t_active_meter = meter;
+}
+
+ScopedCryptoMeter::~ScopedCryptoMeter() { t_active_meter = prev_; }
 
 void Sha256::Reset() {
   std::memcpy(state_, kInitialState, sizeof(state_));
@@ -43,38 +92,40 @@ void Sha256::Reset() {
 void Sha256::ProcessBlock(const uint8_t block[64]) {
   uint32_t w[64];
   for (int i = 0; i < 16; ++i) {
-    w[i] = (static_cast<uint32_t>(block[i * 4]) << 24) |
-           (static_cast<uint32_t>(block[i * 4 + 1]) << 16) |
-           (static_cast<uint32_t>(block[i * 4 + 2]) << 8) |
-           static_cast<uint32_t>(block[i * 4 + 3]);
+    w[i] = LoadBe32(block + i * 4);
   }
   for (int i = 16; i < 64; ++i) {
-    const uint32_t s0 =
-        Rotr(w[i - 15], 7) ^ Rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
-    const uint32_t s1 =
-        Rotr(w[i - 2], 17) ^ Rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
-    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    w[i] = w[i - 16] + SmallSigma0(w[i - 15]) + w[i - 7] +
+           SmallSigma1(w[i - 2]);
   }
 
   uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
   uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
 
-  for (int i = 0; i < 64; ++i) {
-    const uint32_t s1 = Rotr(e, 6) ^ Rotr(e, 11) ^ Rotr(e, 25);
-    const uint32_t ch = (e & f) ^ (~e & g);
-    const uint32_t temp1 = h + s1 + ch + kRoundConstants[i] + w[i];
-    const uint32_t s0 = Rotr(a, 2) ^ Rotr(a, 13) ^ Rotr(a, 22);
-    const uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    const uint32_t temp2 = s0 + maj;
-    h = g;
-    g = f;
-    f = e;
-    e = d + temp1;
-    d = c;
-    c = b;
-    b = a;
-    a = temp1 + temp2;
+// One compression round with the working variables already permuted, so the
+// eight-way unrolled loop below needs no register rotation at the end of
+// each round (the rotation is encoded in the argument order instead).
+#define PRESTIGE_SHA256_ROUND(a, b, c, d, e, f, g, h, i)                  \
+  do {                                                                    \
+    const uint32_t t1 = h + BigSigma1(e) + Ch(e, f, g) +                  \
+                        kRoundConstants[i] + w[i];                        \
+    const uint32_t t2 = BigSigma0(a) + Maj(a, b, c);                      \
+    d += t1;                                                              \
+    h = t1 + t2;                                                          \
+  } while (0)
+
+  for (int i = 0; i < 64; i += 8) {
+    PRESTIGE_SHA256_ROUND(a, b, c, d, e, f, g, h, i + 0);
+    PRESTIGE_SHA256_ROUND(h, a, b, c, d, e, f, g, i + 1);
+    PRESTIGE_SHA256_ROUND(g, h, a, b, c, d, e, f, i + 2);
+    PRESTIGE_SHA256_ROUND(f, g, h, a, b, c, d, e, i + 3);
+    PRESTIGE_SHA256_ROUND(e, f, g, h, a, b, c, d, i + 4);
+    PRESTIGE_SHA256_ROUND(d, e, f, g, h, a, b, c, i + 5);
+    PRESTIGE_SHA256_ROUND(c, d, e, f, g, h, a, b, i + 6);
+    PRESTIGE_SHA256_ROUND(b, c, d, e, f, g, h, a, i + 7);
   }
+
+#undef PRESTIGE_SHA256_ROUND
 
   state_[0] += a;
   state_[1] += b;
@@ -107,28 +158,26 @@ void Sha256::Update(const uint8_t* data, size_t len) {
   }
 }
 
-namespace {
-uint64_t g_total_finished = 0;
-}  // namespace
-
-uint64_t Sha256::TotalFinished() { return g_total_finished; }
+uint64_t Sha256::TotalFinished() { return t_total_finished; }
 
 Sha256Digest Sha256::Finish() {
-  ++g_total_finished;
+  ++t_total_finished;
+  if (t_active_meter != nullptr) ++t_active_meter->finished;
+
+  // Pad directly in the block buffer (one memset + at most two compression
+  // calls) instead of the old byte-at-a-time Update loop: append 0x80, zero
+  // to 56 mod 64, then the 64-bit big-endian message length.
   const uint64_t total_bits = bit_count_;
-  // Append 0x80, pad with zeros to 56 mod 64, append 64-bit length.
-  uint8_t pad = 0x80;
-  Update(&pad, 1);
-  const uint8_t zero = 0x00;
-  while (buffer_len_ != 56) {
-    Update(&zero, 1);
+  buffer_[buffer_len_++] = 0x80;
+  if (buffer_len_ > 56) {
+    std::memset(buffer_ + buffer_len_, 0, 64 - buffer_len_);
+    ProcessBlock(buffer_);
+    buffer_len_ = 0;
   }
-  uint8_t len_bytes[8];
+  std::memset(buffer_ + buffer_len_, 0, 56 - buffer_len_);
   for (int i = 0; i < 8; ++i) {
-    len_bytes[i] = static_cast<uint8_t>(total_bits >> (56 - i * 8));
+    buffer_[56 + i] = static_cast<uint8_t>(total_bits >> (56 - i * 8));
   }
-  // Bypass bit_count_ accounting for the length field itself.
-  std::memcpy(buffer_ + buffer_len_, len_bytes, 8);
   ProcessBlock(buffer_);
   buffer_len_ = 0;
 

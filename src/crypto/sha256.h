@@ -2,7 +2,7 @@
 //
 // Used for block digests, HMAC-SHA256 (simulated signatures), and the
 // view-change proof-of-work puzzle (§4.2.2 of the paper). Verified against
-// NIST known-answer test vectors in tests/crypto/sha256_test.cc.
+// NIST known-answer test vectors in tests/crypto_test.cc.
 
 #ifndef PRESTIGE_CRYPTO_SHA256_H_
 #define PRESTIGE_CRYPTO_SHA256_H_
@@ -17,6 +17,33 @@ namespace crypto {
 
 /// A 32-byte SHA-256 digest.
 using Sha256Digest = std::array<uint8_t, 32>;
+
+/// Hash-cost accounting for one unit of work (one seed run, one bench).
+///
+/// Replaces the old process-wide Sha256 counter, which assumed a
+/// single-threaded simulation: with parallel seed sweeps, several
+/// independent Simulator instances hash concurrently on different threads,
+/// and a process-global counter could no longer attribute work to a run.
+/// Install a meter with ScopedCryptoMeter; every Finish() on that thread is
+/// then credited to it. Counts are deterministic per (spec, config, seed).
+struct CryptoMeter {
+  uint64_t finished = 0;  ///< Completed SHA-256 computations (Finish calls).
+};
+
+/// RAII installer: redirects this thread's hash accounting to `meter` for
+/// the scope's lifetime, restoring the previous meter (if any) on exit.
+/// Scopes nest; only the innermost meter is credited.
+class ScopedCryptoMeter {
+ public:
+  explicit ScopedCryptoMeter(CryptoMeter* meter);
+  ~ScopedCryptoMeter();
+
+  ScopedCryptoMeter(const ScopedCryptoMeter&) = delete;
+  ScopedCryptoMeter& operator=(const ScopedCryptoMeter&) = delete;
+
+ private:
+  CryptoMeter* prev_;
+};
 
 /// Incremental SHA-256 hasher.
 ///
@@ -44,9 +71,12 @@ class Sha256 {
   /// Pads, finalizes, and returns the digest.
   Sha256Digest Finish();
 
-  /// Process-wide count of completed SHA-256 computations (Finish calls).
-  /// The simulation is single-threaded; the counter is plain. Benchmarks
-  /// diff it around a run to report how much hashing the run cost.
+  /// Cumulative count of completed SHA-256 computations on the calling
+  /// thread. Thread-local (not process-wide): with parallel seed sweeps,
+  /// per-run attribution goes through CryptoMeter; this counter remains as
+  /// the whole-thread total, and in a single-threaded run the per-run
+  /// meters sum exactly to its delta (asserted by
+  /// tests/parallel_sweep_test.cc).
   static uint64_t TotalFinished();
 
   /// One-shot convenience.

@@ -74,6 +74,9 @@ class Cluster {
       replica->SetTopology(replica_ids, pool_ids);
     }
     replica_actor_ids_ = replica_ids;
+    // All actors are registered; size the network's per-actor resource
+    // tables once instead of growing them lazily inside Send/Deliver.
+    net_.PresizeActors(sim_.num_actors());
   }
 
   /// Schedules every actor's OnStart at the current virtual time. Call once

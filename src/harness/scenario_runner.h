@@ -9,14 +9,24 @@
 // Everything virtual-time here is deterministic: the same (spec, config,
 // workload.seed) triple reproduces byte-identical ScenarioSeedResults —
 // SeedResultJson() exists so tests and bench_runner can assert exactly that.
+//
+// Seed sweeps parallelize: each (spec, config, seed) run is a fully
+// self-contained Simulator + Cluster with no shared mutable state, so
+// RunScenarioSweep(jobs > 1) fans the seeds out over a worker pool. Results
+// land in a seed-indexed slot and are aggregated in seed order afterwards,
+// so the aggregate — including every floating-point mean — is byte-
+// identical to the serial path (asserted by tests/parallel_sweep_test.cc).
 
 #ifndef PRESTIGE_HARNESS_SCENARIO_RUNNER_H_
 #define PRESTIGE_HARNESS_SCENARIO_RUNNER_H_
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "harness/cluster.h"
@@ -35,10 +45,16 @@ struct PhaseOutcome {
   SafetyReport safety;
 };
 
-/// All virtual-time metrics of one (spec, seed) execution. Contains no
-/// wall-clock quantities, so equal seeds produce byte-identical results.
+/// All metrics of one (spec, seed) execution. Everything except `wall_ms`
+/// is a deterministic function of (spec, config, seed) — including `events`
+/// and `hashes`, which count implementation work, not virtual-time
+/// behaviour, but are exactly reproducible. SeedResultJson() renders only
+/// the deterministic fields, so equal seeds produce byte-identical JSON.
 struct ScenarioSeedResult {
   uint64_t seed = 0;
+  uint64_t events = 0;   ///< Simulator events executed (deterministic).
+  uint64_t hashes = 0;   ///< SHA-256 computations performed (deterministic).
+  double wall_ms = 0.0;  ///< Host wall-clock cost; NOT in SeedResultJson.
   bool safety_ok = true;
   std::string violation;
   int64_t committed = 0;
@@ -73,6 +89,10 @@ struct ScenarioAggregate {
   int64_t view_changes_total = 0;
   int64_t elections_won_total = 0;
   uint64_t messages_dropped_total = 0;
+  uint64_t events_total = 0;   ///< Deterministic (sum of per-seed events).
+  uint64_t hashes_total = 0;   ///< Deterministic (sum of per-seed hashes).
+  double run_wall_ms_total = 0.0;  ///< Summed per-run CPU wall time; with
+                                   ///< jobs > 1 this exceeds elapsed time.
   std::vector<ScenarioSeedResult> seeds;
 };
 
@@ -161,6 +181,13 @@ void ApplyPhase(Cluster& cluster, const Phase& phase) {
 template <typename Replica, typename Config>
 ScenarioSeedResult RunScenarioSeed(const ScenarioSpec& spec, Config config,
                                    WorkloadOptions workload) {
+  // Per-run hash attribution: every Sha256::Finish on this thread (cluster
+  // construction included — the KeyStore hashes) is credited to this run,
+  // which stays exact when sweeps run seeds on parallel worker threads.
+  crypto::CryptoMeter meter;
+  crypto::ScopedCryptoMeter meter_scope(&meter);
+  const auto wall_start = std::chrono::steady_clock::now();
+
   config.n = spec.n;
   std::vector<workload::FaultSpec> faults = spec.byzantine;
   faults.resize(spec.n, workload::FaultSpec::Honest());
@@ -211,30 +238,72 @@ ScenarioSeedResult RunScenarioSeed(const ScenarioSpec& spec, Config config,
   result.messages_cut = net.messages_cut;
   result.messages_duplicated = net.messages_duplicated;
   result.messages_reordered = net.messages_reordered;
+  result.events = cluster.simulator().events_executed();
+  result.hashes = meter.finished;
+  result.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - wall_start)
+                       .count();
   return result;
 }
 
 /// Runs `spec` for `num_seeds` consecutive seeds starting at `base_seed`
 /// and aggregates. Each seed gets a fresh cluster; workload.seed is
 /// overridden per run.
+///
+/// `jobs` > 1 runs the seeds on that many worker threads. Runs share
+/// nothing mutable (each owns its Simulator, Network, KeyStore, replicas,
+/// and — via thread-scoped CryptoMeters — its hash accounting), so the
+/// per-seed results are identical to the serial path's; aggregation always
+/// happens on the calling thread in ascending seed order, which keeps even
+/// the floating-point means byte-identical. Worker count is capped at
+/// num_seeds; jobs == 0 behaves as 1.
 template <typename Replica, typename Config>
 ScenarioAggregate RunScenarioSweep(const ScenarioSpec& spec, Config config,
                                    WorkloadOptions workload,
-                                   uint64_t base_seed, uint32_t num_seeds) {
+                                   uint64_t base_seed, uint32_t num_seeds,
+                                   uint32_t jobs = 1) {
+  std::vector<ScenarioSeedResult> results(num_seeds);
+  const uint32_t workers = std::min(std::max<uint32_t>(jobs, 1), num_seeds);
+  if (workers <= 1) {
+    for (uint32_t i = 0; i < num_seeds; ++i) {
+      WorkloadOptions w = workload;
+      w.seed = base_seed + i;
+      results[i] = RunScenarioSeed<Replica, Config>(spec, config, w);
+    }
+  } else {
+    std::atomic<uint32_t> next_index{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (uint32_t t = 0; t < workers; ++t) {
+      pool.emplace_back([&]() {
+        for (;;) {
+          const uint32_t i =
+              next_index.fetch_add(1, std::memory_order_relaxed);
+          if (i >= num_seeds) return;
+          WorkloadOptions w = workload;
+          w.seed = base_seed + i;
+          results[i] = RunScenarioSeed<Replica, Config>(spec, config, w);
+        }
+      });
+    }
+    for (std::thread& worker : pool) worker.join();
+  }
+
   ScenarioAggregate agg;
   agg.scenario = spec.name;
   agg.n = spec.n;
   agg.base_seed = base_seed;
   agg.num_seeds = num_seeds;
   for (uint32_t i = 0; i < num_seeds; ++i) {
-    workload.seed = base_seed + i;
-    ScenarioSeedResult r =
-        RunScenarioSeed<Replica, Config>(spec, config, workload);
+    ScenarioSeedResult& r = results[i];
     agg.all_safe = agg.all_safe && r.safety_ok;
     agg.committed_total += r.committed;
     agg.view_changes_total += r.view_changes;
     agg.elections_won_total += r.elections_won;
     agg.messages_dropped_total += r.messages_dropped;
+    agg.events_total += r.events;
+    agg.hashes_total += r.hashes;
+    agg.run_wall_ms_total += r.wall_ms;
     agg.tps_mean += r.tps;
     agg.p50_ms_mean += r.p50_ms;
     agg.p99_ms_mean += r.p99_ms;
@@ -250,11 +319,13 @@ ScenarioAggregate RunScenarioSweep(const ScenarioSpec& spec, Config config,
   return agg;
 }
 
-/// Canonical JSON rendering of one seed's virtual-time metrics. Two runs of
-/// the same (spec, seed) must produce byte-identical strings — asserted by
-/// tests/sim_fault_test.cc and usable as a quick determinism probe.
+/// Canonical JSON rendering of one seed's deterministic metrics (wall_ms is
+/// deliberately excluded). Two runs of the same (spec, seed) must produce
+/// byte-identical strings — regardless of sweep parallelism — asserted by
+/// tests/sim_fault_test.cc and tests/parallel_sweep_test.cc and usable as a
+/// quick determinism probe.
 inline std::string SeedResultJson(const ScenarioSeedResult& r) {
-  char buf[512];
+  char buf[640];
   std::string out = "{";
   std::snprintf(buf, sizeof(buf),
                 "\"seed\": %llu, \"safety_ok\": %s, \"committed\": %lld, "
@@ -263,7 +334,8 @@ inline std::string SeedResultJson(const ScenarioSeedResult& r) {
                 "\"min_height\": %lld, \"max_height\": %lld, "
                 "\"messages_sent\": %llu, \"messages_dropped\": %llu, "
                 "\"messages_cut\": %llu, \"messages_duplicated\": %llu, "
-                "\"messages_reordered\": %llu, \"phases\": [",
+                "\"messages_reordered\": %llu, \"events\": %llu, "
+                "\"hashes\": %llu, \"phases\": [",
                 static_cast<unsigned long long>(r.seed),
                 r.safety_ok ? "true" : "false",
                 static_cast<long long>(r.committed), r.tps, r.p50_ms,
@@ -275,7 +347,9 @@ inline std::string SeedResultJson(const ScenarioSeedResult& r) {
                 static_cast<unsigned long long>(r.messages_dropped),
                 static_cast<unsigned long long>(r.messages_cut),
                 static_cast<unsigned long long>(r.messages_duplicated),
-                static_cast<unsigned long long>(r.messages_reordered));
+                static_cast<unsigned long long>(r.messages_reordered),
+                static_cast<unsigned long long>(r.events),
+                static_cast<unsigned long long>(r.hashes));
   out += buf;
   for (size_t i = 0; i < r.phases.size(); ++i) {
     const PhaseOutcome& p = r.phases[i];

@@ -5,14 +5,14 @@ namespace ledger {
 
 crypto::Sha256Digest OrderingDigest(types::View v, types::SeqNum n,
                                     const crypto::Sha256Digest& block_digest) {
-  types::Encoder enc("ord");
+  types::HashingEncoder enc("ord");
   enc.PutI64(v).PutI64(n).PutDigest(block_digest);
   return enc.Digest();
 }
 
 crypto::Sha256Digest CommitDigest(types::View v, types::SeqNum n,
                                   const crypto::Sha256Digest& block_digest) {
-  types::Encoder enc("cmt");
+  types::HashingEncoder enc("cmt");
   enc.PutI64(v).PutI64(n).PutDigest(block_digest);
   return enc.Digest();
 }

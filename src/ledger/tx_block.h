@@ -68,7 +68,7 @@ class TxBlock {
   /// certify the block and are likewise not part of the address.
   const crypto::Sha256Digest& Digest() const {
     return cache_.Get([this] {
-      types::Encoder enc("txblock");
+      types::HashingEncoder enc("txblock");
       enc.PutI64(n_).PutDigest(prev_hash_).PutDigest(types::BatchDigest(txs_));
       return enc.Digest();
     });

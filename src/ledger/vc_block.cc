@@ -4,26 +4,26 @@ namespace prestige {
 namespace ledger {
 
 crypto::Sha256Digest ConfDigest(types::View v) {
-  types::Encoder enc("confvc");
+  types::HashingEncoder enc("confvc");
   enc.PutI64(v);
   return enc.Digest();
 }
 
 crypto::Sha256Digest VoteDigest(types::View v_new,
                                 types::ReplicaId candidate) {
-  types::Encoder enc("votecp");
+  types::HashingEncoder enc("votecp");
   enc.PutI64(v_new).PutU32(candidate);
   return enc.Digest();
 }
 
 crypto::Sha256Digest VcYesDigest(const crypto::Sha256Digest& vc_block_digest) {
-  types::Encoder enc("vcyes");
+  types::HashingEncoder enc("vcyes");
   enc.PutDigest(vc_block_digest);
   return enc.Digest();
 }
 
 crypto::Sha256Digest RefreshDigest(types::ReplicaId id, types::View v) {
-  types::Encoder enc("refresh");
+  types::HashingEncoder enc("refresh");
   enc.PutU32(id).PutI64(v);
   return enc.Digest();
 }

@@ -88,7 +88,7 @@ class VcBlock {
   /// valid until the next mutation of a covered field.
   const crypto::Sha256Digest& Digest() const {
     return cache_.Get([this] {
-      types::Encoder enc("vcblock");
+      types::HashingEncoder enc("vcblock");
       enc.PutI64(v_).PutU32(leader_).PutI64(confirmed_view_).PutDigest(
           prev_hash_);
       enc.PutU64(rp_.size());

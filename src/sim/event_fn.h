@@ -1,0 +1,129 @@
+// EventFn: a move-only callable for simulator events.
+//
+// std::function is the wrong shape for the event loop's hot path: it must
+// be copyable (so every closure capturing a move-only type is banned), its
+// small-buffer is only ~16 bytes on mainstream standard libraries (the
+// typical event closure here captures [this, from, to, MessagePtr] ≈ 32
+// bytes, forcing a heap allocation per scheduled event), and
+// priority_queue::top() being const forced Simulator::Step to *copy* the
+// wrapper — a second allocation plus shared_ptr refcount churn per event.
+//
+// EventFn fixes all three: move-only semantics, a 48-byte inline buffer
+// sized for the network/timer closures the simulator actually schedules,
+// and heap fallback only for oversized or throwing-move captures.
+
+#ifndef PRESTIGE_SIM_EVENT_FN_H_
+#define PRESTIGE_SIM_EVENT_FN_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace prestige {
+namespace sim {
+
+class EventFn {
+ public:
+  /// Inline capture budget. Covers the dominant closures — network
+  /// delivery ([this, from, to, shared_ptr msg] = 32 bytes) and replica
+  /// timers — with headroom; larger captures degrade to one heap node.
+  static constexpr size_t kInlineBytes = 48;
+
+  EventFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &InlineOps<Fn>::ops;
+    } else {
+      *reinterpret_cast<Fn**>(storage_) = new Fn(std::forward<F>(f));
+      ops_ = &HeapOps<Fn>::ops;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      if (ops_ != nullptr) ops_->destroy(storage_);
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(storage_, other.storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() {
+    if (ops_ != nullptr) ops_->destroy(storage_);
+  }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move-constructs the callable into `dst` from `src` and destroys the
+    /// source — one operation, so relocation never leaves a live source.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename Fn>
+  struct InlineOps {
+    static void Invoke(void* storage) { (*static_cast<Fn*>(storage))(); }
+    static void Relocate(void* dst, void* src) noexcept {
+      Fn* from = static_cast<Fn*>(src);
+      ::new (dst) Fn(std::move(*from));
+      from->~Fn();
+    }
+    static void Destroy(void* storage) noexcept {
+      static_cast<Fn*>(storage)->~Fn();
+    }
+    static constexpr Ops ops = {&Invoke, &Relocate, &Destroy};
+  };
+
+  template <typename Fn>
+  struct HeapOps {
+    static void Invoke(void* storage) { (**static_cast<Fn**>(storage))(); }
+    static void Relocate(void* dst, void* src) noexcept {
+      *static_cast<Fn**>(dst) = *static_cast<Fn**>(src);
+    }
+    static void Destroy(void* storage) noexcept {
+      delete *static_cast<Fn**>(storage);
+    }
+    static constexpr Ops ops = {&Invoke, &Relocate, &Destroy};
+  };
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+template <typename Fn>
+constexpr EventFn::Ops EventFn::InlineOps<Fn>::ops;
+template <typename Fn>
+constexpr EventFn::Ops EventFn::HeapOps<Fn>::ops;
+
+}  // namespace sim
+}  // namespace prestige
+
+#endif  // PRESTIGE_SIM_EVENT_FN_H_

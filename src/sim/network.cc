@@ -25,14 +25,13 @@ util::DurationMicros CostModel::SerializationCost(const NetMessage& msg) const {
 Network::Network(Simulator* sim, LatencyModel latency, CostModel cost)
     : sim_(sim), latency_(latency), cost_(cost), rng_(sim->rng()->Fork()) {}
 
-util::TimeMicros& Network::EgressFree(ActorId id) {
-  if (egress_free_.size() <= id) egress_free_.resize(id + 1, 0);
-  return egress_free_[id];
+void Network::PresizeActors(size_t count) {
+  if (egress_free_.size() < count) egress_free_.resize(count, 0);
+  if (cpu_free_.size() < count) cpu_free_.resize(count, 0);
 }
 
-util::TimeMicros& Network::CpuFree(ActorId id) {
-  if (cpu_free_.size() <= id) cpu_free_.resize(id + 1, 0);
-  return cpu_free_[id];
+void Network::GrowActorTables(ActorId id) {
+  PresizeActors(static_cast<size_t>(id) + 1);
 }
 
 void Network::Send(ActorId from, ActorId to, MessagePtr msg) {

@@ -92,14 +92,30 @@ class Network {
   FaultPlane& fault_plane() { return faults_; }
   const FaultPlane& fault_plane() const { return faults_; }
 
+  /// Sizes the per-actor egress/CPU availability tables for `count` actors
+  /// up front. Call once after actor registration (Cluster does): it hoists
+  /// the grow-on-demand branch out of every Send/Deliver. Actors added
+  /// later still work via the cold growth path.
+  void PresizeActors(size_t count);
+
   const NetworkStats& stats() const { return stats_; }
   const CostModel& cost_model() const { return cost_; }
 
  private:
   void Deliver(ActorId from, ActorId to, const MessagePtr& msg,
                util::TimeMicros arrival);
-  util::TimeMicros& EgressFree(ActorId id);
-  util::TimeMicros& CpuFree(ActorId id);
+  /// Cold path: grows both tables to cover `id` (actor registered after
+  /// PresizeActors, or a Network used without a Cluster).
+  void GrowActorTables(ActorId id);
+
+  util::TimeMicros& EgressFree(ActorId id) {
+    if (egress_free_.size() <= id) GrowActorTables(id);
+    return egress_free_[id];
+  }
+  util::TimeMicros& CpuFree(ActorId id) {
+    if (cpu_free_.size() <= id) GrowActorTables(id);
+    return cpu_free_[id];
+  }
 
   Simulator* sim_;
   LatencyModel latency_;

@@ -1,15 +1,19 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <cassert>
+#include <utility>
 
 #include "sim/actor.h"
 
 namespace prestige {
 namespace sim {
 
-void Simulator::ScheduleAt(util::TimeMicros at, std::function<void()> fn) {
+void Simulator::ScheduleAt(util::TimeMicros at, EventFn fn) {
   if (at < now_) at = now_;
-  queue_.push(Event{at, next_seq_++, std::move(fn)});
+  if (heap_.empty() && heap_.capacity() == 0) heap_.reserve(256);
+  heap_.push_back(Event{at, next_seq_++, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), EventLater{});
 }
 
 ActorId Simulator::AddActor(Actor* actor) {
@@ -20,11 +24,15 @@ ActorId Simulator::AddActor(Actor* actor) {
 }
 
 bool Simulator::Step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top is const; moving the closure out requires a copy of
-  // the wrapper. Events are small (a std::function), so copy then pop.
-  Event ev = queue_.top();
-  queue_.pop();
+  if (heap_.empty()) return false;
+  // Fix for the old std::priority_queue implementation: top() is const
+  // there, so extracting the closure required copying the whole
+  // std::function (one heap allocation + capture copies per event
+  // executed). pop_heap + move-from-back extracts by move instead, and
+  // also admits the move-only EventFn closure type.
+  std::pop_heap(heap_.begin(), heap_.end(), EventLater{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
   assert(ev.time >= now_);
   now_ = ev.time;
   ++events_executed_;
@@ -33,7 +41,7 @@ bool Simulator::Step() {
 }
 
 void Simulator::RunUntil(util::TimeMicros until) {
-  while (!queue_.empty() && queue_.top().time <= until) {
+  while (!heap_.empty() && heap_.front().time <= until) {
     Step();
   }
   if (now_ < until) now_ = until;

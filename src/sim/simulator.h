@@ -3,15 +3,21 @@
 // The substitution for the paper's cloud testbed (DESIGN.md §4): replicas and
 // client pools are Actors driven by a virtual clock. Event ordering is total
 // (time, insertion sequence), so a run is exactly reproducible from its seed.
+//
+// The event queue is a std::push_heap/std::pop_heap binary heap over a
+// plain vector rather than std::priority_queue: top() being const there
+// forced Step() to *copy* every scheduled closure before popping it (an
+// allocation + refcount churn per event). pop_heap moves events out, and
+// EventFn (event_fn.h) keeps typical closures inline, so steady-state
+// scheduling does not allocate.
 
 #ifndef PRESTIGE_SIM_SIMULATOR_H_
 #define PRESTIGE_SIM_SIMULATOR_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "sim/event_fn.h"
 #include "util/random.h"
 #include "util/time.h"
 
@@ -23,7 +29,7 @@ class Actor;
 /// Index of an actor within one simulation.
 using ActorId = uint32_t;
 
-/// The event loop: a priority queue of (time, seq, closure).
+/// The event loop: a binary min-heap of (time, seq, closure).
 class Simulator {
  public:
   explicit Simulator(uint64_t seed) : rng_(seed) {}
@@ -35,10 +41,10 @@ class Simulator {
   util::TimeMicros Now() const { return now_; }
 
   /// Schedules `fn` at absolute virtual time `at` (clamped to now).
-  void ScheduleAt(util::TimeMicros at, std::function<void()> fn);
+  void ScheduleAt(util::TimeMicros at, EventFn fn);
 
   /// Schedules `fn` after `delay` microseconds.
-  void ScheduleAfter(util::DurationMicros delay, std::function<void()> fn) {
+  void ScheduleAfter(util::DurationMicros delay, EventFn fn) {
     ScheduleAt(now_ + (delay < 0 ? 0 : delay), std::move(fn));
   }
 
@@ -65,8 +71,11 @@ class Simulator {
   struct Event {
     util::TimeMicros time;
     uint64_t seq;
-    std::function<void()> fn;
+    EventFn fn;
   };
+
+  /// Comparator for std::push_heap/std::pop_heap: "later" events sort
+  /// lower, so the event with the smallest (time, seq) is at the front.
   struct EventLater {
     bool operator()(const Event& a, const Event& b) const {
       if (a.time != b.time) return a.time > b.time;
@@ -77,7 +86,7 @@ class Simulator {
   util::TimeMicros now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t events_executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::vector<Event> heap_;
   std::vector<Actor*> actors_;
   util::Rng rng_;
 };

@@ -4,7 +4,7 @@ namespace prestige {
 namespace types {
 
 crypto::Sha256Digest BatchDigest(const std::vector<Transaction>& txs) {
-  Encoder enc("batch");
+  HashingEncoder enc("batch");
   enc.PutU64(txs.size());
   for (const Transaction& tx : txs) {
     enc.PutDigest(tx.Digest());

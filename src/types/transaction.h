@@ -34,7 +34,7 @@ struct Transaction {
 
   /// Canonical digest d of the request.
   crypto::Sha256Digest Digest() const {
-    Encoder enc("tx");
+    HashingEncoder enc("tx");
     enc.PutU32(pool)
         .PutU64(client_seq)
         .PutI64(sent_at)

@@ -120,6 +120,61 @@ TEST(EncoderTest, ProtocolDigestHelpersAreDomainSeparated) {
   EXPECT_NE(ledger::VcYesDigest(body), ledger::RefreshDigest(0, 1));
 }
 
+// ---------------------------------------- streaming-encoder equivalence
+
+TEST(HashingEncoderTest, DigestMatchesMaterializingEncoder) {
+  // The digest hot path streams bytes into SHA-256 without materializing
+  // them; it must produce exactly the digest Encoder would.
+  const std::vector<uint8_t> blob = {0x00, 0xff, 0x7f, 0x10};
+  const crypto::Sha256Digest inner = crypto::Sha256::Hash(blob);
+
+  Encoder enc("equiv");
+  enc.PutU8(0xab)
+      .PutU32(0x01020304u)
+      .PutU64(0x1122334455667788ull)
+      .PutI64(-5)
+      .PutDigest(inner)
+      .PutBytes(blob)
+      .PutString("hello")
+      .PutString("");
+
+  HashingEncoder henc("equiv");
+  henc.PutU8(0xab)
+      .PutU32(0x01020304u)
+      .PutU64(0x1122334455667788ull)
+      .PutI64(-5)
+      .PutDigest(inner)
+      .PutBytes(blob)
+      .PutString("hello")
+      .PutString("");
+
+  EXPECT_EQ(henc.Digest(), enc.Digest());
+}
+
+TEST(HashingEncoderTest, EmptyPayloadMatchesToo) {
+  Encoder enc("tagonly");
+  HashingEncoder henc("tagonly");
+  EXPECT_EQ(henc.Digest(), enc.Digest());
+}
+
+TEST(HashingEncoderTest, CharPointerTagMatchesStringTag) {
+  // PutString(const char*) must serialize identically to the std::string
+  // overload (it exists only to skip the temporary's allocation).
+  Encoder a("t");
+  a.PutString("payload");
+  Encoder b("t");
+  b.PutString(std::string("payload"));
+  EXPECT_EQ(a.bytes(), b.bytes());
+}
+
+TEST(EncoderTest, ReserveDoesNotChangeBytes) {
+  Encoder plain("test");
+  plain.PutU64(7).PutString("x");
+  Encoder reserved("test", /*reserve_bytes=*/256);
+  reserved.PutU64(7).PutString("x");
+  EXPECT_EQ(plain.bytes(), reserved.bytes());
+}
+
 // ------------------------------------------------- digest-cache behaviour
 
 Transaction MakeTx(uint64_t seq) {

@@ -1,0 +1,158 @@
+// Determinism under parallelism: a seed sweep fanned out over worker
+// threads must produce byte-identical per-seed results — and a
+// byte-identical aggregate — to the serial sweep, and the per-run
+// CryptoMeter hash accounting must stay exact in both modes (in a
+// single-threaded sweep the per-run counts sum to the thread-cumulative
+// Sha256::TotalFinished delta).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/replica.h"
+#include "crypto/sha256.h"
+#include "harness/scenario.h"
+#include "harness/scenario_runner.h"
+
+namespace prestige {
+namespace harness {
+namespace {
+
+using util::Millis;
+
+/// Small but eventful: flaky links, then a minority partition, then heal —
+/// enough protocol activity to make any cross-thread bleed visible.
+ScenarioSpec SweepSpec() {
+  ScenarioSpec spec;
+  spec.name = "test-parallel-sweep";
+  spec.n = 4;
+
+  Phase warmup;
+  warmup.name = "warmup";
+  warmup.duration = Millis(400);
+  spec.phases.push_back(warmup);
+
+  Phase flaky;
+  flaky.name = "flaky";
+  flaky.duration = Millis(400);
+  flaky.set_link_faults = true;
+  flaky.default_link_fault = sim::LinkFault::Flaky(0.05, 0.02, 0.10);
+  spec.phases.push_back(flaky);
+
+  Phase split;
+  split.name = "split";
+  split.duration = Millis(400);
+  split.set_partition = true;
+  split.set_link_faults = true;
+  split.partition = {{0, 1, 2}, {3}};
+  spec.phases.push_back(split);
+
+  Phase heal;
+  heal.name = "heal";
+  heal.duration = Millis(400);
+  heal.set_partition = true;
+  spec.phases.push_back(heal);
+  return spec;
+}
+
+WorkloadOptions SweepWorkload() {
+  WorkloadOptions w;
+  w.num_pools = 2;
+  w.clients_per_pool = 25;
+  return w;
+}
+
+core::PrestigeConfig SweepConfig() {
+  core::PrestigeConfig config;
+  config.batch_size = 100;
+  return config;
+}
+
+TEST(ParallelSweepTest, FourJobsMatchSerialByteForByte) {
+  const ScenarioSpec spec = SweepSpec();
+  constexpr uint32_t kSeeds = 6;
+
+  const ScenarioAggregate serial =
+      RunScenarioSweep<core::PrestigeReplica, core::PrestigeConfig>(
+          spec, SweepConfig(), SweepWorkload(), /*base_seed=*/1, kSeeds,
+          /*jobs=*/1);
+  const ScenarioAggregate parallel =
+      RunScenarioSweep<core::PrestigeReplica, core::PrestigeConfig>(
+          spec, SweepConfig(), SweepWorkload(), /*base_seed=*/1, kSeeds,
+          /*jobs=*/4);
+
+  ASSERT_EQ(serial.seeds.size(), kSeeds);
+  ASSERT_EQ(parallel.seeds.size(), kSeeds);
+  for (uint32_t i = 0; i < kSeeds; ++i) {
+    EXPECT_EQ(SeedResultJson(serial.seeds[i]),
+              SeedResultJson(parallel.seeds[i]))
+        << "seed " << serial.seeds[i].seed;
+  }
+
+  // The aggregate is computed on the calling thread in seed order in both
+  // modes, so even the floating-point means match exactly.
+  EXPECT_EQ(serial.all_safe, parallel.all_safe);
+  EXPECT_EQ(serial.committed_total, parallel.committed_total);
+  EXPECT_EQ(serial.view_changes_total, parallel.view_changes_total);
+  EXPECT_EQ(serial.messages_dropped_total, parallel.messages_dropped_total);
+  EXPECT_EQ(serial.events_total, parallel.events_total);
+  EXPECT_EQ(serial.hashes_total, parallel.hashes_total);
+  EXPECT_EQ(serial.tps_mean, parallel.tps_mean);
+  EXPECT_EQ(serial.p50_ms_mean, parallel.p50_ms_mean);
+  EXPECT_EQ(serial.p99_ms_mean, parallel.p99_ms_mean);
+  EXPECT_EQ(serial.tps_min, parallel.tps_min);
+  EXPECT_EQ(serial.tps_max, parallel.tps_max);
+}
+
+TEST(ParallelSweepTest, PerRunMetersSumToThreadTotalInSerialSweep) {
+  const ScenarioSpec spec = SweepSpec();
+  constexpr uint32_t kSeeds = 3;
+
+  // jobs=1 keeps every run on this thread, so the thread-cumulative
+  // counter must advance by exactly the sum of the per-run meters (the
+  // sweep itself hashes nothing outside the runs).
+  const uint64_t total_before = crypto::Sha256::TotalFinished();
+  const ScenarioAggregate agg =
+      RunScenarioSweep<core::PrestigeReplica, core::PrestigeConfig>(
+          spec, SweepConfig(), SweepWorkload(), /*base_seed=*/7, kSeeds,
+          /*jobs=*/1);
+  const uint64_t total_delta = crypto::Sha256::TotalFinished() - total_before;
+
+  uint64_t per_run_sum = 0;
+  for (const ScenarioSeedResult& r : agg.seeds) {
+    EXPECT_GT(r.hashes, 0u) << "seed " << r.seed;
+    per_run_sum += r.hashes;
+  }
+  EXPECT_EQ(per_run_sum, agg.hashes_total);
+  EXPECT_EQ(per_run_sum, total_delta);
+}
+
+TEST(ParallelSweepTest, ScopedMeterNestsAndRestores) {
+  crypto::CryptoMeter outer;
+  crypto::CryptoMeter inner;
+  const uint8_t byte = 0x42;
+  {
+    crypto::ScopedCryptoMeter outer_scope(&outer);
+    crypto::Sha256::Hash(&byte, 1);
+    {
+      crypto::ScopedCryptoMeter inner_scope(&inner);
+      crypto::Sha256::Hash(&byte, 1);
+      crypto::Sha256::Hash(&byte, 1);
+    }
+    crypto::Sha256::Hash(&byte, 1);
+  }
+  // Only the innermost meter is credited while it is installed.
+  EXPECT_EQ(outer.finished, 2u);
+  EXPECT_EQ(inner.finished, 2u);
+  // After the scopes unwind, hashing is unmetered but still counts toward
+  // the thread total.
+  const uint64_t before = crypto::Sha256::TotalFinished();
+  crypto::Sha256::Hash(&byte, 1);
+  EXPECT_EQ(crypto::Sha256::TotalFinished(), before + 1);
+  EXPECT_EQ(outer.finished, 2u);
+}
+
+}  // namespace
+}  // namespace harness
+}  // namespace prestige

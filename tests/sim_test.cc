@@ -2,12 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/actor.h"
+#include "sim/event_fn.h"
 #include "sim/latency.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
+#include "util/random.h"
 #include "util/stats.h"
 
 namespace prestige {
@@ -109,6 +113,87 @@ TEST(SimulatorTest, StepReturnsFalseWhenEmpty) {
   sim.ScheduleAt(1, [] {});
   EXPECT_TRUE(sim.Step());
   EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, HeapMatchesReferenceOrderUnderChurn) {
+  // Stress the hand-rolled binary heap against the specified total order
+  // (time, then insertion seq): pseudo-random times, including ties, with
+  // events scheduling further events mid-run.
+  Simulator sim(1);
+  std::vector<std::pair<util::TimeMicros, int>> executed;
+  util::Rng rng(99);
+  int label = 0;
+  for (int i = 0; i < 500; ++i) {
+    const util::TimeMicros at = static_cast<util::TimeMicros>(
+        rng.NextBounded(50));  // Narrow range forces many ties.
+    const int id = label++;
+    sim.ScheduleAt(at, [&executed, &sim, id] {
+      executed.push_back({sim.Now(), id});
+    });
+  }
+  sim.ScheduleAt(25, [&] {
+    for (int i = 0; i < 100; ++i) {
+      const int id = label++;
+      sim.ScheduleAfter(static_cast<util::DurationMicros>(i % 7),
+                        [&executed, &sim, id] {
+                          executed.push_back({sim.Now(), id});
+                        });
+    }
+  });
+  sim.RunUntil(1000);
+  ASSERT_EQ(executed.size(), 600u);
+  // Times are non-decreasing, and equal times execute in insertion order.
+  // Labels are assigned in scheduling order (the nested burst gets the
+  // largest labels and seqs), so at equal times label order IS seq order.
+  for (size_t i = 1; i < executed.size(); ++i) {
+    ASSERT_LE(executed[i - 1].first, executed[i].first);
+    if (executed[i - 1].first == executed[i].first) {
+      ASSERT_LT(executed[i - 1].second, executed[i].second);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- EventFn
+
+TEST(EventFnTest, RunsInlineAndHeapCallables) {
+  int hits = 0;
+  EventFn small([&hits] { ++hits; });  // Fits the inline buffer.
+  small();
+  EXPECT_EQ(hits, 1);
+
+  struct Big {
+    unsigned char pad[128];  // Exceeds kInlineBytes: heap fallback.
+    int* hits;
+    void operator()() { ++*hits; }
+  };
+  static_assert(sizeof(Big) > EventFn::kInlineBytes, "want heap path");
+  EventFn big(Big{{}, &hits});
+  big();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(EventFnTest, SupportsMoveOnlyCaptures) {
+  // std::function would reject this closure (it requires copyability).
+  auto ptr = std::make_unique<int>(41);
+  int seen = 0;
+  EventFn fn([p = std::move(ptr), &seen] { seen = *p + 1; });
+  EventFn moved(std::move(fn));
+  EXPECT_TRUE(static_cast<bool>(moved));
+  EXPECT_FALSE(static_cast<bool>(fn));  // NOLINT(bugprone-use-after-move)
+  moved();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(EventFnTest, MoveAssignDestroysPreviousCallable) {
+  auto counter = std::make_shared<int>(0);
+  EXPECT_EQ(counter.use_count(), 1);
+  EventFn a([counter] { ++*counter; });
+  EXPECT_EQ(counter.use_count(), 2);
+  EventFn b([] {});
+  b = std::move(a);  // The empty lambda is destroyed; capture moves over.
+  EXPECT_EQ(counter.use_count(), 2);
+  b = EventFn([] {});  // Dropping the capture releases the shared_ptr.
+  EXPECT_EQ(counter.use_count(), 1);
 }
 
 // --------------------------------------------------------------- Latency
