@@ -30,15 +30,21 @@
 // latency dominates the virtual clock.
 //
 // Usage: bench_runner [--outdir DIR] [--seeds N] [--seed BASE] [--jobs N]
-//                     [scenario ...]
+//                     [--runtime sim|threaded] [scenario ...]
 //        bench_runner --scenario NAME [--scenario NAME ...]
 //        bench_runner --list
 // With no scenario arguments — or with the pseudo-name "all" — every
 // scenario runs. `--jobs N` fans declarative seed sweeps out over N worker
 // threads (default: hardware concurrency); per-seed metric blocks are
-// byte-identical to the serial path regardless of N. Exit status is 2 on
-// usage errors, 1 when any output failed to write OR any declarative
-// scenario violated a safety invariant — CI keys off this.
+// byte-identical to the serial path regardless of N.
+// `--runtime=threaded` additionally executes each selected (fault-free)
+// declarative scenario on the real-time ThreadedRuntime backend and adds a
+// "threaded" JSON block with real wall-clock TPS/latency next to the
+// simulated numbers (docs/BENCHMARKS.md). `--list` prints scenarios,
+// protocol configs, and runtime backends. Exit status is 2 on usage
+// errors (unknown scenarios, sim-only scenarios under --runtime=threaded),
+// 1 when any output failed to write OR any scenario — simulated or
+// threaded — violated a safety invariant — CI keys off this.
 
 #include <algorithm>
 #include <chrono>
@@ -53,6 +59,7 @@
 #include "crypto/sha256.h"
 #include "harness/scenario.h"
 #include "harness/scenario_runner.h"
+#include "harness/threaded_runner.h"
 
 namespace prestige {
 namespace bench {
@@ -80,6 +87,13 @@ struct ScenarioResult {
 // Seed-sweep knobs for declarative scenarios (set from the command line).
 uint32_t g_sweep_seeds = 3;
 uint64_t g_sweep_base_seed = 1;
+
+/// Execution backend (--runtime). "sim" runs everything on the
+/// deterministic discrete-event simulator as always. "threaded"
+/// additionally runs each selected scenario's workload on the real-time
+/// ThreadedRuntime (one thread per node, wall-clock timers, loopback
+/// queues) and reports real TPS/latency next to the simulated numbers.
+bool g_threaded = false;
 
 /// Worker threads for declarative seed sweeps (--jobs). Defaults to the
 /// machine's hardware concurrency so sweeps saturate it out of the box.
@@ -296,7 +310,7 @@ ScenarioResult RunDeclarative(const harness::ScenarioSpec& spec) {
   const uint32_t seeds = g_sweep_seeds;
   const uint64_t base_seed = g_sweep_base_seed;
   const uint32_t jobs = g_jobs == 0 ? DefaultJobs() : g_jobs;
-  return Instrumented([&](ScenarioResult& r) {
+  ScenarioResult result = Instrumented([&](ScenarioResult& r) {
     r.n = spec.n;
 
     const auto prestige =
@@ -354,6 +368,63 @@ ScenarioResult RunDeclarative(const harness::ScenarioSpec& spec) {
       }
     }
   });
+
+  // Real-time comparison run: the same workload on the threaded backend
+  // (PrestigeBFT; wall-clock numbers, scheduler-dependent by design).
+  // Deliberately OUTSIDE the Instrumented window: wall_ms / events /
+  // events_per_sec track the simulator hot path across PRs, and a 6 s
+  // real-time sleep would corrupt that trajectory.
+  if (g_threaded) {
+    const harness::ThreadedRunResult rt =
+        harness::RunThreadedScenario<core::PrestigeReplica,
+                                     core::PrestigeConfig>(
+            spec, PaperPrestigeConfig(spec.n, 500),
+            ScenarioWorkload(g_sweep_base_seed));
+    if (!rt.ran) {
+      std::fprintf(stderr, "bench_runner: threaded run skipped: %s\n",
+                   rt.error.c_str());
+      result.safe = false;
+    } else {
+      if (!rt.safety_ok) {
+        std::fprintf(stderr,
+                     "bench_runner: SAFETY VIOLATION (threaded) %s: %s\n",
+                     spec.name.c_str(), rt.violation.c_str());
+        result.safe = false;
+      }
+      std::printf(
+          "  threaded: committed=%lld tps=%.1f p50=%.2fms p99=%.2fms "
+          "msgs=%llu safe=%s   (sim tps=%.1f p50=%.2fms)\n",
+          static_cast<long long>(rt.committed), rt.tps, rt.p50_ms, rt.p99_ms,
+          static_cast<unsigned long long>(rt.messages_delivered),
+          rt.safety_ok ? "yes" : "NO", result.tps, result.p50_ms);
+      char tbuf[512];
+      std::snprintf(
+          tbuf, sizeof(tbuf),
+          "  \"threaded\": {\n"
+          "    \"protocol\": \"prestigebft\",\n"
+          "    \"duration_seconds\": %.3f,\n"
+          "    \"committed\": %lld,\n"
+          "    \"throughput_tps\": %.1f,\n"
+          "    \"p50_latency_ms\": %.4f,\n"
+          "    \"p99_latency_ms\": %.4f,\n"
+          "    \"mean_latency_ms\": %.4f,\n"
+          "    \"view_changes\": %lld,\n"
+          "    \"messages_delivered\": %llu,\n"
+          "    \"min_height\": %lld,\n"
+          "    \"max_height\": %lld,\n"
+          "    \"safe\": %s\n"
+          "  },\n",
+          rt.duration_seconds, static_cast<long long>(rt.committed), rt.tps,
+          rt.p50_ms, rt.p99_ms, rt.mean_ms,
+          static_cast<long long>(rt.view_changes),
+          static_cast<unsigned long long>(rt.messages_delivered),
+          static_cast<long long>(rt.min_height),
+          static_cast<long long>(rt.max_height),
+          rt.safety_ok ? "true" : "false");
+      result.extra_json += tbuf;
+    }
+  }
+  return result;
 }
 
 struct Scenario {
@@ -433,15 +504,73 @@ bool WriteJson(const std::string& outdir, const char* scenario,
   return true;
 }
 
+/// --list: everything a driver script can select — scenarios, the protocol
+/// configurations the sweeps use, and the runtime backends.
+void PrintList() {
+  std::printf("scenarios:\n");
+  for (const Scenario& s : Scenarios()) {
+    const harness::ScenarioSpec* spec = harness::FindScenario(s.name);
+    const char* kind = spec == nullptr ? "classic   "
+                       : harness::ThreadedCapable(*spec)
+                           ? "sim+thread"
+                           : "sim-only  ";
+    std::printf("  %-30s %s %s\n", s.name, kind, s.description);
+  }
+  std::printf("\nprotocol configs (declarative sweeps):\n");
+  const core::PrestigeConfig pc = PaperPrestigeConfig(4, 500);
+  std::printf(
+      "  %-12s batch=%zu timeout=[%lld,%lld]ms rotation=%s refresh=%s\n",
+      "prestigebft", pc.batch_size,
+      static_cast<long long>(pc.timeout_min / util::kMicrosPerMilli),
+      static_cast<long long>(pc.timeout_max / util::kMicrosPerMilli),
+      pc.rotation_period > 0 ? "on" : "off",
+      pc.enable_refresh ? "on" : "off");
+  const baselines::hotstuff::HotStuffConfig hc = PaperHotStuffConfig(4, 500);
+  std::printf("  %-12s batch=%zu view_timeout=%lldms (passive pacemaker)\n",
+              "hotstuff", hc.batch_size,
+              static_cast<long long>(hc.view_timeout /
+                                     util::kMicrosPerMilli));
+  baselines::sbft::SbftConfig sc;
+  sc.batch_size = 500;
+  std::printf("  %-12s batch=%zu crypto_weight=%d (collector fast path)\n",
+              "sbft", sc.batch_size, sc.crypto_weight);
+  std::printf(
+      "\nruntime backends (--runtime):\n"
+      "  sim       deterministic discrete-event simulator (default):\n"
+      "            virtual time, modelled network, bit-identical per-seed "
+      "JSON\n"
+      "  threaded  real-time: one event-loop thread per node, loopback\n"
+      "            queues, wall-clock timers; adds a \"threaded\" block "
+      "with\n"
+      "            real TPS/latency next to the simulated numbers\n"
+      "            (fault-free declarative scenarios only)\n");
+}
+
 int Main(int argc, char** argv) {
   std::string outdir = ".";
   std::vector<std::string> selected;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--list") == 0) {
-      for (const Scenario& s : Scenarios()) {
-        std::printf("%-28s %s\n", s.name, s.description);
-      }
+      PrintList();
       return 0;
+    }
+    if (std::strncmp(argv[i], "--runtime", 9) == 0) {
+      std::string value;
+      if (argv[i][9] == '=') {
+        value = argv[i] + 10;
+      } else if (argv[i][9] == '\0' && i + 1 < argc) {
+        value = argv[++i];
+      }
+      if (value == "sim") {
+        g_threaded = false;
+      } else if (value == "threaded") {
+        g_threaded = true;
+      } else {
+        std::fprintf(stderr,
+                     "bench_runner: --runtime expects 'sim' or 'threaded'\n");
+        return 2;
+      }
+      continue;
     }
     if (std::strcmp(argv[i], "--outdir") == 0 && i + 1 < argc) {
       outdir = argv[++i];
@@ -495,6 +624,27 @@ int Main(int argc, char** argv) {
                    "bench_runner: unknown scenario '%s'; try --list\n",
                    name.c_str());
       return 2;
+    }
+  }
+
+  // The threaded backend runs explicit, fault-free declarative scenarios;
+  // reject anything else up front rather than mid-run.
+  if (g_threaded) {
+    if (selected.empty()) {
+      std::fprintf(stderr,
+                   "bench_runner: --runtime=threaded needs an explicit "
+                   "--scenario selection (try --scenario steady-state)\n");
+      return 2;
+    }
+    for (const std::string& name : selected) {
+      const harness::ScenarioSpec* spec = harness::FindScenario(name);
+      if (spec == nullptr || !harness::ThreadedCapable(*spec)) {
+        std::fprintf(stderr,
+                     "bench_runner: scenario '%s' cannot run on the "
+                     "threaded backend (sim-only faults); see --list\n",
+                     name.c_str());
+        return 2;
+      }
     }
   }
 

@@ -40,8 +40,8 @@ HotStuffReplica::HotStuffReplica(HotStuffConfig config, types::ReplicaId id,
       fault_(fault),
       state_machine_(std::make_unique<ledger::NullStateMachine>()) {}
 
-void HotStuffReplica::SetTopology(std::vector<sim::ActorId> replicas,
-                                  std::vector<sim::ActorId> clients) {
+void HotStuffReplica::SetTopology(std::vector<runtime::NodeId> replicas,
+                                  std::vector<runtime::NodeId> clients) {
   replicas_ = std::move(replicas);
   clients_ = std::move(clients);
 }
@@ -56,8 +56,8 @@ uint64_t HotStuffReplica::TxKey(const types::Transaction& tx) {
          tx.client_seq * 0xc2b2ae3d27d4eb4fULL;
 }
 
-std::vector<sim::ActorId> HotStuffReplica::PeerActors() const {
-  std::vector<sim::ActorId> peers;
+std::vector<runtime::NodeId> HotStuffReplica::PeerActors() const {
+  std::vector<runtime::NodeId> peers;
   for (size_t i = 0; i < replicas_.size(); ++i) {
     if (static_cast<types::ReplicaId>(i) != id_) peers.push_back(replicas_[i]);
   }
@@ -84,13 +84,13 @@ bool HotStuffReplica::EquivocateActive() const {
   return false;
 }
 
-void HotStuffReplica::GuardedSend(sim::ActorId to, sim::MessagePtr msg) {
+void HotStuffReplica::GuardedSend(runtime::NodeId to, runtime::MessagePtr msg) {
   if (QuietActive()) return;
   Send(to, std::move(msg));
 }
 
-void HotStuffReplica::GuardedSend(const std::vector<sim::ActorId>& to,
-                                  sim::MessagePtr msg) {
+void HotStuffReplica::GuardedSend(const std::vector<runtime::NodeId>& to,
+                                  runtime::MessagePtr msg) {
   if (QuietActive()) return;
   Send(to, std::move(msg));
 }
@@ -109,10 +109,10 @@ void HotStuffReplica::OnStart() {
   if (config_.rotation_period > 0) {
     rotation_timer_ = SetTimer(
         config_.rotation_period + rng()->NextInRange(0, util::Millis(100)),
-        kRotationTimer);
+        Tag(kRotationTimer));
   }
   if (fault_.type == workload::FaultType::kEquivocate) {
-    SetTimer(util::Millis(50), kNoiseTimer);
+    SetTimer(util::Millis(50), Tag(kNoiseTimer));
   }
 }
 
@@ -121,7 +121,7 @@ void HotStuffReplica::ArmViewTimer() {
   util::DurationMicros timeout = config_.view_timeout;
   for (int i = 0; i < consecutive_failures_ && i < 8; ++i) timeout *= 2;
   timeout = std::min(timeout, config_.max_view_timeout);
-  view_timer_ = SetTimer(timeout, kViewTimer);
+  view_timer_ = SetTimer(timeout, Tag(kViewTimer));
 }
 
 void HotStuffReplica::OnTimer(uint64_t tag) {
@@ -129,7 +129,7 @@ void HotStuffReplica::OnTimer(uint64_t tag) {
       Now() >= fault_.start_at) {
     return;
   }
-  switch (tag) {
+  switch (TagKind(tag)) {
     case kViewTimer:
       view_timer_ = 0;
       // The passive pacemaker: leader failed; blindly rotate to the next
@@ -146,7 +146,7 @@ void HotStuffReplica::OnTimer(uint64_t tag) {
         rotation_timer_ =
             SetTimer(config_.rotation_period +
                          rng()->NextInRange(0, util::Millis(100)),
-                     kRotationTimer);
+                     Tag(kRotationTimer));
       }
       break;
     case kBatchTimer:
@@ -160,7 +160,7 @@ void HotStuffReplica::OnTimer(uint64_t tag) {
         Send(PeerActors(), noise);
       }
       if (fault_.type == workload::FaultType::kEquivocate) {
-        SetTimer(util::Millis(50), kNoiseTimer);
+        SetTimer(util::Millis(50), Tag(kNoiseTimer));
       }
       break;
   }
@@ -219,7 +219,7 @@ void HotStuffReplica::MaybePropose(bool allow_partial) {
     if (pending_txs_.empty()) return;
     if (pending_txs_.size() < config_.batch_size && !allow_partial) {
       if (batch_timer_ == 0) {
-        batch_timer_ = SetTimer(config_.batch_wait, kBatchTimer);
+        batch_timer_ = SetTimer(config_.batch_wait, Tag(kBatchTimer));
       }
       return;
     }
@@ -261,7 +261,7 @@ void HotStuffReplica::MaybePropose(bool allow_partial) {
   GuardedSend(PeerActors(), proposal);
 }
 
-void HotStuffReplica::OnProposal(sim::ActorId from, const HsProposalMsg& msg) {
+void HotStuffReplica::OnProposal(runtime::NodeId from, const HsProposalMsg& msg) {
   if (msg.v < view_) return;
   if (msg.v > view_) {
     // The cluster moved on; adopt the higher view (passive schedule makes
@@ -306,7 +306,7 @@ void HotStuffReplica::OnProposal(sim::ActorId from, const HsProposalMsg& msg) {
   consecutive_failures_ = 0;
 }
 
-void HotStuffReplica::OnVote(sim::ActorId from, const HsVoteMsg& msg) {
+void HotStuffReplica::OnVote(runtime::NodeId from, const HsVoteMsg& msg) {
   (void)from;
   if (!IsLeader() || !proposal_active_ || msg.v != view_ ||
       msg.n != current_block_.n() || msg.phase != collect_phase_) {
@@ -370,7 +370,7 @@ void HotStuffReplica::OnVote(sim::ActorId from, const HsVoteMsg& msg) {
   GuardedSend(PeerActors(), phase_msg);
 }
 
-void HotStuffReplica::OnPhase(sim::ActorId from, const HsPhaseMsg& msg) {
+void HotStuffReplica::OnPhase(runtime::NodeId from, const HsPhaseMsg& msg) {
   if (msg.v != view_ || IsLeader() || from != ActorOf(current_leader())) {
     return;
   }
@@ -420,7 +420,7 @@ void HotStuffReplica::OnPhase(sim::ActorId from, const HsPhaseMsg& msg) {
   ArmViewTimer();
 }
 
-void HotStuffReplica::OnNewView(sim::ActorId from, const HsNewViewMsg& msg) {
+void HotStuffReplica::OnNewView(runtime::NodeId from, const HsNewViewMsg& msg) {
   (void)from;
   if (msg.v <= view_) return;
   // Enough of the cluster moved to a higher view; follow along so the
@@ -480,7 +480,7 @@ void HotStuffReplica::NotifyClients(const ledger::TxBlock& block) {
   }
 }
 
-void HotStuffReplica::OnMessage(sim::ActorId from, const sim::MessagePtr& msg) {
+void HotStuffReplica::OnMessage(runtime::NodeId from, const runtime::MessagePtr& msg) {
   if (fault_.type == workload::FaultType::kCrash && fault_.start_at > 0 &&
       Now() >= fault_.start_at) {
     return;

@@ -26,7 +26,7 @@
 #include "crypto/quorum_cert.h"
 #include "ledger/block_store.h"
 #include "ledger/state_machine.h"
-#include "sim/actor.h"
+#include "runtime/env.h"
 #include "types/client_messages.h"
 #include "types/ids.h"
 #include "workload/fault_spec.h"
@@ -51,7 +51,7 @@ crypto::Sha256Digest HsVoteDigest(HsPhase phase, types::View v,
                                   const crypto::Sha256Digest& block_digest);
 
 /// Leader proposal carrying the batch body (the prepare broadcast).
-struct HsProposalMsg : public sim::NetMessage {
+struct HsProposalMsg : public runtime::NetMessage {
   types::View v = 0;
   ledger::TxBlock block;
   crypto::Signature sig;
@@ -66,7 +66,7 @@ struct HsProposalMsg : public sim::NetMessage {
 };
 
 /// Follower vote: partial signature for one phase.
-struct HsVoteMsg : public sim::NetMessage {
+struct HsVoteMsg : public runtime::NetMessage {
   types::View v = 0;
   HsPhase phase = HsPhase::kPrepare;
   types::SeqNum n = 0;
@@ -81,7 +81,7 @@ struct HsVoteMsg : public sim::NetMessage {
 };
 
 /// Leader phase broadcast carrying the QC of the previous phase.
-struct HsPhaseMsg : public sim::NetMessage {
+struct HsPhaseMsg : public runtime::NetMessage {
   types::View v = 0;
   HsPhase phase = HsPhase::kPreCommit;  // kPreCommit / kCommit / kDecide.
   types::SeqNum n = 0;
@@ -102,7 +102,7 @@ struct HsPhaseMsg : public sim::NetMessage {
 };
 
 /// Pacemaker message sent to the next scheduled leader on view advance.
-struct HsNewViewMsg : public sim::NetMessage {
+struct HsNewViewMsg : public runtime::NetMessage {
   types::View v = 0;           ///< The view being entered.
   types::SeqNum latest_n = 0;  ///< Sender's chain height.
   crypto::Signature sig;
@@ -130,18 +130,18 @@ struct HotStuffConfig {
 };
 
 /// One HotStuff server.
-class HotStuffReplica : public sim::Actor {
+class HotStuffReplica : public runtime::Node {
  public:
   HotStuffReplica(HotStuffConfig config, types::ReplicaId id,
                   const crypto::KeyStore* keys,
                   workload::FaultSpec fault = workload::FaultSpec::Honest());
 
-  void SetTopology(std::vector<sim::ActorId> replicas,
-                   std::vector<sim::ActorId> clients);
+  void SetTopology(std::vector<runtime::NodeId> replicas,
+                   std::vector<runtime::NodeId> clients);
   void SetStateMachine(std::unique_ptr<ledger::StateMachine> sm);
 
   void OnStart() override;
-  void OnMessage(sim::ActorId from, const sim::MessagePtr& msg) override;
+  void OnMessage(runtime::NodeId from, const runtime::MessagePtr& msg) override;
   void OnTimer(uint64_t tag) override;
 
   types::View view() const { return view_; }
@@ -161,25 +161,32 @@ class HotStuffReplica : public sim::Actor {
     kRotationTimer = 3,
     kNoiseTimer = 4,
   };
+  // Shared 48-bit tag packing (util/timer_tag.h).
+  static uint64_t Tag(TimerKind kind, uint64_t payload = 0) {
+    return util::PackTimerTag(kind, payload);
+  }
+  static TimerKind TagKind(uint64_t tag) {
+    return util::TimerTagKind<TimerKind>(tag);
+  }
 
   static uint64_t TxKey(const types::Transaction& tx);
-  sim::ActorId ActorOf(types::ReplicaId id) const { return replicas_[id]; }
-  std::vector<sim::ActorId> PeerActors() const;
+  runtime::NodeId ActorOf(types::ReplicaId id) const { return replicas_[id]; }
+  std::vector<runtime::NodeId> PeerActors() const;
 
   bool QuietActive() const;
   bool EquivocateActive() const;
-  void GuardedSend(sim::ActorId to, sim::MessagePtr msg);
-  void GuardedSend(const std::vector<sim::ActorId>& to, sim::MessagePtr msg);
+  void GuardedSend(runtime::NodeId to, runtime::MessagePtr msg);
+  void GuardedSend(const std::vector<runtime::NodeId>& to, runtime::MessagePtr msg);
   crypto::Signature SignMaybeCorrupt(const crypto::Sha256Digest& digest);
 
   void EnqueueTx(const types::Transaction& tx);
   void EnterView(types::View v, bool failed);
   void AdvanceView(bool failed);
   void MaybePropose(bool allow_partial);
-  void OnProposal(sim::ActorId from, const HsProposalMsg& msg);
-  void OnVote(sim::ActorId from, const HsVoteMsg& msg);
-  void OnPhase(sim::ActorId from, const HsPhaseMsg& msg);
-  void OnNewView(sim::ActorId from, const HsNewViewMsg& msg);
+  void OnProposal(runtime::NodeId from, const HsProposalMsg& msg);
+  void OnVote(runtime::NodeId from, const HsVoteMsg& msg);
+  void OnPhase(runtime::NodeId from, const HsPhaseMsg& msg);
+  void OnNewView(runtime::NodeId from, const HsNewViewMsg& msg);
   void DecideBlock(ledger::TxBlock block);
   void NotifyClients(const ledger::TxBlock& block);
   void ArmViewTimer();
@@ -190,17 +197,17 @@ class HotStuffReplica : public sim::Actor {
   crypto::Signer signer_;
   workload::FaultSpec fault_;
 
-  std::vector<sim::ActorId> replicas_;
-  std::vector<sim::ActorId> clients_;
+  std::vector<runtime::NodeId> replicas_;
+  std::vector<runtime::NodeId> clients_;
 
   ledger::BlockStore store_;
   std::unique_ptr<ledger::StateMachine> state_machine_;
 
   types::View view_ = 1;
   int consecutive_failures_ = 0;
-  sim::TimerId view_timer_ = 0;
-  sim::TimerId rotation_timer_ = 0;
-  sim::TimerId batch_timer_ = 0;
+  runtime::TimerId view_timer_ = 0;
+  runtime::TimerId rotation_timer_ = 0;
+  runtime::TimerId batch_timer_ = 0;
 
   // Request pool (all replicas buffer; the scheduled leader proposes).
   std::deque<types::Transaction> pending_txs_;

@@ -25,8 +25,8 @@ SbftReplica::SbftReplica(SbftConfig config, types::ReplicaId id,
       fault_(fault),
       state_machine_(std::make_unique<ledger::NullStateMachine>()) {}
 
-void SbftReplica::SetTopology(std::vector<sim::ActorId> replicas,
-                              std::vector<sim::ActorId> clients) {
+void SbftReplica::SetTopology(std::vector<runtime::NodeId> replicas,
+                              std::vector<runtime::NodeId> clients) {
   replicas_ = std::move(replicas);
   clients_ = std::move(clients);
 }
@@ -36,8 +36,8 @@ uint64_t SbftReplica::TxKey(const types::Transaction& tx) {
          tx.client_seq * 0xc2b2ae3d27d4eb4fULL;
 }
 
-std::vector<sim::ActorId> SbftReplica::PeerActors() const {
-  std::vector<sim::ActorId> peers;
+std::vector<runtime::NodeId> SbftReplica::PeerActors() const {
+  std::vector<runtime::NodeId> peers;
   for (size_t i = 0; i < replicas_.size(); ++i) {
     if (static_cast<types::ReplicaId>(i) != id_) peers.push_back(replicas_[i]);
   }
@@ -46,11 +46,11 @@ std::vector<sim::ActorId> SbftReplica::PeerActors() const {
 
 void SbftReplica::OnStart() {
   view_ = 1;
-  view_timer_ = SetTimer(config_.view_timeout, kViewTimer);
+  view_timer_ = SetTimer(config_.view_timeout, Tag(kViewTimer));
 }
 
 void SbftReplica::OnTimer(uint64_t tag) {
-  switch (tag) {
+  switch (TagKind(tag)) {
     case kViewTimer:
       // Passive rotation on timeout (fast path only — dual paths and view
       // change details of full SBFT are out of scope for the peak-
@@ -59,7 +59,7 @@ void SbftReplica::OnTimer(uint64_t tag) {
       // at their sequences, so the new leader must re-propose them.
       ++view_;
       proposal_active_ = false;
-      view_timer_ = SetTimer(config_.view_timeout, kViewTimer);
+      view_timer_ = SetTimer(config_.view_timeout, Tag(kViewTimer));
       if (IsLeader()) MaybePropose(true);
       break;
     case kBatchTimer:
@@ -99,7 +99,7 @@ void SbftReplica::MaybePropose(bool allow_partial) {
     if (pending_txs_.empty()) return;
     if (pending_txs_.size() < config_.batch_size && !allow_partial) {
       if (batch_timer_ == 0) {
-        batch_timer_ = SetTimer(config_.batch_wait, kBatchTimer);
+        batch_timer_ = SetTimer(config_.batch_wait, Tag(kBatchTimer));
       }
       return;
     }
@@ -164,7 +164,7 @@ void SbftReplica::ExecuteBlock(ledger::TxBlock block) {
                         pending_blocks_.upper_bound(store_.LatestTxSeq()));
   // Progress: reset the view timer.
   if (view_timer_ != 0) CancelTimer(view_timer_);
-  view_timer_ = SetTimer(config_.view_timeout, kViewTimer);
+  view_timer_ = SetTimer(config_.view_timeout, Tag(kViewTimer));
   auto it = buffered_commits_.find(store_.LatestTxSeq() + 1);
   if (it != buffered_commits_.end()) {
     ledger::TxBlock next = std::move(it->second);
@@ -189,7 +189,7 @@ void SbftReplica::NotifyClients(const ledger::TxBlock& block) {
   }
 }
 
-void SbftReplica::OnMessage(sim::ActorId from, const sim::MessagePtr& msg) {
+void SbftReplica::OnMessage(runtime::NodeId from, const runtime::MessagePtr& msg) {
   if (fault_.type == workload::FaultType::kCrash && fault_.start_at > 0 &&
       Now() >= fault_.start_at) {
     return;

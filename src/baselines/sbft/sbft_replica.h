@@ -24,7 +24,7 @@
 #include "crypto/quorum_cert.h"
 #include "ledger/block_store.h"
 #include "ledger/state_machine.h"
-#include "sim/actor.h"
+#include "runtime/env.h"
 #include "types/client_messages.h"
 #include "types/ids.h"
 #include "workload/fault_spec.h"
@@ -35,7 +35,7 @@ namespace sbft {
 
 /// Pre-prepare: the batch body; every replica verifies each request's
 /// client signature individually (RSA-style weight).
-struct SbPrePrepareMsg : public sim::NetMessage {
+struct SbPrePrepareMsg : public runtime::NetMessage {
   types::View v = 0;
   ledger::TxBlock block;
   crypto::Signature sig;
@@ -55,7 +55,7 @@ struct SbPrePrepareMsg : public sim::NetMessage {
 };
 
 /// Threshold signature share sent to the collector.
-struct SbShareMsg : public sim::NetMessage {
+struct SbShareMsg : public runtime::NetMessage {
   enum class Stage : uint8_t { kCommit = 0, kExecute = 1 } stage = Stage::kCommit;
   types::View v = 0;
   types::SeqNum n = 0;
@@ -69,7 +69,7 @@ struct SbShareMsg : public sim::NetMessage {
 };
 
 /// Collector broadcast carrying a combined proof.
-struct SbProofMsg : public sim::NetMessage {
+struct SbProofMsg : public runtime::NetMessage {
   enum class Stage : uint8_t { kCommit = 0, kExecute = 1 } stage = Stage::kCommit;
   types::View v = 0;
   types::SeqNum n = 0;
@@ -102,17 +102,17 @@ crypto::Sha256Digest SbStageDigest(int stage, types::View v, types::SeqNum n,
 
 /// One SBFT server (leader doubles as the collector, fast path only; view
 /// changes use the passive schedule like HotStuff).
-class SbftReplica : public sim::Actor {
+class SbftReplica : public runtime::Node {
  public:
   SbftReplica(SbftConfig config, types::ReplicaId id,
               const crypto::KeyStore* keys,
               workload::FaultSpec fault = workload::FaultSpec::Honest());
 
-  void SetTopology(std::vector<sim::ActorId> replicas,
-                   std::vector<sim::ActorId> clients);
+  void SetTopology(std::vector<runtime::NodeId> replicas,
+                   std::vector<runtime::NodeId> clients);
 
   void OnStart() override;
-  void OnMessage(sim::ActorId from, const sim::MessagePtr& msg) override;
+  void OnMessage(runtime::NodeId from, const runtime::MessagePtr& msg) override;
   void OnTimer(uint64_t tag) override;
 
   types::View view() const { return view_; }
@@ -126,9 +126,16 @@ class SbftReplica : public sim::Actor {
 
  private:
   enum TimerKind : uint64_t { kViewTimer = 1, kBatchTimer = 2 };
+  // Shared 48-bit tag packing (util/timer_tag.h).
+  static uint64_t Tag(TimerKind kind, uint64_t payload = 0) {
+    return util::PackTimerTag(kind, payload);
+  }
+  static TimerKind TagKind(uint64_t tag) {
+    return util::TimerTagKind<TimerKind>(tag);
+  }
 
   static uint64_t TxKey(const types::Transaction& tx);
-  std::vector<sim::ActorId> PeerActors() const;
+  std::vector<runtime::NodeId> PeerActors() const;
   void EnqueueTx(const types::Transaction& tx);
   void MaybePropose(bool allow_partial);
   void ExecuteBlock(ledger::TxBlock block);
@@ -140,15 +147,15 @@ class SbftReplica : public sim::Actor {
   crypto::Signer signer_;
   workload::FaultSpec fault_;
 
-  std::vector<sim::ActorId> replicas_;
-  std::vector<sim::ActorId> clients_;
+  std::vector<runtime::NodeId> replicas_;
+  std::vector<runtime::NodeId> clients_;
 
   ledger::BlockStore store_;
   std::unique_ptr<ledger::StateMachine> state_machine_;
 
   types::View view_ = 1;
-  sim::TimerId view_timer_ = 0;
-  sim::TimerId batch_timer_ = 0;
+  runtime::TimerId view_timer_ = 0;
+  runtime::TimerId batch_timer_ = 0;
 
   std::deque<types::Transaction> pending_txs_;
   std::unordered_set<uint64_t> pending_keys_;

@@ -13,7 +13,7 @@
 #include "crypto/quorum_cert.h"
 #include "ledger/tx_block.h"
 #include "ledger/vc_block.h"
-#include "sim/message.h"
+#include "runtime/message.h"
 #include "types/ids.h"
 #include "types/transaction.h"
 
@@ -25,7 +25,7 @@ constexpr size_t kQcBytes = 80;    ///< One combined threshold signature.
 constexpr size_t kHeaderBytes = 48;
 
 /// Phase-1 proposal: ⟨Ord, ⟨Prop...⟩, n, V, σ⟩ — carries the batch body.
-struct OrdMsg : public sim::NetMessage {
+struct OrdMsg : public runtime::NetMessage {
   types::View v = 0;
   types::SeqNum n = 0;
   crypto::Sha256Digest prev_hash{};
@@ -42,7 +42,7 @@ struct OrdMsg : public sim::NetMessage {
 };
 
 /// Follower reply to Ord: a partial signature over OrderingDigest.
-struct OrdReplyMsg : public sim::NetMessage {
+struct OrdReplyMsg : public runtime::NetMessage {
   types::View v = 0;
   types::SeqNum n = 0;
   crypto::Signature partial;
@@ -53,7 +53,7 @@ struct OrdReplyMsg : public sim::NetMessage {
 };
 
 /// Phase-2 message: ⟨Cmt, ordering_QC, V, σ⟩.
-struct CmtMsg : public sim::NetMessage {
+struct CmtMsg : public runtime::NetMessage {
   types::View v = 0;
   types::SeqNum n = 0;
   crypto::Sha256Digest block_digest{};
@@ -68,7 +68,7 @@ struct CmtMsg : public sim::NetMessage {
 };
 
 /// Follower reply to Cmt: a partial signature over CommitDigest.
-struct CmtReplyMsg : public sim::NetMessage {
+struct CmtReplyMsg : public runtime::NetMessage {
   types::View v = 0;
   types::SeqNum n = 0;
   crypto::Signature partial;
@@ -80,7 +80,7 @@ struct CmtReplyMsg : public sim::NetMessage {
 
 /// Final txBlock broadcast. Followers already hold the batch body from Ord,
 /// so the wire carries header + QCs + status bits only.
-struct TxBlockMsg : public sim::NetMessage {
+struct TxBlockMsg : public runtime::NetMessage {
   ledger::TxBlock block;
 
   size_t WireSize() const override {
@@ -91,7 +91,7 @@ struct TxBlockMsg : public sim::NetMessage {
 };
 
 /// Complaint relayed from a follower to the leader (§4.2.1 line 2).
-struct ComptRelayMsg : public sim::NetMessage {
+struct ComptRelayMsg : public runtime::NetMessage {
   types::Transaction tx;
   crypto::Signature sig;
 
@@ -110,7 +110,7 @@ enum class VcReason : uint8_t {
 };
 
 /// Inspection broadcast: ⟨ConfVC, V, σ⟩ (§4.2.1 line 6).
-struct ConfVcMsg : public sim::NetMessage {
+struct ConfVcMsg : public runtime::NetMessage {
   types::View v = 0;
   VcReason reason = VcReason::kClientComplaint;
   types::Transaction tx;  ///< The complained tx (kClientComplaint only).
@@ -124,7 +124,7 @@ struct ConfVcMsg : public sim::NetMessage {
 };
 
 /// Reply supporting a view change: partial over ConfDigest(v).
-struct ReVcMsg : public sim::NetMessage {
+struct ReVcMsg : public runtime::NetMessage {
   types::View v = 0;
   crypto::Signature partial;
 
@@ -134,7 +134,7 @@ struct ReVcMsg : public sim::NetMessage {
 };
 
 /// Campaign broadcast (Algorithm 2 line 43).
-struct CampMsg : public sim::NetMessage {
+struct CampMsg : public runtime::NetMessage {
   crypto::QuorumCert conf_qc;  ///< f+1 confirmation of the old view's failure.
   types::View v = 0;           ///< View in which the failure was confirmed.
   types::View v_new = 0;       ///< View campaigned for.
@@ -157,7 +157,7 @@ struct CampMsg : public sim::NetMessage {
 };
 
 /// Vote for a candidate: partial over VoteDigest(v_new, candidate).
-struct VoteCpMsg : public sim::NetMessage {
+struct VoteCpMsg : public runtime::NetMessage {
   types::View v_new = 0;
   types::ReplicaId candidate = 0;
   crypto::Signature partial;
@@ -168,7 +168,7 @@ struct VoteCpMsg : public sim::NetMessage {
 };
 
 /// New-leader vcBlock broadcast (§4.2.4).
-struct VcBlockMsg : public sim::NetMessage {
+struct VcBlockMsg : public runtime::NetMessage {
   ledger::VcBlock block;
 
   size_t WireSize() const override {
@@ -181,7 +181,7 @@ struct VcBlockMsg : public sim::NetMessage {
 /// Acknowledgement of a vcBlock: partial over VcYesDigest. Carries the
 /// follower's chain height so a marginally-behind new leader can catch up
 /// before proposing.
-struct VcYesMsg : public sim::NetMessage {
+struct VcYesMsg : public runtime::NetMessage {
   types::View v = 0;
   types::SeqNum latest_n = 0;
   crypto::Signature partial;
@@ -192,7 +192,7 @@ struct VcYesMsg : public sim::NetMessage {
 };
 
 /// Refresh request: ⟨Ref, V, σ⟩ (§4.2.5).
-struct RefMsg : public sim::NetMessage {
+struct RefMsg : public runtime::NetMessage {
   types::View v = 0;
   crypto::Signature sig;
 
@@ -202,7 +202,7 @@ struct RefMsg : public sim::NetMessage {
 };
 
 /// Support for a refresh: partial over RefreshDigest(target, v).
-struct RefReplyMsg : public sim::NetMessage {
+struct RefReplyMsg : public runtime::NetMessage {
   types::ReplicaId target = 0;
   types::View v = 0;
   crypto::Signature partial;
@@ -213,7 +213,7 @@ struct RefReplyMsg : public sim::NetMessage {
 };
 
 /// Refresh completion: ⟨Rdone, rs_QC, V, rp, ci, σ⟩.
-struct RdoneMsg : public sim::NetMessage {
+struct RdoneMsg : public runtime::NetMessage {
   types::ReplicaId target = 0;
   types::View v = 0;
   crypto::QuorumCert rs_qc;
@@ -227,7 +227,7 @@ struct RdoneMsg : public sim::NetMessage {
 };
 
 /// SyncUp request (§4.2.3): fetch blocks in (after, up_to].
-struct SyncReqMsg : public sim::NetMessage {
+struct SyncReqMsg : public runtime::NetMessage {
   enum class Kind : uint8_t { kTxBlocks, kVcBlocks } kind = Kind::kTxBlocks;
   int64_t after = 0;
   int64_t up_to = 0;
@@ -237,7 +237,7 @@ struct SyncReqMsg : public sim::NetMessage {
 };
 
 /// SyncUp response: the requested block ranges (validated via their QCs).
-struct SyncRespMsg : public sim::NetMessage {
+struct SyncRespMsg : public runtime::NetMessage {
   std::vector<ledger::TxBlock> tx_blocks;
   std::vector<ledger::VcBlock> vc_blocks;
 
@@ -257,7 +257,7 @@ struct SyncRespMsg : public sim::NetMessage {
 };
 
 /// Leader liveness beacon; resets follower progress timers when idle.
-struct HeartbeatMsg : public sim::NetMessage {
+struct HeartbeatMsg : public runtime::NetMessage {
   types::View v = 0;
   types::SeqNum latest_n = 0;
   crypto::Signature sig;
@@ -268,7 +268,7 @@ struct HeartbeatMsg : public sim::NetMessage {
 };
 
 /// Junk broadcast used by equivocating attackers (F3) to burn bandwidth.
-struct NoiseMsg : public sim::NetMessage {
+struct NoiseMsg : public runtime::NetMessage {
   size_t bytes = 1024;
   size_t WireSize() const override { return bytes; }
   const char* Name() const override { return "Noise"; }

@@ -41,8 +41,8 @@ PrestigeReplica::PrestigeReplica(PrestigeConfig config,
 
 PrestigeReplica::~PrestigeReplica() = default;
 
-void PrestigeReplica::SetTopology(std::vector<sim::ActorId> replicas,
-                                  std::vector<sim::ActorId> clients) {
+void PrestigeReplica::SetTopology(std::vector<runtime::NodeId> replicas,
+                                  std::vector<runtime::NodeId> clients) {
   replicas_ = std::move(replicas);
   clients_ = std::move(clients);
 }
@@ -57,8 +57,8 @@ uint64_t PrestigeReplica::TxKey(const types::Transaction& tx) {
          tx.client_seq * 0xc2b2ae3d27d4eb4fULL;
 }
 
-std::vector<sim::ActorId> PrestigeReplica::PeerActors() const {
-  std::vector<sim::ActorId> peers;
+std::vector<runtime::NodeId> PrestigeReplica::PeerActors() const {
+  std::vector<runtime::NodeId> peers;
   peers.reserve(replicas_.size() - 1);
   for (size_t i = 0; i < replicas_.size(); ++i) {
     if (static_cast<types::ReplicaId>(i) != id_) peers.push_back(replicas_[i]);
@@ -96,13 +96,13 @@ bool PrestigeReplica::ByzantineActive() const {
   return fault_.IsByzantine() && Now() >= fault_.start_at;
 }
 
-void PrestigeReplica::GuardedSend(sim::ActorId to, sim::MessagePtr msg) {
+void PrestigeReplica::GuardedSend(runtime::NodeId to, runtime::MessagePtr msg) {
   if (QuietActive()) return;  // F2: a quiet server emits nothing.
   Send(to, std::move(msg));
 }
 
-void PrestigeReplica::GuardedSend(const std::vector<sim::ActorId>& to,
-                                  sim::MessagePtr msg) {
+void PrestigeReplica::GuardedSend(const std::vector<runtime::NodeId>& to,
+                                  runtime::MessagePtr msg) {
   if (QuietActive()) return;
   Send(to, std::move(msg));
 }
@@ -194,7 +194,7 @@ void PrestigeReplica::OnStart() {
 
 // ------------------------------------------------------------- dispatch
 
-void PrestigeReplica::OnMessage(sim::ActorId from, const sim::MessagePtr& msg) {
+void PrestigeReplica::OnMessage(runtime::NodeId from, const runtime::MessagePtr& msg) {
   if (fault_.type == workload::FaultType::kCrash && Now() >= fault_.start_at &&
       fault_.start_at > 0) {
     return;  // Crashed replicas process nothing.
@@ -363,7 +363,7 @@ void PrestigeReplica::OnTimer(uint64_t tag) {
 
 // ------------------------------------------------------------------ sync
 
-void PrestigeReplica::RequestSync(sim::ActorId from, SyncReqMsg::Kind kind,
+void PrestigeReplica::RequestSync(runtime::NodeId from, SyncReqMsg::Kind kind,
                                   int64_t after, int64_t up_to) {
   util::TimeMicros& backoff_until = kind == SyncReqMsg::Kind::kTxBlocks
                                         ? tx_sync_backoff_until_
@@ -378,7 +378,7 @@ void PrestigeReplica::RequestSync(sim::ActorId from, SyncReqMsg::Kind kind,
   GuardedSend(from, req);
 }
 
-void PrestigeReplica::OnSyncReq(sim::ActorId from, const SyncReqMsg& msg) {
+void PrestigeReplica::OnSyncReq(runtime::NodeId from, const SyncReqMsg& msg) {
   auto resp = std::make_shared<SyncRespMsg>();
   if (msg.kind == SyncReqMsg::Kind::kTxBlocks) {
     resp->tx_blocks = store_.TxBlocksAfter(msg.after, msg.up_to);
@@ -389,7 +389,7 @@ void PrestigeReplica::OnSyncReq(sim::ActorId from, const SyncReqMsg& msg) {
   GuardedSend(from, resp);
 }
 
-void PrestigeReplica::OnSyncResp(sim::ActorId from, const SyncRespMsg& msg) {
+void PrestigeReplica::OnSyncResp(runtime::NodeId from, const SyncRespMsg& msg) {
   (void)from;
   if (!msg.vc_blocks.empty()) vc_sync_backoff_until_ = 0;
   if (!msg.tx_blocks.empty()) tx_sync_backoff_until_ = 0;
@@ -446,9 +446,7 @@ util::Status PrestigeReplica::ValidateAndAppendTxBlock(
       committed_tx_keys_.insert(key);
       auto it = complaints_.find(key);
       if (it != complaints_.end()) {
-        CancelTimer(it->second.timer);
-        complaint_probe_keys_.erase(it->second.probe);
-        complaints_.erase(it);
+        ResolveComplaint(it);
       }
     }
     // Amortized prune: committed entries linger in the request pool until
@@ -515,7 +513,7 @@ void PrestigeReplica::MaybeRequestRefresh() {
   GuardedSend(PeerActors(), ref);
 }
 
-void PrestigeReplica::OnRef(sim::ActorId from, const RefMsg& msg) {
+void PrestigeReplica::OnRef(runtime::NodeId from, const RefMsg& msg) {
   // Support a refresh only for servers whose recorded penalty exceeds pi
   // (§4.2.5): this is the verifiable condition every correct server checks.
   types::ReplicaId requester = config_.n;
@@ -534,7 +532,7 @@ void PrestigeReplica::OnRef(sim::ActorId from, const RefMsg& msg) {
   GuardedSend(from, reply);
 }
 
-void PrestigeReplica::OnRefReply(sim::ActorId from, const RefReplyMsg& msg) {
+void PrestigeReplica::OnRefReply(runtime::NodeId from, const RefReplyMsg& msg) {
   (void)from;
   if (!refresh_pending_ || msg.target != id_) return;
   const crypto::Sha256Digest digest = ledger::RefreshDigest(id_, msg.v);
@@ -558,7 +556,7 @@ void PrestigeReplica::OnRefReply(sim::ActorId from, const RefReplyMsg& msg) {
   GuardedSend(PeerActors(), done);
 }
 
-void PrestigeReplica::OnRdone(sim::ActorId from, const RdoneMsg& msg) {
+void PrestigeReplica::OnRdone(runtime::NodeId from, const RdoneMsg& msg) {
   (void)from;
   // The rs_QC proves 2f+1 servers endorsed the refresh at msg.v.
   if (!crypto::VerifyQuorumCert(*keys_, msg.rs_qc,

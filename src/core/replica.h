@@ -34,7 +34,7 @@
 #include "ledger/block_store.h"
 #include "ledger/state_machine.h"
 #include "reputation/reputation_engine.h"
-#include "sim/actor.h"
+#include "runtime/env.h"
 #include "types/client_messages.h"
 #include "types/ids.h"
 #include "workload/fault_spec.h"
@@ -48,7 +48,7 @@ enum class Role { kFollower, kRedeemer, kCandidate, kLeader };
 const char* RoleName(Role role);
 
 /// One PrestigeBFT server as a simulation actor.
-class PrestigeReplica : public sim::Actor {
+class PrestigeReplica : public runtime::Node {
  public:
   PrestigeReplica(PrestigeConfig config, types::ReplicaId replica_id,
                   const crypto::KeyStore* keys,
@@ -57,15 +57,15 @@ class PrestigeReplica : public sim::Actor {
 
   /// Wires actor ids: `replicas[i]` is replica i's actor id; `clients` are
   /// the client-pool actors to notify on commit.
-  void SetTopology(std::vector<sim::ActorId> replicas,
-                   std::vector<sim::ActorId> clients);
+  void SetTopology(std::vector<runtime::NodeId> replicas,
+                   std::vector<runtime::NodeId> clients);
 
   /// Replaces the application state machine (defaults to NullStateMachine).
   void SetStateMachine(std::unique_ptr<ledger::StateMachine> sm);
 
-  // sim::Actor interface.
+  // runtime::Node interface.
   void OnStart() override;
-  void OnMessage(sim::ActorId from, const sim::MessagePtr& msg) override;
+  void OnMessage(runtime::NodeId from, const runtime::MessagePtr& msg) override;
   void OnTimer(uint64_t tag) override;
 
   // Observability.
@@ -88,6 +88,10 @@ class PrestigeReplica : public sim::Actor {
   size_t inflight_instances() const { return instances_.size(); }
   size_t pending_block_count() const { return pending_blocks_.size(); }
   types::View voted_view() const { return voted_view_; }
+  /// Complaint-table sizes (regression tests pin that the probe table
+  /// tracks the complaint table and never leaks entries).
+  size_t complaint_count() const { return complaints_.size(); }
+  size_t complaint_probe_count() const { return complaint_probe_keys_.size(); }
   std::vector<types::SeqNum> BoundSeqs() const {
     std::vector<types::SeqNum> out;
     for (const auto& [n, d] : commit_bound_) {
@@ -143,7 +147,7 @@ class PrestigeReplica : public sim::Actor {
   /// A client complaint this replica relayed and is watching (§4.2.1).
   struct ComplaintState {
     types::Transaction tx;
-    sim::TimerId timer = 0;
+    runtime::TimerId timer = 0;
     uint64_t probe = 0;      ///< complaint_probe_keys_ entry for the timer.
     bool escalated = false;  ///< Complaint wait expired; inspection begun.
   };
@@ -161,24 +165,26 @@ class PrestigeReplica : public sim::Actor {
     kAttackProbe = 10,
     kElectionRetry = 11,
   };
+  // Tag packing shared with the baselines and runtime layer
+  // (util/timer_tag.h): 16-bit kind, 48-bit payload.
   static uint64_t Tag(TimerKind kind, uint64_t payload = 0) {
-    return (static_cast<uint64_t>(kind) << 48) | (payload & 0xffffffffffffULL);
+    return util::PackTimerTag(kind, payload);
   }
   static TimerKind TagKind(uint64_t tag) {
-    return static_cast<TimerKind>(tag >> 48);
+    return util::TimerTagKind<TimerKind>(tag);
   }
   static uint64_t TagPayload(uint64_t tag) {
-    return tag & 0xffffffffffffULL;
+    return util::TimerTagPayload(tag);
   }
 
   static uint64_t TxKey(const types::Transaction& tx);
 
-  sim::ActorId ActorOf(types::ReplicaId id) const { return replicas_[id]; }
-  std::vector<sim::ActorId> PeerActors() const;  ///< All replicas but self.
+  runtime::NodeId ActorOf(types::ReplicaId id) const { return replicas_[id]; }
+  std::vector<runtime::NodeId> PeerActors() const;  ///< All replicas but self.
 
   /// Send gated by fault behaviour (quiet servers drop all output).
-  void GuardedSend(sim::ActorId to, sim::MessagePtr msg);
-  void GuardedSend(const std::vector<sim::ActorId>& to, sim::MessagePtr msg);
+  void GuardedSend(runtime::NodeId to, runtime::MessagePtr msg);
+  void GuardedSend(const std::vector<runtime::NodeId>& to, runtime::MessagePtr msg);
 
   /// Signs `digest`, corrupting the MAC when equivocating (F3).
   crypto::Signature SignMaybeCorrupt(const crypto::Sha256Digest& digest);
@@ -188,16 +194,16 @@ class PrestigeReplica : public sim::Actor {
   bool ByzantineActive() const;
 
   // ------------------------------------------------------- replication
-  void OnClientBatch(sim::ActorId from, const types::ClientBatch& batch);
+  void OnClientBatch(runtime::NodeId from, const types::ClientBatch& batch);
   void EnqueueTx(const types::Transaction& tx);
   void MaybePropose(bool allow_partial = false);
   void Propose(std::vector<types::Transaction> batch);
-  void OnOrd(sim::ActorId from, const OrdMsg& ord);
-  void OnOrdReply(sim::ActorId from, const OrdReplyMsg& reply);
-  void OnCmt(sim::ActorId from, const CmtMsg& cmt);
-  void OnCmtReply(sim::ActorId from, const CmtReplyMsg& reply);
-  void OnTxBlockMsg(sim::ActorId from, const TxBlockMsg& msg);
-  void OnHeartbeat(sim::ActorId from, const HeartbeatMsg& hb);
+  void OnOrd(runtime::NodeId from, const OrdMsg& ord);
+  void OnOrdReply(runtime::NodeId from, const OrdReplyMsg& reply);
+  void OnCmt(runtime::NodeId from, const CmtMsg& cmt);
+  void OnCmtReply(runtime::NodeId from, const CmtReplyMsg& reply);
+  void OnTxBlockMsg(runtime::NodeId from, const TxBlockMsg& msg);
+  void OnHeartbeat(runtime::NodeId from, const HeartbeatMsg& hb);
   /// Appends + applies a committed block, notifies clients, unblocks
   /// buffered successors.
   void CommitBlock(ledger::TxBlock block);
@@ -213,30 +219,37 @@ class PrestigeReplica : public sim::Actor {
   void RetransmitStalledInstances();
 
   // ------------------------------------------------------- view change
-  void OnClientComplaint(sim::ActorId from,
+  void OnClientComplaint(runtime::NodeId from,
                          const types::ClientComplaint& compt);
-  void OnComptRelay(sim::ActorId from, const ComptRelayMsg& msg);
+  void OnComptRelay(runtime::NodeId from, const ComptRelayMsg& msg);
   /// Arms a complaint-wait timer for the complaint keyed by `key`, filling
   /// `state`'s timer/probe fields. Timer tags carry only 48 payload bits,
   /// so the 64-bit key is mapped through a small probe-id table instead of
   /// being truncated into the tag.
   void ArmComplaintTimer(uint64_t key, ComplaintState& state);
   void HandleComplaintTimer(uint64_t probe);
+  /// Erases one complaint and everything attached to it: its pending
+  /// timer and its complaint_probe_keys_ entry. Every resolution path
+  /// (commit, timer verdict, view install) funnels through here so the
+  /// probe table can never outlive its complaints.
+  void ResolveComplaint(std::unordered_map<uint64_t, ComplaintState>::iterator
+                            it);
+  void ResolveAllComplaints();
   void StartInspection(VcReason reason, const types::Transaction* tx);
-  void OnConfVc(sim::ActorId from, const ConfVcMsg& msg);
-  void OnReVc(sim::ActorId from, const ReVcMsg& msg);
+  void OnConfVc(runtime::NodeId from, const ConfVcMsg& msg);
+  void OnReVc(runtime::NodeId from, const ReVcMsg& msg);
   void BecomeRedeemer(crypto::QuorumCert conf_qc, types::View confirmed_view,
                       types::View v_new);
   void OnPowSolved();
   void BecomeCandidate();
   /// Abandons any campaign and resumes normal follower operation.
   void ReturnToFollower();
-  void OnCamp(sim::ActorId from, const CampMsg& camp);
-  bool VerifyCampaign(sim::ActorId from, const CampMsg& camp);
-  void OnVoteCp(sim::ActorId from, const VoteCpMsg& vote);
+  void OnCamp(runtime::NodeId from, const CampMsg& camp);
+  bool VerifyCampaign(runtime::NodeId from, const CampMsg& camp);
+  void OnVoteCp(runtime::NodeId from, const VoteCpMsg& vote);
   void BecomeLeaderOfView();
-  void OnVcBlockMsg(sim::ActorId from, const VcBlockMsg& msg);
-  void OnVcYes(sim::ActorId from, const VcYesMsg& msg);
+  void OnVcBlockMsg(runtime::NodeId from, const VcBlockMsg& msg);
+  void OnVcYes(runtime::NodeId from, const VcYesMsg& msg);
   void InstallVcBlock(const ledger::VcBlock& block, bool as_leader);
   void AbortCampaignActivities();
   void OnRotationDue();
@@ -244,15 +257,15 @@ class PrestigeReplica : public sim::Actor {
 
   // ----------------------------------------------------------- refresh
   void MaybeRequestRefresh();
-  void OnRef(sim::ActorId from, const RefMsg& msg);
-  void OnRefReply(sim::ActorId from, const RefReplyMsg& msg);
-  void OnRdone(sim::ActorId from, const RdoneMsg& msg);
+  void OnRef(runtime::NodeId from, const RefMsg& msg);
+  void OnRefReply(runtime::NodeId from, const RefReplyMsg& msg);
+  void OnRdone(runtime::NodeId from, const RdoneMsg& msg);
 
   // ------------------------------------------------------------- sync
-  void RequestSync(sim::ActorId from, SyncReqMsg::Kind kind, int64_t after,
+  void RequestSync(runtime::NodeId from, SyncReqMsg::Kind kind, int64_t after,
                    int64_t up_to);
-  void OnSyncReq(sim::ActorId from, const SyncReqMsg& msg);
-  void OnSyncResp(sim::ActorId from, const SyncRespMsg& msg);
+  void OnSyncReq(runtime::NodeId from, const SyncReqMsg& msg);
+  void OnSyncResp(runtime::NodeId from, const SyncRespMsg& msg);
   util::Status ValidateAndAppendTxBlock(const ledger::TxBlock& block);
   util::Status ValidateAndAppendVcBlock(const ledger::VcBlock& block);
   void ReplayStashedCampaigns();
@@ -264,8 +277,8 @@ class PrestigeReplica : public sim::Actor {
   crypto::Signer signer_;
   workload::FaultSpec fault_;
 
-  std::vector<sim::ActorId> replicas_;
-  std::vector<sim::ActorId> clients_;
+  std::vector<runtime::NodeId> replicas_;
+  std::vector<runtime::NodeId> clients_;
 
   ledger::BlockStore store_;
   reputation::ReputationEngine engine_;
@@ -293,8 +306,8 @@ class PrestigeReplica : public sim::Actor {
   std::map<types::SeqNum, Instance> instances_;
   std::map<types::SeqNum, ledger::TxBlock> ready_blocks_;  ///< Out-of-order.
   types::SeqNum next_seq_ = 1;
-  sim::TimerId batch_timer_ = 0;
-  sim::TimerId heartbeat_timer_ = 0;
+  runtime::TimerId batch_timer_ = 0;
+  runtime::TimerId heartbeat_timer_ = 0;
   /// The batch-wait deadline expired while the pipeline was full: propose
   /// the partial batch as soon as a slot frees instead of waiting for
   /// another full batch_wait.
@@ -318,9 +331,9 @@ class PrestigeReplica : public sim::Actor {
   std::vector<ledger::TxBlock> repropose_;
 
   // Progress / timeout state.
-  sim::TimerId progress_timer_ = 0;
+  runtime::TimerId progress_timer_ = 0;
   bool progress_stale_ = false;
-  sim::TimerId rotation_timer_ = 0;
+  runtime::TimerId rotation_timer_ = 0;
 
   // Complaint tracking.
   std::unordered_map<uint64_t, ComplaintState> complaints_;
@@ -333,7 +346,7 @@ class PrestigeReplica : public sim::Actor {
   bool inspecting_ = false;
   VcReason inspection_reason_ = VcReason::kClientComplaint;
   crypto::QuorumCertBuilder revc_builder_;
-  sim::TimerId inspection_timer_ = 0;
+  runtime::TimerId inspection_timer_ = 0;
 
   // Campaign state.
   types::View voted_view_ = 1;  ///< Highest view voted in (introspection).
@@ -354,8 +367,8 @@ class PrestigeReplica : public sim::Actor {
   util::TimeMicros redeem_started_at_ = 0;
   util::DurationMicros campaign_solve_time_ = 0;
   crypto::QuorumCertBuilder vote_builder_;
-  sim::TimerId election_timer_ = 0;
-  sim::TimerId pow_timer_ = 0;
+  runtime::TimerId election_timer_ = 0;
+  runtime::TimerId pow_timer_ = 0;
   int consecutive_election_timeouts_ = 0;
   int consecutive_pow_abandons_ = 0;
   /// Until this time, suppress starting our own inspection: we recently
@@ -371,7 +384,7 @@ class PrestigeReplica : public sim::Actor {
   /// Catch-up before leading: highest chain height reported via vcYes and
   /// who reported it.
   types::SeqNum catchup_target_ = 0;
-  sim::ActorId catchup_source_ = 0;
+  runtime::NodeId catchup_source_ = 0;
   bool awaiting_catchup_ = false;
 
   // Refresh state.
@@ -384,8 +397,8 @@ class PrestigeReplica : public sim::Actor {
   /// suppressing catch-up forever on lossy links.
   util::TimeMicros tx_sync_backoff_until_ = 0;
   util::TimeMicros vc_sync_backoff_until_ = 0;
-  std::vector<std::pair<sim::ActorId, CampMsg>> stashed_camps_;
-  std::vector<std::pair<sim::ActorId, ledger::VcBlock>> stashed_vc_blocks_;
+  std::vector<std::pair<runtime::NodeId, CampMsg>> stashed_camps_;
+  std::vector<std::pair<runtime::NodeId, ledger::VcBlock>> stashed_vc_blocks_;
 
   // Equivocation guard: digests this replica signed per (view, seq).
   std::map<std::pair<types::View, types::SeqNum>, crypto::Sha256Digest>

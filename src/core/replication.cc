@@ -12,7 +12,7 @@ namespace core {
 
 // ----------------------------------------------------------- client input
 
-void PrestigeReplica::OnClientBatch(sim::ActorId from,
+void PrestigeReplica::OnClientBatch(runtime::NodeId from,
                                     const types::ClientBatch& batch) {
   (void)from;
   // Every replica buffers proposals (clients broadcast them, §4.3), so a
@@ -94,7 +94,7 @@ void PrestigeReplica::Propose(std::vector<types::Transaction> batch) {
 
 // ------------------------------------------------------ follower: phase 1
 
-void PrestigeReplica::OnOrd(sim::ActorId from, const OrdMsg& ord) {
+void PrestigeReplica::OnOrd(runtime::NodeId from, const OrdMsg& ord) {
   if (ord.v < view_) return;  // Never respond to lower views (§4.3).
   if (ord.v > view_) {
     // We are behind on view changes; catch up from the sender.
@@ -155,7 +155,7 @@ void PrestigeReplica::OnOrd(sim::ActorId from, const OrdMsg& ord) {
 
 // -------------------------------------------------------- leader: phase 1
 
-void PrestigeReplica::OnOrdReply(sim::ActorId from, const OrdReplyMsg& reply) {
+void PrestigeReplica::OnOrdReply(runtime::NodeId from, const OrdReplyMsg& reply) {
   (void)from;
   if (role_ != Role::kLeader || reply.v != view_) return;
   auto it = instances_.find(reply.n);
@@ -192,7 +192,7 @@ void PrestigeReplica::OnOrdReply(sim::ActorId from, const OrdReplyMsg& reply) {
 
 // ------------------------------------------------------ follower: phase 2
 
-void PrestigeReplica::OnCmt(sim::ActorId from, const CmtMsg& cmt) {
+void PrestigeReplica::OnCmt(runtime::NodeId from, const CmtMsg& cmt) {
   if (cmt.v != view_ || role_ == Role::kLeader || from != ActorOf(leader_)) {
     return;
   }
@@ -239,7 +239,7 @@ void PrestigeReplica::OnCmt(sim::ActorId from, const CmtMsg& cmt) {
 
 // -------------------------------------------------------- leader: phase 2
 
-void PrestigeReplica::OnCmtReply(sim::ActorId from, const CmtReplyMsg& reply) {
+void PrestigeReplica::OnCmtReply(runtime::NodeId from, const CmtReplyMsg& reply) {
   (void)from;
   if (role_ != Role::kLeader || reply.v != view_) return;
   auto it = instances_.find(reply.n);
@@ -277,7 +277,7 @@ void PrestigeReplica::OnCmtReply(sim::ActorId from, const CmtReplyMsg& reply) {
 
 // ----------------------------------------------------------------- commit
 
-void PrestigeReplica::OnTxBlockMsg(sim::ActorId from, const TxBlockMsg& msg) {
+void PrestigeReplica::OnTxBlockMsg(runtime::NodeId from, const TxBlockMsg& msg) {
   const types::SeqNum latest = store_.LatestTxSeq();
   if (msg.block.n() <= latest) return;  // Duplicate.
   if (msg.block.n() > latest + 1) {
@@ -335,7 +335,7 @@ void PrestigeReplica::NotifyClients(const ledger::TxBlock& block) {
 
 // -------------------------------------------------------------- liveness
 
-void PrestigeReplica::OnHeartbeat(sim::ActorId from, const HeartbeatMsg& hb) {
+void PrestigeReplica::OnHeartbeat(runtime::NodeId from, const HeartbeatMsg& hb) {
   if (hb.v < view_) return;
   if (hb.v > view_) {
     RequestSync(from, SyncReqMsg::Kind::kVcBlocks, store_.CurrentView(),

@@ -15,7 +15,7 @@ namespace core {
 
 // ------------------------------------------------------ failure detection
 
-void PrestigeReplica::OnClientComplaint(sim::ActorId from,
+void PrestigeReplica::OnClientComplaint(runtime::NodeId from,
                                         const types::ClientComplaint& compt) {
   (void)from;
   ++metrics_.complaints_received;
@@ -73,7 +73,7 @@ void PrestigeReplica::ArmComplaintTimer(uint64_t key, ComplaintState& state) {
   state.timer = SetTimer(config_.complaint_wait, Tag(kComplaintWait, probe));
 }
 
-void PrestigeReplica::OnComptRelay(sim::ActorId from, const ComptRelayMsg& msg) {
+void PrestigeReplica::OnComptRelay(runtime::NodeId from, const ComptRelayMsg& msg) {
   (void)from;
   if (role_ != Role::kLeader) return;
   if (!keys_->Verify(msg.sig, msg.tx.Digest())) {
@@ -82,6 +82,25 @@ void PrestigeReplica::OnComptRelay(sim::ActorId from, const ComptRelayMsg& msg) 
   }
   EnqueueTx(msg.tx);
   MaybePropose(/*allow_partial=*/true);
+}
+
+void PrestigeReplica::ResolveComplaint(
+    std::unordered_map<uint64_t, ComplaintState>::iterator it) {
+  // The probe entry must die with the complaint whether the timer already
+  // fired (stale ids cancel/erase as no-ops) or is still pending —
+  // otherwise churning complaints leak probe-table entries.
+  CancelTimer(it->second.timer);
+  complaint_probe_keys_.erase(it->second.probe);
+  complaints_.erase(it);
+}
+
+void PrestigeReplica::ResolveAllComplaints() {
+  for (auto& [key, state] : complaints_) {
+    (void)key;
+    if (state.timer != 0) CancelTimer(state.timer);
+  }
+  complaints_.clear();
+  complaint_probe_keys_.clear();
 }
 
 void PrestigeReplica::HandleComplaintTimer(uint64_t probe) {
@@ -94,7 +113,7 @@ void PrestigeReplica::HandleComplaintTimer(uint64_t probe) {
   it->second.escalated = true;  // Entry kept: peers' ConfVCs need it.
   const types::Transaction tx = it->second.tx;
   if (committed_tx_keys_.count(key) > 0) {
-    complaints_.erase(it);
+    ResolveComplaint(it);
     return;  // Leader was correct.
   }
   // The leader failed to commit the complained tx in time: inspect
@@ -137,7 +156,7 @@ void PrestigeReplica::StartInspection(VcReason reason,
       SetTimer(config_.complaint_wait, Tag(kInspectionTimeout));
 }
 
-void PrestigeReplica::OnConfVc(sim::ActorId from, const ConfVcMsg& msg) {
+void PrestigeReplica::OnConfVc(runtime::NodeId from, const ConfVcMsg& msg) {
   if (msg.v != view_) return;
   if (role_ == Role::kLeader) return;  // A leader never endorses its removal.
   if (!keys_->Verify(msg.sig, ledger::ConfDigest(msg.v))) {
@@ -182,7 +201,7 @@ void PrestigeReplica::OnConfVc(sim::ActorId from, const ConfVcMsg& msg) {
       Now() + rng()->NextInRange(util::Millis(300), util::Millis(900)));
 }
 
-void PrestigeReplica::OnReVc(sim::ActorId from, const ReVcMsg& msg) {
+void PrestigeReplica::OnReVc(runtime::NodeId from, const ReVcMsg& msg) {
   (void)from;
   if (!inspecting_ || msg.v != view_) return;
   const crypto::Sha256Digest& conf_digest = revc_builder_.digest();
@@ -388,7 +407,7 @@ void PrestigeReplica::BecomeCandidate() {
   election_timer_ = SetTimer(config_.election_timeout, Tag(kElectionTimeout));
 }
 
-bool PrestigeReplica::VerifyCampaign(sim::ActorId from, const CampMsg& camp) {
+bool PrestigeReplica::VerifyCampaign(runtime::NodeId from, const CampMsg& camp) {
   // Signature of the candidate.
   const types::ReplicaId candidate = camp.sig.signer;
   if (candidate >= config_.n || ActorOf(candidate) != from) return false;
@@ -446,7 +465,7 @@ bool PrestigeReplica::VerifyCampaign(sim::ActorId from, const CampMsg& camp) {
   return true;
 }
 
-void PrestigeReplica::OnCamp(sim::ActorId from, const CampMsg& camp) {
+void PrestigeReplica::OnCamp(runtime::NodeId from, const CampMsg& camp) {
   if (camp.v_new <= view_) return;  // Stale campaign (line 16).
   if (votes_by_view_.count(camp.v_new) > 0) {
     return;  // C1: vote once per view number.
@@ -494,7 +513,7 @@ void PrestigeReplica::OnCamp(sim::ActorId from, const CampMsg& camp) {
   GuardedSend(from, vote);
 }
 
-void PrestigeReplica::OnVoteCp(sim::ActorId from, const VoteCpMsg& vote) {
+void PrestigeReplica::OnVoteCp(runtime::NodeId from, const VoteCpMsg& vote) {
   (void)from;
   if (role_ != Role::kCandidate || vote.v_new != campaign_view_ ||
       vote.candidate != id_) {
@@ -554,7 +573,7 @@ void PrestigeReplica::BecomeLeaderOfView() {
   InstallVcBlock(block, /*as_leader=*/true);
 }
 
-void PrestigeReplica::OnVcBlockMsg(sim::ActorId from, const VcBlockMsg& msg) {
+void PrestigeReplica::OnVcBlockMsg(runtime::NodeId from, const VcBlockMsg& msg) {
   const ledger::VcBlock& block = msg.block;
   if (block.v() <= store_.CurrentView()) return;  // Old news.
 
@@ -615,7 +634,7 @@ void PrestigeReplica::OnVcBlockMsg(sim::ActorId from, const VcBlockMsg& msg) {
   InstallVcBlock(block, /*as_leader=*/false);
 }
 
-void PrestigeReplica::OnVcYes(sim::ActorId from, const VcYesMsg& msg) {
+void PrestigeReplica::OnVcYes(runtime::NodeId from, const VcYesMsg& msg) {
   if (!announced_vc_block_.has_value() || msg.v != view_ ||
       role_ != Role::kLeader) {
     return;
@@ -682,12 +701,7 @@ void PrestigeReplica::InstallVcBlock(const ledger::VcBlock& block,
   pending_blocks_.clear();
   // Complaints targeted the old leader; clients re-complain if the new
   // leader also stalls. (Fired timers for erased keys are no-ops.)
-  for (auto& [key, state] : complaints_) {
-    (void)key;
-    if (state.timer != 0) CancelTimer(state.timer);
-  }
-  complaints_.clear();
-  complaint_probe_keys_.clear();
+  ResolveAllComplaints();
 
   metrics_.rp_history.push_back(
       RpSample{Now(), view_, block.PenaltyOf(id_)});

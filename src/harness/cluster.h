@@ -16,7 +16,7 @@
 
 #include "core/metrics.h"
 #include "crypto/keys.h"
-#include "sim/actor.h"
+#include "runtime/sim_env.h"
 #include "sim/latency.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
@@ -50,13 +50,19 @@ class Cluster {
         keys_(workload.seed ^ 0xc0ffee) {
     faults.resize(protocol_.n, workload::FaultSpec::Honest());
 
+    // Registration order (replicas first, then pools) fixes both the id
+    // layout and each node's forked RNG stream — identical to the
+    // pre-runtime-layer direct-actor wiring, so runs stay bit-for-bit
+    // reproducible across the refactor.
     std::vector<sim::ActorId> replica_ids;
     std::vector<sim::ActorId> pool_ids;
     for (uint32_t i = 0; i < protocol_.n; ++i) {
       replicas_.push_back(
           std::make_unique<Replica>(protocol_, i, &keys_, faults[i]));
-      replica_ids.push_back(sim_.AddActor(replicas_.back().get()));
-      replicas_.back()->AttachNetwork(&net_);
+      envs_.push_back(
+          std::make_unique<runtime::SimEnv>(replicas_.back().get()));
+      replica_ids.push_back(sim_.AddActor(envs_.back().get()));
+      envs_.back()->AttachNetwork(&net_);
     }
     for (uint32_t p = 0; p < workload_.num_pools; ++p) {
       workload::ClientPoolConfig pool_config;
@@ -66,8 +72,9 @@ class Cluster {
       pool_config.f = protocol_.f();
       pool_config.request_timeout = workload_.client_timeout;
       pools_.push_back(std::make_unique<workload::ClientPool>(pool_config));
-      pool_ids.push_back(sim_.AddActor(pools_.back().get()));
-      pools_.back()->AttachNetwork(&net_);
+      envs_.push_back(std::make_unique<runtime::SimEnv>(pools_.back().get()));
+      pool_ids.push_back(sim_.AddActor(envs_.back().get()));
+      envs_.back()->AttachNetwork(&net_);
       pools_.back()->SetReplicas(replica_ids);
     }
     for (auto& replica : replicas_) {
@@ -167,6 +174,8 @@ class Cluster {
   crypto::KeyStore keys_;
   std::vector<std::unique_ptr<Replica>> replicas_;
   std::vector<std::unique_ptr<workload::ClientPool>> pools_;
+  /// One SimEnv per node, in registration order; must outlive the sim.
+  std::vector<std::unique_ptr<runtime::SimEnv>> envs_;
   std::vector<sim::ActorId> replica_actor_ids_;
 };
 

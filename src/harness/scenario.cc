@@ -25,6 +25,24 @@ Phase HealAll(const char* name, util::DurationMicros duration) {
   return p;
 }
 
+/// Fault-free full-load replication. The reference workload for comparing
+/// execution backends: it has no partition / link-fault / crash phases, so
+/// it runs unchanged on both the simulator and the threaded real-time
+/// runtime (bench_runner --runtime=threaded).
+ScenarioSpec SteadyState() {
+  ScenarioSpec s;
+  s.name = "steady-state";
+  s.description = "n=4: fault-free full-load replication (backend baseline)";
+  s.n = 4;
+  s.phases.push_back(Warmup());
+
+  Phase steady;
+  steady.name = "steady";
+  steady.duration = util::Seconds(4);
+  s.phases.push_back(steady);
+  return s;
+}
+
 /// A minority replica is cut off; the majority must keep committing and,
 /// on heal, the minority catches up without forking.
 ScenarioSpec PartitionMinority() {
@@ -151,10 +169,23 @@ ScenarioSpec PartitionDuringViewChange() {
 
 const std::vector<ScenarioSpec>& NamedScenarios() {
   static const std::vector<ScenarioSpec> kScenarios = {
-      PartitionMinority(), PartitionLeader(), FlakyLinks(), Churn(),
-      PartitionDuringViewChange(),
+      SteadyState(),        PartitionMinority(), PartitionLeader(),
+      FlakyLinks(),         Churn(),             PartitionDuringViewChange(),
   };
   return kScenarios;
+}
+
+bool ThreadedCapable(const ScenarioSpec& spec) {
+  for (const workload::FaultSpec& fault : spec.byzantine) {
+    if (fault.type != workload::FaultType::kHonest) return false;
+  }
+  for (const Phase& p : spec.phases) {
+    if (p.set_partition || p.partition_leader || p.set_link_faults ||
+        !p.crash.empty() || !p.recover.empty() || p.load < 1.0) {
+      return false;
+    }
+  }
+  return true;
 }
 
 const ScenarioSpec* FindScenario(const std::string& name) {

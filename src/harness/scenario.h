@@ -91,6 +91,11 @@ const std::vector<ScenarioSpec>& NamedScenarios();
 /// Looks up a built-in scenario by name; nullptr when unknown.
 const ScenarioSpec* FindScenario(const std::string& name);
 
+/// True when `spec` uses no simulator-only machinery — partitions, link
+/// faults, crashes, partial load, or a Byzantine cast — and can therefore
+/// run unchanged on the threaded real-time backend (threaded_runner.h).
+bool ThreadedCapable(const ScenarioSpec& spec);
+
 }  // namespace harness
 }  // namespace prestige
 

@@ -1,0 +1,135 @@
+// ThreadedCluster: wires n replicas + client pools onto the real-time
+// threaded runtime — the wall-clock twin of Cluster (cluster.h).
+//
+// Same genericity contract: any Replica with
+//   Replica(Config, ReplicaId, const KeyStore*, FaultSpec)
+//   SetTopology(replica_node_ids, client_node_ids)
+//   store() / metrics() / fault()
+// works, because the protocols speak only runtime::Env and never see which
+// backend drives them. Node-id layout and RNG forking order mirror
+// Cluster's (replicas first, then pools), so a protocol's per-node random
+// streams are the same ones it would get in simulation for the same seed —
+// though thread scheduling makes the interleaving, and therefore the run,
+// nondeterministic.
+//
+// There is no Network here: no modelled bandwidth, latency, or CPU costs,
+// and no fault plane. Messages travel through the runtime's in-process
+// loopback queues at whatever rate the hardware sustains. Use RunFor /
+// Stop, then inspect — after Stop() returns, reading replica stores,
+// metrics, and pool histograms from the caller's thread is race-free.
+
+#ifndef PRESTIGE_HARNESS_THREADED_CLUSTER_H_
+#define PRESTIGE_HARNESS_THREADED_CLUSTER_H_
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "crypto/keys.h"
+#include "harness/cluster.h"
+#include "runtime/threaded_env.h"
+
+namespace prestige {
+namespace harness {
+
+/// A complete real-time deployment of one protocol. Reuses WorkloadOptions;
+/// the sim-only fields (latency, cost) are ignored by this backend.
+template <typename Replica, typename Config>
+class ThreadedCluster {
+ public:
+  ThreadedCluster(Config protocol, WorkloadOptions workload,
+                  std::vector<workload::FaultSpec> faults = {})
+      : protocol_(protocol),
+        workload_(workload),
+        runtime_(workload.seed),
+        keys_(workload.seed ^ 0xc0ffee) {
+    faults.resize(protocol_.n, workload::FaultSpec::Honest());
+
+    std::vector<runtime::NodeId> replica_ids;
+    std::vector<runtime::NodeId> pool_ids;
+    for (uint32_t i = 0; i < protocol_.n; ++i) {
+      replicas_.push_back(
+          std::make_unique<Replica>(protocol_, i, &keys_, faults[i]));
+      replica_ids.push_back(runtime_.AddNode(replicas_.back().get()));
+    }
+    for (uint32_t p = 0; p < workload_.num_pools; ++p) {
+      workload::ClientPoolConfig pool_config;
+      pool_config.pool_id = p;
+      pool_config.num_clients = workload_.clients_per_pool;
+      pool_config.payload_size = workload_.payload_size;
+      pool_config.f = protocol_.f();
+      pool_config.request_timeout = workload_.client_timeout;
+      pools_.push_back(std::make_unique<workload::ClientPool>(pool_config));
+      pool_ids.push_back(runtime_.AddNode(pools_.back().get()));
+      pools_.back()->SetReplicas(replica_ids);
+    }
+    for (auto& replica : replicas_) {
+      replica->SetTopology(replica_ids, pool_ids);
+    }
+  }
+
+  /// Joins the event loops before any node is destroyed: members destruct
+  /// in reverse declaration order, so without this a still-running cluster
+  /// going out of scope (exception between Start and Stop) would tear down
+  /// replicas/pools while loop threads are mid-callback.
+  ~ThreadedCluster() { runtime_.Stop(); }
+
+  /// Spawns the event loops (each node's OnStart runs on its own thread).
+  void Start() { runtime_.Start(); }
+
+  /// Lets the deployment run for `duration` of wall-clock time. The caller
+  /// simply sleeps; the node threads do the work.
+  void RunFor(util::DurationMicros duration) {
+    std::this_thread::sleep_for(std::chrono::microseconds(duration));
+  }
+
+  /// Stops every event loop and joins. Call before inspecting state.
+  void Stop() { runtime_.Stop(); }
+
+  Replica& replica(uint32_t i) { return *replicas_[i]; }
+  const Replica& replica(uint32_t i) const { return *replicas_[i]; }
+  workload::ClientPool& pool(uint32_t p) { return *pools_[p]; }
+  uint32_t num_replicas() const { return protocol_.n; }
+  uint32_t num_pools() const { return workload_.num_pools; }
+  runtime::ThreadedRuntime& runtime() { return runtime_; }
+  const Config& protocol_config() const { return protocol_; }
+
+  /// Transactions committed, summed over all client pools. Pool counters
+  /// are owned by their event-loop threads: call only after Stop(), which
+  /// joins them and publishes the final values.
+  int64_t ClientCommitted() const {
+    int64_t total = 0;
+    for (const auto& pool : pools_) total += pool->committed();
+    return total;
+  }
+
+  /// Mean client latency in milliseconds across pools (after Stop()).
+  double MeanLatencyMs() {
+    double weighted = 0.0;
+    size_t count = 0;
+    for (auto& pool : pools_) {
+      weighted += pool->latencies().Mean() * pool->latencies().count();
+      count += pool->latencies().count();
+    }
+    return count == 0 ? 0.0 : weighted / static_cast<double>(count);
+  }
+
+  /// Latency percentile over pool 0's histogram (after Stop()).
+  double LatencyPercentileMs(double p) {
+    return pools_.empty() ? 0.0 : pools_[0]->latencies().Percentile(p);
+  }
+
+ private:
+  Config protocol_;
+  WorkloadOptions workload_;
+  runtime::ThreadedRuntime runtime_;
+  crypto::KeyStore keys_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  std::vector<std::unique_ptr<workload::ClientPool>> pools_;
+};
+
+}  // namespace harness
+}  // namespace prestige
+
+#endif  // PRESTIGE_HARNESS_THREADED_CLUSTER_H_

@@ -1,0 +1,94 @@
+// Executes a (threaded-capable) ScenarioSpec on the real-time backend.
+//
+// The simulator runner (scenario_runner.h) measures protocol behaviour in
+// virtual time; this one measures what the implementation actually
+// sustains on the host: real TPS, real client latency, true concurrency.
+// The workload is identical — closed-loop client pools against the same
+// protocol code — only the runtime::Env backend differs.
+//
+// Only fault-free full-load specs run here (harness::ThreadedCapable):
+// partitions, link faults, and crashes are simulator machinery. The
+// scenario's scripted duration becomes wall-clock run time, after which the
+// cluster stops and the same cross-replica committed-prefix invariants
+// (invariants.h) are swept over the replicas' chains.
+
+#ifndef PRESTIGE_HARNESS_THREADED_RUNNER_H_
+#define PRESTIGE_HARNESS_THREADED_RUNNER_H_
+
+#include <string>
+
+#include "harness/invariants.h"
+#include "harness/scenario.h"
+#include "harness/threaded_cluster.h"
+
+namespace prestige {
+namespace harness {
+
+/// Metrics of one real-time run. All quantities are wall-clock and
+/// scheduler-dependent: reruns will differ (that is the point).
+struct ThreadedRunResult {
+  bool ran = false;          ///< False when the spec is not threaded-capable.
+  std::string error;         ///< Why it did not run.
+  double duration_seconds = 0.0;  ///< Wall-clock measurement window.
+  int64_t committed = 0;     ///< Client-observed committed transactions.
+  double tps = 0.0;          ///< committed / duration.
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+  int64_t view_changes = 0;
+  int64_t elections_won = 0;
+  uint64_t messages_delivered = 0;
+  bool safety_ok = true;
+  std::string violation;
+  types::SeqNum min_height = 0;
+  types::SeqNum max_height = 0;
+};
+
+/// Runs `spec`'s workload on a fresh ThreadedCluster for its scripted
+/// duration of *wall* time, then checks safety. config.n is overridden by
+/// the spec's cluster size.
+template <typename Replica, typename Config>
+ThreadedRunResult RunThreadedScenario(const ScenarioSpec& spec, Config config,
+                                      WorkloadOptions workload) {
+  ThreadedRunResult result;
+  if (!ThreadedCapable(spec)) {
+    result.error = "scenario '" + spec.name +
+                   "' uses simulator-only faults (partitions / link faults / "
+                   "crashes / partial load); the threaded backend runs "
+                   "fault-free workloads";
+    return result;
+  }
+
+  config.n = spec.n;
+  ThreadedCluster<Replica, Config> cluster(config, workload);
+  const util::DurationMicros duration = spec.TotalDuration();
+  cluster.Start();
+  cluster.RunFor(duration);
+  cluster.Stop();
+
+  result.ran = true;
+  result.duration_seconds = util::ToSeconds(duration);
+  result.committed = cluster.ClientCommitted();
+  result.tps =
+      static_cast<double>(result.committed) / result.duration_seconds;
+  result.p50_ms = cluster.LatencyPercentileMs(50);
+  result.p99_ms = cluster.LatencyPercentileMs(99);
+  result.mean_ms = cluster.MeanLatencyMs();
+  for (uint32_t i = 0; i < cluster.num_replicas(); ++i) {
+    result.view_changes += cluster.replica(i).metrics().view_changes_started;
+    result.elections_won += cluster.replica(i).metrics().elections_won;
+  }
+  result.messages_delivered = cluster.runtime().messages_delivered();
+
+  const SafetyReport safety = CheckSafety(cluster);
+  result.safety_ok = safety.ok;
+  result.violation = safety.violation;
+  result.min_height = safety.min_height;
+  result.max_height = safety.max_height;
+  return result;
+}
+
+}  // namespace harness
+}  // namespace prestige
+
+#endif  // PRESTIGE_HARNESS_THREADED_RUNNER_H_

@@ -1,0 +1,58 @@
+// Base type for everything carried between nodes, independent of the
+// execution backend.
+//
+// A message describes its own wire-level footprint (size, signature
+// verifications, protocol units) so that *cost-modelling* backends — the
+// discrete-event simulator's Network — can charge bandwidth and CPU for
+// it. Real-time backends (runtime::ThreadedRuntime) deliver the same
+// objects through in-process queues and ignore the cost metadata.
+//
+// Historically this lived in sim/message.h; it moved here when the
+// runtime abstraction layer was extracted so that protocol code depends
+// only on runtime/, never on the simulator. sim/message.h re-exports
+// these types under the old names for the simulation substrate.
+
+#ifndef PRESTIGE_RUNTIME_MESSAGE_H_
+#define PRESTIGE_RUNTIME_MESSAGE_H_
+
+#include <cstdint>
+#include <memory>
+
+namespace prestige {
+namespace runtime {
+
+/// Abstract network message.
+///
+/// Backends never inspect payloads; cost-modelling ones only need the
+/// physical wire size (for bandwidth serialization), the number of
+/// signature verifications the receiver performs (for the CPU model), and
+/// a unit count for aggregate messages (a ClientBatch representing g
+/// independent client proposals costs g base processing units — see
+/// DESIGN.md §4 on client aggregation).
+///
+/// Messages are immutable once handed to Env::Send: a broadcast delivers
+/// the same shared object to every receiver, and under the threaded
+/// backend those receivers run concurrently.
+class NetMessage {
+ public:
+  virtual ~NetMessage() = default;
+
+  /// Physical bytes this message occupies on the wire.
+  virtual size_t WireSize() const = 0;
+
+  /// Signature/QC verifications the receiver performs on arrival.
+  virtual int NumSigVerifies() const { return 0; }
+
+  /// Independent protocol units folded into this message (>= 1).
+  virtual int CostUnits() const { return 1; }
+
+  /// Message name for traces.
+  virtual const char* Name() const = 0;
+};
+
+using MessagePtr = std::shared_ptr<const NetMessage>;
+
+}  // namespace runtime
+}  // namespace prestige
+
+#endif  // PRESTIGE_RUNTIME_MESSAGE_H_

@@ -1,0 +1,73 @@
+// SimEnv: hosts a runtime::Node on the deterministic discrete-event
+// simulator.
+//
+// One SimEnv per node. It is the sim::Actor the Simulator/Network see
+// (callbacks forward to the node) and the runtime::Env the node speaks to
+// (services delegate to the actor machinery). Because the timer
+// bookkeeping, RNG forking point, and send paths are literally the
+// pre-refactor Actor ones, a run through SimEnv is bit-identical — event
+// order, virtual-time metrics, hash counts — to the old direct-actor
+// wiring for the same seed (asserted by tests/runtime_env_test.cc and the
+// BENCH JSON determinism checks).
+//
+// Wiring order matters for reproducibility: Simulator::AddActor forks the
+// node's RNG stream from the root seed, so nodes must be registered in a
+// deterministic order (the harness registers replicas first, then client
+// pools).
+
+#ifndef PRESTIGE_RUNTIME_SIM_ENV_H_
+#define PRESTIGE_RUNTIME_SIM_ENV_H_
+
+#include <utility>
+
+#include "runtime/env.h"
+#include "sim/actor.h"
+
+namespace prestige {
+namespace runtime {
+
+/// Adapter binding one Node to one slot of a simulation.
+///
+/// Lifecycle: SimEnv env(&node); sim.AddActor(&env); env.AttachNetwork(&net);
+/// — then schedule node.OnStart() and run the simulator. The SimEnv must
+/// outlive the simulation, like any actor.
+class SimEnv final : public sim::Actor, public Env {
+ public:
+  explicit SimEnv(Node* node) : node_(node) { node_->BindEnv(this); }
+
+  Node* node() const { return node_; }
+
+  // ------------------------------------------------- sim::Actor interface
+  void OnStart() override { node_->OnStart(); }
+  void OnMessage(sim::ActorId from, const sim::MessagePtr& msg) override {
+    node_->OnMessage(from, msg);
+  }
+  void OnTimer(uint64_t tag) override { node_->OnTimer(tag); }
+
+  // ----------------------------------------------- runtime::Env interface
+  NodeId id() const override { return sim::Actor::id(); }
+
+  void Send(NodeId to, MessagePtr msg) override {
+    sim::Actor::Send(to, std::move(msg));
+  }
+  void Send(const std::vector<NodeId>& targets, MessagePtr msg) override {
+    sim::Actor::Send(targets, std::move(msg));
+  }
+
+  TimerId SetTimer(util::DurationMicros delay, uint64_t tag) override {
+    return sim::Actor::SetTimer(delay, tag);
+  }
+  void CancelTimer(TimerId timer) override { sim::Actor::CancelTimer(timer); }
+  void CancelAllTimers() override { sim::Actor::CancelAllTimers(); }
+
+  util::TimeMicros Now() const override { return sim::Actor::Now(); }
+  util::Rng* rng() override { return sim::Actor::rng(); }
+
+ private:
+  Node* node_;
+};
+
+}  // namespace runtime
+}  // namespace prestige
+
+#endif  // PRESTIGE_RUNTIME_SIM_ENV_H_

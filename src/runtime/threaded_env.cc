@@ -1,0 +1,161 @@
+#include "runtime/threaded_env.h"
+
+#include <cassert>
+
+namespace prestige {
+namespace runtime {
+
+ThreadedRuntime::ThreadedRuntime(uint64_t seed)
+    : seed_(seed), root_rng_(seed), epoch_(std::chrono::steady_clock::now()) {}
+
+ThreadedRuntime::~ThreadedRuntime() { Stop(); }
+
+NodeId ThreadedRuntime::AddNode(Node* node) {
+  assert(!started_ && "AddNode must precede Start()");
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  auto state = std::make_unique<NodeState>();
+  state->node = node;
+  // Same forking discipline as Simulator::AddActor: one child stream per
+  // node, drawn from the root in registration order.
+  state->env = std::make_unique<NodeEnv>(this, state.get(), id,
+                                         root_rng_.Fork());
+  node->BindEnv(state->env.get());
+  nodes_.push_back(std::move(state));
+  return id;
+}
+
+void ThreadedRuntime::Start() {
+  assert(!started_);
+  started_ = true;
+  stopped_ = false;
+  epoch_ = std::chrono::steady_clock::now();
+  for (auto& state : nodes_) {
+    NodeState* s = state.get();
+    s->thread = std::thread([this, s]() { RunLoop(s); });
+  }
+}
+
+void ThreadedRuntime::Stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  for (auto& state : nodes_) {
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->stop = true;
+    }
+    state->cv.notify_one();
+  }
+  for (auto& state : nodes_) {
+    if (state->thread.joinable()) state->thread.join();
+  }
+}
+
+util::TimeMicros ThreadedRuntime::Now() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+uint64_t ThreadedRuntime::messages_delivered() const {
+  uint64_t total = 0;
+  for (const auto& state : nodes_) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    total += state->delivered;
+  }
+  return total;
+}
+
+void ThreadedRuntime::Post(NodeId to, NodeId from, const MessagePtr& msg) {
+  if (to >= nodes_.size()) return;
+  NodeState* target = nodes_[to].get();
+  {
+    std::lock_guard<std::mutex> lock(target->mu);
+    if (target->stop) return;
+    target->inbox.push_back(Inbound{from, msg});
+  }
+  target->cv.notify_one();
+}
+
+util::TimeMicros ThreadedRuntime::FireDueTimers(NodeState* s) {
+  for (;;) {
+    auto it = s->timer_queue.begin();
+    if (it == s->timer_queue.end()) return -1;
+    if (it->first > Now()) return it->first;
+    const auto [timer_id, tag] = it->second;
+    s->timer_queue.erase(it);
+    if (s->live_timers.erase(timer_id) > 0) {
+      s->node->OnTimer(tag);
+    }
+  }
+}
+
+void ThreadedRuntime::RunLoop(NodeState* s) {
+  s->node->OnStart();
+  std::vector<Inbound> batch;
+  for (;;) {
+    // Fire whatever is due, then learn how long we may sleep.
+    const util::TimeMicros next_deadline = FireDueTimers(s);
+    {
+      std::unique_lock<std::mutex> lock(s->mu);
+      for (;;) {
+        if (s->stop) return;
+        if (!s->inbox.empty()) break;
+        if (next_deadline >= 0) {
+          if (Now() >= next_deadline) break;  // Due: fire on next pass.
+          s->cv.wait_until(
+              lock, epoch_ + std::chrono::microseconds(next_deadline));
+          break;  // Re-evaluate timers before sleeping again.
+        }
+        s->cv.wait(lock);
+      }
+      // Drain the whole mailbox in one lock acquisition.
+      while (!s->inbox.empty()) {
+        batch.push_back(std::move(s->inbox.front()));
+        s->inbox.pop_front();
+      }
+      s->delivered += batch.size();
+    }
+    for (Inbound& in : batch) {
+      s->node->OnMessage(in.from, in.msg);
+    }
+    batch.clear();
+  }
+}
+
+// ------------------------------------------------------------------ NodeEnv
+
+void ThreadedRuntime::NodeEnv::Send(NodeId to, MessagePtr msg) {
+  runtime_->Post(to, id_, msg);
+}
+
+void ThreadedRuntime::NodeEnv::Send(const std::vector<NodeId>& targets,
+                                    MessagePtr msg) {
+  for (NodeId to : targets) {
+    runtime_->Post(to, id_, msg);
+  }
+}
+
+TimerId ThreadedRuntime::NodeEnv::SetTimer(util::DurationMicros delay,
+                                           uint64_t tag) {
+  const TimerId timer = state_->next_timer_id++;
+  state_->live_timers.insert(timer);
+  const util::TimeMicros deadline =
+      runtime_->Now() + (delay < 0 ? 0 : delay);
+  state_->timer_queue.emplace(deadline, std::make_pair(timer, tag));
+  return timer;
+}
+
+void ThreadedRuntime::NodeEnv::CancelTimer(TimerId timer) {
+  state_->live_timers.erase(timer);
+}
+
+void ThreadedRuntime::NodeEnv::CancelAllTimers() {
+  state_->live_timers.clear();
+}
+
+util::TimeMicros ThreadedRuntime::NodeEnv::Now() const {
+  return runtime_->Now();
+}
+
+}  // namespace runtime
+}  // namespace prestige

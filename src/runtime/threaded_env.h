@@ -1,0 +1,154 @@
+// ThreadedRuntime: hosts runtime::Nodes on real OS threads and wall-clock
+// time — the first backend that executes the protocols with true
+// concurrency instead of a virtual clock.
+//
+// Design:
+//   * one event-loop thread per node. All of a node's callbacks (OnStart,
+//     OnMessage, OnTimer) run on that thread, preserving the
+//     single-threaded-per-node contract of runtime::Env;
+//   * an in-process loopback transport: Send locks the receiver's mailbox,
+//     enqueues the shared message, and signals its condition variable —
+//     real queues, real contention, no modelled costs;
+//   * monotonic-clock timers: each loop sleeps until its earliest pending
+//     deadline or the next message, whichever comes first. Timer state is
+//     owned by the loop thread (SetTimer/CancelTimer are only legal from
+//     the owning node's callbacks), so it needs no locking;
+//   * a deterministically forked RNG per node (registration order), though
+//     thread scheduling makes whole-run behaviour nondeterministic — this
+//     backend measures real throughput/latency; reproducibility is the
+//     simulator's job.
+//
+// Delivery is reliable and per-sender FIFO (a std::deque per receiver);
+// cross-sender order is whatever the locks arbitrate, which is exactly the
+// nondeterminism a real deployment exhibits.
+//
+// Lifecycle: construct → AddNode each node (before Start) → Start() spawns
+// the loops and runs every OnStart on its own thread → ... → Stop() signals
+// and joins. After Stop returns, node state may be inspected from the
+// caller's thread (join gives the happens-before edge).
+
+#ifndef PRESTIGE_RUNTIME_THREADED_ENV_H_
+#define PRESTIGE_RUNTIME_THREADED_ENV_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "runtime/env.h"
+
+namespace prestige {
+namespace runtime {
+
+/// The threaded backend: a set of per-node event loops plus the loopback
+/// transport connecting them.
+class ThreadedRuntime {
+ public:
+  /// `seed` feeds the per-node RNG forks (registration order), mirroring
+  /// the simulator's seeding discipline.
+  explicit ThreadedRuntime(uint64_t seed);
+  ~ThreadedRuntime();
+
+  ThreadedRuntime(const ThreadedRuntime&) = delete;
+  ThreadedRuntime& operator=(const ThreadedRuntime&) = delete;
+
+  /// Registers `node` (non-owning; must outlive the runtime) and binds its
+  /// Env. Ids are assigned in call order. Must precede Start().
+  NodeId AddNode(Node* node);
+
+  /// Marks the clock epoch and spawns one event-loop thread per node; each
+  /// loop runs its node's OnStart first.
+  void Start();
+
+  /// Signals every loop to exit and joins the threads. Pending messages
+  /// and timers are discarded. Idempotent; also called by the destructor.
+  void Stop();
+
+  bool started() const { return started_; }
+  size_t num_nodes() const { return nodes_.size(); }
+
+  /// Microseconds of wall-clock time since Start().
+  util::TimeMicros Now() const;
+
+  /// Total messages delivered across all mailboxes so far (approximate
+  /// while running; exact after Stop).
+  uint64_t messages_delivered() const;
+
+ private:
+  struct NodeState;
+
+  /// Env implementation handed to each node.
+  class NodeEnv final : public Env {
+   public:
+    NodeEnv(ThreadedRuntime* runtime, NodeState* state, NodeId id,
+            util::Rng rng)
+        : runtime_(runtime), state_(state), id_(id), rng_(rng) {}
+
+    NodeId id() const override { return id_; }
+    void Send(NodeId to, MessagePtr msg) override;
+    void Send(const std::vector<NodeId>& targets, MessagePtr msg) override;
+    TimerId SetTimer(util::DurationMicros delay, uint64_t tag) override;
+    void CancelTimer(TimerId timer) override;
+    void CancelAllTimers() override;
+    util::TimeMicros Now() const override;
+    util::Rng* rng() override { return &rng_; }
+
+   private:
+    ThreadedRuntime* runtime_;
+    NodeState* state_;
+    NodeId id_;
+    util::Rng rng_;
+  };
+
+  struct Inbound {
+    NodeId from;
+    MessagePtr msg;
+  };
+
+  /// Everything one node's loop owns. Mailbox fields are guarded by `mu`;
+  /// timer fields are touched only by the loop thread.
+  struct NodeState {
+    Node* node = nullptr;
+    std::unique_ptr<NodeEnv> env;
+
+    // Mailbox (cross-thread, guarded by mu).
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Inbound> inbox;
+    bool stop = false;
+    uint64_t delivered = 0;
+
+    // Timer service (loop-thread only).
+    TimerId next_timer_id = 1;
+    std::unordered_set<TimerId> live_timers;
+    /// deadline (runtime micros) -> (timer id, tag); multimap keeps equal
+    /// deadlines in arming order.
+    std::multimap<util::TimeMicros, std::pair<TimerId, uint64_t>> timer_queue;
+
+    std::thread thread;
+  };
+
+  void Post(NodeId to, NodeId from, const MessagePtr& msg);
+  void RunLoop(NodeState* state);
+  /// Fires every due timer of `state`; returns the next pending deadline
+  /// or -1 when no timer is armed.
+  util::TimeMicros FireDueTimers(NodeState* state);
+
+  uint64_t seed_;
+  util::Rng root_rng_;
+  bool started_ = false;
+  bool stopped_ = false;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<std::unique_ptr<NodeState>> nodes_;
+};
+
+}  // namespace runtime
+}  // namespace prestige
+
+#endif  // PRESTIGE_RUNTIME_THREADED_ENV_H_

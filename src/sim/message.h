@@ -1,39 +1,19 @@
-// Base type for everything carried over the simulated network.
+// Simulation-substrate aliases for the backend-independent message base.
+//
+// The canonical definition lives in runtime/message.h (the protocol layer
+// depends only on runtime/); the simulator's Network keeps using the
+// sim:: names it always had.
 
 #ifndef PRESTIGE_SIM_MESSAGE_H_
 #define PRESTIGE_SIM_MESSAGE_H_
 
-#include <cstdint>
-#include <memory>
+#include "runtime/message.h"
 
 namespace prestige {
 namespace sim {
 
-/// Abstract network message.
-///
-/// The simulator never inspects payloads; it only needs the physical wire
-/// size (for bandwidth serialization), the number of signature verifications
-/// the receiver performs (for the CPU model), and a unit count for aggregate
-/// messages (a ClientBatchProp representing g independent client proposals
-/// costs g base processing units — see DESIGN.md §4 on client aggregation).
-class NetMessage {
- public:
-  virtual ~NetMessage() = default;
-
-  /// Physical bytes this message occupies on the wire.
-  virtual size_t WireSize() const = 0;
-
-  /// Signature/QC verifications the receiver performs on arrival.
-  virtual int NumSigVerifies() const { return 0; }
-
-  /// Independent protocol units folded into this message (>= 1).
-  virtual int CostUnits() const { return 1; }
-
-  /// Message name for traces.
-  virtual const char* Name() const = 0;
-};
-
-using MessagePtr = std::shared_ptr<const NetMessage>;
+using NetMessage = runtime::NetMessage;
+using MessagePtr = runtime::MessagePtr;
 
 }  // namespace sim
 }  // namespace prestige

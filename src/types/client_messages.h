@@ -6,7 +6,7 @@
 
 #include <vector>
 
-#include "sim/message.h"
+#include "runtime/message.h"
 #include "types/ids.h"
 #include "types/transaction.h"
 
@@ -18,7 +18,7 @@ namespace types {
 /// Each entry is a separate Prop in the paper; aggregation is a simulation
 /// device (one event per g proposals) — the cost model still charges the
 /// replica g base processing units and the full payload bytes.
-struct ClientBatch : public sim::NetMessage {
+struct ClientBatch : public runtime::NetMessage {
   std::vector<Transaction> txs;
 
   size_t WireSize() const override {
@@ -35,7 +35,7 @@ struct ClientBatch : public sim::NetMessage {
 ///
 /// A client considers a request committed once f+1 distinct replicas have
 /// notified it (§4.3).
-struct CommitNotif : public sim::NetMessage {
+struct CommitNotif : public runtime::NetMessage {
   ReplicaId replica = 0;
   View v = 0;
   SeqNum n = 0;
@@ -49,7 +49,7 @@ struct CommitNotif : public sim::NetMessage {
 
 /// Client complaint (the paper's Compt): broadcast when a request misses its
 /// deadline; carries the original proposal.
-struct ClientComplaint : public sim::NetMessage {
+struct ClientComplaint : public runtime::NetMessage {
   Transaction tx;
 
   size_t WireSize() const override { return tx.WireBytes() + 80; }

@@ -8,7 +8,7 @@ void ClientPool::OnStart() {
     IssueRequest();
   }
   Flush();
-  SetTimer(config_.complaint_scan_period, kComplaintScan);
+  SetTimer(config_.complaint_scan_period, Tag(kComplaintScan));
 }
 
 void ClientPool::SetActive(bool active) {
@@ -48,7 +48,7 @@ void ClientPool::Flush() {
   Send(replicas_, batch);
 }
 
-void ClientPool::OnMessage(sim::ActorId from, const sim::MessagePtr& msg) {
+void ClientPool::OnMessage(runtime::NodeId from, const runtime::MessagePtr& msg) {
   (void)from;
   const auto* notif = dynamic_cast<const types::CommitNotif*>(msg.get());
   if (notif == nullptr) return;
@@ -74,12 +74,12 @@ void ClientPool::OnMessage(sim::ActorId from, const sim::MessagePtr& msg) {
   }
   if (issued && !flush_armed_) {
     flush_armed_ = true;
-    SetTimer(config_.aggregation_window, kFlush);
+    SetTimer(config_.aggregation_window, Tag(kFlush));
   }
 }
 
 void ClientPool::OnTimer(uint64_t tag) {
-  switch (tag) {
+  switch (TagKind(tag)) {
     case kFlush:
       flush_armed_ = false;
       Flush();
@@ -97,7 +97,7 @@ void ClientPool::OnTimer(uint64_t tag) {
         compt->tx = out.tx;
         Send(replicas_, compt);
       }
-      SetTimer(config_.complaint_scan_period, kComplaintScan);
+      SetTimer(config_.complaint_scan_period, Tag(kComplaintScan));
       break;
     }
   }

@@ -16,7 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "sim/actor.h"
+#include "runtime/env.h"
 #include "types/client_messages.h"
 #include "types/ids.h"
 #include "types/transaction.h"
@@ -40,17 +40,17 @@ struct ClientPoolConfig {
 };
 
 /// The pool actor.
-class ClientPool : public sim::Actor {
+class ClientPool : public runtime::Node {
  public:
   explicit ClientPool(ClientPoolConfig config) : config_(config) {}
 
-  /// Actor ids of all replicas (proposals and complaints are broadcast).
-  void SetReplicas(std::vector<sim::ActorId> replicas) {
+  /// Node ids of all replicas (proposals and complaints are broadcast).
+  void SetReplicas(std::vector<runtime::NodeId> replicas) {
     replicas_ = std::move(replicas);
   }
 
   void OnStart() override;
-  void OnMessage(sim::ActorId from, const sim::MessagePtr& msg) override;
+  void OnMessage(runtime::NodeId from, const runtime::MessagePtr& msg) override;
   void OnTimer(uint64_t tag) override;
 
   /// Pauses / resumes request issuance (scenario workload-intensity
@@ -68,6 +68,13 @@ class ClientPool : public sim::Actor {
 
  private:
   enum TimerTag : uint64_t { kFlush = 1, kComplaintScan = 2 };
+  // Shared 48-bit tag packing (util/timer_tag.h).
+  static uint64_t Tag(TimerTag kind, uint64_t payload = 0) {
+    return util::PackTimerTag(kind, payload);
+  }
+  static TimerTag TagKind(uint64_t tag) {
+    return util::TimerTagKind<TimerTag>(tag);
+  }
 
   struct Outstanding {
     types::Transaction tx;
@@ -85,7 +92,7 @@ class ClientPool : public sim::Actor {
   void Flush();
 
   ClientPoolConfig config_;
-  std::vector<sim::ActorId> replicas_;
+  std::vector<runtime::NodeId> replicas_;
   bool active_ = true;
   uint32_t deferred_requests_ = 0;  ///< Clients idled while inactive.
   uint64_t next_seq_ = 1;

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "core/replica.h"
+#include "runtime/sim_env.h"
 #include "sim/actor.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
@@ -62,8 +63,9 @@ class ReplicaUnitTest : public ::testing::Test {
     // actor 4 is a client-pool probe.
     sim_.AddActor(&probes_[0]);
     probes_[0].AttachNetwork(&net_);
-    sim_.AddActor(replica_.get());
-    replica_->AttachNetwork(&net_);
+    replica_env_ = std::make_unique<runtime::SimEnv>(replica_.get());
+    sim_.AddActor(replica_env_.get());
+    replica_env_->AttachNetwork(&net_);
     sim_.AddActor(&probes_[2]);
     probes_[2].AttachNetwork(&net_);
     sim_.AddActor(&probes_[3]);
@@ -108,6 +110,7 @@ class ReplicaUnitTest : public ::testing::Test {
   sim::Network net_;
   crypto::KeyStore keys_;
   std::unique_ptr<PrestigeReplica> replica_;
+  std::unique_ptr<runtime::SimEnv> replica_env_;
   Probe probes_[4];  // Index 1 unused.
   Probe client_probe_;
 };
@@ -379,8 +382,9 @@ class LeaderUnitTest : public ::testing::Test {
     config.timeout_max = util::Seconds(11);
     leader_ = std::make_unique<PrestigeReplica>(config, 0, &keys_);
 
-    sim_.AddActor(leader_.get());
-    leader_->AttachNetwork(&net_);
+    leader_env_ = std::make_unique<runtime::SimEnv>(leader_.get());
+    sim_.AddActor(leader_env_.get());
+    leader_env_->AttachNetwork(&net_);
     for (int i = 1; i <= 3; ++i) {
       sim_.AddActor(&probes_[i]);
       probes_[i].AttachNetwork(&net_);
@@ -397,6 +401,7 @@ class LeaderUnitTest : public ::testing::Test {
   sim::Network net_;
   crypto::KeyStore keys_;
   std::unique_ptr<PrestigeReplica> leader_;
+  std::unique_ptr<runtime::SimEnv> leader_env_;
   Probe probes_[4];  // Indices 1..3 are the peer replicas.
   Probe client_probe_;
 };
@@ -468,6 +473,247 @@ TEST_F(LeaderUnitTest, PartialBatchSurvivesFullPipeline) {
   ASSERT_EQ(probes_[1].Count<OrdMsg>(), 2);
   EXPECT_EQ(probes_[1].Last<OrdMsg>()->txs.size(), 3u);
   EXPECT_EQ(leader_->pending_pool_size(), 0u);
+}
+
+// ------------------------------------------- complaint / probe lifecycle
+//
+// Complaint-wait timer tags carry only 48 payload bits, so 64-bit
+// complaint keys route through the complaint_probe_keys_ table. These
+// tests pin the table's lifecycle: entries must die with their complaint
+// on every resolution path — commit, fire, and view install — never only
+// when the timer fires.
+
+/// Complaint/commit helpers layered on the ReplicaUnitTest fixture.
+class ComplaintLifecycleTest : public ReplicaUnitTest {
+ protected:
+  types::Transaction MakeTx(uint64_t seq) {
+    types::Transaction tx;
+    tx.pool = 0;
+    tx.client_seq = seq;
+    tx.fingerprint = seq * 31 + 7;
+    return tx;
+  }
+
+  void Complain(const types::Transaction& tx) {
+    auto compt = std::make_shared<types::ClientComplaint>();
+    compt->tx = tx;
+    Deliver(4, compt);  // Actor 4 is the client-pool probe.
+  }
+
+  /// Commits `tx` at the replica's next sequence via a QC-bearing
+  /// TxBlockMsg (the follower commit path).
+  void Commit(const types::Transaction& tx) {
+    ledger::TxBlock block;
+    block.v = 1;
+    block.set_n(replica_->store().LatestTxSeq() + 1);
+    block.set_prev_hash(replica_->store().LatestTxDigest());
+    block.set_txs({tx});
+    const crypto::Sha256Digest cmt_digest =
+        ledger::CommitDigest(block.v, block.n(), block.Digest());
+    crypto::QuorumCertBuilder builder(cmt_digest, 3);
+    for (uint32_t r : {0u, 1u, 2u}) {
+      builder.Add(keys_.Sign(r, cmt_digest), cmt_digest);
+    }
+    block.commit_qc = builder.Build();
+    auto msg = std::make_shared<TxBlockMsg>();
+    msg->block = block;
+    Deliver(0, msg);
+  }
+};
+
+TEST_F(ComplaintLifecycleTest, CommitResolutionErasesProbeBeforeTimerFires) {
+  const types::Transaction tx = MakeTx(1);
+  Complain(tx);
+  EXPECT_EQ(replica_->complaint_count(), 1u);
+  EXPECT_EQ(replica_->complaint_probe_count(), 1u);
+
+  Commit(tx);  // Well before the 300 ms complaint wait.
+  EXPECT_EQ(replica_->complaint_count(), 0u);
+  EXPECT_EQ(replica_->complaint_probe_count(), 0u);
+}
+
+TEST_F(ComplaintLifecycleTest, ChurningComplaintsKeepsProbeTableBounded) {
+  // Complain → commit, many times over: both tables must return to empty
+  // every round, not accumulate fired-or-cancelled leftovers.
+  for (uint64_t round = 1; round <= 12; ++round) {
+    const types::Transaction tx = MakeTx(round);
+    Complain(tx);
+    ASSERT_EQ(replica_->complaint_count(), 1u) << "round " << round;
+    ASSERT_EQ(replica_->complaint_probe_count(), 1u) << "round " << round;
+    Commit(tx);
+    ASSERT_EQ(replica_->complaint_count(), 0u) << "round " << round;
+    ASSERT_EQ(replica_->complaint_probe_count(), 0u) << "round " << round;
+  }
+}
+
+TEST_F(ComplaintLifecycleTest, EscalationReComplaintCycleDoesNotLeakProbes) {
+  const types::Transaction tx = MakeTx(1);
+  // Repeatedly let the complaint wait expire (escalation), then
+  // re-complain: each cycle arms a fresh probe and retires the old one.
+  for (int cycle = 0; cycle < 6; ++cycle) {
+    Complain(tx);
+    ASSERT_EQ(replica_->complaint_count(), 1u);
+    ASSERT_LE(replica_->complaint_probe_count(), 1u);
+    sim_.RunUntil(sim_.Now() + Millis(350));  // Past complaint_wait.
+    // Fired timer retires its probe; the escalated complaint remains for
+    // peers' ConfVC support checks.
+    ASSERT_EQ(replica_->complaint_probe_count(), 0u);
+    ASSERT_EQ(replica_->complaint_count(), 1u);
+  }
+  Commit(tx);
+  EXPECT_EQ(replica_->complaint_count(), 0u);
+  EXPECT_EQ(replica_->complaint_probe_count(), 0u);
+}
+
+TEST_F(ComplaintLifecycleTest, UncommittedComplaintsClearOnViewInstall) {
+  Complain(MakeTx(1));
+  Complain(MakeTx(2));
+  EXPECT_EQ(replica_->complaint_count(), 2u);
+  EXPECT_EQ(replica_->complaint_probe_count(), 2u);
+
+  // Install view 2 via sync: complaints targeted the old leader, so both
+  // tables clear together.
+  ledger::VcBlock block;
+  block.set_v(2);
+  block.set_leader(2);
+  block.set_confirmed_view(1);
+  block.set_prev_hash(replica_->store().LatestVcBlock()->Digest());
+  for (types::ReplicaId r = 0; r < 4; ++r) {
+    block.SetPenalty(r, 1);
+    block.SetCompensation(r, 1);
+  }
+  const crypto::Sha256Digest conf_digest = ledger::ConfDigest(1);
+  crypto::QuorumCertBuilder conf(conf_digest, 2);
+  for (uint32_t r : {2u, 3u}) conf.Add(keys_.Sign(r, conf_digest), conf_digest);
+  block.conf_qc = conf.Build();
+  const crypto::Sha256Digest vote_digest = ledger::VoteDigest(2, 2);
+  crypto::QuorumCertBuilder votes(vote_digest, 3);
+  for (uint32_t r : {0u, 2u, 3u}) {
+    votes.Add(keys_.Sign(r, vote_digest), vote_digest);
+  }
+  block.vc_qc = votes.Build();
+
+  auto sync = std::make_shared<SyncRespMsg>();
+  sync->vc_blocks.push_back(block);
+  Deliver(2, sync);
+
+  EXPECT_EQ(replica_->view(), 2);
+  EXPECT_EQ(replica_->complaint_count(), 0u);
+  EXPECT_EQ(replica_->complaint_probe_count(), 0u);
+}
+
+// ----------------------------------------------------- refresh overlay
+
+/// Pins EffectiveRp / EffectiveCi semantics: stored vcBlock values by
+/// default, refresh overlay takes precedence, overlay folds away on the
+/// next vcBlock install (§4.2.5).
+class RefreshOverlayTest : public ReplicaUnitTest {
+ protected:
+  /// Builds a fully certified vcBlock extending the replica's chain.
+  ledger::VcBlock MakeVcBlock(types::View v, types::ReplicaId leader) {
+    ledger::VcBlock block;
+    block.set_v(v);
+    block.set_leader(leader);
+    block.set_confirmed_view(v - 1);
+    block.set_prev_hash(replica_->store().LatestVcBlock()->Digest());
+    const crypto::Sha256Digest conf_digest = ledger::ConfDigest(v - 1);
+    crypto::QuorumCertBuilder conf(conf_digest, 2);
+    for (uint32_t r : {2u, 3u}) {
+      conf.Add(keys_.Sign(r, conf_digest), conf_digest);
+    }
+    block.conf_qc = conf.Build();
+    const crypto::Sha256Digest vote_digest = ledger::VoteDigest(v, leader);
+    crypto::QuorumCertBuilder votes(vote_digest, 3);
+    for (uint32_t r : {0u, 2u, 3u}) {
+      votes.Add(keys_.Sign(r, vote_digest), vote_digest);
+    }
+    block.vc_qc = votes.Build();
+    return block;
+  }
+
+  void Install(const ledger::VcBlock& block) {
+    auto sync = std::make_shared<SyncRespMsg>();
+    sync->vc_blocks.push_back(block);
+    Deliver(2, sync);
+  }
+};
+
+TEST_F(RefreshOverlayTest, GenesisYieldsInitialValues) {
+  for (types::ReplicaId r = 0; r < 4; ++r) {
+    EXPECT_EQ(replica_->EffectiveRp(r), 1);
+    EXPECT_EQ(replica_->EffectiveCi(r), 1);
+  }
+}
+
+TEST_F(RefreshOverlayTest, VcBlockValuesAreAuthoritativeWithoutOverlay) {
+  ledger::VcBlock block = MakeVcBlock(2, /*leader=*/2);
+  block.SetPenalty(3, 7);
+  block.SetCompensation(3, 4);
+  Install(block);
+  ASSERT_EQ(replica_->view(), 2);
+  EXPECT_EQ(replica_->EffectiveRp(3), 7);
+  EXPECT_EQ(replica_->EffectiveCi(3), 4);
+  // Untouched ids read the block defaults.
+  EXPECT_EQ(replica_->EffectiveRp(2), 1);
+  EXPECT_EQ(replica_->EffectiveCi(2), 1);
+}
+
+TEST_F(RefreshOverlayTest, OverlayTakesPrecedenceOverStoredValues) {
+  ledger::VcBlock block = MakeVcBlock(2, /*leader=*/2);
+  block.SetPenalty(3, 9);
+  block.SetCompensation(3, 5);
+  Install(block);
+  ASSERT_EQ(replica_->EffectiveRp(3), 9);
+
+  // A certified Rdone resets replica 3's effective values to the initial
+  // ones even though the stored vcBlock still says 9/5.
+  const crypto::Sha256Digest refresh_digest = ledger::RefreshDigest(3, 2);
+  crypto::QuorumCertBuilder rs(refresh_digest, 3);
+  for (uint32_t r : {0u, 2u, 3u}) {
+    rs.Add(keys_.Sign(r, refresh_digest), refresh_digest);
+  }
+  auto done = std::make_shared<RdoneMsg>();
+  done->target = 3;
+  done->v = 2;
+  done->rs_qc = rs.Build();
+  done->sig = keys_.Sign(3, refresh_digest);
+  Deliver(3, done);
+
+  EXPECT_EQ(replica_->EffectiveRp(3), 1);
+  EXPECT_EQ(replica_->EffectiveCi(3), 1);
+  // The overlay is per-server: others still read stored values.
+  EXPECT_EQ(replica_->EffectiveRp(2), 1);
+  // The store itself is untouched — only the overlay differs.
+  EXPECT_EQ(replica_->store().LatestVcBlock()->PenaltyOf(3), 9);
+}
+
+TEST_F(RefreshOverlayTest, OverlayFoldsAwayOnNextVcBlockInstall) {
+  ledger::VcBlock block = MakeVcBlock(2, /*leader=*/2);
+  block.SetPenalty(3, 9);
+  Install(block);
+
+  const crypto::Sha256Digest refresh_digest = ledger::RefreshDigest(3, 2);
+  crypto::QuorumCertBuilder rs(refresh_digest, 3);
+  for (uint32_t r : {0u, 2u, 3u}) {
+    rs.Add(keys_.Sign(r, refresh_digest), refresh_digest);
+  }
+  auto done = std::make_shared<RdoneMsg>();
+  done->target = 3;
+  done->v = 2;
+  done->rs_qc = rs.Build();
+  done->sig = keys_.Sign(3, refresh_digest);
+  Deliver(3, done);
+  ASSERT_EQ(replica_->EffectiveRp(3), 1);  // Overlay active.
+
+  // The next vcBlock is assumed to carry the folded-in values; the
+  // overlay must yield to whatever it records.
+  ledger::VcBlock next = MakeVcBlock(3, /*leader=*/3);
+  next.SetPenalty(3, 5);
+  next.SetCompensation(3, 2);
+  Install(next);
+  ASSERT_EQ(replica_->view(), 3);
+  EXPECT_EQ(replica_->EffectiveRp(3), 5);
+  EXPECT_EQ(replica_->EffectiveCi(3), 2);
 }
 
 }  // namespace

@@ -1,0 +1,225 @@
+// Unit tests for the runtime abstraction layer: the shared timer-tag
+// packing (util/timer_tag.h) and the SimEnv backend (runtime/sim_env.h)
+// that hosts runtime::Nodes on the discrete-event simulator.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "runtime/env.h"
+#include "runtime/sim_env.h"
+#include "sim/latency.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "util/timer_tag.h"
+
+namespace prestige {
+namespace runtime {
+namespace {
+
+using util::Millis;
+
+// ------------------------------------------------------------- timer tags
+
+enum class TestKind : uint64_t { kAlpha = 1, kBeta = 2, kMax = 0xffff };
+
+TEST(TimerTagTest, RoundTripsKindAndPayload) {
+  const uint64_t tag = util::PackTimerTag(TestKind::kBeta, 0x1234abcdULL);
+  EXPECT_EQ(util::TimerTagKind<TestKind>(tag), TestKind::kBeta);
+  EXPECT_EQ(util::TimerTagPayload(tag), 0x1234abcdULL);
+}
+
+TEST(TimerTagTest, ZeroPayloadByDefault) {
+  const uint64_t tag = util::PackTimerTag(TestKind::kAlpha);
+  EXPECT_EQ(util::TimerTagKind<TestKind>(tag), TestKind::kAlpha);
+  EXPECT_EQ(util::TimerTagPayload(tag), 0u);
+}
+
+TEST(TimerTagTest, MaxPayloadSurvives) {
+  const uint64_t tag =
+      util::PackTimerTag(TestKind::kAlpha, util::kTimerTagMaxPayload);
+  EXPECT_EQ(util::TimerTagKind<TestKind>(tag), TestKind::kAlpha);
+  EXPECT_EQ(util::TimerTagPayload(tag), util::kTimerTagMaxPayload);
+}
+
+TEST(TimerTagTest, OversizePayloadIsMaskedNotSmearedIntoKind) {
+  // A full 64-bit key does NOT fit: the top bits are masked off, never
+  // allowed to corrupt the kind. (This is why complaint keys go through a
+  // probe table instead of the tag.)
+  const uint64_t key = 0xdeadbeefcafef00dULL;
+  const uint64_t tag = util::PackTimerTag(TestKind::kBeta, key);
+  EXPECT_EQ(util::TimerTagKind<TestKind>(tag), TestKind::kBeta);
+  EXPECT_EQ(util::TimerTagPayload(tag), key & util::kTimerTagPayloadMask);
+  EXPECT_NE(util::TimerTagPayload(tag), key);
+}
+
+TEST(TimerTagTest, SixteenBitKindRange) {
+  const uint64_t tag = util::PackTimerTag(TestKind::kMax, 7);
+  EXPECT_EQ(util::TimerTagKind<TestKind>(tag), TestKind::kMax);
+  EXPECT_EQ(util::TimerTagPayload(tag), 7u);
+}
+
+// ----------------------------------------------------------------- SimEnv
+
+struct PingMsg : public NetMessage {
+  int value = 0;
+  size_t WireSize() const override { return 16; }
+  const char* Name() const override { return "Ping"; }
+};
+
+/// Records every callback; sends / arms timers on demand via its Env.
+class RecorderNode : public Node {
+ public:
+  void OnStart() override { ++starts; }
+  void OnMessage(NodeId from, const MessagePtr& msg) override {
+    froms.push_back(from);
+    if (auto* ping = dynamic_cast<const PingMsg*>(msg.get())) {
+      values.push_back(ping->value);
+    }
+  }
+  void OnTimer(uint64_t tag) override { fired.push_back(tag); }
+
+  // Exercise the protected Node helpers from test code.
+  TimerId Arm(util::DurationMicros delay, uint64_t tag) {
+    return SetTimer(delay, tag);
+  }
+  void Disarm(TimerId t) { CancelTimer(t); }
+  void DisarmAll() { CancelAllTimers(); }
+  void Ping(NodeId to, int value) {
+    auto msg = std::make_shared<PingMsg>();
+    msg->value = value;
+    Send(to, msg);
+  }
+  void PingAll(const std::vector<NodeId>& to, int value) {
+    auto msg = std::make_shared<PingMsg>();
+    msg->value = value;
+    Send(to, msg);
+  }
+  util::TimeMicros NowForTest() const { return Now(); }
+  uint64_t Draw() { return rng()->NextUint64(); }
+
+  int starts = 0;
+  std::vector<NodeId> froms;
+  std::vector<int> values;
+  std::vector<uint64_t> fired;
+};
+
+class SimEnvTest : public ::testing::Test {
+ protected:
+  SimEnvTest()
+      : sim_(7),
+        net_(&sim_, sim::LatencyModel::Fixed(1.0), sim::CostModel{}) {
+    for (int i = 0; i < 2; ++i) {
+      nodes_.push_back(std::make_unique<RecorderNode>());
+      envs_.push_back(std::make_unique<SimEnv>(nodes_.back().get()));
+      sim_.AddActor(envs_.back().get());
+      envs_.back()->AttachNetwork(&net_);
+    }
+  }
+
+  RecorderNode& node(int i) { return *nodes_[i]; }
+
+  sim::Simulator sim_;
+  sim::Network net_;
+  std::vector<std::unique_ptr<RecorderNode>> nodes_;
+  std::vector<std::unique_ptr<SimEnv>> envs_;
+};
+
+TEST_F(SimEnvTest, BindsIdsInRegistrationOrder) {
+  EXPECT_EQ(node(0).id(), 0u);
+  EXPECT_EQ(node(1).id(), 1u);
+  EXPECT_EQ(envs_[0]->node(), &node(0));
+}
+
+TEST_F(SimEnvTest, DeliversMessagesThroughTheNetwork) {
+  sim_.ScheduleAfter(0, [this] { node(0).Ping(1, 42); });
+  sim_.RunUntil(Millis(10));
+  ASSERT_EQ(node(1).values.size(), 1u);
+  EXPECT_EQ(node(1).values[0], 42);
+  EXPECT_EQ(node(1).froms[0], 0u);
+  EXPECT_TRUE(node(0).values.empty());
+}
+
+TEST_F(SimEnvTest, BroadcastReachesEveryTarget) {
+  sim_.ScheduleAfter(0, [this] { node(0).PingAll({0, 1}, 9); });
+  sim_.RunUntil(Millis(10));
+  ASSERT_EQ(node(0).values.size(), 1u);  // Self-send delivered too.
+  ASSERT_EQ(node(1).values.size(), 1u);
+  EXPECT_EQ(node(1).values[0], 9);
+}
+
+TEST_F(SimEnvTest, TimersFireInVirtualTimeOrder) {
+  sim_.ScheduleAfter(0, [this] {
+    node(0).Arm(Millis(30), 30);
+    node(0).Arm(Millis(10), 10);
+    node(0).Arm(Millis(20), 20);
+  });
+  sim_.RunUntil(Millis(100));
+  ASSERT_EQ(node(0).fired.size(), 3u);
+  EXPECT_EQ(node(0).fired, (std::vector<uint64_t>{10, 20, 30}));
+}
+
+TEST_F(SimEnvTest, CancelSuppressesFiring) {
+  sim_.ScheduleAfter(0, [this] {
+    const TimerId t = node(0).Arm(Millis(10), 1);
+    node(0).Arm(Millis(20), 2);
+    node(0).Disarm(t);
+  });
+  sim_.RunUntil(Millis(100));
+  EXPECT_EQ(node(0).fired, (std::vector<uint64_t>{2}));
+}
+
+TEST_F(SimEnvTest, CancelAllSuppressesEverything) {
+  sim_.ScheduleAfter(0, [this] {
+    node(0).Arm(Millis(10), 1);
+    node(0).Arm(Millis(20), 2);
+    node(0).DisarmAll();
+  });
+  sim_.RunUntil(Millis(100));
+  EXPECT_TRUE(node(0).fired.empty());
+}
+
+TEST_F(SimEnvTest, ClockTracksVirtualTime) {
+  util::TimeMicros seen = -1;
+  sim_.ScheduleAt(Millis(25), [this, &seen] { seen = node(0).NowForTest(); });
+  sim_.RunUntil(Millis(100));
+  EXPECT_EQ(seen, Millis(25));
+}
+
+TEST(SimEnvDeterminismTest, RngStreamsDependOnlyOnSeedAndOrder) {
+  // Two independent deployments with the same seed and registration order
+  // hand every node the same random stream — the property the bit-identical
+  // BENCH JSON guarantee rests on.
+  auto draw = [](uint64_t seed) {
+    sim::Simulator sim(seed);
+    sim::Network net(&sim, sim::LatencyModel::Fixed(1.0), sim::CostModel{});
+    RecorderNode a;
+    RecorderNode b;
+    SimEnv ea(&a);
+    SimEnv eb(&b);
+    sim.AddActor(&ea);
+    sim.AddActor(&eb);
+    ea.AttachNetwork(&net);
+    eb.AttachNetwork(&net);
+    return std::vector<uint64_t>{a.Draw(), a.Draw(), b.Draw()};
+  };
+  EXPECT_EQ(draw(11), draw(11));
+  EXPECT_NE(draw(11), draw(12));
+}
+
+TEST(SimEnvDeterminismTest, StartCallbackRunsOnce) {
+  sim::Simulator sim(1);
+  sim::Network net(&sim, sim::LatencyModel::Fixed(1.0), sim::CostModel{});
+  RecorderNode a;
+  SimEnv env(&a);
+  sim.AddActor(&env);
+  env.AttachNetwork(&net);
+  sim.ScheduleAfter(0, [&a] { a.OnStart(); });
+  sim.RunUntil(Millis(5));
+  EXPECT_EQ(a.starts, 1);
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace prestige

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "runtime/sim_env.h"
 #include "sim/actor.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
@@ -62,8 +63,9 @@ struct PoolFixture {
         replica(0, ack_replicas), pool(config) {
     sim.AddActor(&replica);
     replica.AttachNetwork(&net);
-    sim.AddActor(&pool);
-    pool.AttachNetwork(&net);
+    pool_env = std::make_unique<runtime::SimEnv>(&pool);
+    sim.AddActor(pool_env.get());
+    pool_env->AttachNetwork(&net);
     pool.SetReplicas({0});
   }
 
@@ -71,6 +73,7 @@ struct PoolFixture {
   sim::Network net;
   AckingReplica replica;
   ClientPool pool;
+  std::unique_ptr<runtime::SimEnv> pool_env;
 };
 
 ClientPoolConfig PoolConfig(uint32_t clients = 10, uint32_t f = 1) {
