@@ -13,6 +13,9 @@
 //     "p50_latency_ms" / "p99_latency_ms": client latency percentiles,
 //     "view_changes":  redeemer activations summed over replicas,
 //     "elections_won": completed elections summed over replicas,
+//     "replies" / "duplicate_suppressed" / "result_mismatches":
+//                      client-observed reply metrics (PrestigeBFT
+//                      aggregate for declarative scenarios; 0 otherwise),
 //     "wall_seconds" / "wall_ms": host wall time for the run,
 //     "events" / "events_per_sec": simulator events executed / host rate,
 //     "hashes" == "sha256_hashes": SHA-256 computations the run performed
@@ -73,6 +76,11 @@ struct ScenarioResult {
   double p99_ms = 0.0;
   int64_t view_changes = 0;
   int64_t elections_won = 0;
+  /// Client-observed reply metrics (PrestigeBFT aggregate for declarative
+  /// scenarios; zero for classic scenarios without the sweep machinery).
+  int64_t replies = 0;
+  int64_t duplicate_suppressed = 0;
+  int64_t result_mismatches = 0;
   double wall_seconds = 0.0;
   uint64_t sha256_hashes = 0;
   uint64_t events = 0;  ///< Simulator events executed across the run.
@@ -266,7 +274,7 @@ harness::WorkloadOptions ScenarioWorkload(uint64_t seed) {
 /// time (with --jobs > 1 it exceeds elapsed time by roughly the speedup).
 std::string ProtocolJson(const char* protocol,
                          const harness::ScenarioAggregate& agg) {
-  char buf[768];
+  char buf[960];
   std::snprintf(buf, sizeof(buf),
                 "    {\n"
                 "      \"protocol\": \"%s\",\n"
@@ -279,6 +287,9 @@ std::string ProtocolJson(const char* protocol,
                 "      \"committed\": %lld,\n"
                 "      \"view_changes\": %lld,\n"
                 "      \"elections_won\": %lld,\n"
+                "      \"replies\": %lld,\n"
+                "      \"duplicate_suppressed\": %lld,\n"
+                "      \"result_mismatches\": %lld,\n"
                 "      \"messages_dropped\": %llu,\n"
                 "      \"events\": %llu,\n"
                 "      \"hashes\": %llu,\n"
@@ -289,6 +300,9 @@ std::string ProtocolJson(const char* protocol,
                 static_cast<long long>(agg.committed_total),
                 static_cast<long long>(agg.view_changes_total),
                 static_cast<long long>(agg.elections_won_total),
+                static_cast<long long>(agg.replies_total),
+                static_cast<long long>(agg.duplicate_suppressed_total),
+                static_cast<long long>(agg.result_mismatches_total),
                 static_cast<unsigned long long>(agg.messages_dropped_total),
                 static_cast<unsigned long long>(agg.events_total),
                 static_cast<unsigned long long>(agg.hashes_total),
@@ -336,6 +350,9 @@ ScenarioResult RunDeclarative(const harness::ScenarioSpec& spec) {
     r.p99_ms = prestige.p99_ms_mean;
     r.view_changes = prestige.view_changes_total;
     r.elections_won = prestige.elections_won_total;
+    r.replies = prestige.replies_total;
+    r.duplicate_suppressed = prestige.duplicate_suppressed_total;
+    r.result_mismatches = prestige.result_mismatches_total;
     r.safe = prestige.all_safe && hotstuff.all_safe && sbft.all_safe;
     // Per-run meters on the sweep workers counted this hashing; add it to
     // the (calling-thread) Instrumented meter's count.
@@ -397,7 +414,7 @@ ScenarioResult RunDeclarative(const harness::ScenarioSpec& spec) {
           static_cast<long long>(rt.committed), rt.tps, rt.p50_ms, rt.p99_ms,
           static_cast<unsigned long long>(rt.messages_delivered),
           rt.safety_ok ? "yes" : "NO", result.tps, result.p50_ms);
-      char tbuf[512];
+      char tbuf[768];
       std::snprintf(
           tbuf, sizeof(tbuf),
           "  \"threaded\": {\n"
@@ -409,6 +426,10 @@ ScenarioResult RunDeclarative(const harness::ScenarioSpec& spec) {
           "    \"p99_latency_ms\": %.4f,\n"
           "    \"mean_latency_ms\": %.4f,\n"
           "    \"view_changes\": %lld,\n"
+          "    \"replies\": %lld,\n"
+          "    \"duplicate_suppressed\": %lld,\n"
+          "    \"result_mismatches\": %lld,\n"
+          "    \"executed\": %lld,\n"
           "    \"messages_delivered\": %llu,\n"
           "    \"min_height\": %lld,\n"
           "    \"max_height\": %lld,\n"
@@ -417,6 +438,10 @@ ScenarioResult RunDeclarative(const harness::ScenarioSpec& spec) {
           rt.duration_seconds, static_cast<long long>(rt.committed), rt.tps,
           rt.p50_ms, rt.p99_ms, rt.mean_ms,
           static_cast<long long>(rt.view_changes),
+          static_cast<long long>(rt.replies),
+          static_cast<long long>(rt.duplicate_suppressed),
+          static_cast<long long>(rt.result_mismatches),
+          static_cast<long long>(rt.executed),
           static_cast<unsigned long long>(rt.messages_delivered),
           static_cast<long long>(rt.min_height),
           static_cast<long long>(rt.max_height),
@@ -484,6 +509,9 @@ bool WriteJson(const std::string& outdir, const char* scenario,
                "  \"p99_latency_ms\": %.3f,\n"
                "  \"view_changes\": %lld,\n"
                "  \"elections_won\": %lld,\n"
+               "  \"replies\": %lld,\n"
+               "  \"duplicate_suppressed\": %lld,\n"
+               "  \"result_mismatches\": %lld,\n"
                "%s"
                "  \"wall_seconds\": %.3f,\n"
                "  \"wall_ms\": %.3f,\n"
@@ -494,7 +522,11 @@ bool WriteJson(const std::string& outdir, const char* scenario,
                "}\n",
                scenario, r.n, static_cast<long long>(r.committed), r.tps,
                r.p50_ms, r.p99_ms, static_cast<long long>(r.view_changes),
-               static_cast<long long>(r.elections_won), r.extra_json.c_str(),
+               static_cast<long long>(r.elections_won),
+               static_cast<long long>(r.replies),
+               static_cast<long long>(r.duplicate_suppressed),
+               static_cast<long long>(r.result_mismatches),
+               r.extra_json.c_str(),
                r.wall_seconds, r.wall_seconds * 1000.0,
                static_cast<unsigned long long>(r.events), events_per_sec,
                static_cast<unsigned long long>(r.sha256_hashes),

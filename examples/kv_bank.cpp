@@ -1,19 +1,30 @@
-// kv_bank: a replicated key-value "bank" on top of PrestigeBFT.
+// kv_bank: a replicated key-value "bank" on the v2 application API.
 //
-// Attaches a KvStateMachine to every replica, commits client traffic, then
-// crashes the leader mid-run to show the active view change electing an
-// up-to-date replacement with the application state intact and identical
-// on every replica.
+// Part 1 (simulator): attaches an app::KvService to every replica, drives
+// real command-encoded Put traffic through the client pools, crashes the
+// leader mid-run, and shows the active view change electing an up-to-date
+// replacement with the application state identical on every replica
+// (StateDigest agreement + exactly-once execution counters).
+//
+// Part 2 (threaded runtime): embeds a standalone client::Client next to a
+// real 4-replica cluster running on OS threads and round-trips a Put
+// through consensus to a verified Get result — the blocking convenience
+// API an embedder would use.
 
 #include <cstdio>
+#include <memory>
 
+#include "app/kv_service.h"
+#include "client/client.h"
 #include "core/replica.h"
 #include "harness/cluster.h"
-#include "ledger/kv_state_machine.h"
+#include "runtime/threaded_env.h"
 
 using namespace prestige;
 
-int main() {
+namespace {
+
+bool RunSimulatedBank() {
   core::PrestigeConfig config;
   config.n = 4;
   config.batch_size = 200;
@@ -24,13 +35,14 @@ int main() {
   workload.num_pools = 4;
   workload.clients_per_pool = 50;
   workload.seed = 11;
+  // Real command payloads: every request is a KV Put over a shared space.
+  workload.command_kind = workload::CommandKind::kKvPut;
+  workload.kv_key_space = 4096;
 
   harness::Cluster<core::PrestigeReplica, core::PrestigeConfig> cluster(
       config, workload);
-  for (uint32_t i = 0; i < 4; ++i) {
-    cluster.replica(i).SetStateMachine(
-        std::make_unique<ledger::KvStateMachine>(4096));
-  }
+  cluster.InstallServices(
+      [] { return std::make_unique<app::KvService>(4096); });
   cluster.Start();
 
   std::printf("Phase 1: normal operation under leader S0...\n");
@@ -58,19 +70,83 @@ int main() {
   int64_t reference_count = 0;
   bool agree = true;
   for (uint32_t i = 1; i < 4; ++i) {
-    const auto& kv = static_cast<const ledger::KvStateMachine&>(
-        cluster.replica(i).state_machine());
-    std::printf("  replica %u: %lld ops applied, %zu keys, digest=%016llx\n",
-                i, static_cast<long long>(kv.applied_count()), kv.size(),
-                static_cast<unsigned long long>(kv.state_digest()));
+    const app::Service& kv = cluster.replica(i).service();
+    const auto& delivery = cluster.replica(i).delivery().stats();
+    std::printf(
+        "  replica %u: %lld ops executed (exactly-once; %lld duplicates "
+        "suppressed), digest=%016llx\n",
+        i, static_cast<long long>(kv.applied_count()),
+        static_cast<long long>(delivery.duplicates_suppressed),
+        static_cast<unsigned long long>(kv.StateDigest()));
     if (reference_count == 0) {
-      reference_digest = kv.state_digest();
+      reference_digest = kv.StateDigest();
       reference_count = kv.applied_count();
     } else if (kv.applied_count() == reference_count &&
-               kv.state_digest() != reference_digest) {
+               kv.StateDigest() != reference_digest) {
       agree = false;
     }
   }
-  std::printf("\nstate machines agree: %s\n", agree ? "yes" : "NO!");
-  return agree ? 0 : 1;
+  std::printf("state machines agree: %s\n\n", agree ? "yes" : "NO!");
+  return agree;
+}
+
+bool RunThreadedRoundTrip() {
+  std::printf("Part 2: threaded runtime — embedded client Put/Get...\n");
+  constexpr uint32_t kN = 4;
+  core::PrestigeConfig config;
+  config.n = kN;
+  config.batch_size = 16;
+  config.batch_wait = util::Millis(1);
+  config.timeout_min = util::Millis(400);
+  config.timeout_max = util::Millis(600);
+
+  runtime::ThreadedRuntime runtime(/*seed=*/42);
+  crypto::KeyStore keys(42 ^ 0xc0ffee);
+  std::vector<std::unique_ptr<core::PrestigeReplica>> replicas;
+  std::vector<runtime::NodeId> replica_ids;
+  for (uint32_t i = 0; i < kN; ++i) {
+    replicas.push_back(
+        std::make_unique<core::PrestigeReplica>(config, i, &keys));
+    replicas.back()->SetService(std::make_unique<app::KvService>(4096));
+    replica_ids.push_back(runtime.AddNode(replicas.back().get()));
+  }
+
+  client::ClientConfig client_config;
+  client_config.client_id = 0;
+  client_config.f = types::MaxFaulty(kN);
+  client::Client client(client_config);
+  const runtime::NodeId client_id = runtime.AddNode(&client);
+  client.SetReplicas(replica_ids);
+  for (auto& replica : replicas) {
+    replica->SetTopology(replica_ids, {client_id});
+  }
+
+  runtime.Start();
+  const client::SubmitResult put =
+      client.Call(app::kv::EncodePut(7, 700), util::Seconds(20));
+  const client::SubmitResult get =
+      client.Call(app::kv::EncodeGet(7), util::Seconds(20));
+  runtime.Stop();
+
+  const bool ok = !put.timed_out && !get.timed_out &&
+                  put.status == app::ExecStatus::kOk &&
+                  get.status == app::ExecStatus::kOk &&
+                  app::kv::DecodeValue(get.result) == 700;
+  std::printf(
+      "  Put(7, 700) committed at height %lld (%.2f ms); Get(7) -> %llu "
+      "(%.2f ms)\n",
+      static_cast<long long>(put.height),
+      static_cast<double>(put.latency) / 1000.0,
+      static_cast<unsigned long long>(app::kv::DecodeValue(get.result)),
+      static_cast<double>(get.latency) / 1000.0);
+  std::printf("round-trip verified : %s\n", ok ? "yes" : "NO!");
+  return ok;
+}
+
+}  // namespace
+
+int main() {
+  const bool sim_ok = RunSimulatedBank();
+  const bool threaded_ok = RunThreadedRoundTrip();
+  return sim_ok && threaded_ok ? 0 : 1;
 }

@@ -38,7 +38,7 @@ HotStuffReplica::HotStuffReplica(HotStuffConfig config, types::ReplicaId id,
       keys_(keys),
       signer_(keys, id),
       fault_(fault),
-      state_machine_(std::make_unique<ledger::NullStateMachine>()) {}
+      delivery_(id) {}
 
 void HotStuffReplica::SetTopology(std::vector<runtime::NodeId> replicas,
                                   std::vector<runtime::NodeId> clients) {
@@ -46,9 +46,8 @@ void HotStuffReplica::SetTopology(std::vector<runtime::NodeId> replicas,
   clients_ = std::move(clients);
 }
 
-void HotStuffReplica::SetStateMachine(
-    std::unique_ptr<ledger::StateMachine> sm) {
-  state_machine_ = std::move(sm);
+void HotStuffReplica::SetService(std::unique_ptr<app::Service> service) {
+  delivery_.SetService(std::move(service));
 }
 
 uint64_t HotStuffReplica::TxKey(const types::Transaction& tx) {
@@ -443,8 +442,12 @@ void HotStuffReplica::DecideBlock(ledger::TxBlock block) {
   metrics_.committed_txs += static_cast<int64_t>(block.txs().size());
   ++metrics_.committed_blocks;
   metrics_.commit_timeline.Add(Now(), static_cast<int64_t>(block.txs().size()));
-  state_machine_->Apply(block);
-  NotifyClients(block);
+  // Shared commit-delivery path: exactly-once execution + result replies.
+  for (const auto& reply : delivery_.Deliver(block)) {
+    if (reply->pool < clients_.size()) {
+      GuardedSend(clients_[reply->pool], reply);
+    }
+  }
   util::Status st = store_.AppendTxBlock(std::move(block));
   assert(st.ok());
   (void)st;
@@ -464,22 +467,6 @@ void HotStuffReplica::DecideBlock(ledger::TxBlock block) {
   }
 }
 
-void HotStuffReplica::NotifyClients(const ledger::TxBlock& block) {
-  if (clients_.empty()) return;
-  std::map<types::ClientPoolId, std::vector<types::Transaction>> by_pool;
-  for (const types::Transaction& tx : block.txs()) {
-    if (tx.pool < clients_.size()) by_pool[tx.pool].push_back(tx);
-  }
-  for (auto& [pool, txs] : by_pool) {
-    auto notif = std::make_shared<types::CommitNotif>();
-    notif->replica = id_;
-    notif->v = block.v;
-    notif->n = block.n();
-    notif->txs = std::move(txs);
-    GuardedSend(clients_[pool], notif);
-  }
-}
-
 void HotStuffReplica::OnMessage(runtime::NodeId from, const runtime::MessagePtr& msg) {
   if (fault_.type == workload::FaultType::kCrash && fault_.start_at > 0 &&
       Now() >= fault_.start_at) {
@@ -491,6 +478,15 @@ void HotStuffReplica::OnMessage(runtime::NodeId from, const runtime::MessagePtr&
   } else if (auto* m =
                  dynamic_cast<const types::ClientComplaint*>(msg.get())) {
     ++metrics_.complaints_received;
+    if (committed_tx_keys_.count(TxKey(m->tx)) > 0) {
+      // Already committed; the client missed the replies. Re-serve the
+      // cached execution result from the session table (same recovery
+      // path as PrestigeBFT's complaint handler).
+      if (m->tx.pool < clients_.size()) {
+        GuardedSend(clients_[m->tx.pool], delivery_.ReplyFor(m->tx, view_));
+      }
+      return;
+    }
     EnqueueTx(m->tx);
     MaybePropose(/*allow_partial=*/true);
   } else if (auto* m = dynamic_cast<const HsProposalMsg*>(msg.get())) {

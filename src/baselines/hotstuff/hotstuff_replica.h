@@ -20,12 +20,12 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/commit_delivery.h"
 #include "core/messages.h"
 #include "core/metrics.h"
 #include "crypto/keys.h"
 #include "crypto/quorum_cert.h"
 #include "ledger/block_store.h"
-#include "ledger/state_machine.h"
 #include "runtime/env.h"
 #include "types/client_messages.h"
 #include "types/ids.h"
@@ -138,7 +138,7 @@ class HotStuffReplica : public runtime::Node {
 
   void SetTopology(std::vector<runtime::NodeId> replicas,
                    std::vector<runtime::NodeId> clients);
-  void SetStateMachine(std::unique_ptr<ledger::StateMachine> sm);
+  void SetService(std::unique_ptr<app::Service> service);
 
   void OnStart() override;
   void OnMessage(runtime::NodeId from, const runtime::MessagePtr& msg) override;
@@ -150,6 +150,8 @@ class HotStuffReplica : public runtime::Node {
   }
   bool IsLeader() const { return current_leader() == id_; }
   const ledger::BlockStore& store() const { return store_; }
+  const app::Service& service() const { return delivery_.service(); }
+  const core::CommitPipeline& delivery() const { return delivery_; }
   const core::ReplicaMetrics& metrics() const { return metrics_; }
   const workload::FaultSpec& fault() const { return fault_; }
   types::ReplicaId replica_id() const { return id_; }
@@ -188,7 +190,6 @@ class HotStuffReplica : public runtime::Node {
   void OnPhase(runtime::NodeId from, const HsPhaseMsg& msg);
   void OnNewView(runtime::NodeId from, const HsNewViewMsg& msg);
   void DecideBlock(ledger::TxBlock block);
-  void NotifyClients(const ledger::TxBlock& block);
   void ArmViewTimer();
 
   HotStuffConfig config_;
@@ -201,7 +202,7 @@ class HotStuffReplica : public runtime::Node {
   std::vector<runtime::NodeId> clients_;
 
   ledger::BlockStore store_;
-  std::unique_ptr<ledger::StateMachine> state_machine_;
+  core::CommitPipeline delivery_;
 
   types::View view_ = 1;
   int consecutive_failures_ = 0;

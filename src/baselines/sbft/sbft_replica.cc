@@ -23,12 +23,16 @@ SbftReplica::SbftReplica(SbftConfig config, types::ReplicaId id,
       keys_(keys),
       signer_(keys, id),
       fault_(fault),
-      state_machine_(std::make_unique<ledger::NullStateMachine>()) {}
+      delivery_(id) {}
 
 void SbftReplica::SetTopology(std::vector<runtime::NodeId> replicas,
                               std::vector<runtime::NodeId> clients) {
   replicas_ = std::move(replicas);
   clients_ = std::move(clients);
+}
+
+void SbftReplica::SetService(std::unique_ptr<app::Service> service) {
+  delivery_.SetService(std::move(service));
 }
 
 uint64_t SbftReplica::TxKey(const types::Transaction& tx) {
@@ -152,8 +156,12 @@ void SbftReplica::ExecuteBlock(ledger::TxBlock block) {
   metrics_.committed_txs += static_cast<int64_t>(block.txs().size());
   ++metrics_.committed_blocks;
   metrics_.commit_timeline.Add(Now(), static_cast<int64_t>(block.txs().size()));
-  state_machine_->Apply(block);
-  NotifyClients(block);
+  // Shared commit-delivery path: exactly-once execution + result replies.
+  for (const auto& reply : delivery_.Deliver(block)) {
+    if (reply->pool < clients_.size()) {
+      Send(clients_[reply->pool], reply);
+    }
+  }
   util::Status st = store_.AppendTxBlock(std::move(block));
   assert(st.ok());
   (void)st;
@@ -173,22 +181,6 @@ void SbftReplica::ExecuteBlock(ledger::TxBlock block) {
   }
 }
 
-void SbftReplica::NotifyClients(const ledger::TxBlock& block) {
-  if (clients_.empty()) return;
-  std::map<types::ClientPoolId, std::vector<types::Transaction>> by_pool;
-  for (const types::Transaction& tx : block.txs()) {
-    if (tx.pool < clients_.size()) by_pool[tx.pool].push_back(tx);
-  }
-  for (auto& [pool, txs] : by_pool) {
-    auto notif = std::make_shared<types::CommitNotif>();
-    notif->replica = id_;
-    notif->v = block.v;
-    notif->n = block.n();
-    notif->txs = std::move(txs);
-    Send(clients_[pool], notif);
-  }
-}
-
 void SbftReplica::OnMessage(runtime::NodeId from, const runtime::MessagePtr& msg) {
   if (fault_.type == workload::FaultType::kCrash && fault_.start_at > 0 &&
       Now() >= fault_.start_at) {
@@ -199,6 +191,14 @@ void SbftReplica::OnMessage(runtime::NodeId from, const runtime::MessagePtr& msg
     MaybePropose(false);
   } else if (auto* m =
                  dynamic_cast<const types::ClientComplaint*>(msg.get())) {
+    if (committed_tx_keys_.count(TxKey(m->tx)) > 0) {
+      // Already committed; re-serve the cached reply (the client missed
+      // the originals) instead of dropping the complaint.
+      if (m->tx.pool < clients_.size()) {
+        Send(clients_[m->tx.pool], delivery_.ReplyFor(m->tx, view_));
+      }
+      return;
+    }
     EnqueueTx(m->tx);
     MaybePropose(true);
   } else if (auto* m = dynamic_cast<const SbPrePrepareMsg*>(msg.get())) {

@@ -18,12 +18,12 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/commit_delivery.h"
 #include "core/messages.h"
 #include "core/metrics.h"
 #include "crypto/keys.h"
 #include "crypto/quorum_cert.h"
 #include "ledger/block_store.h"
-#include "ledger/state_machine.h"
 #include "runtime/env.h"
 #include "types/client_messages.h"
 #include "types/ids.h"
@@ -110,6 +110,7 @@ class SbftReplica : public runtime::Node {
 
   void SetTopology(std::vector<runtime::NodeId> replicas,
                    std::vector<runtime::NodeId> clients);
+  void SetService(std::unique_ptr<app::Service> service);
 
   void OnStart() override;
   void OnMessage(runtime::NodeId from, const runtime::MessagePtr& msg) override;
@@ -121,6 +122,8 @@ class SbftReplica : public runtime::Node {
   }
   bool IsLeader() const { return current_leader() == id_; }
   const ledger::BlockStore& store() const { return store_; }
+  const app::Service& service() const { return delivery_.service(); }
+  const core::CommitPipeline& delivery() const { return delivery_; }
   const core::ReplicaMetrics& metrics() const { return metrics_; }
   const workload::FaultSpec& fault() const { return fault_; }
 
@@ -139,7 +142,6 @@ class SbftReplica : public runtime::Node {
   void EnqueueTx(const types::Transaction& tx);
   void MaybePropose(bool allow_partial);
   void ExecuteBlock(ledger::TxBlock block);
-  void NotifyClients(const ledger::TxBlock& block);
 
   SbftConfig config_;
   types::ReplicaId id_;
@@ -151,7 +153,7 @@ class SbftReplica : public runtime::Node {
   std::vector<runtime::NodeId> clients_;
 
   ledger::BlockStore store_;
-  std::unique_ptr<ledger::StateMachine> state_machine_;
+  core::CommitPipeline delivery_;
 
   types::View view_ = 1;
   runtime::TimerId view_timer_ = 0;

@@ -1,0 +1,114 @@
+// ClientSessionTable: per-client exactly-once bookkeeping on the replica.
+//
+// Tracks, per client pool (session), which client_seq values have already
+// executed and caches the last replies so a retransmitted or
+// complaint-resubmitted request is answered from the cache instead of being
+// executed a second time (the dsnet-style per-client OpNum / reply-cache
+// discipline).
+//
+// Dedup metadata is exact and tiny: a contiguous floor ("every seq <= floor
+// executed") plus a sparse set of executed seqs above it — pools issue
+// seqs contiguously, so the sparse set only holds the current out-of-order
+// window. Cached reply *bodies* are the bounded part: they are evicted at
+// checkpoint boundaries once older than the retain window, after which a
+// duplicate is still detected but answered with ExecStatus::kStaleDup
+// (committed, result no longer available). Eviction is driven purely by
+// committed block heights, so every honest replica's table evolves
+// identically.
+
+#ifndef PRESTIGE_CORE_CLIENT_SESSION_H_
+#define PRESTIGE_CORE_CLIENT_SESSION_H_
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+
+#include "app/service.h"
+#include "types/ids.h"
+
+namespace prestige {
+namespace core {
+
+class ClientSessionTable {
+ public:
+  /// One cached execution result.
+  struct CachedReply {
+    app::Response response;
+    types::SeqNum height = 0;  ///< Block height the request executed at.
+  };
+
+  /// True when (pool, seq) has already executed on this replica.
+  /// Session seqs are 1-based (client::Client numbers from 1); seq 0 is
+  /// outside session tracking — never a duplicate, executed every time it
+  /// commits — rather than silently aliasing the pre-session floor.
+  bool IsDuplicate(types::ClientPoolId pool, uint64_t seq) const {
+    if (seq == 0) return false;
+    auto it = sessions_.find(pool);
+    if (it == sessions_.end()) return false;
+    const Session& s = it->second;
+    return seq <= s.floor || s.executed_above.count(seq) > 0;
+  }
+
+  /// Cached reply for a duplicate, or nullptr when it was evicted.
+  const CachedReply* Lookup(types::ClientPoolId pool, uint64_t seq) const {
+    auto it = sessions_.find(pool);
+    if (it == sessions_.end()) return nullptr;
+    auto r = it->second.replies.find(seq);
+    return r == it->second.replies.end() ? nullptr : &r->second;
+  }
+
+  /// Records an execution: marks (pool, seq) executed and caches the reply.
+  /// Seq 0 is untracked (see IsDuplicate) and recording it is a no-op.
+  void Record(types::ClientPoolId pool, uint64_t seq, app::Response response,
+              types::SeqNum height) {
+    if (seq == 0) return;
+    Session& s = sessions_[pool];
+    if (seq > s.floor) {
+      s.executed_above.insert(seq);
+      // Close the contiguous window.
+      while (!s.executed_above.empty() &&
+             *s.executed_above.begin() == s.floor + 1) {
+        ++s.floor;
+        s.executed_above.erase(s.executed_above.begin());
+      }
+    }
+    s.replies.emplace(seq,
+                      CachedReply{std::move(response), height});
+    ++cached_replies_;
+  }
+
+  /// Evicts cached replies recorded at or below block `height` (dedup
+  /// metadata is kept — duplicates stay detectable forever). Called at
+  /// checkpoint boundaries with `checkpoint - retain_window`.
+  void EvictUpTo(types::SeqNum height) {
+    for (auto& [pool, s] : sessions_) {
+      (void)pool;
+      for (auto it = s.replies.begin(); it != s.replies.end();) {
+        if (it->second.height <= height) {
+          it = s.replies.erase(it);
+          --cached_replies_;
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+
+  size_t session_count() const { return sessions_.size(); }
+  size_t cached_replies() const { return cached_replies_; }
+
+ private:
+  struct Session {
+    uint64_t floor = 0;                  ///< All seqs <= floor executed.
+    std::set<uint64_t> executed_above;   ///< Executed seqs > floor (sparse).
+    std::unordered_map<uint64_t, CachedReply> replies;
+  };
+
+  std::unordered_map<types::ClientPoolId, Session> sessions_;
+  size_t cached_replies_ = 0;
+};
+
+}  // namespace core
+}  // namespace prestige
+
+#endif  // PRESTIGE_CORE_CLIENT_SESSION_H_

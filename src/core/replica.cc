@@ -36,7 +36,7 @@ PrestigeReplica::PrestigeReplica(PrestigeConfig config,
       signer_(keys, replica_id),
       fault_(fault),
       engine_(config.reputation),
-      state_machine_(std::make_unique<ledger::NullStateMachine>()),
+      delivery_(replica_id),
       modeled_solver_(config.pow) {}
 
 PrestigeReplica::~PrestigeReplica() = default;
@@ -47,9 +47,8 @@ void PrestigeReplica::SetTopology(std::vector<runtime::NodeId> replicas,
   clients_ = std::move(clients);
 }
 
-void PrestigeReplica::SetStateMachine(
-    std::unique_ptr<ledger::StateMachine> sm) {
-  state_machine_ = std::move(sm);
+void PrestigeReplica::SetService(std::unique_ptr<app::Service> service) {
+  delivery_.SetService(std::move(service));
 }
 
 uint64_t PrestigeReplica::TxKey(const types::Transaction& tx) {
@@ -436,7 +435,9 @@ util::Status PrestigeReplica::ValidateAndAppendTxBlock(
   ledger::TxBlock copy = block;
   util::Status st = store_.AppendTxBlock(std::move(copy));
   if (st.ok()) {
-    state_machine_->Apply(block);
+    // One delivery path for every commit route (leader, follower, sync):
+    // exactly-once execution + per-pool replies carrying the results.
+    SendReplies(delivery_.Deliver(block));
     metrics_.committed_txs += static_cast<int64_t>(block.BatchSize());
     ++metrics_.committed_blocks;
     metrics_.commit_timeline.Add(Now(),

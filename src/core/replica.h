@@ -26,13 +26,13 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/commit_delivery.h"
 #include "core/config.h"
 #include "core/messages.h"
 #include "core/metrics.h"
 #include "crypto/keys.h"
 #include "crypto/pow.h"
 #include "ledger/block_store.h"
-#include "ledger/state_machine.h"
 #include "reputation/reputation_engine.h"
 #include "runtime/env.h"
 #include "types/client_messages.h"
@@ -60,8 +60,8 @@ class PrestigeReplica : public runtime::Node {
   void SetTopology(std::vector<runtime::NodeId> replicas,
                    std::vector<runtime::NodeId> clients);
 
-  /// Replaces the application state machine (defaults to NullStateMachine).
-  void SetStateMachine(std::unique_ptr<ledger::StateMachine> sm);
+  /// Replaces the application service (defaults to app::NullService).
+  void SetService(std::unique_ptr<app::Service> service);
 
   // runtime::Node interface.
   void OnStart() override;
@@ -75,7 +75,9 @@ class PrestigeReplica : public runtime::Node {
   types::ReplicaId current_leader() const { return leader_; }
   bool IsLeader() const { return role_ == Role::kLeader; }
   const ledger::BlockStore& store() const { return store_; }
-  const ledger::StateMachine& state_machine() const { return *state_machine_; }
+  const app::Service& service() const { return delivery_.service(); }
+  /// The commit-delivery pipeline (service + client session table).
+  const CommitPipeline& delivery() const { return delivery_; }
   const ReplicaMetrics& metrics() const { return metrics_; }
   const workload::FaultSpec& fault() const { return fault_; }
   /// Effective current penalty of `id` (vcBlock value + refresh overlay).
@@ -208,7 +210,9 @@ class PrestigeReplica : public runtime::Node {
   /// buffered successors.
   void CommitBlock(ledger::TxBlock block);
   void DrainBufferedBlocks();
-  void NotifyClients(const ledger::TxBlock& block);
+  /// Routes per-pool ClientReply messages to their client-pool nodes.
+  void SendReplies(
+      const std::vector<std::shared_ptr<types::ClientReply>>& replies);
   void ResetProgress();
   void ArmProgressTimer();
   util::DurationMicros SampleTimeout();
@@ -282,7 +286,7 @@ class PrestigeReplica : public runtime::Node {
 
   ledger::BlockStore store_;
   reputation::ReputationEngine engine_;
-  std::unique_ptr<ledger::StateMachine> state_machine_;
+  CommitPipeline delivery_;
   crypto::RealPowSolver real_solver_;
   crypto::ModeledPowSolver modeled_solver_;
 

@@ -302,7 +302,6 @@ void PrestigeReplica::CommitBlock(ledger::TxBlock block) {
   for (const types::Transaction& tx : block.txs()) {
     inflight_tx_keys_.erase(TxKey(tx));
   }
-  NotifyClients(block);
   ResetProgress();
 }
 
@@ -316,20 +315,13 @@ void PrestigeReplica::DrainBufferedBlocks() {
   }
 }
 
-void PrestigeReplica::NotifyClients(const ledger::TxBlock& block) {
+void PrestigeReplica::SendReplies(
+    const std::vector<std::shared_ptr<types::ClientReply>>& replies) {
   if (clients_.empty()) return;
-  // Group the block's transactions by originating pool.
-  std::map<types::ClientPoolId, std::vector<types::Transaction>> by_pool;
-  for (const types::Transaction& tx : block.txs()) {
-    if (tx.pool < clients_.size()) by_pool[tx.pool].push_back(tx);
-  }
-  for (auto& [pool, txs] : by_pool) {
-    auto notif = std::make_shared<types::CommitNotif>();
-    notif->replica = id_;
-    notif->v = block.v;
-    notif->n = block.n();
-    notif->txs = std::move(txs);
-    GuardedSend(clients_[pool], notif);
+  for (const auto& reply : replies) {
+    if (reply->pool < clients_.size()) {
+      GuardedSend(clients_[reply->pool], reply);
+    }
   }
 }
 

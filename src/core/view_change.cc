@@ -21,14 +21,11 @@ void PrestigeReplica::OnClientComplaint(runtime::NodeId from,
   ++metrics_.complaints_received;
   const uint64_t key = TxKey(compt.tx);
   if (committed_tx_keys_.count(key) > 0) {
-    // Already committed; the client likely missed Notifs. Re-notify.
-    auto notif = std::make_shared<types::CommitNotif>();
-    notif->replica = id_;
-    notif->v = view_;
-    notif->n = 0;  // Retransmission; the pool keys acks by transaction.
-    notif->txs.push_back(compt.tx);
+    // Already committed; the client likely missed the replies. Re-serve
+    // the cached execution result from the session table.
     if (compt.tx.pool < clients_.size()) {
-      GuardedSend(clients_[compt.tx.pool], notif);
+      GuardedSend(clients_[compt.tx.pool],
+                  delivery_.ReplyFor(compt.tx, view_));
     }
     return;
   }
@@ -688,17 +685,29 @@ void PrestigeReplica::InstallVcBlock(const ledger::VcBlock& block,
   signed_ord_.clear();
   if (as_leader) {
     // Preserve the contiguous in-flight suffix for re-proposal: any block
-    // that might have gathered a commit_QC in the old view is among these
-    // bodies (we commit-signed it, so we hold it).
+    // that might have gathered a commit_QC in an earlier view is among
+    // these bodies (we ordering-signed it, so we held on to it).
     repropose_.clear();
     types::SeqNum expect = store_.LatestTxSeq() + 1;
     for (auto& [n, pending] : pending_blocks_) {
+      if (n < expect) continue;  // Already committed; pruned below.
       if (n != expect) break;
       repropose_.push_back(std::move(pending.block));
       ++expect;
     }
+    pending_blocks_.clear();
+  } else {
+    // Keep uncommitted bodies we ordering-signed. commit_bound_ persists
+    // across views (Theorem 3), so the cluster can only ever certify
+    // those exact bodies at their sequence numbers — and the leader that
+    // eventually re-proposes them may be several views away (e.g. after
+    // an intermediate quiet leader). Discarding them here used to
+    // livelock the cluster: every later leader composed a fresh body at
+    // the bound sequence, which 2f+1 bound followers refused, forever.
+    // Only the committed prefix is pruned.
+    pending_blocks_.erase(pending_blocks_.begin(),
+                          pending_blocks_.upper_bound(store_.LatestTxSeq()));
   }
-  pending_blocks_.clear();
   // Complaints targeted the old leader; clients re-complain if the new
   // leader also stalls. (Fired timers for erased keys are no-ops.)
   ResolveAllComplaints();

@@ -11,9 +11,11 @@
 #define PRESTIGE_HARNESS_CLUSTER_H_
 
 #include <algorithm>
+#include <functional>
 #include <memory>
 #include <vector>
 
+#include "app/service.h"
 #include "core/metrics.h"
 #include "crypto/keys.h"
 #include "runtime/sim_env.h"
@@ -35,6 +37,9 @@ struct WorkloadOptions {
   sim::LatencyModel latency = sim::LatencyModel::Datacenter();
   sim::CostModel cost;
   uint64_t seed = 1;
+  /// Command shape the virtual clients issue (opaque vs real KV puts).
+  workload::CommandKind command_kind = workload::CommandKind::kOpaque;
+  uint64_t kv_key_space = 1024;
 };
 
 /// A complete simulated deployment of one protocol.
@@ -71,6 +76,8 @@ class Cluster {
       pool_config.payload_size = workload_.payload_size;
       pool_config.f = protocol_.f();
       pool_config.request_timeout = workload_.client_timeout;
+      pool_config.command_kind = workload_.command_kind;
+      pool_config.kv_key_space = workload_.kv_key_space;
       pools_.push_back(std::make_unique<workload::ClientPool>(pool_config));
       envs_.push_back(std::make_unique<runtime::SimEnv>(pools_.back().get()));
       pool_ids.push_back(sim_.AddActor(envs_.back().get()));
@@ -119,6 +126,48 @@ class Cluster {
   /// receives while down).
   void SetReplicaDown(uint32_t i, bool down) {
     net_.SetNodeDown(replica_actor_ids_[i], down);
+  }
+
+  /// Installs an application service on every replica (each gets its own
+  /// instance from `factory`). Call before Start().
+  void InstallServices(
+      const std::function<std::unique_ptr<app::Service>()>& factory) {
+    for (auto& replica : replicas_) replica->SetService(factory());
+  }
+
+  // ---------------------------------------------- client/execution metrics
+
+  /// Reply entries matched to outstanding requests, summed over pools.
+  int64_t RepliesReceived() const {
+    int64_t total = 0;
+    for (const auto& pool : pools_) total += pool->stats().replies_received;
+    return total;
+  }
+
+  /// Conflicting result digests observed by clients (should be 0 with
+  /// honest replicas).
+  int64_t ResultMismatches() const {
+    int64_t total = 0;
+    for (const auto& pool : pools_) total += pool->stats().result_mismatches;
+    return total;
+  }
+
+  /// Replica-side duplicate executions suppressed by the session tables.
+  int64_t DuplicatesSuppressed() const {
+    int64_t total = 0;
+    for (const auto& replica : replicas_) {
+      total += replica->delivery().stats().duplicates_suppressed;
+    }
+    return total;
+  }
+
+  /// Exactly-once service executions, summed over replicas.
+  int64_t ExecutedTotal() const {
+    int64_t total = 0;
+    for (const auto& replica : replicas_) {
+      total += replica->delivery().stats().executed;
+    }
+    return total;
   }
 
   /// Transactions committed, summed over all client pools (client-observed).

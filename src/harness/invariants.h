@@ -1,11 +1,20 @@
 // Cross-replica safety invariants, checked between scenario phases.
 //
-// Two checks over the honest replicas' committed txBlock chains:
+// Checks over the honest replicas' committed txBlock chains AND their
+// application execution state:
 //  1. agreement at every sequence number — no two honest replicas hold
 //     different blocks at the same height (Theorem 3's guarantee);
 //  2. committed-prefix agreement — combined with (1) and BlockStore's
 //     append-time hash-chain enforcement, equal digests at every common
-//     height imply one replica's chain is a prefix of the other's.
+//     height imply one replica's chain is a prefix of the other's;
+//  3. execution-result agreement — replicas at the same chain height must
+//     report the same app::Service::StateDigest() and the same
+//     exactly-once execution count (divergence means the service executed
+//     different commands, in a different order, or a duplicate slipped
+//     past a session table);
+//  4. execution conservation — per replica, executed + duplicates
+//     suppressed equals the transactions in its committed chain (nothing
+//     double-executed, nothing skipped).
 //
 // Byzantine replicas (per their FaultSpec) are excluded: an equivocator's
 // local bookkeeping carries no safety obligation. Crashed replicas are
@@ -17,6 +26,7 @@
 
 #include <cstdio>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "ledger/block_store.h"
@@ -31,6 +41,8 @@ struct SafetyReport {
   std::string violation;  ///< Human-readable description when !ok.
   types::SeqNum min_height = 0;  ///< Shortest honest committed chain.
   types::SeqNum max_height = 0;  ///< Longest honest committed chain.
+  int64_t executed_total = 0;    ///< Service executions over honest replicas.
+  int64_t duplicates_total = 0;  ///< Session-table dedup hits, ditto.
 };
 
 /// Checks chain agreement across every honest replica of `cluster`. Works
@@ -47,6 +59,15 @@ SafetyReport CheckSafety(const Cluster& cluster) {
   };
   std::vector<Reference> reference;
   bool first_honest = true;
+  // Execution reference per chain height: (state digest, executed count,
+  // owner) of the first honest replica seen at that height.
+  struct ExecReference {
+    uint64_t state_digest = 0;
+    int64_t executed = 0;
+    uint32_t owner = 0;
+    bool set = false;
+  };
+  std::unordered_map<types::SeqNum, ExecReference> exec_reference;
 
   for (uint32_t i = 0; i < cluster.num_replicas(); ++i) {
     const auto& replica = cluster.replica(i);
@@ -83,6 +104,53 @@ SafetyReport CheckSafety(const Cluster& cluster) {
         report.violation = buf;
         return report;
       }
+    }
+
+    // 3. Execution-result agreement among replicas at this chain height.
+    const auto& delivery = replica.delivery();
+    const int64_t executed = delivery.stats().executed;
+    const int64_t duplicates = delivery.stats().duplicates_suppressed;
+    const uint64_t state_digest = delivery.service().StateDigest();
+    report.executed_total += executed;
+    report.duplicates_total += duplicates;
+    ExecReference& exec = exec_reference[height];
+    if (!exec.set) {
+      exec = ExecReference{state_digest, executed, i, true};
+    } else if (exec.state_digest != state_digest ||
+               exec.executed != executed) {
+      char buf[200];
+      std::snprintf(buf, sizeof(buf),
+                    "divergent execution at height %lld: replica %u "
+                    "(digest=%016llx, executed=%lld) vs replica %u "
+                    "(digest=%016llx, executed=%lld)",
+                    static_cast<long long>(height), exec.owner,
+                    static_cast<unsigned long long>(exec.state_digest),
+                    static_cast<long long>(exec.executed), i,
+                    static_cast<unsigned long long>(state_digest),
+                    static_cast<long long>(executed));
+      report.ok = false;
+      report.violation = buf;
+      return report;
+    }
+
+    // 4. Conservation: every committed transaction either executed exactly
+    // once or was suppressed as a session duplicate — never both, never
+    // neither.
+    int64_t chain_txs = 0;
+    for (const auto& block : chain) {
+      chain_txs += static_cast<int64_t>(block.BatchSize());
+    }
+    if (executed + duplicates != chain_txs) {
+      char buf[200];
+      std::snprintf(buf, sizeof(buf),
+                    "execution count mismatch on replica %u: chain carries "
+                    "%lld txs but executed=%lld + duplicates=%lld",
+                    i, static_cast<long long>(chain_txs),
+                    static_cast<long long>(executed),
+                    static_cast<long long>(duplicates));
+      report.ok = false;
+      report.violation = buf;
+      return report;
     }
   }
   return report;

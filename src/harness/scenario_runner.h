@@ -63,6 +63,14 @@ struct ScenarioSeedResult {
   double p99_ms = 0.0;
   int64_t view_changes = 0;
   int64_t elections_won = 0;
+  /// Client-observed reply entries matched to outstanding requests.
+  int64_t replies = 0;
+  /// Replica-side duplicate executions suppressed by session tables.
+  int64_t duplicate_suppressed = 0;
+  /// Conflicting result digests observed by clients (0 when honest).
+  int64_t result_mismatches = 0;
+  /// Exactly-once service executions summed over honest replicas.
+  int64_t executed = 0;
   types::SeqNum min_height = 0;
   types::SeqNum max_height = 0;
   uint64_t messages_sent = 0;
@@ -88,6 +96,9 @@ struct ScenarioAggregate {
   int64_t committed_total = 0;
   int64_t view_changes_total = 0;
   int64_t elections_won_total = 0;
+  int64_t replies_total = 0;
+  int64_t duplicate_suppressed_total = 0;
+  int64_t result_mismatches_total = 0;
   uint64_t messages_dropped_total = 0;
   uint64_t events_total = 0;   ///< Deterministic (sum of per-seed events).
   uint64_t hashes_total = 0;   ///< Deterministic (sum of per-seed hashes).
@@ -228,6 +239,10 @@ ScenarioSeedResult RunScenarioSeed(const ScenarioSpec& spec, Config config,
     result.view_changes += cluster.replica(i).metrics().view_changes_started;
     result.elections_won += cluster.replica(i).metrics().elections_won;
   }
+  result.replies = cluster.RepliesReceived();
+  result.duplicate_suppressed = cluster.DuplicatesSuppressed();
+  result.result_mismatches = cluster.ResultMismatches();
+  result.executed = cluster.ExecutedTotal();
   if (!result.phases.empty()) {
     result.min_height = result.phases.back().safety.min_height;
     result.max_height = result.phases.back().safety.max_height;
@@ -300,6 +315,9 @@ ScenarioAggregate RunScenarioSweep(const ScenarioSpec& spec, Config config,
     agg.committed_total += r.committed;
     agg.view_changes_total += r.view_changes;
     agg.elections_won_total += r.elections_won;
+    agg.replies_total += r.replies;
+    agg.duplicate_suppressed_total += r.duplicate_suppressed;
+    agg.result_mismatches_total += r.result_mismatches;
     agg.messages_dropped_total += r.messages_dropped;
     agg.events_total += r.events;
     agg.hashes_total += r.hashes;
@@ -325,12 +343,14 @@ ScenarioAggregate RunScenarioSweep(const ScenarioSpec& spec, Config config,
 /// tests/sim_fault_test.cc and tests/parallel_sweep_test.cc and usable as a
 /// quick determinism probe.
 inline std::string SeedResultJson(const ScenarioSeedResult& r) {
-  char buf[640];
+  char buf[832];
   std::string out = "{";
   std::snprintf(buf, sizeof(buf),
                 "\"seed\": %llu, \"safety_ok\": %s, \"committed\": %lld, "
                 "\"tps\": %.3f, \"p50_ms\": %.4f, \"p99_ms\": %.4f, "
                 "\"view_changes\": %lld, \"elections_won\": %lld, "
+                "\"replies\": %lld, \"duplicate_suppressed\": %lld, "
+                "\"result_mismatches\": %lld, \"executed\": %lld, "
                 "\"min_height\": %lld, \"max_height\": %lld, "
                 "\"messages_sent\": %llu, \"messages_dropped\": %llu, "
                 "\"messages_cut\": %llu, \"messages_duplicated\": %llu, "
@@ -341,6 +361,10 @@ inline std::string SeedResultJson(const ScenarioSeedResult& r) {
                 static_cast<long long>(r.committed), r.tps, r.p50_ms,
                 r.p99_ms, static_cast<long long>(r.view_changes),
                 static_cast<long long>(r.elections_won),
+                static_cast<long long>(r.replies),
+                static_cast<long long>(r.duplicate_suppressed),
+                static_cast<long long>(r.result_mismatches),
+                static_cast<long long>(r.executed),
                 static_cast<long long>(r.min_height),
                 static_cast<long long>(r.max_height),
                 static_cast<unsigned long long>(r.messages_sent),

@@ -60,6 +60,8 @@ class ThreadedCluster {
       pool_config.payload_size = workload_.payload_size;
       pool_config.f = protocol_.f();
       pool_config.request_timeout = workload_.client_timeout;
+      pool_config.command_kind = workload_.command_kind;
+      pool_config.kv_key_space = workload_.kv_key_space;
       pools_.push_back(std::make_unique<workload::ClientPool>(pool_config));
       pool_ids.push_back(runtime_.AddNode(pools_.back().get()));
       pools_.back()->SetReplicas(replica_ids);
@@ -118,6 +120,39 @@ class ThreadedCluster {
   /// Latency percentile over pool 0's histogram (after Stop()).
   double LatencyPercentileMs(double p) {
     return pools_.empty() ? 0.0 : pools_[0]->latencies().Percentile(p);
+  }
+
+  /// Installs an application service on every replica (each gets its own
+  /// instance from `factory`). Call before Start().
+  void InstallServices(
+      const std::function<std::unique_ptr<app::Service>()>& factory) {
+    for (auto& replica : replicas_) replica->SetService(factory());
+  }
+
+  // Client/execution metrics (after Stop(); see cluster.h counterparts).
+  int64_t RepliesReceived() const {
+    int64_t total = 0;
+    for (const auto& pool : pools_) total += pool->stats().replies_received;
+    return total;
+  }
+  int64_t ResultMismatches() const {
+    int64_t total = 0;
+    for (const auto& pool : pools_) total += pool->stats().result_mismatches;
+    return total;
+  }
+  int64_t DuplicatesSuppressed() const {
+    int64_t total = 0;
+    for (const auto& replica : replicas_) {
+      total += replica->delivery().stats().duplicates_suppressed;
+    }
+    return total;
+  }
+  int64_t ExecutedTotal() const {
+    int64_t total = 0;
+    for (const auto& replica : replicas_) {
+      total += replica->delivery().stats().executed;
+    }
+    return total;
   }
 
  private:

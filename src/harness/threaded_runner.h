@@ -37,6 +37,10 @@ struct ThreadedRunResult {
   double mean_ms = 0.0;
   int64_t view_changes = 0;
   int64_t elections_won = 0;
+  int64_t replies = 0;               ///< Client-matched reply entries.
+  int64_t duplicate_suppressed = 0;  ///< Session-table dedup hits.
+  int64_t result_mismatches = 0;     ///< Conflicting result digests seen.
+  int64_t executed = 0;              ///< Exactly-once service executions.
   uint64_t messages_delivered = 0;
   bool safety_ok = true;
   std::string violation;
@@ -78,6 +82,10 @@ ThreadedRunResult RunThreadedScenario(const ScenarioSpec& spec, Config config,
     result.view_changes += cluster.replica(i).metrics().view_changes_started;
     result.elections_won += cluster.replica(i).metrics().elections_won;
   }
+  result.replies = cluster.RepliesReceived();
+  result.duplicate_suppressed = cluster.DuplicatesSuppressed();
+  result.result_mismatches = cluster.ResultMismatches();
+  result.executed = cluster.ExecutedTotal();
   result.messages_delivered = cluster.runtime().messages_delivered();
 
   const SafetyReport safety = CheckSafety(cluster);

@@ -30,21 +30,35 @@ struct ClientBatch : public runtime::NetMessage {
   const char* Name() const override { return "ClientBatch"; }
 };
 
-/// Commit notification (the paper's Notif): a replica tells clients that the
-/// block at sequence `n` committed, covering the listed transactions.
+/// One request's execution outcome inside a ClientReply.
+struct ReplyEntry {
+  uint64_t client_seq = 0;
+  uint8_t status = 0;           ///< app::ExecStatus of the execution.
+  bool duplicate = false;       ///< Served from the replica's reply cache.
+  uint64_t result_digest = 0;   ///< app::ResultDigest(status, result).
+  std::vector<uint8_t> result;  ///< Opaque execution result bytes.
+};
+
+/// Client reply (the successor of the paper's commit Notif): a replica
+/// tells a client pool that the listed requests committed at sequence `n`
+/// AND what each one's execution produced.
 ///
-/// A client considers a request committed once f+1 distinct replicas have
-/// notified it (§4.3).
-struct CommitNotif : public runtime::NetMessage {
+/// A client considers a request complete once f+1 distinct replicas have
+/// replied with the *same result digest* (§4.3 commit rule, strengthened to
+/// cover execution results).
+struct ClientReply : public runtime::NetMessage {
   ReplicaId replica = 0;
   View v = 0;
   SeqNum n = 0;
-  /// (pool, client_seq, sent_at) triples of committed transactions belonging
-  /// to the destination pool.
-  std::vector<Transaction> txs;
+  ClientPoolId pool = 0;  ///< Destination pool; entries all belong to it.
+  std::vector<ReplyEntry> entries;
 
-  size_t WireSize() const override { return 80 + txs.size() * 20; }
-  const char* Name() const override { return "CommitNotif"; }
+  size_t WireSize() const override {
+    size_t total = 80;
+    for (const ReplyEntry& e : entries) total += 26 + e.result.size();
+    return total;
+  }
+  const char* Name() const override { return "ClientReply"; }
 };
 
 /// Client complaint (the paper's Compt): broadcast when a request misses its

@@ -1,12 +1,15 @@
 // Client transactions as carried through consensus.
 //
-// The simulator does not materialize payload bytes: a Transaction records its
-// origin, timing, size, and a payload fingerprint. Sizes feed the bandwidth
-// model; fingerprints feed digests so equivocation is detectable.
+// A Transaction records its origin, timing, size, and the opaque command
+// the application service will execute. Workloads that only measure
+// consensus (no real application) leave `command` empty and rely on the
+// random `fingerprint` for content identity; sizes feed the bandwidth
+// model either way.
 
 #ifndef PRESTIGE_TYPES_TRANSACTION_H_
 #define PRESTIGE_TYPES_TRANSACTION_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -17,34 +20,40 @@
 namespace prestige {
 namespace types {
 
-/// One client request (the paper's ⟨Prop, t, d, c, σc, tx⟩ without the
-/// physical payload).
+/// One client request (the paper's ⟨Prop, t, d, c, σc, tx⟩).
 struct Transaction {
-  ClientPoolId pool = 0;          ///< Originating client pool.
+  ClientPoolId pool = 0;          ///< Originating client pool / session.
   uint64_t client_seq = 0;        ///< Unique per-pool request number.
   util::TimeMicros sent_at = 0;   ///< The client timestamp t.
-  uint32_t payload_size = 32;     ///< m: request payload bytes.
-  uint64_t fingerprint = 0;       ///< Stand-in for the payload content.
+  uint32_t payload_size = 32;     ///< m: modelled request payload bytes.
+  uint64_t fingerprint = 0;       ///< Content stand-in when command is empty.
+  /// Opaque command bytes executed by app::Service (empty for synthetic
+  /// consensus-only workloads).
+  std::vector<uint8_t> command;
 
   bool operator==(const Transaction& other) const {
     return pool == other.pool && client_seq == other.client_seq &&
            sent_at == other.sent_at && payload_size == other.payload_size &&
-           fingerprint == other.fingerprint;
+           fingerprint == other.fingerprint && command == other.command;
   }
 
-  /// Canonical digest d of the request.
+  /// Canonical digest d of the request (covers the command payload).
   crypto::Sha256Digest Digest() const {
     HashingEncoder enc("tx");
     enc.PutU32(pool)
         .PutU64(client_seq)
         .PutI64(sent_at)
         .PutU32(payload_size)
-        .PutU64(fingerprint);
+        .PutU64(fingerprint)
+        .PutBytes(command);
     return enc.Digest();
   }
 
   /// Wire bytes of the full proposal (payload + header + client signature).
-  size_t WireBytes() const { return payload_size + 72; }
+  /// Real command bytes dominate `payload_size` when both are present.
+  size_t WireBytes() const {
+    return std::max<size_t>(payload_size, command.size()) + 72;
+  }
 };
 
 /// Digest covering an ordered list of transactions (a batch body).

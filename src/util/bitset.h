@@ -1,0 +1,65 @@
+// SmallBitset: a compact dynamic bitset with explicit bound checks.
+//
+// Replaces the previous __uint128_t ack-mask idiom in the client's
+// reply-quorum matcher, which silently capped deployments at 128 replicas
+// and compiled only on GCC/Clang. Word storage grows to the declared
+// capacity; indices at or beyond the capacity are rejected (reported to the
+// caller) instead of being truncated into an aliased bit.
+
+#ifndef PRESTIGE_UTIL_BITSET_H_
+#define PRESTIGE_UTIL_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace prestige {
+namespace util {
+
+/// Fixed-capacity bitset sized at construction (capacity checked on every
+/// access, no silent modulo/truncation).
+class SmallBitset {
+ public:
+  SmallBitset() = default;
+  explicit SmallBitset(size_t capacity)
+      : capacity_(capacity), words_((capacity + 63) / 64, 0) {}
+
+  size_t capacity() const { return capacity_; }
+  size_t count() const { return count_; }
+
+  /// True when `index` is within capacity and set.
+  bool Test(size_t index) const {
+    if (index >= capacity_) return false;
+    return (words_[index / 64] >> (index % 64)) & 1u;
+  }
+
+  /// Sets `index`; returns false (and changes nothing) when the bit was
+  /// already set OR the index is out of bounds. Callers that must
+  /// distinguish the two cases check InBounds() first.
+  bool TestAndSet(size_t index) {
+    if (index >= capacity_) return false;
+    uint64_t& word = words_[index / 64];
+    const uint64_t bit = uint64_t{1} << (index % 64);
+    if ((word & bit) != 0) return false;
+    word |= bit;
+    ++count_;
+    return true;
+  }
+
+  bool InBounds(size_t index) const { return index < capacity_; }
+
+  void Clear() {
+    for (uint64_t& w : words_) w = 0;
+    count_ = 0;
+  }
+
+ private:
+  size_t capacity_ = 0;
+  size_t count_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace util
+}  // namespace prestige
+
+#endif  // PRESTIGE_UTIL_BITSET_H_

@@ -1,14 +1,38 @@
 #include "workload/client_pool.h"
 
+#include "app/kv_service.h"
+
 namespace prestige {
 namespace workload {
 
+client::ClientConfig ClientPool::ToClientConfig(
+    const ClientPoolConfig& config) {
+  client::ClientConfig cc;
+  cc.client_id = config.pool_id;
+  cc.f = config.f;
+  cc.payload_size = config.payload_size;
+  // Retransmit at half the complaint deadline: one cheap re-send gets a
+  // lost proposal back in flight before the heavyweight complaint path.
+  cc.retransmit_after = config.request_timeout / 2;
+  cc.request_timeout = config.request_timeout;
+  cc.aggregation_window = config.aggregation_window;
+  cc.retry_scan_period = config.complaint_scan_period;
+  return cc;
+}
+
+ClientPool::ClientPool(ClientPoolConfig config)
+    : client::Client(ToClientConfig(config)), pool_config_(config) {
+  // Same clamp app::KvService applies: key space 0 means one key, not a
+  // divide-by-zero in the command generator.
+  if (pool_config_.kv_key_space == 0) pool_config_.kv_key_space = 1;
+}
+
 void ClientPool::OnStart() {
-  for (uint32_t i = 0; i < config_.num_clients; ++i) {
-    IssueRequest();
+  client::Client::OnStart();
+  for (uint32_t i = 0; i < pool_config_.num_clients; ++i) {
+    IssueNext();
   }
-  Flush();
-  SetTimer(config_.complaint_scan_period, Tag(kComplaintScan));
+  Flush();  // The initial burst goes out immediately.
 }
 
 void ClientPool::SetActive(bool active) {
@@ -18,89 +42,32 @@ void ClientPool::SetActive(bool active) {
   // Wake the clients that completed while the pool was paused.
   const uint32_t deferred = deferred_requests_;
   deferred_requests_ = 0;
-  for (uint32_t i = 0; i < deferred; ++i) IssueRequest();
+  for (uint32_t i = 0; i < deferred; ++i) IssueNext();
   Flush();
 }
 
-void ClientPool::IssueRequest() {
-  if (config_.stop_at != 0 && Now() >= config_.stop_at) return;
+std::vector<uint8_t> ClientPool::MakeCommand() {
+  switch (pool_config_.command_kind) {
+    case CommandKind::kKvPut:
+      return app::kv::EncodePut(
+          rng()->NextUint64() % pool_config_.kv_key_space,
+          rng()->NextUint64());
+    case CommandKind::kOpaque:
+      break;
+  }
+  return {};
+}
+
+void ClientPool::IssueNext() {
+  if (pool_config_.stop_at != 0 && Now() >= pool_config_.stop_at) return;
   if (!active_) {
     ++deferred_requests_;
     return;
   }
-  types::Transaction tx;
-  tx.pool = config_.pool_id;
-  tx.client_seq = next_seq_++;
-  tx.sent_at = Now();
-  tx.payload_size = config_.payload_size;
-  tx.fingerprint = rng()->NextUint64();
-  Outstanding out;
-  out.tx = tx;
-  outstanding_.emplace(TxKey(tx), std::move(out));
-  pending_send_.push_back(tx);
-}
-
-void ClientPool::Flush() {
-  if (pending_send_.empty()) return;
-  auto batch = std::make_shared<types::ClientBatch>();
-  batch->txs = std::move(pending_send_);
-  pending_send_.clear();
-  Send(replicas_, batch);
-}
-
-void ClientPool::OnMessage(runtime::NodeId from, const runtime::MessagePtr& msg) {
-  (void)from;
-  const auto* notif = dynamic_cast<const types::CommitNotif*>(msg.get());
-  if (notif == nullptr) return;
-  if (notif->replica >= 128) return;
-
-  bool issued = false;
-  for (const types::Transaction& tx : notif->txs) {
-    if (tx.pool != config_.pool_id) continue;
-    auto it = outstanding_.find(TxKey(tx));
-    if (it == outstanding_.end()) continue;  // Already completed.
-    Outstanding& out = it->second;
-    const __uint128_t bit = static_cast<__uint128_t>(1) << notif->replica;
-    if ((out.ack_mask & bit) != 0) continue;  // Duplicate ack.
-    out.ack_mask |= bit;
-    if (++out.acks < static_cast<int>(config_.f) + 1) continue;
-
-    // f+1 Notifs: the request is committed (§4.3).
-    latencies_.Add(util::ToMillis(Now() - out.tx.sent_at));
-    ++committed_;
-    outstanding_.erase(it);
-    IssueRequest();  // Closed loop: next request for this virtual client.
-    issued = true;
-  }
-  if (issued && !flush_armed_) {
-    flush_armed_ = true;
-    SetTimer(config_.aggregation_window, Tag(kFlush));
-  }
-}
-
-void ClientPool::OnTimer(uint64_t tag) {
-  switch (TagKind(tag)) {
-    case kFlush:
-      flush_armed_ = false;
-      Flush();
-      break;
-    case kComplaintScan: {
-      const util::TimeMicros now = Now();
-      for (auto& [key, out] : outstanding_) {
-        (void)key;
-        const util::TimeMicros reference =
-            out.last_complaint == 0 ? out.tx.sent_at : out.last_complaint;
-        if (now - reference < config_.request_timeout) continue;
-        out.last_complaint = now;
-        ++complaints_sent_;
-        auto compt = std::make_shared<types::ClientComplaint>();
-        compt->tx = out.tx;
-        Send(replicas_, compt);
-      }
-      SetTimer(config_.complaint_scan_period, Tag(kComplaintScan));
-      break;
-    }
-  }
+  Submit(MakeCommand(), [this](const client::SubmitResult& result) {
+    (void)result;
+    IssueNext();  // Closed loop: next request for this virtual client.
+  });
 }
 
 }  // namespace workload

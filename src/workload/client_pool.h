@@ -1,57 +1,59 @@
-// ClientPool: a population of closed-loop clients as one simulation actor.
+// ClientPool: a population of closed-loop clients, reimplemented as N
+// closed-loop sessions of the embeddable client::Client library.
 //
 // Each virtual client keeps one request outstanding (the paper's workload:
 // "clients generated random requests ... and waited for one request to
-// complete before sending the next one"). A request counts as committed
-// once f+1 distinct replicas have sent a CommitNotif covering it (§4.3).
-// Overdue requests are complained about with a Compt broadcast (§4.2.1).
+// complete before sending the next one") by re-Submitting from its
+// completion callback. Everything protocol-side — batching within the
+// aggregation window, retransmission, complaint escalation (§4.2.1), and
+// the f+1 reply-quorum matching on result digests (§4.3) — is the client
+// library's; this class only drives the closed loop and generates
+// commands.
 //
-// Aggregation: proposals from many virtual clients are shipped in one
-// ClientBatch event whose cost model still charges per-proposal work
-// (DESIGN.md §4) — a simulation device, not a protocol change.
+// Aggregation: proposals from many virtual clients ride one ClientBatch
+// event whose cost model still charges per-proposal work (DESIGN.md §4) —
+// a simulation device, not a protocol change.
 
 #ifndef PRESTIGE_WORKLOAD_CLIENT_POOL_H_
 #define PRESTIGE_WORKLOAD_CLIENT_POOL_H_
 
-#include <unordered_map>
-#include <vector>
-
-#include "runtime/env.h"
-#include "types/client_messages.h"
+#include "client/client.h"
 #include "types/ids.h"
-#include "types/transaction.h"
 #include "util/stats.h"
 
 namespace prestige {
 namespace workload {
+
+/// What the virtual clients ask the application to do.
+enum class CommandKind {
+  kOpaque,  ///< Empty command + random fingerprint (consensus-only load).
+  kKvPut,   ///< Random app::KvService Put commands (real payload bytes).
+};
 
 /// Client population parameters.
 struct ClientPoolConfig {
   types::ClientPoolId pool_id = 0;
   uint32_t num_clients = 100;       ///< Virtual closed-loop clients.
   uint32_t payload_size = 32;       ///< m: request payload bytes.
-  uint32_t f = 1;                   ///< Commit ack threshold is f+1.
+  uint32_t f = 1;                   ///< Reply quorum threshold is f+1.
   util::DurationMicros request_timeout = util::Seconds(1);
   util::DurationMicros aggregation_window = util::Millis(1);
   util::DurationMicros complaint_scan_period = util::Millis(200);
   /// Stop issuing new requests after this time (0 = never); lets benches
   /// drain cleanly.
   util::TimeMicros stop_at = 0;
+  /// Workload shape (see CommandKind).
+  CommandKind command_kind = CommandKind::kOpaque;
+  uint64_t kv_key_space = 1024;  ///< Key range for kKvPut commands.
 };
 
-/// The pool actor.
-class ClientPool : public runtime::Node {
+/// The pool node: one client::Client session shared by num_clients
+/// closed-loop drivers.
+class ClientPool : public client::Client {
  public:
-  explicit ClientPool(ClientPoolConfig config) : config_(config) {}
-
-  /// Node ids of all replicas (proposals and complaints are broadcast).
-  void SetReplicas(std::vector<runtime::NodeId> replicas) {
-    replicas_ = std::move(replicas);
-  }
+  explicit ClientPool(ClientPoolConfig config);
 
   void OnStart() override;
-  void OnMessage(runtime::NodeId from, const runtime::MessagePtr& msg) override;
-  void OnTimer(uint64_t tag) override;
 
   /// Pauses / resumes request issuance (scenario workload-intensity
   /// phases). While inactive, completed closed-loop clients defer their
@@ -60,48 +62,20 @@ class ClientPool : public runtime::Node {
   void SetActive(bool active);
   bool active() const { return active_; }
 
-  /// Completed-request latencies in milliseconds.
-  util::Histogram& latencies() { return latencies_; }
-  int64_t committed() const { return committed_; }
-  int64_t complaints_sent() const { return complaints_sent_; }
-  size_t outstanding() const { return outstanding_.size(); }
+  int64_t committed() const { return stats().completed; }
+  int64_t complaints_sent() const { return stats().complaints_sent; }
 
  private:
-  enum TimerTag : uint64_t { kFlush = 1, kComplaintScan = 2 };
-  // Shared 48-bit tag packing (util/timer_tag.h).
-  static uint64_t Tag(TimerTag kind, uint64_t payload = 0) {
-    return util::PackTimerTag(kind, payload);
-  }
-  static TimerTag TagKind(uint64_t tag) {
-    return util::TimerTagKind<TimerTag>(tag);
-  }
+  static client::ClientConfig ToClientConfig(const ClientPoolConfig& config);
 
-  struct Outstanding {
-    types::Transaction tx;
-    __uint128_t ack_mask = 0;  ///< Replica ids that confirmed (n <= 128).
-    int acks = 0;
-    util::TimeMicros last_complaint = 0;
-  };
+  /// One closed-loop step: submit the next command; its completion
+  /// callback calls back here.
+  void IssueNext();
+  std::vector<uint8_t> MakeCommand();
 
-  static uint64_t TxKey(const types::Transaction& tx) {
-    return static_cast<uint64_t>(tx.pool) * 0x9e3779b97f4a7c15ULL ^
-           tx.client_seq * 0xc2b2ae3d27d4eb4fULL;
-  }
-
-  void IssueRequest();
-  void Flush();
-
-  ClientPoolConfig config_;
-  std::vector<runtime::NodeId> replicas_;
+  ClientPoolConfig pool_config_;
   bool active_ = true;
   uint32_t deferred_requests_ = 0;  ///< Clients idled while inactive.
-  uint64_t next_seq_ = 1;
-  std::unordered_map<uint64_t, Outstanding> outstanding_;
-  std::vector<types::Transaction> pending_send_;
-  bool flush_armed_ = false;
-  util::Histogram latencies_;
-  int64_t committed_ = 0;
-  int64_t complaints_sent_ = 0;
 };
 
 }  // namespace workload

@@ -5,9 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include "app/kv_service.h"
 #include "core/replica.h"
 #include "harness/cluster.h"
-#include "ledger/kv_state_machine.h"
 
 namespace prestige {
 namespace core {
@@ -74,24 +74,19 @@ TEST(PrestigeIntegrationTest, CommitsUnderNormalOperation) {
 
 TEST(PrestigeIntegrationTest, AllReplicasApplySameState) {
   PrestigeCluster cluster(SmallConfig(), SmallWorkload(7));
-  for (uint32_t i = 0; i < 4; ++i) {
-    cluster.replica(i).SetStateMachine(
-        std::make_unique<ledger::KvStateMachine>(256));
-  }
+  cluster.InstallServices(
+      [] { return std::make_unique<app::KvService>(256); });
   cluster.Start();
   cluster.RunFor(Seconds(3));
 
-  const auto& reference = static_cast<const ledger::KvStateMachine&>(
-      cluster.replica(0).state_machine());
+  const app::Service& reference = cluster.replica(0).service();
   EXPECT_GT(reference.applied_count(), 0);
   for (uint32_t i = 1; i < 4; ++i) {
-    const auto& sm = static_cast<const ledger::KvStateMachine&>(
-        cluster.replica(i).state_machine());
-    // Chains are prefix-consistent; compare up to the shorter chain by
-    // checking the digests of the common prefix instead of the rolling
-    // digest when lengths differ.
+    const app::Service& sm = cluster.replica(i).service();
+    // Chains are prefix-consistent; the rolling digest is only comparable
+    // between replicas that executed the same number of commands.
     if (sm.applied_count() == reference.applied_count()) {
-      EXPECT_EQ(sm.state_digest(), reference.state_digest());
+      EXPECT_EQ(sm.StateDigest(), reference.StateDigest());
     }
   }
   ExpectConsistentChains(cluster);

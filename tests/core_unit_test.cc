@@ -232,8 +232,14 @@ TEST_F(ReplicaUnitTest, FullTwoPhaseCommitDeliversNotif) {
   Deliver(0, txb);
 
   EXPECT_EQ(replica_->store().LatestTxSeq(), 1);
-  // The client pool (actor 4) received a commit notification.
-  EXPECT_GE(client_probe_.Count<types::CommitNotif>(), 1);
+  // The client pool (actor 4) received a reply carrying the execution
+  // result of its transaction.
+  ASSERT_GE(client_probe_.Count<types::ClientReply>(), 1);
+  const auto* reply = client_probe_.Last<types::ClientReply>();
+  ASSERT_EQ(reply->entries.size(), 1u);
+  EXPECT_EQ(reply->entries[0].client_seq, 101u);
+  EXPECT_FALSE(reply->entries[0].duplicate);
+  EXPECT_EQ(reply->replica, 1u);
 }
 
 TEST_F(ReplicaUnitTest, TxBlockWithForgedQcRejected) {

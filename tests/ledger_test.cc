@@ -1,9 +1,10 @@
-// Unit tests for the ledger substrate: blocks, chaining, block store, KV SM.
+// Unit tests for the ledger substrate: blocks, chaining, block store, and
+// the KV application service (app::KvService).
 
 #include <gtest/gtest.h>
 
+#include "app/kv_service.h"
 #include "ledger/block_store.h"
-#include "ledger/kv_state_machine.h"
 #include "ledger/tx_block.h"
 #include "ledger/vc_block.h"
 
@@ -184,44 +185,105 @@ TEST(BlockStoreTest, HistoricPenaltiesNewestFirst) {
   EXPECT_EQ(penalties[1], 2);
 }
 
-// --------------------------------------------------------- State machines
+// ---------------------------------------------------- Application service
 
-TEST(KvStateMachineTest, AppliesDeterministically) {
-  KvStateMachine a(64), b(64);
+void ExecuteAll(app::Service& service, const TxBlock& block) {
+  for (const types::Transaction& tx : block.txs()) service.Execute(tx);
+  service.OnBlockCommitted(block.n(), block.v);
+}
+
+TEST(KvServiceTest, ExecutesDeterministically) {
+  app::KvService a(64), b(64);
   const TxBlock block = MakeTxBlock(1, 1, {});
-  a.Apply(block);
-  b.Apply(block);
-  EXPECT_EQ(a.state_digest(), b.state_digest());
+  ExecuteAll(a, block);
+  ExecuteAll(b, block);
+  EXPECT_EQ(a.StateDigest(), b.StateDigest());
   EXPECT_EQ(a.applied_count(), 3);
   EXPECT_GT(a.size(), 0u);
 }
 
-TEST(KvStateMachineTest, OrderMatters) {
-  KvStateMachine a(64), b(64);
+TEST(KvServiceTest, OrderMatters) {
+  app::KvService a(64), b(64);
   TxBlock b1 = MakeTxBlock(1, 1, {});
   TxBlock b2 = MakeTxBlock(2, 1, b1.Digest());
-  a.Apply(b1);
-  a.Apply(b2);
-  b.Apply(b2);
-  b.Apply(b1);
-  EXPECT_NE(a.state_digest(), b.state_digest());
+  ExecuteAll(a, b1);
+  ExecuteAll(a, b2);
+  ExecuteAll(b, b2);
+  ExecuteAll(b, b1);
+  EXPECT_NE(a.StateDigest(), b.StateDigest());
 }
 
-TEST(KvStateMachineTest, GetReflectsPut) {
-  KvStateMachine kv(1024);
-  TxBlock block;
-  block.set_n(1);
-  block.v = 1;
-  block.set_txs({MakeTx(1, /*fingerprint=*/12345)});
-  kv.Apply(block);
+TEST(KvServiceTest, CommandEncodedPutReturnsPreviousValue) {
+  app::KvService kv(1024);
+  types::Transaction put = MakeTx(1);
+  put.command = app::kv::EncodePut(42, 1111);
+  app::Response first = kv.Execute(put);
+  EXPECT_EQ(first.status, app::ExecStatus::kOk);
+  EXPECT_EQ(app::kv::DecodeValue(first.result), 0u);  // No previous value.
+
+  types::Transaction put2 = MakeTx(2);
+  put2.command = app::kv::EncodePut(42, 2222);
+  app::Response second = kv.Execute(put2);
+  EXPECT_EQ(app::kv::DecodeValue(second.result), 1111u);
+  EXPECT_EQ(kv.Get(42), 2222u);
+}
+
+TEST(KvServiceTest, CommandEncodedGetReadsCurrentValue) {
+  app::KvService kv(1024);
+  types::Transaction put = MakeTx(1);
+  put.command = app::kv::EncodePut(7, 7777);
+  kv.Execute(put);
+
+  types::Transaction get = MakeTx(2);
+  get.command = app::kv::EncodeGet(7);
+  app::Response r = kv.Execute(get);
+  EXPECT_EQ(r.status, app::ExecStatus::kOk);
+  EXPECT_EQ(app::kv::DecodeValue(r.result), 7777u);
+
+  types::Transaction miss = MakeTx(3);
+  miss.command = app::kv::EncodeGet(8);
+  EXPECT_EQ(app::kv::DecodeValue(kv.Execute(miss).result), 0u);
+}
+
+TEST(KvServiceTest, LegacyFingerprintTransactionsActAsPuts) {
+  // Migration path from the fingerprint-driven KvStateMachine: an empty
+  // command executes as Put(fingerprint % key_space, fingerprint).
+  app::KvService kv(1024);
+  types::Transaction tx = MakeTx(1, /*fingerprint=*/12345);
+  kv.Execute(tx);
   EXPECT_EQ(kv.Get(12345 % 1024), 12345u);
   EXPECT_EQ(kv.Get(999), 0u);
 }
 
-TEST(NullStateMachineTest, CountsOnly) {
-  NullStateMachine sm;
-  sm.Apply(MakeTxBlock(1, 1, {}));
+TEST(KvServiceTest, MalformedCommandReportsError) {
+  app::KvService kv(64);
+  types::Transaction tx = MakeTx(1);
+  tx.command = {0x7f, 0x01};
+  app::Response r = kv.Execute(tx);
+  EXPECT_EQ(r.status, app::ExecStatus::kError);
+  EXPECT_TRUE(r.result.empty());
+}
+
+TEST(KvServiceTest, ResultDigestDistinguishesResults) {
+  app::Response a;
+  a.result = {1, 2, 3};
+  app::Response b;
+  b.result = {1, 2, 4};
+  app::Response c = a;
+  EXPECT_NE(app::ResultDigest(a), app::ResultDigest(b));
+  EXPECT_EQ(app::ResultDigest(a), app::ResultDigest(c));
+  app::Response d = a;
+  d.status = app::ExecStatus::kError;
+  EXPECT_NE(app::ResultDigest(a), app::ResultDigest(d));
+}
+
+TEST(NullServiceTest, CountsAndFoldsOrder) {
+  app::NullService sm;
+  ExecuteAll(sm, MakeTxBlock(1, 1, {}));
   EXPECT_EQ(sm.applied_count(), 3);
+  app::NullService other;
+  ExecuteAll(other, MakeTxBlock(1, 1, {}));
+  EXPECT_EQ(sm.StateDigest(), other.StateDigest());
 }
 
 }  // namespace

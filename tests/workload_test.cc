@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "app/service.h"
 #include "runtime/sim_env.h"
 #include "sim/actor.h"
 #include "sim/network.h"
@@ -18,25 +19,31 @@ namespace {
 using util::Millis;
 using util::Seconds;
 
-/// A scripted replica that acknowledges commits for everything it receives,
-/// optionally with a delay and from a configurable number of replica ids.
+/// A scripted replica that acknowledges everything it receives with its
+/// own replica id. The client binds reply votes to the transport sender,
+/// so a quorum requires this many distinct acking actors.
 class AckingReplica : public sim::Actor {
  public:
-  explicit AckingReplica(types::ReplicaId id, int ack_replicas = 1)
-      : id_(id), ack_replicas_(ack_replicas) {}
+  explicit AckingReplica(types::ReplicaId id) : id_(id) {}
 
   void OnMessage(sim::ActorId from, const sim::MessagePtr& msg) override {
     if (auto* batch = dynamic_cast<const types::ClientBatch*>(msg.get())) {
       received_ += static_cast<int64_t>(batch->txs.size());
       if (!respond_) return;
-      // Send `ack_replicas_` distinct acks (simulating a quorum).
-      for (int r = 0; r < ack_replicas_; ++r) {
-        auto notif = std::make_shared<types::CommitNotif>();
-        notif->replica = static_cast<types::ReplicaId>(r);
-        notif->n = ++seq_;
-        notif->txs = batch->txs;
-        Send(from, notif);
+      // All replicas report the same (empty) execution result, so their
+      // result digests match as an honest cluster's would.
+      auto reply = std::make_shared<types::ClientReply>();
+      reply->replica = id_;
+      reply->n = ++seq_;
+      reply->pool = 0;
+      for (const types::Transaction& tx : batch->txs) {
+        types::ReplyEntry entry;
+        entry.client_seq = tx.client_seq;
+        entry.status = static_cast<uint8_t>(app::ExecStatus::kOk);
+        entry.result_digest = app::ResultDigest(app::Response{});
+        reply->entries.push_back(entry);
       }
+      Send(from, reply);
     } else if (auto* compt =
                    dynamic_cast<const types::ClientComplaint*>(msg.get())) {
       ++complaints_;
@@ -50,7 +57,6 @@ class AckingReplica : public sim::Actor {
 
  private:
   types::ReplicaId id_;
-  int ack_replicas_;
   bool respond_ = true;
   int64_t received_ = 0;
   int64_t complaints_ = 0;
@@ -60,18 +66,29 @@ class AckingReplica : public sim::Actor {
 struct PoolFixture {
   explicit PoolFixture(ClientPoolConfig config, int ack_replicas = 2)
       : sim(1), net(&sim, sim::LatencyModel::Fixed(1.0), sim::CostModel{}),
-        replica(0, ack_replicas), pool(config) {
-    sim.AddActor(&replica);
-    replica.AttachNetwork(&net);
+        pool(config) {
+    std::vector<runtime::NodeId> replica_ids;
+    for (int r = 0; r < ack_replicas; ++r) {
+      replicas.push_back(
+          std::make_unique<AckingReplica>(static_cast<types::ReplicaId>(r)));
+      replica_ids.push_back(sim.AddActor(replicas.back().get()));
+      replicas.back()->AttachNetwork(&net);
+    }
     pool_env = std::make_unique<runtime::SimEnv>(&pool);
     sim.AddActor(pool_env.get());
     pool_env->AttachNetwork(&net);
-    pool.SetReplicas({0});
+    pool.SetReplicas(replica_ids);
+  }
+
+  /// First acking replica (all receive identical broadcasts).
+  AckingReplica& replica() { return *replicas[0]; }
+  void SetRespond(bool respond) {
+    for (auto& r : replicas) r->set_respond(respond);
   }
 
   sim::Simulator sim;
   sim::Network net;
-  AckingReplica replica;
+  std::vector<std::unique_ptr<AckingReplica>> replicas;
   ClientPool pool;
   std::unique_ptr<runtime::SimEnv> pool_env;
 };
@@ -87,10 +104,10 @@ ClientPoolConfig PoolConfig(uint32_t clients = 10, uint32_t f = 1) {
 
 TEST(ClientPoolTest, IssuesOneRequestPerClientAtStart) {
   PoolFixture fx(PoolConfig(25));
-  fx.replica.set_respond(false);
+  fx.SetRespond(false);
   fx.sim.ScheduleAfter(0, [&] { fx.pool.OnStart(); });
   fx.sim.RunUntil(Millis(100));
-  EXPECT_EQ(fx.replica.received(), 25);
+  EXPECT_EQ(fx.replica().received(), 25);
   EXPECT_EQ(fx.pool.outstanding(), 25u);
 }
 
@@ -113,8 +130,9 @@ TEST(ClientPoolTest, RequiresFPlusOneAcks) {
 }
 
 TEST(ClientPoolTest, DuplicateAcksFromSameReplicaDoNotCount) {
-  // The acking replica sends 2 acks but both from replica ids 0 and 1;
-  // make f=1 (needs 2 distinct) => commits. Then f=2 (needs 3) => no.
+  // Two distinct acking replicas while f=2 requires 3 matching votes:
+  // however often they re-ack (votes are bound to the transport sender),
+  // the quorum can never form.
   PoolFixture need3(PoolConfig(5, /*f=*/2), /*ack_replicas=*/2);
   need3.sim.ScheduleAfter(0, [&] { need3.pool.OnStart(); });
   need3.sim.RunUntil(Millis(200));
@@ -123,10 +141,10 @@ TEST(ClientPoolTest, DuplicateAcksFromSameReplicaDoNotCount) {
 
 TEST(ClientPoolTest, ComplainsAboutOverdueRequests) {
   PoolFixture fx(PoolConfig(8));
-  fx.replica.set_respond(false);
+  fx.SetRespond(false);
   fx.sim.ScheduleAfter(0, [&] { fx.pool.OnStart(); });
   fx.sim.RunUntil(Seconds(2));
-  EXPECT_GT(fx.replica.complaints(), 0);
+  EXPECT_GT(fx.replica().complaints(), 0);
   EXPECT_GT(fx.pool.complaints_sent(), 0);
 }
 
