@@ -25,10 +25,10 @@ AblationResult RunOnce(reputation::ReputationConfig rep, uint64_t seed) {
   core::PrestigeConfig config = PaperPrestigeConfig(kN, 1000);
   config.rotation_period = util::Seconds(2);
   config.reputation = rep;
-  std::vector<workload::FaultSpec> faults(kN, workload::FaultSpec::Honest());
+  std::vector<types::FaultSpec> faults(kN, types::FaultSpec::Honest());
   for (uint32_t i = 0; i < 3; ++i) {
-    faults[kN - 1 - i] = workload::FaultSpec::RepeatedVc(
-        workload::AttackStrategy::kS1, workload::LeaderMisbehaviour::kQuiet,
+    faults[kN - 1 - i] = types::FaultSpec::RepeatedVc(
+        types::AttackStrategy::kS1, types::LeaderMisbehaviour::kQuiet,
         3.0);
   }
   harness::Cluster<core::PrestigeReplica, core::PrestigeConfig> cluster(

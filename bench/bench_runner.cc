@@ -191,8 +191,8 @@ ScenarioResult RunLeaderCrash() {
     constexpr uint32_t kN = 4;
     r.n = kN;
     core::PrestigeConfig config = PaperPrestigeConfig(kN, 500);
-    std::vector<workload::FaultSpec> faults(kN, workload::FaultSpec::Honest());
-    faults[0] = workload::FaultSpec::Crash(util::Seconds(3));
+    std::vector<types::FaultSpec> faults(kN, types::FaultSpec::Honest());
+    faults[0] = types::FaultSpec::Crash(util::Seconds(3));
     harness::Cluster<core::PrestigeReplica, core::PrestigeConfig> cluster(
         config, SaturatingWorkload(/*seed=*/13, /*pools=*/4, /*clients=*/100),
         faults);
@@ -246,7 +246,7 @@ ScenarioResult RunDigestMicro() {
     for (int i = 0; i < kReads; ++i) {
       const crypto::Sha256Digest& d = block.Digest();
       const crypto::Sha256Digest& e = vc.Digest();
-      sink[0] ^= d[0] ^ e[0];
+      sink[0] = static_cast<unsigned char>(sink[0] ^ d[0] ^ e[0]);
     }
     // Folding sink into the result keeps the loop observable. kReads is
     // even, so sink[0] XORed an even number of times is 0 and the value
@@ -513,6 +513,8 @@ bool WriteJson(const std::string& outdir, const char* scenario,
                "  \"duplicate_suppressed\": %lld,\n"
                "  \"result_mismatches\": %lld,\n"
                "%s"
+               "  \"build\": %s,\n"
+               "  \"sanitized\": %s,\n"
                "  \"wall_seconds\": %.3f,\n"
                "  \"wall_ms\": %.3f,\n"
                "  \"events\": %llu,\n"
@@ -526,7 +528,8 @@ bool WriteJson(const std::string& outdir, const char* scenario,
                static_cast<long long>(r.replies),
                static_cast<long long>(r.duplicate_suppressed),
                static_cast<long long>(r.result_mismatches),
-               r.extra_json.c_str(),
+               r.extra_json.c_str(), BuildMetadataJson().c_str(),
+               SanitizedBuild() ? "true" : "false",
                r.wall_seconds, r.wall_seconds * 1000.0,
                static_cast<unsigned long long>(r.events), events_per_sec,
                static_cast<unsigned long long>(r.sha256_hashes),

@@ -31,7 +31,7 @@ struct RunResult {
 /// client-observed throughput/latency over the measurement window.
 template <typename Replica, typename Config>
 RunResult MeasureCluster(Config config, harness::WorkloadOptions workload,
-                         std::vector<workload::FaultSpec> faults,
+                         std::vector<types::FaultSpec> faults,
                          util::DurationMicros warmup,
                          util::DurationMicros measure,
                          int timeline_replica = -1) {
@@ -55,6 +55,31 @@ RunResult MeasureCluster(Config config, harness::WorkloadOptions workload,
   result.p50_latency_ms = cluster.LatencyPercentileMs(50);
   result.p99_latency_ms = cluster.LatencyPercentileMs(99);
   return result;
+}
+
+/// True when this binary was built with any sanitizer instrumentation.
+/// Sanitized builds run 2-20x slower; their wall-clock numbers must never
+/// enter the perf trajectory, so every BENCH_*.json carries this flag.
+inline bool SanitizedBuild() {
+  return PRESTIGE_BUILD_SANITIZERS[0] != '\0';
+}
+
+/// Build-provenance JSON object stamped into every BENCH_*.json:
+///   {"sanitizers": "tsan", "build_type": "RelWithDebInfo",
+///    "werror": false, "sanitized": true}
+/// The CMake cache supplies the macro values (see the BENCH metadata block
+/// in CMakeLists.txt).
+inline std::string BuildMetadataJson() {
+  std::string json = "{\"sanitizers\": \"";
+  json += PRESTIGE_BUILD_SANITIZERS;
+  json += "\", \"build_type\": \"";
+  json += PRESTIGE_BUILD_TYPE;
+  json += "\", \"werror\": ";
+  json += PRESTIGE_BUILD_WERROR ? "true" : "false";
+  json += ", \"sanitized\": ";
+  json += SanitizedBuild() ? "true" : "false";
+  json += "}";
+  return json;
 }
 
 inline void PrintHeader(const char* figure, const char* description) {

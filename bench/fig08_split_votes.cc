@@ -26,12 +26,12 @@ double MeasureSplitProbability(uint32_t n, int eps_ms, bool with_f1,
   config.enable_courtesy = false;
   config.election_timeout = util::Millis(300);
 
-  std::vector<workload::FaultSpec> faults(n, workload::FaultSpec::Honest());
+  std::vector<types::FaultSpec> faults(n, types::FaultSpec::Honest());
   if (with_f1) {
     // f attackers each mimic a distinct correct victim's timeout stream.
     const uint32_t f = types::MaxFaulty(n);
     for (uint32_t i = 0; i < f; ++i) {
-      workload::FaultSpec spec = workload::FaultSpec::TimeoutAttack();
+      types::FaultSpec spec = types::FaultSpec::TimeoutAttack();
       spec.mimic_target = (n - 1 - i + f) % n;  // Victims among correct ids.
       spec.has_mimic_target = true;
       faults[n - 1 - i] = spec;

@@ -17,15 +17,15 @@ namespace {
 constexpr util::DurationMicros kWarmup = util::Seconds(1);
 constexpr util::DurationMicros kMeasure = util::Seconds(4);
 
-std::vector<workload::FaultSpec> MakeFaults(uint32_t n, uint32_t f,
-                                            workload::FaultType type) {
-  std::vector<workload::FaultSpec> faults(n, workload::FaultSpec::Honest());
+std::vector<types::FaultSpec> MakeFaults(uint32_t n, uint32_t f,
+                                            types::FaultType type) {
+  std::vector<types::FaultSpec> faults(n, types::FaultSpec::Honest());
   for (uint32_t i = 0; i < f; ++i) {
     // Spread faulty ids across the schedule (paper: arbitrarily chosen).
     const uint32_t id = 1 + i * (n > 4 ? 3 : 1);
-    faults[id % n] = type == workload::FaultType::kQuiet
-                         ? workload::FaultSpec::Quiet()
-                         : workload::FaultSpec::Equivocate();
+    faults[id % n] = type == types::FaultType::kQuiet
+                         ? types::FaultSpec::Quiet()
+                         : types::FaultSpec::Equivocate();
   }
   return faults;
 }
@@ -44,8 +44,8 @@ void RunScale(uint32_t n, const std::vector<uint32_t>& f_values) {
   };
   const Policy policies[] = {{"r10", util::Seconds(2)},
                              {"r30", util::Seconds(6)}};
-  const workload::FaultType fault_types[] = {workload::FaultType::kQuiet,
-                                             workload::FaultType::kEquivocate};
+  const types::FaultType fault_types[] = {types::FaultType::kQuiet,
+                                             types::FaultType::kEquivocate};
   const char* fault_names[] = {"quiet", "equiv"};
 
   for (const Policy& policy : policies) {

@@ -16,13 +16,13 @@ namespace {
 constexpr util::DurationMicros kWarmup = util::Seconds(1);
 constexpr util::DurationMicros kMeasure = util::Seconds(6);
 
-std::vector<workload::FaultSpec> MakeAttackers(
-    uint32_t n, uint32_t f, workload::LeaderMisbehaviour misbehaviour) {
-  std::vector<workload::FaultSpec> faults(n, workload::FaultSpec::Honest());
+std::vector<types::FaultSpec> MakeAttackers(
+    uint32_t n, uint32_t f, types::LeaderMisbehaviour misbehaviour) {
+  std::vector<types::FaultSpec> faults(n, types::FaultSpec::Honest());
   for (uint32_t i = 0; i < f; ++i) {
     const uint32_t id = (n - 1 - i) % n;
-    faults[id] = workload::FaultSpec::RepeatedVc(
-        workload::AttackStrategy::kS1, misbehaviour,
+    faults[id] = types::FaultSpec::RepeatedVc(
+        types::AttackStrategy::kS1, misbehaviour,
         /*collusion_speedup=*/std::max(1.0, static_cast<double>(f)));
   }
   return faults;
@@ -30,9 +30,9 @@ std::vector<workload::FaultSpec> MakeAttackers(
 
 void RunScale(uint32_t n, const std::vector<uint32_t>& f_values) {
   std::printf("--- n=%u ---\n", n);
-  const workload::LeaderMisbehaviour kinds[] = {
-      workload::LeaderMisbehaviour::kQuiet,
-      workload::LeaderMisbehaviour::kEquivocate};
+  const types::LeaderMisbehaviour kinds[] = {
+      types::LeaderMisbehaviour::kQuiet,
+      types::LeaderMisbehaviour::kEquivocate};
   const char* kind_names[] = {"quiet", "equiv"};
 
   for (int k = 0; k < 2; ++k) {

@@ -18,10 +18,10 @@ constexpr util::DurationMicros kRun = util::Seconds(24);
 std::vector<double> WindowedTps(uint32_t f, uint64_t seed) {
   core::PrestigeConfig config = PaperPrestigeConfig(kN, 1000);
   config.rotation_period = util::Seconds(2);
-  std::vector<workload::FaultSpec> faults(kN, workload::FaultSpec::Honest());
+  std::vector<types::FaultSpec> faults(kN, types::FaultSpec::Honest());
   for (uint32_t i = 0; i < f; ++i) {
-    faults[kN - 1 - i] = workload::FaultSpec::RepeatedVc(
-        workload::AttackStrategy::kS1, workload::LeaderMisbehaviour::kQuiet,
+    faults[kN - 1 - i] = types::FaultSpec::RepeatedVc(
+        types::AttackStrategy::kS1, types::LeaderMisbehaviour::kQuiet,
         std::max(1.0, static_cast<double>(f)));
   }
   harness::Cluster<core::PrestigeReplica, core::PrestigeConfig> cluster(

@@ -21,10 +21,10 @@ void RunAttack(uint32_t f) {
   const uint32_t n = 16;
   core::PrestigeConfig config = PaperPrestigeConfig(n, 1000);
   config.rotation_period = util::Seconds(2);
-  std::vector<workload::FaultSpec> faults(n, workload::FaultSpec::Honest());
+  std::vector<types::FaultSpec> faults(n, types::FaultSpec::Honest());
   for (uint32_t i = 0; i < f; ++i) {
-    faults[n - 1 - i] = workload::FaultSpec::RepeatedVc(
-        workload::AttackStrategy::kS1, workload::LeaderMisbehaviour::kQuiet,
+    faults[n - 1 - i] = types::FaultSpec::RepeatedVc(
+        types::AttackStrategy::kS1, types::LeaderMisbehaviour::kQuiet,
         std::max(1.0, static_cast<double>(f)));
   }
   harness::Cluster<core::PrestigeReplica, core::PrestigeConfig> cluster(

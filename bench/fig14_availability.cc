@@ -17,11 +17,11 @@ namespace {
 constexpr uint32_t kN = 16;
 constexpr util::DurationMicros kRun = util::Seconds(40);
 
-std::vector<workload::FaultSpec> Attackers(workload::AttackStrategy strategy) {
-  std::vector<workload::FaultSpec> faults(kN, workload::FaultSpec::Honest());
+std::vector<types::FaultSpec> Attackers(types::AttackStrategy strategy) {
+  std::vector<types::FaultSpec> faults(kN, types::FaultSpec::Honest());
   for (uint32_t i = 0; i < 3; ++i) {
-    faults[kN - 1 - i] = workload::FaultSpec::RepeatedVc(
-        strategy, workload::LeaderMisbehaviour::kQuiet, 3.0);
+    faults[kN - 1 - i] = types::FaultSpec::RepeatedVc(
+        strategy, types::LeaderMisbehaviour::kQuiet, 3.0);
   }
   return faults;
 }
@@ -48,7 +48,7 @@ void Run() {
     config.rotation_period = util::Seconds(2);
     harness::Cluster<core::PrestigeReplica, core::PrestigeConfig> cluster(
         config, SaturatingWorkload(1400, 12, 150),
-        Attackers(workload::AttackStrategy::kS1));
+        Attackers(types::AttackStrategy::kS1));
     cluster.Start();
     cluster.RunFor(kRun);
     PrintAvailability("pb-S1", cluster.replica(0).metrics().commit_timeline);
@@ -58,7 +58,7 @@ void Run() {
     config.rotation_period = util::Seconds(2);
     harness::Cluster<core::PrestigeReplica, core::PrestigeConfig> cluster(
         config, SaturatingWorkload(1401, 12, 150),
-        Attackers(workload::AttackStrategy::kS2));
+        Attackers(types::AttackStrategy::kS2));
     cluster.Start();
     cluster.RunFor(kRun);
     PrintAvailability("pb-S2", cluster.replica(0).metrics().commit_timeline);
@@ -69,7 +69,7 @@ void Run() {
     harness::Cluster<baselines::hotstuff::HotStuffReplica,
                      baselines::hotstuff::HotStuffConfig>
         cluster(config, SaturatingWorkload(1402, 12, 150),
-                Attackers(workload::AttackStrategy::kS1));
+                Attackers(types::AttackStrategy::kS1));
     cluster.Start();
     cluster.RunFor(kRun);
     PrintAvailability("hs", cluster.replica(0).metrics().commit_timeline);

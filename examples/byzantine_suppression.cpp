@@ -27,9 +27,9 @@ int main() {
   workload.client_timeout = util::Millis(800);
   workload.seed = 23;
 
-  std::vector<workload::FaultSpec> faults(4, workload::FaultSpec::Honest());
-  faults[3] = workload::FaultSpec::RepeatedVc(
-      workload::AttackStrategy::kS1, workload::LeaderMisbehaviour::kQuiet);
+  std::vector<types::FaultSpec> faults(4, types::FaultSpec::Honest());
+  faults[3] = types::FaultSpec::RepeatedVc(
+      types::AttackStrategy::kS1, types::LeaderMisbehaviour::kQuiet);
 
   harness::Cluster<core::PrestigeReplica, core::PrestigeConfig> cluster(
       config, workload, faults);

@@ -42,7 +42,7 @@ int main() {
   std::printf("committed requests : %lld\n",
               static_cast<long long>(cluster.ClientCommitted()));
   std::printf("throughput         : %.0f tx/s\n",
-              cluster.ClientCommitted() / 2.0);
+              static_cast<double>(cluster.ClientCommitted()) / 2.0);
   std::printf("mean latency       : %.2f ms\n", cluster.MeanLatencyMs());
   std::printf("p99 latency        : %.2f ms\n\n",
               cluster.LatencyPercentileMs(99));

@@ -32,7 +32,7 @@ crypto::Sha256Digest HsVoteDigest(HsPhase phase, types::View v,
 
 HotStuffReplica::HotStuffReplica(HotStuffConfig config, types::ReplicaId id,
                                  const crypto::KeyStore* keys,
-                                 workload::FaultSpec fault)
+                                 types::FaultSpec fault)
     : config_(config),
       id_(id),
       keys_(keys),
@@ -65,9 +65,9 @@ std::vector<runtime::NodeId> HotStuffReplica::PeerActors() const {
 
 bool HotStuffReplica::QuietActive() const {
   if (Now() < fault_.start_at) return false;
-  if (fault_.type == workload::FaultType::kQuiet) return true;
-  if (fault_.type == workload::FaultType::kRepeatedVc && IsLeader() &&
-      fault_.as_leader == workload::LeaderMisbehaviour::kQuiet) {
+  if (fault_.type == types::FaultType::kQuiet) return true;
+  if (fault_.type == types::FaultType::kRepeatedVc && IsLeader() &&
+      fault_.as_leader == types::LeaderMisbehaviour::kQuiet) {
     return true;
   }
   return false;
@@ -75,9 +75,9 @@ bool HotStuffReplica::QuietActive() const {
 
 bool HotStuffReplica::EquivocateActive() const {
   if (Now() < fault_.start_at) return false;
-  if (fault_.type == workload::FaultType::kEquivocate) return true;
-  if (fault_.type == workload::FaultType::kRepeatedVc && IsLeader() &&
-      fault_.as_leader == workload::LeaderMisbehaviour::kEquivocate) {
+  if (fault_.type == types::FaultType::kEquivocate) return true;
+  if (fault_.type == types::FaultType::kRepeatedVc && IsLeader() &&
+      fault_.as_leader == types::LeaderMisbehaviour::kEquivocate) {
     return true;
   }
   return false;
@@ -110,7 +110,7 @@ void HotStuffReplica::OnStart() {
         config_.rotation_period + rng()->NextInRange(0, util::Millis(100)),
         Tag(kRotationTimer));
   }
-  if (fault_.type == workload::FaultType::kEquivocate) {
+  if (fault_.type == types::FaultType::kEquivocate) {
     SetTimer(util::Millis(50), Tag(kNoiseTimer));
   }
 }
@@ -124,7 +124,7 @@ void HotStuffReplica::ArmViewTimer() {
 }
 
 void HotStuffReplica::OnTimer(uint64_t tag) {
-  if (fault_.type == workload::FaultType::kCrash && fault_.start_at > 0 &&
+  if (fault_.type == types::FaultType::kCrash && fault_.start_at > 0 &&
       Now() >= fault_.start_at) {
     return;
   }
@@ -158,7 +158,7 @@ void HotStuffReplica::OnTimer(uint64_t tag) {
         noise->bytes = 2048;
         Send(PeerActors(), noise);
       }
-      if (fault_.type == workload::FaultType::kEquivocate) {
+      if (fault_.type == types::FaultType::kEquivocate) {
         SetTimer(util::Millis(50), Tag(kNoiseTimer));
       }
       break;
@@ -468,15 +468,17 @@ void HotStuffReplica::DecideBlock(ledger::TxBlock block) {
 }
 
 void HotStuffReplica::OnMessage(runtime::NodeId from, const runtime::MessagePtr& msg) {
-  if (fault_.type == workload::FaultType::kCrash && fault_.start_at > 0 &&
+  if (fault_.type == types::FaultType::kCrash && fault_.start_at > 0 &&
       Now() >= fault_.start_at) {
     return;
   }
   if (auto* m = dynamic_cast<const types::ClientBatch*>(msg.get())) {
     for (const types::Transaction& tx : m->txs) EnqueueTx(tx);
     MaybePropose(/*allow_partial=*/false);
-  } else if (auto* m =
-                 dynamic_cast<const types::ClientComplaint*>(msg.get())) {
+    return;
+  }
+  if (auto* m =
+          dynamic_cast<const types::ClientComplaint*>(msg.get())) {
     ++metrics_.complaints_received;
     if (committed_tx_keys_.count(TxKey(m->tx)) > 0) {
       // Already committed; the client missed the replies. Re-serve the
@@ -489,25 +491,39 @@ void HotStuffReplica::OnMessage(runtime::NodeId from, const runtime::MessagePtr&
     }
     EnqueueTx(m->tx);
     MaybePropose(/*allow_partial=*/true);
-  } else if (auto* m = dynamic_cast<const HsProposalMsg*>(msg.get())) {
+    return;
+  }
+  if (auto* m = dynamic_cast<const HsProposalMsg*>(msg.get())) {
     OnProposal(from, *m);
-  } else if (auto* m = dynamic_cast<const HsVoteMsg*>(msg.get())) {
+    return;
+  }
+  if (auto* m = dynamic_cast<const HsVoteMsg*>(msg.get())) {
     OnVote(from, *m);
-  } else if (auto* m = dynamic_cast<const HsPhaseMsg*>(msg.get())) {
+    return;
+  }
+  if (auto* m = dynamic_cast<const HsPhaseMsg*>(msg.get())) {
     OnPhase(from, *m);
-  } else if (auto* m = dynamic_cast<const HsNewViewMsg*>(msg.get())) {
+    return;
+  }
+  if (auto* m = dynamic_cast<const HsNewViewMsg*>(msg.get())) {
     OnNewView(from, *m);
-  } else if (auto* m = dynamic_cast<const core::SyncReqMsg*>(msg.get())) {
+    return;
+  }
+  if (auto* m = dynamic_cast<const core::SyncReqMsg*>(msg.get())) {
     auto resp = std::make_shared<core::SyncRespMsg>();
     resp->tx_blocks = store_.TxBlocksAfter(m->after, m->up_to);
     if (!resp->tx_blocks.empty()) GuardedSend(from, resp);
-  } else if (auto* m = dynamic_cast<const core::SyncRespMsg*>(msg.get())) {
+    return;
+  }
+  if (auto* m = dynamic_cast<const core::SyncRespMsg*>(msg.get())) {
     for (const ledger::TxBlock& block : m->tx_blocks) {
       if (block.n() == store_.LatestTxSeq() + 1) {
         DecideBlock(block);
       }
     }
-  } else if (dynamic_cast<const core::NoiseMsg*>(msg.get()) != nullptr) {
+    return;
+  }
+  if (dynamic_cast<const core::NoiseMsg*>(msg.get()) != nullptr) {
     // Attack traffic; cost already charged by the network model.
   }
 }

@@ -17,7 +17,7 @@ crypto::Sha256Digest SbStageDigest(int stage, types::View v, types::SeqNum n,
 
 SbftReplica::SbftReplica(SbftConfig config, types::ReplicaId id,
                          const crypto::KeyStore* keys,
-                         workload::FaultSpec fault)
+                         types::FaultSpec fault)
     : config_(config),
       id_(id),
       keys_(keys),
@@ -182,15 +182,17 @@ void SbftReplica::ExecuteBlock(ledger::TxBlock block) {
 }
 
 void SbftReplica::OnMessage(runtime::NodeId from, const runtime::MessagePtr& msg) {
-  if (fault_.type == workload::FaultType::kCrash && fault_.start_at > 0 &&
+  if (fault_.type == types::FaultType::kCrash && fault_.start_at > 0 &&
       Now() >= fault_.start_at) {
     return;
   }
   if (auto* m = dynamic_cast<const types::ClientBatch*>(msg.get())) {
     for (const types::Transaction& tx : m->txs) EnqueueTx(tx);
     MaybePropose(false);
-  } else if (auto* m =
-                 dynamic_cast<const types::ClientComplaint*>(msg.get())) {
+    return;
+  }
+  if (auto* m =
+          dynamic_cast<const types::ClientComplaint*>(msg.get())) {
     if (committed_tx_keys_.count(TxKey(m->tx)) > 0) {
       // Already committed; re-serve the cached reply (the client missed
       // the originals) instead of dropping the complaint.
@@ -201,7 +203,9 @@ void SbftReplica::OnMessage(runtime::NodeId from, const runtime::MessagePtr& msg
     }
     EnqueueTx(m->tx);
     MaybePropose(true);
-  } else if (auto* m = dynamic_cast<const SbPrePrepareMsg*>(msg.get())) {
+    return;
+  }
+  if (auto* m = dynamic_cast<const SbPrePrepareMsg*>(msg.get())) {
     if (m->v != view_ || IsLeader()) return;
     if (m->block.n() <= store_.LatestTxSeq()) return;  // Stale.
     const crypto::Sha256Digest digest = m->block.Digest();
@@ -224,7 +228,9 @@ void SbftReplica::OnMessage(runtime::NodeId from, const runtime::MessagePtr& msg
     share->n = m->block.n();
     share->partial = signer_.Sign(stage_digest);
     Send(from, share);
-  } else if (auto* m = dynamic_cast<const SbShareMsg*>(msg.get())) {
+    return;
+  }
+  if (auto* m = dynamic_cast<const SbShareMsg*>(msg.get())) {
     (void)from;
     if (!IsLeader() || !proposal_active_ || m->v != view_ ||
         m->n != current_block_.n() ||
@@ -268,7 +274,9 @@ void SbftReplica::OnMessage(runtime::NodeId from, const runtime::MessagePtr& msg
       ExecuteBlock(current_block_);
       MaybePropose(true);
     }
-  } else if (auto* m = dynamic_cast<const SbProofMsg*>(msg.get())) {
+    return;
+  }
+  if (auto* m = dynamic_cast<const SbProofMsg*>(msg.get())) {
     if (m->v != view_ || IsLeader()) return;
     const int stage = static_cast<int>(m->stage);
     const crypto::Sha256Digest stage_digest =

@@ -27,7 +27,7 @@
 #include "runtime/env.h"
 #include "types/client_messages.h"
 #include "types/ids.h"
-#include "workload/fault_spec.h"
+#include "types/fault_spec.h"
 
 namespace prestige {
 namespace baselines {
@@ -106,7 +106,7 @@ class SbftReplica : public runtime::Node {
  public:
   SbftReplica(SbftConfig config, types::ReplicaId id,
               const crypto::KeyStore* keys,
-              workload::FaultSpec fault = workload::FaultSpec::Honest());
+              types::FaultSpec fault = types::FaultSpec::Honest());
 
   void SetTopology(std::vector<runtime::NodeId> replicas,
                    std::vector<runtime::NodeId> clients);
@@ -125,7 +125,7 @@ class SbftReplica : public runtime::Node {
   const app::Service& service() const { return delivery_.service(); }
   const core::CommitPipeline& delivery() const { return delivery_; }
   const core::ReplicaMetrics& metrics() const { return metrics_; }
-  const workload::FaultSpec& fault() const { return fault_; }
+  const types::FaultSpec& fault() const { return fault_; }
 
  private:
   enum TimerKind : uint64_t { kViewTimer = 1, kBatchTimer = 2 };
@@ -147,7 +147,7 @@ class SbftReplica : public runtime::Node {
   types::ReplicaId id_;
   const crypto::KeyStore* keys_;
   crypto::Signer signer_;
-  workload::FaultSpec fault_;
+  types::FaultSpec fault_;
 
   std::vector<runtime::NodeId> replicas_;
   std::vector<runtime::NodeId> clients_;

@@ -1,7 +1,10 @@
 #include "client/client.h"
 
 #include <algorithm>
-#include <chrono>
+// The blocking Call() below parks the *caller's* thread on a condition
+// variable until the event loop delivers the reply; that wait is wall-clock
+// by nature (threaded embedders only) and never runs under the simulator.
+#include <chrono>  // lint:allow(determinism: blocking Call waits wall-clock)
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -79,6 +82,7 @@ SubmitResult Client::Call(std::vector<uint8_t> command,
       },
       wait_limit);
   std::unique_lock<std::mutex> lock(state->mu);
+  // lint:allow(determinism: caller-side wall-clock timeout, threaded only)
   if (!state->cv.wait_for(lock, std::chrono::microseconds(wait_limit),
                           [&] { return state->done; })) {
     SubmitResult timeout;

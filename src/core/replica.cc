@@ -29,7 +29,7 @@ const char* RoleName(Role role) {
 PrestigeReplica::PrestigeReplica(PrestigeConfig config,
                                  types::ReplicaId replica_id,
                                  const crypto::KeyStore* keys,
-                                 workload::FaultSpec fault)
+                                 types::FaultSpec fault)
     : config_(config),
       id_(replica_id),
       keys_(keys),
@@ -69,12 +69,12 @@ std::vector<runtime::NodeId> PrestigeReplica::PeerActors() const {
 
 bool PrestigeReplica::QuietActive() const {
   if (Now() < fault_.start_at) return false;
-  if (fault_.type == workload::FaultType::kQuiet) return true;
+  if (fault_.type == types::FaultType::kQuiet) return true;
   // F4+F2: the attacker completes the view-change consensus honestly (so it
   // is installed as leader), then stonewalls replication.
-  if (fault_.type == workload::FaultType::kRepeatedVc &&
+  if (fault_.type == types::FaultType::kRepeatedVc &&
       role_ == Role::kLeader && replication_enabled_ &&
-      fault_.as_leader == workload::LeaderMisbehaviour::kQuiet) {
+      fault_.as_leader == types::LeaderMisbehaviour::kQuiet) {
     return true;
   }
   return false;
@@ -82,10 +82,10 @@ bool PrestigeReplica::QuietActive() const {
 
 bool PrestigeReplica::EquivocateActive() const {
   if (Now() < fault_.start_at) return false;
-  if (fault_.type == workload::FaultType::kEquivocate) return true;
-  if (fault_.type == workload::FaultType::kRepeatedVc &&
+  if (fault_.type == types::FaultType::kEquivocate) return true;
+  if (fault_.type == types::FaultType::kRepeatedVc &&
       role_ == Role::kLeader && replication_enabled_ &&
-      fault_.as_leader == workload::LeaderMisbehaviour::kEquivocate) {
+      fault_.as_leader == types::LeaderMisbehaviour::kEquivocate) {
     return true;
   }
   return false;
@@ -143,7 +143,7 @@ void PrestigeReplica::OnStart() {
                     (timeout_identity * 0x9e3779b97f4a7c15ULL));
 
   // F4 attackers probe for campaign opportunities continuously.
-  if (fault_.type == workload::FaultType::kRepeatedVc) {
+  if (fault_.type == types::FaultType::kRepeatedVc) {
     SetTimer(util::Millis(100), Tag(kAttackProbe));
   }
 
@@ -181,12 +181,12 @@ void PrestigeReplica::OnStart() {
     rotation_timer_ =
         SetTimer(config_.rotation_period + jitter, Tag(kRotationDue));
   }
-  if (fault_.type == workload::FaultType::kCrash) {
+  if (fault_.type == types::FaultType::kCrash) {
     // Crash faults are modeled at the network layer by the harness; the
     // replica itself needs no behaviour change here.
   }
   if (EquivocateActive() ||
-      fault_.type == workload::FaultType::kEquivocate) {
+      fault_.type == types::FaultType::kEquivocate) {
     SetTimer(util::Millis(50), Tag(kNoiseTimer));
   }
 }
@@ -194,60 +194,100 @@ void PrestigeReplica::OnStart() {
 // ------------------------------------------------------------- dispatch
 
 void PrestigeReplica::OnMessage(runtime::NodeId from, const runtime::MessagePtr& msg) {
-  if (fault_.type == workload::FaultType::kCrash && Now() >= fault_.start_at &&
+  if (fault_.type == types::FaultType::kCrash && Now() >= fault_.start_at &&
       fault_.start_at > 0) {
     return;  // Crashed replicas process nothing.
   }
 
   if (auto* m = dynamic_cast<const types::ClientBatch*>(msg.get())) {
     OnClientBatch(from, *m);
-  } else if (auto* m = dynamic_cast<const types::ClientComplaint*>(msg.get())) {
-    OnClientComplaint(from, *m);
-  } else if (auto* m = dynamic_cast<const OrdMsg*>(msg.get())) {
-    OnOrd(from, *m);
-  } else if (auto* m = dynamic_cast<const OrdReplyMsg*>(msg.get())) {
-    OnOrdReply(from, *m);
-  } else if (auto* m = dynamic_cast<const CmtMsg*>(msg.get())) {
-    OnCmt(from, *m);
-  } else if (auto* m = dynamic_cast<const CmtReplyMsg*>(msg.get())) {
-    OnCmtReply(from, *m);
-  } else if (auto* m = dynamic_cast<const TxBlockMsg*>(msg.get())) {
-    OnTxBlockMsg(from, *m);
-  } else if (auto* m = dynamic_cast<const HeartbeatMsg*>(msg.get())) {
-    OnHeartbeat(from, *m);
-  } else if (auto* m = dynamic_cast<const ComptRelayMsg*>(msg.get())) {
-    OnComptRelay(from, *m);
-  } else if (auto* m = dynamic_cast<const ConfVcMsg*>(msg.get())) {
-    OnConfVc(from, *m);
-  } else if (auto* m = dynamic_cast<const ReVcMsg*>(msg.get())) {
-    OnReVc(from, *m);
-  } else if (auto* m = dynamic_cast<const CampMsg*>(msg.get())) {
-    OnCamp(from, *m);
-  } else if (auto* m = dynamic_cast<const VoteCpMsg*>(msg.get())) {
-    OnVoteCp(from, *m);
-  } else if (auto* m = dynamic_cast<const VcBlockMsg*>(msg.get())) {
-    OnVcBlockMsg(from, *m);
-  } else if (auto* m = dynamic_cast<const VcYesMsg*>(msg.get())) {
-    OnVcYes(from, *m);
-  } else if (auto* m = dynamic_cast<const RefMsg*>(msg.get())) {
-    OnRef(from, *m);
-  } else if (auto* m = dynamic_cast<const RefReplyMsg*>(msg.get())) {
-    OnRefReply(from, *m);
-  } else if (auto* m = dynamic_cast<const RdoneMsg*>(msg.get())) {
-    OnRdone(from, *m);
-  } else if (auto* m = dynamic_cast<const SyncReqMsg*>(msg.get())) {
-    OnSyncReq(from, *m);
-  } else if (auto* m = dynamic_cast<const SyncRespMsg*>(msg.get())) {
-    OnSyncResp(from, *m);
-  } else if (dynamic_cast<const NoiseMsg*>(msg.get()) != nullptr) {
-    // Attack traffic: consumes bandwidth/CPU (already charged), no action.
-  } else {
-    ++metrics_.invalid_messages;
+    return;
   }
+  if (auto* m = dynamic_cast<const types::ClientComplaint*>(msg.get())) {
+    OnClientComplaint(from, *m);
+    return;
+  }
+  if (auto* m = dynamic_cast<const OrdMsg*>(msg.get())) {
+    OnOrd(from, *m);
+    return;
+  }
+  if (auto* m = dynamic_cast<const OrdReplyMsg*>(msg.get())) {
+    OnOrdReply(from, *m);
+    return;
+  }
+  if (auto* m = dynamic_cast<const CmtMsg*>(msg.get())) {
+    OnCmt(from, *m);
+    return;
+  }
+  if (auto* m = dynamic_cast<const CmtReplyMsg*>(msg.get())) {
+    OnCmtReply(from, *m);
+    return;
+  }
+  if (auto* m = dynamic_cast<const TxBlockMsg*>(msg.get())) {
+    OnTxBlockMsg(from, *m);
+    return;
+  }
+  if (auto* m = dynamic_cast<const HeartbeatMsg*>(msg.get())) {
+    OnHeartbeat(from, *m);
+    return;
+  }
+  if (auto* m = dynamic_cast<const ComptRelayMsg*>(msg.get())) {
+    OnComptRelay(from, *m);
+    return;
+  }
+  if (auto* m = dynamic_cast<const ConfVcMsg*>(msg.get())) {
+    OnConfVc(from, *m);
+    return;
+  }
+  if (auto* m = dynamic_cast<const ReVcMsg*>(msg.get())) {
+    OnReVc(from, *m);
+    return;
+  }
+  if (auto* m = dynamic_cast<const CampMsg*>(msg.get())) {
+    OnCamp(from, *m);
+    return;
+  }
+  if (auto* m = dynamic_cast<const VoteCpMsg*>(msg.get())) {
+    OnVoteCp(from, *m);
+    return;
+  }
+  if (auto* m = dynamic_cast<const VcBlockMsg*>(msg.get())) {
+    OnVcBlockMsg(from, *m);
+    return;
+  }
+  if (auto* m = dynamic_cast<const VcYesMsg*>(msg.get())) {
+    OnVcYes(from, *m);
+    return;
+  }
+  if (auto* m = dynamic_cast<const RefMsg*>(msg.get())) {
+    OnRef(from, *m);
+    return;
+  }
+  if (auto* m = dynamic_cast<const RefReplyMsg*>(msg.get())) {
+    OnRefReply(from, *m);
+    return;
+  }
+  if (auto* m = dynamic_cast<const RdoneMsg*>(msg.get())) {
+    OnRdone(from, *m);
+    return;
+  }
+  if (auto* m = dynamic_cast<const SyncReqMsg*>(msg.get())) {
+    OnSyncReq(from, *m);
+    return;
+  }
+  if (auto* m = dynamic_cast<const SyncRespMsg*>(msg.get())) {
+    OnSyncResp(from, *m);
+    return;
+  }
+  if (dynamic_cast<const NoiseMsg*>(msg.get()) != nullptr) {
+    // Attack traffic: consumes bandwidth/CPU (already charged), no action.
+    return;
+  }
+  ++metrics_.invalid_messages;
 }
 
 void PrestigeReplica::OnTimer(uint64_t tag) {
-  if (fault_.type == workload::FaultType::kCrash && Now() >= fault_.start_at &&
+  if (fault_.type == types::FaultType::kCrash && Now() >= fault_.start_at &&
       fault_.start_at > 0) {
     return;
   }
@@ -329,8 +369,8 @@ void PrestigeReplica::OnTimer(uint64_t tag) {
         noise->bytes = 2048;
         Send(PeerActors(), noise);
       }
-      if (fault_.type == workload::FaultType::kEquivocate ||
-          fault_.type == workload::FaultType::kRepeatedVc) {
+      if (fault_.type == types::FaultType::kEquivocate ||
+          fault_.type == types::FaultType::kRepeatedVc) {
         SetTimer(util::Millis(50), Tag(kNoiseTimer));
       }
       break;
@@ -338,7 +378,7 @@ void PrestigeReplica::OnTimer(uint64_t tag) {
       // F4: probe for campaign opportunities. The attacker uses the reason
       // correct servers will endorse — the timing policy when enabled (any
       // server may confirm a due rotation), otherwise leader timeouts.
-      if (fault_.type == workload::FaultType::kRepeatedVc &&
+      if (fault_.type == types::FaultType::kRepeatedVc &&
           Now() >= fault_.start_at) {
         if (role_ == Role::kFollower && config_.rotation_period > 0 &&
             Now() - view_entered_at_ >= config_.rotation_period * 9 / 10) {
@@ -353,7 +393,7 @@ void PrestigeReplica::OnTimer(uint64_t tag) {
           StartInspection(VcReason::kTimeout, nullptr);
         }
       }
-      if (fault_.type == workload::FaultType::kRepeatedVc) {
+      if (fault_.type == types::FaultType::kRepeatedVc) {
         SetTimer(util::Millis(20), Tag(kAttackProbe));
       }
       break;

@@ -9,7 +9,7 @@
 //  * the reputation engine hookup (§3) and penalty refresh (§4.2.5).
 //
 // Fault injection for the evaluation's attack suite (F1-F4, S1/S2) is
-// driven by a workload::FaultSpec and implemented at clearly marked
+// driven by a types::FaultSpec and implemented at clearly marked
 // decision points; honest replicas take none of those branches.
 //
 // Implementation is split across replica.cc (dispatch, sync, shared
@@ -37,7 +37,7 @@
 #include "runtime/env.h"
 #include "types/client_messages.h"
 #include "types/ids.h"
-#include "workload/fault_spec.h"
+#include "types/fault_spec.h"
 
 namespace prestige {
 namespace core {
@@ -52,7 +52,7 @@ class PrestigeReplica : public runtime::Node {
  public:
   PrestigeReplica(PrestigeConfig config, types::ReplicaId replica_id,
                   const crypto::KeyStore* keys,
-                  workload::FaultSpec fault = workload::FaultSpec::Honest());
+                  types::FaultSpec fault = types::FaultSpec::Honest());
   ~PrestigeReplica() override;
 
   /// Wires actor ids: `replicas[i]` is replica i's actor id; `clients` are
@@ -79,7 +79,7 @@ class PrestigeReplica : public runtime::Node {
   /// The commit-delivery pipeline (service + client session table).
   const CommitPipeline& delivery() const { return delivery_; }
   const ReplicaMetrics& metrics() const { return metrics_; }
-  const workload::FaultSpec& fault() const { return fault_; }
+  const types::FaultSpec& fault() const { return fault_; }
   /// Effective current penalty of `id` (vcBlock value + refresh overlay).
   types::Penalty EffectiveRp(types::ReplicaId id) const;
   types::CompensationIndex EffectiveCi(types::ReplicaId id) const;
@@ -279,7 +279,7 @@ class PrestigeReplica : public runtime::Node {
   types::ReplicaId id_;
   const crypto::KeyStore* keys_;
   crypto::Signer signer_;
-  workload::FaultSpec fault_;
+  types::FaultSpec fault_;
 
   std::vector<runtime::NodeId> replicas_;
   std::vector<runtime::NodeId> clients_;

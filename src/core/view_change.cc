@@ -124,7 +124,7 @@ void PrestigeReplica::StartInspection(VcReason reason,
   // inspects as a quiet leader to contest its own deposition.
   const bool byzantine_leader_probe =
       role_ == Role::kLeader &&
-      fault_.type == workload::FaultType::kRepeatedVc &&
+      fault_.type == types::FaultType::kRepeatedVc &&
       Now() >= fault_.start_at;
   if (role_ != Role::kFollower && !byzantine_leader_probe) return;
   if (inspecting_) return;  // One inspection at a time.
@@ -180,7 +180,7 @@ void PrestigeReplica::OnConfVc(runtime::NodeId from, const ConfVcMsg& msg) {
       break;
   }
   // Fault injection: colluding F4 attackers endorse any view change.
-  if (fault_.type == workload::FaultType::kRepeatedVc &&
+  if (fault_.type == types::FaultType::kRepeatedVc &&
       Now() >= fault_.start_at) {
     support = true;
   }
@@ -221,11 +221,11 @@ void PrestigeReplica::OnReVc(runtime::NodeId from, const ReVcMsg& msg) {
 // ---------------------------------------------------------------- redeemer
 
 bool PrestigeReplica::ShouldCampaign(types::View v_new) {
-  if (fault_.type != workload::FaultType::kRepeatedVc ||
+  if (fault_.type != types::FaultType::kRepeatedVc ||
       Now() < fault_.start_at) {
     return true;
   }
-  if (fault_.strategy == workload::AttackStrategy::kS1) return true;
+  if (fault_.strategy == types::AttackStrategy::kS1) return true;
   // S2: attack only when the reputation engine would grant compensation
   // keeping rp from growing (§6.2 Availability).
   auto result = engine_.CalcRp(v_new, view_, EffectiveRp(id_),

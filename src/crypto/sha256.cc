@@ -138,6 +138,10 @@ void Sha256::ProcessBlock(const uint8_t block[64]) {
 }
 
 void Sha256::Update(const uint8_t* data, size_t len) {
+  // Zero-length updates may legitimately carry data == nullptr (e.g. an
+  // empty command payload streamed through HashingEncoder); return before
+  // any pointer arithmetic or memcpy sees the null.
+  if (len == 0) return;
   bit_count_ += static_cast<uint64_t>(len) * 8;
   while (len > 0) {
     if (buffer_len_ == 0 && len >= 64) {

@@ -23,7 +23,7 @@
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "workload/client_pool.h"
-#include "workload/fault_spec.h"
+#include "types/fault_spec.h"
 
 namespace prestige {
 namespace harness {
@@ -47,13 +47,13 @@ template <typename Replica, typename Config>
 class Cluster {
  public:
   Cluster(Config protocol, WorkloadOptions workload,
-          std::vector<workload::FaultSpec> faults = {})
+          std::vector<types::FaultSpec> faults = {})
       : protocol_(protocol),
         workload_(workload),
         sim_(workload.seed),
         net_(&sim_, workload.latency, workload.cost),
         keys_(workload.seed ^ 0xc0ffee) {
-    faults.resize(protocol_.n, workload::FaultSpec::Honest());
+    faults.resize(protocol_.n, types::FaultSpec::Honest());
 
     // Registration order (replicas first, then pools) fixes both the id
     // layout and each node's forked RNG stream — identical to the
@@ -203,7 +203,8 @@ class Cluster {
     double weighted = 0.0;
     size_t count = 0;
     for (auto& pool : pools_) {
-      weighted += pool->latencies().Mean() * pool->latencies().count();
+      weighted += pool->latencies().Mean() *
+                  static_cast<double>(pool->latencies().count());
       count += pool->latencies().count();
     }
     return count == 0 ? 0.0 : weighted / static_cast<double>(count);

@@ -72,7 +72,7 @@ SafetyReport CheckSafety(const Cluster& cluster) {
   for (uint32_t i = 0; i < cluster.num_replicas(); ++i) {
     const auto& replica = cluster.replica(i);
     if (replica.fault().IsByzantine() &&
-        replica.fault().type != workload::FaultType::kCrash) {
+        replica.fault().type != types::FaultType::kCrash) {
       continue;
     }
     const auto& chain = replica.store().tx_chain();

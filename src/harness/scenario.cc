@@ -176,8 +176,8 @@ const std::vector<ScenarioSpec>& NamedScenarios() {
 }
 
 bool ThreadedCapable(const ScenarioSpec& spec) {
-  for (const workload::FaultSpec& fault : spec.byzantine) {
-    if (fault.type != workload::FaultType::kHonest) return false;
+  for (const types::FaultSpec& fault : spec.byzantine) {
+    if (fault.type != types::FaultType::kHonest) return false;
   }
   for (const Phase& p : spec.phases) {
     if (p.set_partition || p.partition_leader || p.set_link_faults ||

@@ -21,7 +21,7 @@
 
 #include "sim/fault.h"
 #include "util/time.h"
-#include "workload/fault_spec.h"
+#include "types/fault_spec.h"
 
 namespace prestige {
 namespace harness {
@@ -73,7 +73,7 @@ struct ScenarioSpec {
   std::string description;
   uint32_t n = 4;
   /// Per-replica Byzantine behaviours (resized to n with Honest()).
-  std::vector<workload::FaultSpec> byzantine;
+  std::vector<types::FaultSpec> byzantine;
   std::vector<Phase> phases;
 
   /// Total scripted virtual time.

@@ -200,8 +200,8 @@ ScenarioSeedResult RunScenarioSeed(const ScenarioSpec& spec, Config config,
   const auto wall_start = std::chrono::steady_clock::now();
 
   config.n = spec.n;
-  std::vector<workload::FaultSpec> faults = spec.byzantine;
-  faults.resize(spec.n, workload::FaultSpec::Honest());
+  std::vector<types::FaultSpec> faults = spec.byzantine;
+  faults.resize(spec.n, types::FaultSpec::Honest());
 
   Cluster<Replica, Config> cluster(config, workload, faults);
   cluster.network().fault_plane().Seed(workload.seed);

@@ -39,12 +39,12 @@ template <typename Replica, typename Config>
 class ThreadedCluster {
  public:
   ThreadedCluster(Config protocol, WorkloadOptions workload,
-                  std::vector<workload::FaultSpec> faults = {})
+                  std::vector<types::FaultSpec> faults = {})
       : protocol_(protocol),
         workload_(workload),
         runtime_(workload.seed),
         keys_(workload.seed ^ 0xc0ffee) {
-    faults.resize(protocol_.n, workload::FaultSpec::Honest());
+    faults.resize(protocol_.n, types::FaultSpec::Honest());
 
     std::vector<runtime::NodeId> replica_ids;
     std::vector<runtime::NodeId> pool_ids;
@@ -111,7 +111,8 @@ class ThreadedCluster {
     double weighted = 0.0;
     size_t count = 0;
     for (auto& pool : pools_) {
-      weighted += pool->latencies().Mean() * pool->latencies().count();
+      weighted += pool->latencies().Mean() *
+                  static_cast<double>(pool->latencies().count());
       count += pool->latencies().count();
     }
     return count == 0 ? 0.0 : weighted / static_cast<double>(count);

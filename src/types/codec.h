@@ -105,6 +105,9 @@ class Encoder : public EncoderBase<Encoder> {
   // field boundaries ambiguous and void the no-collision argument above.
   friend class EncoderBase<Encoder>;
   void Append(const uint8_t* data, size_t len) {
+    // Empty PutBytes/PutString payloads hand us data() == nullptr, and a
+    // (nullptr, nullptr) insert range is UB even at length zero.
+    if (len == 0) return;
     buf_.insert(buf_.end(), data, data + len);
   }
 

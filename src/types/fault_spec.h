@@ -11,14 +11,19 @@
 //
 // Faulty servers may collude (§4.1): they share logs and perform joint PoW
 // computation, modeled as a hash-rate multiplier.
+//
+// Lives in types/ (not workload/) because replicas consume a FaultSpec to
+// emulate the attack suite: protocol layers may depend on types/, while
+// workload/ (traffic generation) is out of bounds for them — enforced by
+// prestige_lint's layering rule.
 
-#ifndef PRESTIGE_WORKLOAD_FAULT_SPEC_H_
-#define PRESTIGE_WORKLOAD_FAULT_SPEC_H_
+#ifndef PRESTIGE_TYPES_FAULT_SPEC_H_
+#define PRESTIGE_TYPES_FAULT_SPEC_H_
 
 #include "util/time.h"
 
 namespace prestige {
-namespace workload {
+namespace types {
 
 /// Behaviour class of one replica.
 enum class FaultType {
@@ -95,7 +100,7 @@ struct FaultSpec {
   }
 };
 
-}  // namespace workload
+}  // namespace types
 }  // namespace prestige
 
-#endif  // PRESTIGE_WORKLOAD_FAULT_SPEC_H_
+#endif  // PRESTIGE_TYPES_FAULT_SPEC_H_

@@ -81,8 +81,8 @@ TEST(HotStuffTest, PassiveRotationCannotSkipCrashedLeader) {
 }
 
 TEST(HotStuffTest, QuietLeaderCausesTimeoutRotation) {
-  std::vector<workload::FaultSpec> faults(4, workload::FaultSpec::Honest());
-  faults[1] = workload::FaultSpec::Quiet();  // View-1 leader is 1 % 4 = 1.
+  std::vector<types::FaultSpec> faults(4, types::FaultSpec::Honest());
+  faults[1] = types::FaultSpec::Quiet();  // View-1 leader is 1 % 4 = 1.
   HsCluster cluster(HsConfig(), SmallWorkload(7), faults);
   cluster.Start();
   cluster.RunFor(Seconds(5));

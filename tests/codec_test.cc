@@ -157,6 +157,57 @@ TEST(HashingEncoderTest, EmptyPayloadMatchesToo) {
   EXPECT_EQ(henc.Digest(), enc.Digest());
 }
 
+// --------------------------------------------------- zero-length payloads
+//
+// Empty vectors/strings legally report data() == nullptr; both encoder
+// sinks (Encoder::Append, Sha256::Update) must tolerate a (nullptr, 0)
+// append without invoking UB (caught by UBSan as a nonnull violation in
+// memcpy-backed sinks before the len == 0 guards).
+
+TEST(EncoderTest, EmptyBytesAndStringsRoundTripThroughBothSinks) {
+  const std::vector<uint8_t> empty;
+  Encoder enc("empty");
+  enc.PutBytes(empty).PutString(std::string()).PutString("");
+
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.TakeString(), "empty");
+  EXPECT_EQ(dec.TakeU64(), 0u);  // PutBytes length prefix.
+  EXPECT_EQ(dec.TakeString(), "");
+  EXPECT_EQ(dec.TakeString(), "");
+  EXPECT_EQ(dec.remaining(), 0u);
+
+  HashingEncoder henc("empty");
+  henc.PutBytes(empty).PutString(std::string()).PutString("");
+  EXPECT_EQ(henc.Digest(), enc.Digest());
+}
+
+TEST(EncoderTest, EmptyCommandTransactionRoundTrips) {
+  // A Transaction with an empty command payload is the synthetic-workload
+  // default; its digest must be computable (PutBytes streams the empty
+  // command into SHA-256) and distinct from a non-empty command.
+  Transaction empty_cmd;
+  empty_cmd.pool = 3;
+  empty_cmd.client_seq = 9;
+  empty_cmd.fingerprint = 0xfeed;
+  ASSERT_TRUE(empty_cmd.command.empty());
+  const crypto::Sha256Digest d1 = empty_cmd.Digest();
+  EXPECT_EQ(d1, empty_cmd.Digest());  // Deterministic.
+
+  Transaction with_cmd = empty_cmd;
+  with_cmd.command = {0x01};
+  EXPECT_NE(with_cmd.Digest(), d1);
+
+  // Zero-length Sha256::Update calls leave the stream state untouched.
+  crypto::Sha256 a;
+  crypto::Sha256 b;
+  a.Update(nullptr, 0);
+  a.Update(std::vector<uint8_t>{});
+  const uint8_t byte = 0x42;
+  a.Update(&byte, 1);
+  b.Update(&byte, 1);
+  EXPECT_EQ(a.Finish(), b.Finish());
+}
+
 TEST(HashingEncoderTest, CharPointerTagMatchesStringTag) {
   // PutString(const char*) must serialize identically to the std::string
   // overload (it exists only to skip the temporary's allocation).

@@ -145,8 +145,8 @@ TEST(PrestigeIntegrationTest, CrashedLeaderIsReplaced) {
 
 TEST(PrestigeIntegrationTest, QuietLeaderIsReplaced) {
   // F2 applied to the initial leader mid-run.
-  std::vector<workload::FaultSpec> faults(4, workload::FaultSpec::Honest());
-  faults[0] = workload::FaultSpec::Quiet(Seconds(1));
+  std::vector<types::FaultSpec> faults(4, types::FaultSpec::Honest());
+  faults[0] = types::FaultSpec::Quiet(Seconds(1));
   PrestigeCluster cluster(SmallConfig(), SmallWorkload(9), faults);
   cluster.Start();
   cluster.RunFor(Seconds(6));
@@ -203,8 +203,8 @@ TEST(PrestigeIntegrationTest, TimingPolicyRotatesLeadership) {
 }
 
 TEST(PrestigeIntegrationTest, EquivocatingFollowersDoNotBlockProgress) {
-  std::vector<workload::FaultSpec> faults(4, workload::FaultSpec::Honest());
-  faults[3] = workload::FaultSpec::Equivocate();
+  std::vector<types::FaultSpec> faults(4, types::FaultSpec::Honest());
+  faults[3] = types::FaultSpec::Equivocate();
   PrestigeCluster cluster(SmallConfig(), SmallWorkload(19), faults);
   cluster.Start();
   cluster.RunFor(Seconds(3));
@@ -217,8 +217,8 @@ TEST(PrestigeIntegrationTest, EquivocatingFollowersDoNotBlockProgress) {
 TEST(PrestigeIntegrationTest, QuietFollowerDoesNotTriggerViewChange) {
   // Theorem 4: under a correct leader no view change occurs, even with a
   // quiet (crash-like) follower.
-  std::vector<workload::FaultSpec> faults(4, workload::FaultSpec::Honest());
-  faults[2] = workload::FaultSpec::Quiet();
+  std::vector<types::FaultSpec> faults(4, types::FaultSpec::Honest());
+  faults[2] = types::FaultSpec::Quiet();
   PrestigeCluster cluster(SmallConfig(), SmallWorkload(21), faults);
   cluster.Start();
   cluster.RunFor(Seconds(4));
@@ -232,9 +232,9 @@ TEST(PrestigeIntegrationTest, QuietFollowerDoesNotTriggerViewChange) {
 TEST(PrestigeIntegrationTest, RepeatedVcAttackerAccumulatesPenalty) {
   PrestigeConfig config = SmallConfig();
   config.rotation_period = Seconds(1);  // Give attackers opportunities.
-  std::vector<workload::FaultSpec> faults(4, workload::FaultSpec::Honest());
-  faults[3] = workload::FaultSpec::RepeatedVc(
-      workload::AttackStrategy::kS1, workload::LeaderMisbehaviour::kQuiet);
+  std::vector<types::FaultSpec> faults(4, types::FaultSpec::Honest());
+  faults[3] = types::FaultSpec::RepeatedVc(
+      types::AttackStrategy::kS1, types::LeaderMisbehaviour::kQuiet);
   WorkloadOptions w = SmallWorkload(23);
   PrestigeCluster cluster(config, w, faults);
   cluster.Start();

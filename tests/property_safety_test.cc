@@ -66,7 +66,7 @@ void AssertNoDuplicateCommits(PrestigeCluster& cluster, uint32_t n) {
 struct AdversaryCase {
   uint64_t seed;
   uint32_t n;
-  workload::FaultType fault;
+  types::FaultType fault;
 };
 
 class RandomAdversaryTest : public ::testing::TestWithParam<AdversaryCase> {};
@@ -76,7 +76,7 @@ TEST_P(RandomAdversaryTest, SafetyHoldsUnderFaultsAndRotation) {
   PrestigeConfig config = FastConfig(c.n);
   config.rotation_period = Seconds(1);
 
-  std::vector<workload::FaultSpec> faults(c.n, workload::FaultSpec::Honest());
+  std::vector<types::FaultSpec> faults(c.n, types::FaultSpec::Honest());
   const uint32_t f = types::MaxFaulty(c.n);
   util::Rng rng(c.seed);
   std::set<uint32_t> chosen;
@@ -84,15 +84,15 @@ TEST_P(RandomAdversaryTest, SafetyHoldsUnderFaultsAndRotation) {
     chosen.insert(static_cast<uint32_t>(rng.NextBounded(c.n)));
   }
   for (uint32_t id : chosen) {
-    workload::FaultSpec spec;
+    types::FaultSpec spec;
     spec.type = c.fault;
     spec.start_at = Millis(rng.NextInRange(0, 2000));
-    if (c.fault == workload::FaultType::kRepeatedVc) {
-      spec.strategy = rng.NextBool(0.5) ? workload::AttackStrategy::kS1
-                                        : workload::AttackStrategy::kS2;
+    if (c.fault == types::FaultType::kRepeatedVc) {
+      spec.strategy = rng.NextBool(0.5) ? types::AttackStrategy::kS1
+                                        : types::AttackStrategy::kS2;
       spec.as_leader = rng.NextBool(0.5)
-                           ? workload::LeaderMisbehaviour::kQuiet
-                           : workload::LeaderMisbehaviour::kEquivocate;
+                           ? types::LeaderMisbehaviour::kQuiet
+                           : types::LeaderMisbehaviour::kEquivocate;
     }
     faults[id] = spec;
   }
@@ -115,14 +115,14 @@ TEST_P(RandomAdversaryTest, SafetyHoldsUnderFaultsAndRotation) {
 INSTANTIATE_TEST_SUITE_P(
     Seeds, RandomAdversaryTest,
     ::testing::Values(
-        AdversaryCase{101, 4, workload::FaultType::kQuiet},
-        AdversaryCase{102, 4, workload::FaultType::kEquivocate},
-        AdversaryCase{103, 4, workload::FaultType::kRepeatedVc},
-        AdversaryCase{104, 7, workload::FaultType::kQuiet},
-        AdversaryCase{105, 7, workload::FaultType::kRepeatedVc},
-        AdversaryCase{106, 7, workload::FaultType::kEquivocate},
-        AdversaryCase{107, 4, workload::FaultType::kRepeatedVc},
-        AdversaryCase{108, 7, workload::FaultType::kRepeatedVc}));
+        AdversaryCase{101, 4, types::FaultType::kQuiet},
+        AdversaryCase{102, 4, types::FaultType::kEquivocate},
+        AdversaryCase{103, 4, types::FaultType::kRepeatedVc},
+        AdversaryCase{104, 7, types::FaultType::kQuiet},
+        AdversaryCase{105, 7, types::FaultType::kRepeatedVc},
+        AdversaryCase{106, 7, types::FaultType::kEquivocate},
+        AdversaryCase{107, 4, types::FaultType::kRepeatedVc},
+        AdversaryCase{108, 7, types::FaultType::kRepeatedVc}));
 
 // ----------------------------------------------- crash-recover schedules
 

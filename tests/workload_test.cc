@@ -10,11 +10,16 @@
 #include "sim/simulator.h"
 #include "types/client_messages.h"
 #include "workload/client_pool.h"
-#include "workload/fault_spec.h"
+#include "types/fault_spec.h"
 
 namespace prestige {
 namespace workload {
 namespace {
+
+using types::AttackStrategy;
+using types::FaultSpec;
+using types::FaultType;
+using types::LeaderMisbehaviour;
 
 using util::Millis;
 using util::Seconds;

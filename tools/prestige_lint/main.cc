@@ -1,0 +1,92 @@
+// prestige_lint CLI — runs the project-invariant checker over a source
+// tree (default: src/ relative to the current directory).
+//
+//   prestige_lint [--root DIR] [--rule NAME]... [--tags] [--list-rules]
+//
+//   --root DIR    tree to analyze (default "src")
+//   --rule NAME   run only the named rule; repeatable (default: all rules)
+//   --tags        print the extracted domain-tag registry and exit
+//   --list-rules  print the implemented rule names and exit
+//
+// Exit status: 0 = clean, 1 = findings reported, 2 = usage/I-O error.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "prestige_lint/prestige_lint.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: prestige_lint [--root DIR] [--rule NAME]... [--tags] "
+               "[--list-rules]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = "src";
+  prestige::lint::Options options;
+  bool print_tags = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+    } else if (std::strcmp(arg, "--rule") == 0 && i + 1 < argc) {
+      options.rules.push_back(argv[++i]);
+    } else if (std::strcmp(arg, "--tags") == 0) {
+      print_tags = true;
+    } else if (std::strcmp(arg, "--list-rules") == 0) {
+      for (const std::string& rule : prestige::lint::RuleNames()) {
+        std::printf("%s\n", rule.c_str());
+      }
+      return 0;
+    } else {
+      std::fprintf(stderr, "prestige_lint: unknown argument '%s'\n", arg);
+      return Usage();
+    }
+  }
+
+  for (const std::string& rule : options.rules) {
+    const auto& known = prestige::lint::RuleNames();
+    if (std::find(known.begin(), known.end(), rule) == known.end()) {
+      std::fprintf(stderr, "prestige_lint: unknown rule '%s'\n", rule.c_str());
+      return Usage();
+    }
+  }
+
+  std::vector<prestige::lint::SourceFile> files;
+  try {
+    files = prestige::lint::LoadTree(root);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
+  if (print_tags) {
+    for (const auto& tag : prestige::lint::ExtractDomainTags(files)) {
+      std::printf("%-12s %s:%d\n", tag.tag.c_str(), tag.path.c_str(),
+                  tag.line);
+    }
+    return 0;
+  }
+
+  const auto findings = prestige::lint::Lint(files, options);
+  for (const auto& finding : findings) {
+    std::printf("%s\n", prestige::lint::FormatFinding(finding).c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "prestige_lint: %zu finding(s) over %zu files\n",
+                 findings.size(), files.size());
+    return 1;
+  }
+  std::printf("prestige_lint: clean (%zu files)\n", files.size());
+  return 0;
+}
