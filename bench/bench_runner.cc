@@ -452,6 +452,79 @@ ScenarioResult RunDeclarative(const harness::ScenarioSpec& spec) {
   return result;
 }
 
+/// Seed-swept adversary-schedule fuzzer: every seed runs a *different*
+/// randomized ByzantineSpec (harness::ByzantineFuzzSpec), on all three
+/// protocols, through the generator sweep. Deterministic like every other
+/// sweep — the schedule is a pure function of the seed — so the per-seed
+/// JSON blocks are byte-identical for any --jobs value.
+ScenarioResult RunByzantineFuzz() {
+  const uint32_t seeds = g_sweep_seeds;
+  const uint64_t base_seed = g_sweep_base_seed;
+  const uint32_t jobs = g_jobs == 0 ? DefaultJobs() : g_jobs;
+  return Instrumented([&](ScenarioResult& r) {
+    const harness::ScenarioSpec first = harness::ByzantineFuzzSpec(base_seed);
+    r.n = first.n;
+
+    const auto prestige = harness::RunScenarioSweepGen<
+        core::PrestigeReplica, core::PrestigeConfig>(
+        [](uint64_t seed) { return harness::ByzantineFuzzSpec(seed); },
+        PaperPrestigeConfig(first.n, 500), ScenarioWorkload(0), base_seed,
+        seeds, jobs);
+    const auto hotstuff = harness::RunScenarioSweepGen<
+        baselines::hotstuff::HotStuffReplica,
+        baselines::hotstuff::HotStuffConfig>(
+        [](uint64_t seed) { return harness::ByzantineFuzzSpec(seed); },
+        PaperHotStuffConfig(first.n, 500), ScenarioWorkload(0), base_seed,
+        seeds, jobs);
+    baselines::sbft::SbftConfig sbft_config;
+    sbft_config.n = first.n;
+    sbft_config.batch_size = 500;
+    const auto sbft = harness::RunScenarioSweepGen<
+        baselines::sbft::SbftReplica, baselines::sbft::SbftConfig>(
+        [](uint64_t seed) { return harness::ByzantineFuzzSpec(seed); },
+        sbft_config, ScenarioWorkload(0), base_seed, seeds, jobs);
+
+    r.committed = prestige.committed_total;
+    r.tps = prestige.tps_mean;
+    r.p50_ms = prestige.p50_ms_mean;
+    r.p99_ms = prestige.p99_ms_mean;
+    r.view_changes = prestige.view_changes_total;
+    r.elections_won = prestige.elections_won_total;
+    r.replies = prestige.replies_total;
+    r.duplicate_suppressed = prestige.duplicate_suppressed_total;
+    r.result_mismatches = prestige.result_mismatches_total;
+    r.safe = prestige.all_safe && hotstuff.all_safe && sbft.all_safe;
+    r.sha256_hashes = prestige.hashes_total + hotstuff.hashes_total +
+                      sbft.hashes_total;
+    r.events = prestige.events_total + hotstuff.events_total +
+               sbft.events_total;
+
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"seeds\": %u,\n  \"base_seed\": %llu,\n"
+                  "  \"jobs\": %u,\n"
+                  "  \"all_safe\": %s,\n  \"protocols\": [\n",
+                  seeds, static_cast<unsigned long long>(base_seed), jobs,
+                  r.safe ? "true" : "false");
+    r.extra_json = buf;
+    r.extra_json += ProtocolJson("prestigebft", prestige) + ",\n";
+    r.extra_json += ProtocolJson("hotstuff", hotstuff) + ",\n";
+    r.extra_json += ProtocolJson("sbft", sbft) + "\n  ],\n";
+
+    for (const auto* agg : {&prestige, &hotstuff, &sbft}) {
+      for (const auto& seed : agg->seeds) {
+        if (!seed.safety_ok) {
+          std::fprintf(stderr,
+                       "bench_runner: SAFETY VIOLATION byzantine-fuzz "
+                       "seed %llu: %s\n",
+                       static_cast<unsigned long long>(seed.seed),
+                       seed.violation.c_str());
+        }
+      }
+    }
+  });
+}
+
 struct Scenario {
   const char* name;
   const char* description;
@@ -471,6 +544,9 @@ const std::vector<Scenario>& Scenarios() {
          [] { return RunLeaderCrash(); }},
         {"digest_micro", "repeated TxBlock/VcBlock digest reads (hot path)",
          [] { return RunDigestMicro(); }},
+        {"byzantine-fuzz",
+         "seed-randomized adversary schedules, all protocols (fuzzer)",
+         [] { return RunByzantineFuzz(); }},
     };
     // Declarative fault scenarios (seed-swept over all three protocols).
     // The specs live in a function-local static, so the c_str() pointers

@@ -14,6 +14,7 @@
 #include "baselines/sbft/sbft_replica.h"
 #include "core/replica.h"
 #include "harness/cluster.h"
+#include "harness/scenario_runner.h"
 
 namespace prestige {
 namespace bench {
@@ -54,6 +55,50 @@ RunResult MeasureCluster(Config config, harness::WorkloadOptions workload,
   result.mean_latency_ms = cluster.MeanLatencyMs();
   result.p50_latency_ms = cluster.LatencyPercentileMs(50);
   result.p99_latency_ms = cluster.LatencyPercentileMs(99);
+  return result;
+}
+
+/// Invariant-checked variant of MeasureCluster: wraps the (faults, warmup,
+/// measure) shape into a two-phase ScenarioSpec and runs it through the
+/// scenario runner, so the cross-replica safety invariants sweep at both
+/// phase boundaries. TPS covers the measure phase only, like
+/// MeasureCluster's window. A violation prints to stderr and clears
+/// `*safe` (never set back to true), letting figure binaries keep their
+/// tables while exiting non-zero on any safety failure.
+template <typename Replica, typename Config>
+RunResult MeasureScenario(const std::string& name, Config config,
+                          harness::WorkloadOptions workload,
+                          std::vector<types::FaultSpec> faults,
+                          util::DurationMicros warmup,
+                          util::DurationMicros measure, bool* safe) {
+  harness::ScenarioSpec spec;
+  spec.name = name;
+  spec.n = config.n;
+  spec.byzantine = std::move(faults);
+  harness::Phase warm;
+  warm.name = "warmup";
+  warm.duration = warmup;
+  spec.phases.push_back(warm);
+  harness::Phase meas;
+  meas.name = "measure";
+  meas.duration = measure;
+  spec.phases.push_back(meas);
+
+  const harness::ScenarioSeedResult r =
+      harness::RunScenarioSeed<Replica, Config>(spec, config, workload);
+
+  RunResult result;
+  result.committed = r.committed;
+  result.tps = static_cast<double>(r.phases.back().committed) /
+               util::ToSeconds(std::max<util::DurationMicros>(1, measure));
+  result.p50_latency_ms = r.p50_ms;
+  result.p99_latency_ms = r.p99_ms;
+  if (!r.safety_ok) {
+    std::fprintf(stderr, "SAFETY VIOLATION %s (seed %llu): %s\n",
+                 name.c_str(), static_cast<unsigned long long>(r.seed),
+                 r.violation.c_str());
+    *safe = false;
+  }
   return result;
 }
 

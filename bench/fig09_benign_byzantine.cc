@@ -7,6 +7,11 @@
 // leaders (each costs ~timeout + switch); pb is nearly unaffected, and F2
 // can even raise its throughput slightly (quiet servers free bandwidth);
 // F3 hurts more than F2 (erroneous messages burn bandwidth/CPU).
+//
+// Every cell runs through the scenario runner (MeasureScenario), so the
+// cross-replica safety invariants sweep after warmup and after the
+// measurement window; any violation prints to stderr and the binary exits
+// non-zero — the figure doubles as a Byzantine safety regression.
 
 #include "bench/bench_util.h"
 
@@ -16,6 +21,9 @@ namespace {
 
 constexpr util::DurationMicros kWarmup = util::Seconds(1);
 constexpr util::DurationMicros kMeasure = util::Seconds(4);
+
+/// All cells safe so far; cleared by MeasureScenario on any violation.
+bool g_safe = true;
 
 std::vector<types::FaultSpec> MakeFaults(uint32_t n, uint32_t f,
                                             types::FaultType type) {
@@ -28,6 +36,12 @@ std::vector<types::FaultSpec> MakeFaults(uint32_t n, uint32_t f,
                          : types::FaultSpec::Equivocate();
   }
   return faults;
+}
+
+std::string CellName(const char* proto, const char* policy, const char* kind,
+                     uint32_t n, uint32_t f) {
+  return std::string("fig09_") + proto + "_" + policy + "_" + kind + "_n" +
+         std::to_string(n) + "_f" + std::to_string(f);
 }
 
 void RunScale(uint32_t n, const std::vector<uint32_t>& f_values) {
@@ -55,9 +69,10 @@ void RunScale(uint32_t n, const std::vector<uint32_t>& f_values) {
       for (uint32_t f : f_values) {
         core::PrestigeConfig config = PaperPrestigeConfig(n, 1000);
         config.rotation_period = policy.period;
-        auto r = MeasureCluster<core::PrestigeReplica>(
-            config, SaturatingWorkload(900 + n + f + ft, 8, 150),
-            MakeFaults(n, f, fault_types[ft]), kWarmup, kMeasure);
+        auto r = MeasureScenario<core::PrestigeReplica>(
+            CellName("pb", policy.name, fault_names[ft], n, f), config,
+            SaturatingWorkload(900 + n + f + ft, 8, 150),
+            MakeFaults(n, f, fault_types[ft]), kWarmup, kMeasure, &g_safe);
         std::printf(" %10.0f", r.tps);
       }
       std::printf("\n");
@@ -67,9 +82,10 @@ void RunScale(uint32_t n, const std::vector<uint32_t>& f_values) {
         baselines::hotstuff::HotStuffConfig config =
             PaperHotStuffConfig(n, 1000);
         config.rotation_period = policy.period;
-        auto r = MeasureCluster<baselines::hotstuff::HotStuffReplica>(
-            config, SaturatingWorkload(950 + n + f + ft, 8, 150),
-            MakeFaults(n, f, fault_types[ft]), kWarmup, kMeasure);
+        auto r = MeasureScenario<baselines::hotstuff::HotStuffReplica>(
+            CellName("hs", policy.name, fault_names[ft], n, f), config,
+            SaturatingWorkload(950 + n + f + ft, 8, 150),
+            MakeFaults(n, f, fault_types[ft]), kWarmup, kMeasure, &g_safe);
         std::printf(" %10.0f", r.tps);
       }
       std::printf("\n");
@@ -77,7 +93,7 @@ void RunScale(uint32_t n, const std::vector<uint32_t>& f_values) {
   }
 }
 
-void Run() {
+int Run() {
   PrintHeader("Figure 9",
               "Throughput under F2 (quiet) and F3 (equivocation), timing-\n"
               "policy rotations (r10/r30 scaled to 2s/6s sim time), TPS");
@@ -88,13 +104,11 @@ void Run() {
       "scheduling the faulty servers; ~1.2 s lost per faulty slot), more at\n"
       "r10 than r30 and under equiv than quiet; pb stays near its f=0 level\n"
       "(paper: hs -62%, pb ~0% with a slight gain under quiet).");
+  return g_safe ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace bench
 }  // namespace prestige
 
-int main() {
-  prestige::bench::Run();
-  return 0;
-}
+int main() { return prestige::bench::Run(); }

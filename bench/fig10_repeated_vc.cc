@@ -6,6 +6,10 @@
 // Fig. 9 (its passive schedule ignores campaigns); pb takes a moderate hit
 // (~24% at n=4, f=1) because its reputation engine progressively suppresses
 // the attackers.
+//
+// Every cell runs through the scenario runner (MeasureScenario): the
+// cross-replica safety invariants sweep after warmup and after the
+// measurement window, and any violation makes the binary exit non-zero.
 
 #include "bench/bench_util.h"
 
@@ -15,6 +19,9 @@ namespace {
 
 constexpr util::DurationMicros kWarmup = util::Seconds(1);
 constexpr util::DurationMicros kMeasure = util::Seconds(6);
+
+/// All cells safe so far; cleared by MeasureScenario on any violation.
+bool g_safe = true;
 
 std::vector<types::FaultSpec> MakeAttackers(
     uint32_t n, uint32_t f, types::LeaderMisbehaviour misbehaviour) {
@@ -26,6 +33,12 @@ std::vector<types::FaultSpec> MakeAttackers(
         /*collusion_speedup=*/std::max(1.0, static_cast<double>(f)));
   }
   return faults;
+}
+
+std::string CellName(const char* proto, const char* kind, uint32_t n,
+                     uint32_t f) {
+  return std::string("fig10_") + proto + "_r10_" + kind + "_n" +
+         std::to_string(n) + "_f" + std::to_string(f);
 }
 
 void RunScale(uint32_t n, const std::vector<uint32_t>& f_values) {
@@ -40,9 +53,10 @@ void RunScale(uint32_t n, const std::vector<uint32_t>& f_values) {
     for (uint32_t f : f_values) {
       core::PrestigeConfig config = PaperPrestigeConfig(n, 1000);
       config.rotation_period = util::Seconds(2);
-      auto r = MeasureCluster<core::PrestigeReplica>(
-          config, SaturatingWorkload(1000 + n + f + k, 8, 150),
-          MakeAttackers(n, f, kinds[k]), kWarmup, kMeasure);
+      auto r = MeasureScenario<core::PrestigeReplica>(
+          CellName("pb", kind_names[k], n, f), config,
+          SaturatingWorkload(1000 + n + f + k, 8, 150),
+          MakeAttackers(n, f, kinds[k]), kWarmup, kMeasure, &g_safe);
       std::printf(" f=%u: %8.0f", f, r.tps);
     }
     std::printf("\n");
@@ -51,16 +65,17 @@ void RunScale(uint32_t n, const std::vector<uint32_t>& f_values) {
       baselines::hotstuff::HotStuffConfig config =
           PaperHotStuffConfig(n, 1000);
       config.rotation_period = util::Seconds(2);
-      auto r = MeasureCluster<baselines::hotstuff::HotStuffReplica>(
-          config, SaturatingWorkload(1050 + n + f + k, 8, 150),
-          MakeAttackers(n, f, kinds[k]), kWarmup, kMeasure);
+      auto r = MeasureScenario<baselines::hotstuff::HotStuffReplica>(
+          CellName("hs", kind_names[k], n, f), config,
+          SaturatingWorkload(1050 + n + f + k, 8, 150),
+          MakeAttackers(n, f, kinds[k]), kWarmup, kMeasure, &g_safe);
       std::printf(" f=%u: %8.0f", f, r.tps);
     }
     std::printf("\n");
   }
 }
 
-void Run() {
+int Run() {
   PrintHeader("Figure 10",
               "Throughput under repeated VC attacks (F4+F2 / F4+F3), TPS");
   RunScale(4, {0, 1});
@@ -69,13 +84,11 @@ void Run() {
       "Shape to check: pb drops moderately (paper: -24% at n=4 f=1) and\n"
       "recovers as attackers are penalized; hs shows the Fig. 9-style\n"
       "sustained drop (paper: -69%).");
+  return g_safe ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace bench
 }  // namespace prestige
 
-int main() {
-  prestige::bench::Run();
-  return 0;
-}
+int main() { return prestige::bench::Run(); }

@@ -104,6 +104,10 @@ crypto::Signature HotStuffReplica::SignMaybeCorrupt(
 void HotStuffReplica::OnStart() {
   view_ = 1;
   have_newview_quorum_ = true;  // View 1 starts by convention.
+  if (IsLeader()) {
+    ++metrics_.views_led;
+    metrics_.last_led_at = Now();
+  }
   ArmViewTimer();
   if (config_.rotation_period > 0) {
     rotation_timer_ = SetTimer(
@@ -184,6 +188,8 @@ void HotStuffReplica::EnterView(types::View v, bool failed) {
   ArmViewTimer();
   if (IsLeader()) {
     ++metrics_.elections_won;  // "Elected" by schedule.
+    ++metrics_.views_led;
+    metrics_.last_led_at = Now();
     MaybePropose(/*allow_partial=*/true);
   }
 }
@@ -197,6 +203,10 @@ void HotStuffReplica::EnqueueTx(const types::Transaction& tx) {
 
 void HotStuffReplica::MaybePropose(bool allow_partial) {
   if (!IsLeader() || proposal_active_) return;
+  // Slow/selective leader: hold the view without proposing. The passive
+  // pacemaker only recovers via view timeouts — the churn PrestigeBFT's
+  // complaint-driven inspection avoids charging to honest replicas.
+  if (AdversaryWedged()) return;
   const types::SeqNum next = store_.LatestTxSeq() + 1;
   // Inherited in-flight body first: peers vote-bound to a body at the next
   // sequence refuse anything else there, so a new leader re-proposes the
@@ -257,7 +267,35 @@ void HotStuffReplica::MaybePropose(bool allow_partial) {
   proposal->v = view_;
   proposal->block = current_block_;
   proposal->sig = SignMaybeCorrupt(vote_digest);
-  GuardedSend(PeerActors(), proposal);
+  if (adversary_ == nullptr) {
+    GuardedSend(PeerActors(), proposal);
+    return;
+  }
+  // Equivocating leader: conflicting, properly signed bodies per follower
+  // group (variant 0 = the canonical body the leader's own vote covers).
+  std::map<uint32_t, std::shared_ptr<HsProposalMsg>> variants;
+  variants.emplace(0u, proposal);
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    const auto dest = static_cast<types::ReplicaId>(i);
+    if (dest == id_) continue;
+    const uint32_t variant = adversary_->ProposalVariant(id_, dest, Now());
+    auto vit = variants.find(variant);
+    if (vit == variants.end()) {
+      auto forged = std::make_shared<HsProposalMsg>();
+      forged->v = view_;
+      forged->block = current_block_;
+      std::vector<types::Transaction> txs = forged->block.release_txs();
+      for (types::Transaction& tx : txs) {
+        tx.fingerprint ^= 0x9e3779b97f4a7c15ULL * variant;
+      }
+      forged->block.set_txs(std::move(txs));
+      forged->sig = SignMaybeCorrupt(
+          HsVoteDigest(HsPhase::kPrepare, view_, forged->block.n(),
+                       forged->block.Digest()));
+      vit = variants.emplace(variant, std::move(forged)).first;
+    }
+    GuardedSend(replicas_[i], vit->second);
+  }
 }
 
 void HotStuffReplica::OnProposal(runtime::NodeId from, const HsProposalMsg& msg) {
@@ -293,6 +331,12 @@ void HotStuffReplica::OnProposal(runtime::NodeId from, const HsProposalMsg& msg)
   }
   vote_bound_.emplace(msg.block.n(), digest);
   pending_blocks_[msg.block.n()] = msg.block;
+
+  if (AdversaryWithholds(ReplicaIndexOf(from))) {  // Starve the prepare QC.
+    ArmViewTimer();
+    consecutive_failures_ = 0;
+    return;
+  }
 
   auto vote = std::make_shared<HsVoteMsg>();
   vote->v = msg.v;
@@ -408,6 +452,10 @@ void HotStuffReplica::OnPhase(runtime::NodeId from, const HsPhaseMsg& msg) {
     return;
   }
   vote_bound_.emplace(msg.n, msg.block_digest);
+  if (AdversaryWithholds(ReplicaIndexOf(from))) {  // Starve the phase QC.
+    ArmViewTimer();
+    return;
+  }
   auto vote = std::make_shared<HsVoteMsg>();
   vote->v = msg.v;
   vote->phase = msg.phase;
@@ -443,7 +491,18 @@ void HotStuffReplica::DecideBlock(ledger::TxBlock block) {
   ++metrics_.committed_blocks;
   metrics_.commit_timeline.Add(Now(), static_cast<int64_t>(block.txs().size()));
   // Shared commit-delivery path: exactly-once execution + result replies.
-  for (const auto& reply : delivery_.Deliver(block)) {
+  ledger::TxBlock to_execute = block;
+  if (AdversaryTampers()) {
+    // Forged replies: execute a tampered copy so local application state
+    // diverges and the reported results are forged (see core/replica.cc).
+    std::vector<types::Transaction> txs = to_execute.release_txs();
+    for (types::Transaction& tx : txs) {
+      tx.fingerprint ^= 0xf00dfacef00dfaceULL;
+      for (uint8_t& b : tx.command) b ^= 0x5a;
+    }
+    to_execute.set_txs(std::move(txs));
+  }
+  for (const auto& reply : delivery_.Deliver(to_execute)) {
     if (reply->pool < clients_.size()) {
       GuardedSend(clients_[reply->pool], reply);
     }

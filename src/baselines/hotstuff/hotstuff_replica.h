@@ -27,6 +27,7 @@
 #include "crypto/quorum_cert.h"
 #include "ledger/block_store.h"
 #include "runtime/env.h"
+#include "types/adversary.h"
 #include "types/client_messages.h"
 #include "types/ids.h"
 #include "types/fault_spec.h"
@@ -140,6 +141,12 @@ class HotStuffReplica : public runtime::Node {
                    std::vector<runtime::NodeId> clients);
   void SetService(std::unique_ptr<app::Service> service);
 
+  /// Installs an active-adversary policy (harness wiring only; nullptr =
+  /// honest, the default). See types/adversary.h.
+  void SetAdversary(const types::AdversaryPolicy* adversary) {
+    adversary_ = adversary;
+  }
+
   void OnStart() override;
   void OnMessage(runtime::NodeId from, const runtime::MessagePtr& msg) override;
   void OnTimer(uint64_t tag) override;
@@ -177,6 +184,25 @@ class HotStuffReplica : public runtime::Node {
 
   bool QuietActive() const;
   bool EquivocateActive() const;
+
+  // Active-adversary queries (all false when no policy is installed).
+  bool AdversaryWedged() const {
+    return adversary_ != nullptr && adversary_->WedgeProposals(id_, Now());
+  }
+  bool AdversaryWithholds(types::ReplicaId target) const {
+    return adversary_ != nullptr &&
+           adversary_->WithholdVote(id_, target, Now());
+  }
+  bool AdversaryTampers() const {
+    return adversary_ != nullptr && adversary_->TamperExecution(id_, Now());
+  }
+  types::ReplicaId ReplicaIndexOf(runtime::NodeId node) const {
+    for (size_t i = 0; i < replicas_.size(); ++i) {
+      if (replicas_[i] == node) return static_cast<types::ReplicaId>(i);
+    }
+    return id_;
+  }
+
   void GuardedSend(runtime::NodeId to, runtime::MessagePtr msg);
   void GuardedSend(const std::vector<runtime::NodeId>& to, runtime::MessagePtr msg);
   crypto::Signature SignMaybeCorrupt(const crypto::Sha256Digest& digest);
@@ -197,6 +223,8 @@ class HotStuffReplica : public runtime::Node {
   const crypto::KeyStore* keys_;
   crypto::Signer signer_;
   types::FaultSpec fault_;
+  /// Active-adversary interposer (nullptr = honest; harness-owned).
+  const types::AdversaryPolicy* adversary_ = nullptr;
 
   std::vector<runtime::NodeId> replicas_;
   std::vector<runtime::NodeId> clients_;

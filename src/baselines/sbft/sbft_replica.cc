@@ -50,6 +50,10 @@ std::vector<runtime::NodeId> SbftReplica::PeerActors() const {
 
 void SbftReplica::OnStart() {
   view_ = 1;
+  if (IsLeader()) {
+    ++metrics_.views_led;
+    metrics_.last_led_at = Now();
+  }
   view_timer_ = SetTimer(config_.view_timeout, Tag(kViewTimer));
 }
 
@@ -64,7 +68,11 @@ void SbftReplica::OnTimer(uint64_t tag) {
       ++view_;
       proposal_active_ = false;
       view_timer_ = SetTimer(config_.view_timeout, Tag(kViewTimer));
-      if (IsLeader()) MaybePropose(true);
+      if (IsLeader()) {
+        ++metrics_.views_led;
+        metrics_.last_led_at = Now();
+        MaybePropose(true);
+      }
       break;
     case kBatchTimer:
       batch_timer_ = 0;
@@ -82,6 +90,9 @@ void SbftReplica::EnqueueTx(const types::Transaction& tx) {
 
 void SbftReplica::MaybePropose(bool allow_partial) {
   if (!IsLeader() || proposal_active_) return;
+  // Slow/selective leader: hold the view without proposing; only the view
+  // timeout recovers (passive schedule — same exposure as HotStuff).
+  if (AdversaryWedged()) return;
   const types::SeqNum next = store_.LatestTxSeq() + 1;
   // Inherited in-flight body first: peers share-bound to a body at the
   // next sequence refuse anything else there, so a new leader re-proposes
@@ -141,7 +152,35 @@ void SbftReplica::MaybePropose(bool allow_partial) {
   pp->block = current_block_;
   pp->crypto_weight = config_.crypto_weight;
   pp->sig = signer_.Sign(stage_digest);
-  Send(PeerActors(), pp);
+  if (adversary_ == nullptr) {
+    Send(PeerActors(), pp);
+    return;
+  }
+  // Equivocating leader: conflicting, properly signed bodies per follower
+  // group (variant 0 = the canonical body the leader's own share covers).
+  std::map<uint32_t, std::shared_ptr<SbPrePrepareMsg>> variants;
+  variants.emplace(0u, pp);
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    const auto dest = static_cast<types::ReplicaId>(i);
+    if (dest == id_) continue;
+    const uint32_t variant = adversary_->ProposalVariant(id_, dest, Now());
+    auto vit = variants.find(variant);
+    if (vit == variants.end()) {
+      auto forged = std::make_shared<SbPrePrepareMsg>();
+      forged->v = view_;
+      forged->block = current_block_;
+      forged->crypto_weight = config_.crypto_weight;
+      std::vector<types::Transaction> txs = forged->block.release_txs();
+      for (types::Transaction& tx : txs) {
+        tx.fingerprint ^= 0x9e3779b97f4a7c15ULL * variant;
+      }
+      forged->block.set_txs(std::move(txs));
+      forged->sig = signer_.Sign(
+          SbStageDigest(0, view_, forged->block.n(), forged->block.Digest()));
+      vit = variants.emplace(variant, std::move(forged)).first;
+    }
+    Send(replicas_[i], vit->second);
+  }
 }
 
 void SbftReplica::ExecuteBlock(ledger::TxBlock block) {
@@ -157,7 +196,18 @@ void SbftReplica::ExecuteBlock(ledger::TxBlock block) {
   ++metrics_.committed_blocks;
   metrics_.commit_timeline.Add(Now(), static_cast<int64_t>(block.txs().size()));
   // Shared commit-delivery path: exactly-once execution + result replies.
-  for (const auto& reply : delivery_.Deliver(block)) {
+  ledger::TxBlock to_execute = block;
+  if (AdversaryTampers()) {
+    // Forged replies: execute a tampered copy so local application state
+    // diverges and the reported results are forged (see core/replica.cc).
+    std::vector<types::Transaction> txs = to_execute.release_txs();
+    for (types::Transaction& tx : txs) {
+      tx.fingerprint ^= 0xf00dfacef00dfaceULL;
+      for (uint8_t& b : tx.command) b ^= 0x5a;
+    }
+    to_execute.set_txs(std::move(txs));
+  }
+  for (const auto& reply : delivery_.Deliver(to_execute)) {
     if (reply->pool < clients_.size()) {
       Send(clients_[reply->pool], reply);
     }
@@ -222,6 +272,7 @@ void SbftReplica::OnMessage(runtime::NodeId from, const runtime::MessagePtr& msg
     }
     share_bound_.emplace(m->block.n(), digest);
     pending_blocks_[m->block.n()] = m->block;
+    if (AdversaryWithholds(ReplicaIndexOf(from))) return;  // Starve shares.
     auto share = std::make_shared<SbShareMsg>();
     share->stage = SbShareMsg::Stage::kCommit;
     share->v = m->v;
@@ -298,6 +349,7 @@ void SbftReplica::OnMessage(runtime::NodeId from, const runtime::MessagePtr& msg
     if (m->stage == SbProofMsg::Stage::kCommit) {
       // Reply with an execution share.
       it->second.commit_qc = m->proof;
+      if (AdversaryWithholds(ReplicaIndexOf(from))) return;  // Starve exec.
       const crypto::Sha256Digest exec_digest =
           SbStageDigest(1, m->v, m->n, m->block_digest);
       auto share = std::make_shared<SbShareMsg>();

@@ -250,6 +250,28 @@ void Client::ScanRetries() {
     }
   }
   if (retransmit != nullptr) Send(replicas_, std::move(retransmit));
+  // Complaint spam: broadcast complaints about transactions that were
+  // never submitted. Each bogus complaint invites the replicas to start an
+  // inspection — the attack the reputation engine's penalty for failed
+  // view changes is meant to price out. Spam client_seqs live far above
+  // the real sequence space, so replies (if the spam ever commits) fall
+  // through OnReply's unknown-seq filter harmlessly.
+  if (adversary_ != nullptr) {
+    const uint32_t burst =
+        adversary_->ComplaintSpamBurst(config_.client_id, now);
+    for (uint32_t i = 0; i < burst; ++i) {
+      types::Transaction bogus;
+      bogus.pool = config_.client_id;
+      bogus.client_seq = (1ull << 40) + ++spam_seq_;
+      bogus.sent_at = now - config_.request_timeout;  // Looks overdue.
+      bogus.payload_size = config_.payload_size;
+      bogus.fingerprint = bogus.client_seq * 0x9e3779b97f4a7c15ULL;
+      auto compt = std::make_shared<types::ClientComplaint>();
+      compt->tx = std::move(bogus);
+      ++stats_.complaints_sent;
+      Send(replicas_, std::move(compt));
+    }
+  }
   if (!expired.empty()) {
     SubmitResult timeout;
     timeout.status = app::ExecStatus::kError;

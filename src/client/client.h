@@ -37,6 +37,7 @@
 
 #include "app/service.h"
 #include "runtime/env.h"
+#include "types/adversary.h"
 #include "types/client_messages.h"
 #include "types/ids.h"
 #include "types/transaction.h"
@@ -104,6 +105,13 @@ class Client : public runtime::Node {
   /// Node ids of all replicas (proposals and complaints are broadcast).
   void SetReplicas(std::vector<runtime::NodeId> replicas);
 
+  /// Installs an active-adversary policy (harness wiring only; nullptr =
+  /// honest, the default). A spam-scripted client broadcasts bogus
+  /// complaints about never-submitted transactions on every retry scan.
+  void SetAdversary(const types::AdversaryPolicy* adversary) {
+    adversary_ = adversary;
+  }
+
   /// Submits one command from loop context (this node's own callbacks).
   /// Returns the assigned client_seq. `done` fires on completion — or,
   /// when `expire_after` > 0 and the deadline passes first, with
@@ -165,6 +173,10 @@ class Client : public runtime::Node {
   void ScanRetries();
 
   ClientConfig config_;
+  /// Active-adversary interposer (nullptr = honest; harness-owned).
+  const types::AdversaryPolicy* adversary_ = nullptr;
+  /// Content counter for spam complaints (distinct bogus transactions).
+  uint64_t spam_seq_ = 0;
   std::vector<runtime::NodeId> replicas_;
   /// Transport node id -> replica index; votes are keyed by the
   /// authenticated sender, never by a claimed id inside the message.

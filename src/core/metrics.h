@@ -38,6 +38,8 @@ struct ReplicaMetrics {
   int64_t committed_blocks = 0;       ///< txBlocks appended.
   int64_t view_changes_started = 0;   ///< Times this replica became redeemer.
   int64_t elections_won = 0;          ///< Times elected leader.
+  int64_t views_led = 0;              ///< Views in which this replica led.
+  util::TimeMicros last_led_at = 0;   ///< Last time it assumed leadership.
   int64_t election_timeouts = 0;      ///< Candidate timers expired (split votes).
   int64_t votes_cast = 0;             ///< VoteCP messages sent.
   int64_t campaigns_sent = 0;         ///< Camp broadcasts.

@@ -169,6 +169,8 @@ void PrestigeReplica::OnStart() {
   if (id_ == 0) {
     role_ = Role::kLeader;
     replication_enabled_ = true;
+    ++metrics_.views_led;
+    metrics_.last_led_at = Now();
     StartLeading();
   } else {
     role_ = Role::kFollower;
@@ -387,10 +389,42 @@ void PrestigeReplica::OnTimer(uint64_t tag) {
           StartInspection(VcReason::kTimeout, nullptr);
         } else if (role_ == Role::kLeader && replication_enabled_ &&
                    Now() - view_entered_at_ >= config_.timeout_min) {
-          // The attacker contests its own deposition: once honest followers
-          // are stale (its reign was quiet), it campaigns for v+1 itself so
-          // no replication happens between its elections.
-          StartInspection(VcReason::kTimeout, nullptr);
+          // The attacker contests its own deposition so no honest leader
+          // replicates between its elections. It races on purpose: an
+          // unendorsed solicitation is abandoned and re-sent every probe
+          // tick, and it cites a client complaint it received itself the
+          // moment one exists — honest servers sit out complaint_wait
+          // before escalating the same evidence, so the attacker's ConfVc
+          // reaches the followers first. Without complaint evidence (e.g.
+          // a fully quiet reign starves the clients' complaint path too)
+          // it falls back to the timeout reason, endorsable once the
+          // missing heartbeats leave the followers progress-stale.
+          if (inspecting_ && inspection_timer_ != 0) {
+            CancelTimer(inspection_timer_);
+            inspection_timer_ = 0;
+            inspecting_ = false;
+          }
+          const types::Transaction* evidence = nullptr;
+          uint64_t evidence_key = 0;
+          for (const auto& [key, state] : complaints_) {
+            if (committed_tx_keys_.count(key) > 0) continue;
+            if (evidence == nullptr || key < evidence_key) {
+              evidence = &state.tx;
+              evidence_key = key;
+            }
+          }
+          if (evidence == nullptr && has_attack_complaint_) {
+            if (committed_tx_keys_.count(TxKey(attack_complaint_tx_)) == 0) {
+              evidence = &attack_complaint_tx_;
+            } else {
+              has_attack_complaint_ = false;
+            }
+          }
+          if (evidence != nullptr) {
+            StartInspection(VcReason::kClientComplaint, evidence);
+          } else {
+            StartInspection(VcReason::kTimeout, nullptr);
+          }
         }
       }
       if (fault_.type == types::FaultType::kRepeatedVc) {
@@ -477,7 +511,22 @@ util::Status PrestigeReplica::ValidateAndAppendTxBlock(
   if (st.ok()) {
     // One delivery path for every commit route (leader, follower, sync):
     // exactly-once execution + per-pool replies carrying the results.
-    SendReplies(delivery_.Deliver(block));
+    if (AdversaryTampers()) {
+      // Forged replies: execute a tampered copy of the committed block, so
+      // this replica's application state genuinely diverges and the reply
+      // entries it reports carry forged result digests. The chain itself
+      // stays canonical (the QC verified above covers the real body).
+      ledger::TxBlock forged = block;
+      std::vector<types::Transaction> txs = forged.release_txs();
+      for (types::Transaction& tx : txs) {
+        tx.fingerprint ^= 0xf00dfacef00dfaceULL;
+        for (uint8_t& b : tx.command) b ^= 0x5a;
+      }
+      forged.set_txs(std::move(txs));
+      SendReplies(delivery_.Deliver(forged));
+    } else {
+      SendReplies(delivery_.Deliver(block));
+    }
     metrics_.committed_txs += static_cast<int64_t>(block.BatchSize());
     ++metrics_.committed_blocks;
     metrics_.commit_timeline.Add(Now(),

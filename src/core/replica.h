@@ -35,6 +35,7 @@
 #include "ledger/block_store.h"
 #include "reputation/reputation_engine.h"
 #include "runtime/env.h"
+#include "types/adversary.h"
 #include "types/client_messages.h"
 #include "types/ids.h"
 #include "types/fault_spec.h"
@@ -62,6 +63,13 @@ class PrestigeReplica : public runtime::Node {
 
   /// Replaces the application service (defaults to app::NullService).
   void SetService(std::unique_ptr<app::Service> service);
+
+  /// Installs an active-adversary policy (harness wiring only; nullptr =
+  /// honest, the default). The replica consults it at its propose / reply
+  /// / vote / execute sites; see types/adversary.h.
+  void SetAdversary(const types::AdversaryPolicy* adversary) {
+    adversary_ = adversary;
+  }
 
   // runtime::Node interface.
   void OnStart() override;
@@ -195,11 +203,33 @@ class PrestigeReplica : public runtime::Node {
   bool EquivocateActive() const;
   bool ByzantineActive() const;
 
+  // Active-adversary queries (all false/0 when no policy is installed).
+  bool AdversaryWedged() const {
+    return adversary_ != nullptr && adversary_->WedgeProposals(id_, Now());
+  }
+  bool AdversaryWithholds(types::ReplicaId target) const {
+    return adversary_ != nullptr &&
+           adversary_->WithholdVote(id_, target, Now());
+  }
+  bool AdversaryTampers() const {
+    return adversary_ != nullptr && adversary_->TamperExecution(id_, Now());
+  }
+  /// Replica index of actor `node`, or id_ when it is not a replica.
+  types::ReplicaId ReplicaIndexOf(runtime::NodeId node) const {
+    for (size_t i = 0; i < replicas_.size(); ++i) {
+      if (replicas_[i] == node) return static_cast<types::ReplicaId>(i);
+    }
+    return id_;
+  }
+
   // ------------------------------------------------------- replication
   void OnClientBatch(runtime::NodeId from, const types::ClientBatch& batch);
   void EnqueueTx(const types::Transaction& tx);
   void MaybePropose(bool allow_partial = false);
   void Propose(std::vector<types::Transaction> batch);
+  /// Broadcasts an Ord to all peers; with an equivocating adversary
+  /// installed, follower groups receive conflicting signed variants.
+  void BroadcastOrd(const std::shared_ptr<OrdMsg>& ord);
   void OnOrd(runtime::NodeId from, const OrdMsg& ord);
   void OnOrdReply(runtime::NodeId from, const OrdReplyMsg& reply);
   void OnCmt(runtime::NodeId from, const CmtMsg& cmt);
@@ -280,6 +310,14 @@ class PrestigeReplica : public runtime::Node {
   const crypto::KeyStore* keys_;
   crypto::Signer signer_;
   types::FaultSpec fault_;
+  /// Active-adversary interposer (nullptr = honest; harness-owned).
+  const types::AdversaryPolicy* adversary_ = nullptr;
+  /// F4 attacker emulation: the latest client complaint received while
+  /// leading, kept as evidence for contesting its own deposition
+  /// (kAttackProbe) — the same evidence honest followers hold, minus
+  /// their complaint_wait patience.
+  types::Transaction attack_complaint_tx_;
+  bool has_attack_complaint_ = false;
 
   std::vector<runtime::NodeId> replicas_;
   std::vector<runtime::NodeId> clients_;

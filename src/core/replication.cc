@@ -32,6 +32,10 @@ void PrestigeReplica::EnqueueTx(const types::Transaction& tx) {
 
 void PrestigeReplica::MaybePropose(bool allow_partial) {
   if (role_ != Role::kLeader || !replication_enabled_) return;
+  // Slow/selective leader: wedge the proposal path while heartbeats keep
+  // flowing (OnTimer kHeartbeat), so failure detectors that only watch
+  // pings see a live leader that never makes progress.
+  if (AdversaryWedged()) return;
   // An expired batch-wait deadline stays in force until the partial batch
   // actually goes out: when the timer fires while the pipeline is full, the
   // trigger must survive to the next free slot, not be dropped.
@@ -89,7 +93,47 @@ void PrestigeReplica::Propose(std::vector<types::Transaction> batch) {
   ord->sig = SignMaybeCorrupt(ord_digest);
 
   instances_.emplace(instance.block.n(), std::move(instance));
-  GuardedSend(PeerActors(), ord);
+  BroadcastOrd(ord);
+}
+
+void PrestigeReplica::BroadcastOrd(const std::shared_ptr<OrdMsg>& ord) {
+  if (adversary_ == nullptr) {
+    GuardedSend(PeerActors(), ord);
+    return;
+  }
+  // Equivocating leader: each follower group gets its own conflicting but
+  // properly signed body (variant 0 = the canonical body the leader's own
+  // ordering signature covers). Perturbing every transaction fingerprint
+  // changes the block digest while keeping the batch well-formed.
+  std::map<uint32_t, std::shared_ptr<OrdMsg>> variants;
+  variants.emplace(0u, ord);
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    const auto dest = static_cast<types::ReplicaId>(i);
+    if (dest == id_) continue;
+    const uint32_t variant = adversary_->ProposalVariant(id_, dest, Now());
+    auto vit = variants.find(variant);
+    if (vit == variants.end()) {
+      ledger::TxBlock block;
+      block.v = ord->v;
+      block.set_n(ord->n);
+      block.set_prev_hash(ord->prev_hash);
+      std::vector<types::Transaction> txs = ord->txs;
+      for (types::Transaction& tx : txs) {
+        tx.fingerprint ^= 0x9e3779b97f4a7c15ULL * variant;
+      }
+      block.set_txs(std::move(txs));
+      block.status.assign(block.BatchSize(), 1);
+      auto forged = std::make_shared<OrdMsg>();
+      forged->v = ord->v;
+      forged->n = ord->n;
+      forged->prev_hash = ord->prev_hash;
+      forged->txs = block.txs();
+      forged->sig = SignMaybeCorrupt(
+          ledger::OrderingDigest(ord->v, ord->n, block.Digest()));
+      vit = variants.emplace(variant, std::move(forged)).first;
+    }
+    GuardedSend(replicas_[i], vit->second);
+  }
 }
 
 // ------------------------------------------------------ follower: phase 1
@@ -144,6 +188,14 @@ void PrestigeReplica::OnOrd(runtime::NodeId from, const OrdMsg& ord) {
   PendingBlock pending;
   pending.block = std::move(block);
   pending_blocks_[ord.n] = std::move(pending);
+
+  // Vote withholding: starve the leader of this ordering reply (the
+  // progress timer still resets — the attacker saw a live leader and has
+  // no interest in campaigning itself).
+  if (AdversaryWithholds(ReplicaIndexOf(from))) {
+    ResetProgress();
+    return;
+  }
 
   auto reply = std::make_shared<OrdReplyMsg>();
   reply->v = ord.v;
@@ -228,6 +280,11 @@ void PrestigeReplica::OnCmt(runtime::NodeId from, const CmtMsg& cmt) {
 
   pending.block.ordering_qc = cmt.ordering_qc;
   pending.commit_signed = true;
+
+  if (AdversaryWithholds(ReplicaIndexOf(from))) {  // Starve the commit QC.
+    ResetProgress();
+    return;
+  }
 
   auto reply = std::make_shared<CmtReplyMsg>();
   reply->v = cmt.v;
@@ -434,6 +491,7 @@ void PrestigeReplica::RetransmitStalledInstances() {
   // via a full view change). Re-broadcast the current phase of any
   // instance older than one heartbeat interval; followers treat the
   // repeats idempotently and re-send their replies.
+  if (AdversaryWedged()) return;  // Wedged leaders never retransmit.
   const util::DurationMicros stall_age = config_.timeout_min / 3;
   for (auto& [n, instance] : instances_) {
     if (instance.done || Now() - instance.last_broadcast_at < stall_age) {
@@ -449,7 +507,7 @@ void PrestigeReplica::RetransmitStalledInstances() {
       ord->txs = instance.block.txs();
       ord->sig = SignMaybeCorrupt(
           ledger::OrderingDigest(instance.block.v, n, digest));
-      GuardedSend(PeerActors(), ord);
+      BroadcastOrd(ord);  // Equivocators keep their per-group stories.
     } else {
       auto cmt = std::make_shared<CmtMsg>();
       cmt->v = instance.block.v;

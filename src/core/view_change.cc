@@ -42,6 +42,13 @@ void PrestigeReplica::OnClientComplaint(runtime::NodeId from,
   // Relay the proposal to the leader (Algorithm 2 line 2) and watch for the
   // commit (line 4).
   if (role_ == Role::kLeader) {
+    // Attacker emulation: an F4 leader stashes the complaint as evidence
+    // for contesting its own deposition (kAttackProbe cites it).
+    if (fault_.type == types::FaultType::kRepeatedVc &&
+        Now() >= fault_.start_at) {
+      attack_complaint_tx_ = compt.tx;
+      has_attack_complaint_ = true;
+    }
     EnqueueTx(compt.tx);
     MaybePropose(/*allow_partial=*/true);
     return;
@@ -494,6 +501,11 @@ void PrestigeReplica::OnCamp(runtime::NodeId from, const CampMsg& camp) {
     return;
   }
 
+  // Vote withholding: starve the candidate of our campaign vote. The C1
+  // book-keeping is deliberately skipped too — the attacker keeps its
+  // vote free for a colluder campaigning at the same view number.
+  if (AdversaryWithholds(camp.sig.signer)) return;
+
   // All criteria hold: vote, and stand down our own plans — this candidate
   // is likely to win.
   votes_by_view_[camp.v_new] = camp.sig.signer;
@@ -718,6 +730,8 @@ void PrestigeReplica::InstallVcBlock(const ledger::VcBlock& block,
   if (as_leader) {
     role_ = Role::kLeader;
     replication_enabled_ = false;  // Awaits 2f+1 vcYes (§4.2.4).
+    ++metrics_.views_led;
+    metrics_.last_led_at = Now();
   } else {
     role_ = Role::kFollower;
     StopReplicationActivity();

@@ -1,0 +1,181 @@
+// ScriptedAdversary: the one concrete types::AdversaryPolicy — a pure
+// function of a types::ByzantineSpec, constructed and wired by harness
+// code only (prestige_lint's `adversary` rule holds protocol code to
+// pointer-only use of the interface).
+//
+// Also home to the byzantine-fuzz schedule generator: a deterministic
+// mapping seed -> ScenarioSpec-with-adversary that doubles as a protocol
+// fuzzer. The generator uses util::Rng (harness/ is exempt from the
+// determinism lint the way sim/ is) but every sampled value is a pure
+// function of the seed, so fuzz sweeps stay byte-identical for any
+// --jobs value.
+
+#ifndef PRESTIGE_HARNESS_ADVERSARY_H_
+#define PRESTIGE_HARNESS_ADVERSARY_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "harness/scenario.h"
+#include "types/adversary.h"
+#include "types/byzantine_spec.h"
+#include "util/random.h"
+
+namespace prestige {
+namespace harness {
+
+/// Enacts a ByzantineSpec. Stateless beyond the spec copy: every hook is
+/// a pure function of (spec, arguments), as the interface requires.
+class ScriptedAdversary : public types::AdversaryPolicy {
+ public:
+  explicit ScriptedAdversary(types::ByzantineSpec spec)
+      : spec_(std::move(spec)) {}
+
+  bool WedgeProposals(uint32_t self, util::TimeMicros now) const override {
+    const types::ReplicaMisbehaviour* m = spec_.ForReplica(self);
+    return m != nullptr && m->kind == types::Misbehaviour::kSlowLeader &&
+           m->ActiveAt(now);
+  }
+
+  uint32_t ProposalVariant(uint32_t self, uint32_t dest,
+                           util::TimeMicros now) const override {
+    const types::ReplicaMisbehaviour* m = spec_.ForReplica(self);
+    if (m == nullptr || m->kind != types::Misbehaviour::kEquivocatingLeader ||
+        !m->ActiveAt(now)) {
+      return 0;
+    }
+    const uint32_t groups = std::max<uint32_t>(2, m->equivocation_groups);
+    return dest % groups;
+  }
+
+  bool WithholdVote(uint32_t self, uint32_t target,
+                    util::TimeMicros now) const override {
+    const types::ReplicaMisbehaviour* m = spec_.ForReplica(self);
+    if (m == nullptr || m->kind != types::Misbehaviour::kVoteWithholding ||
+        !m->ActiveAt(now)) {
+      return false;
+    }
+    if (m->withhold_against.empty()) return true;
+    return std::find(m->withhold_against.begin(), m->withhold_against.end(),
+                     target) != m->withhold_against.end();
+  }
+
+  bool TamperExecution(uint32_t self, util::TimeMicros now) const override {
+    const types::ReplicaMisbehaviour* m = spec_.ForReplica(self);
+    return m != nullptr && m->kind == types::Misbehaviour::kForgedReply &&
+           m->ActiveAt(now);
+  }
+
+  uint32_t ComplaintSpamBurst(uint32_t pool,
+                              util::TimeMicros now) const override {
+    if (pool >= spec_.spam_pools || !spec_.SpamActiveAt(now)) return 0;
+    return spec_.spam_complaints_per_scan;
+  }
+
+  bool IsByzantine(uint32_t id) const override {
+    return spec_.ForReplica(id) != nullptr;
+  }
+
+  const types::ByzantineSpec& spec() const { return spec_; }
+
+ private:
+  types::ByzantineSpec spec_;
+};
+
+/// Per-replica exclusion set for the safety invariants: a replica is
+/// Byzantine when its FaultSpec misbehaves (crash excluded — crashed
+/// replicas are honest and their shorter prefix must still agree) OR the
+/// scenario's ByzantineSpec scripts it.
+inline std::vector<bool> BuildByzantineSet(const ScenarioSpec& spec) {
+  std::vector<bool> byzantine(spec.n, false);
+  for (uint32_t i = 0; i < spec.n && i < spec.byzantine.size(); ++i) {
+    byzantine[i] = spec.byzantine[i].IsByzantine() &&
+                   spec.byzantine[i].type != types::FaultType::kCrash;
+  }
+  for (const types::ReplicaMisbehaviour& m : spec.adversary.replicas) {
+    if (m.kind != types::Misbehaviour::kNone && m.replica < spec.n) {
+      byzantine[m.replica] = true;
+    }
+  }
+  return byzantine;
+}
+
+/// Deterministic adversary-schedule randomizer (the byzantine-fuzz
+/// scenario): seed -> a complete ScenarioSpec with a randomized adversary
+/// cast. Cluster size, attacker count (bounded by f), behaviours,
+/// activation windows, equivocation fanout, and complaint spam are all
+/// sampled from an Rng seeded only by `seed`, so the same seed always
+/// produces the same schedule — the property the parallel-sweep
+/// determinism contract extends to the fuzzer.
+inline ScenarioSpec ByzantineFuzzSpec(uint64_t seed) {
+  util::Rng rng(seed ^ 0x5ca1ab1e5eedULL);
+  ScenarioSpec s;
+  s.name = "byzantine-fuzz";
+  s.n = rng.NextBool(0.5) ? 4 : 7;
+  const uint32_t f = (s.n - 1) / 3;
+  s.description = "seed-randomized adversary schedule (protocol fuzzer)";
+
+  // Attackers: 1..f distinct replicas, each with a random behaviour and
+  // a random activation window inside the attack phase.
+  const uint32_t attackers =
+      1 + static_cast<uint32_t>(rng.NextBounded(std::max<uint32_t>(1, f)));
+  std::vector<uint32_t> cast;
+  for (uint32_t i = 0; i < s.n; ++i) cast.push_back(i);
+  for (uint32_t i = 0; i < attackers; ++i) {
+    // Deterministic partial Fisher-Yates pick without replacement.
+    const uint32_t j =
+        i + static_cast<uint32_t>(rng.NextBounded(s.n - i));
+    std::swap(cast[i], cast[j]);
+  }
+  static const types::Misbehaviour kBehaviours[] = {
+      types::Misbehaviour::kEquivocatingLeader,
+      types::Misbehaviour::kSlowLeader,
+      types::Misbehaviour::kVoteWithholding,
+      types::Misbehaviour::kForgedReply,
+  };
+  bool any_forged = false;
+  for (uint32_t i = 0; i < attackers; ++i) {
+    types::ReplicaMisbehaviour m;
+    m.replica = cast[i];
+    m.kind = kBehaviours[rng.NextBounded(4)];
+    any_forged = any_forged || m.kind == types::Misbehaviour::kForgedReply;
+    m.start_at = util::Millis(1500 + static_cast<int64_t>(
+                                         rng.NextBounded(1500)));
+    m.stop_at = rng.NextBool(0.5)
+                    ? 0
+                    : m.start_at + util::Millis(1500 + static_cast<int64_t>(
+                                                           rng.NextBounded(
+                                                               2000)));
+    m.equivocation_groups = 2 + static_cast<uint32_t>(rng.NextBounded(2));
+    s.adversary.replicas.push_back(m);
+  }
+  if (rng.NextBool(0.4)) {
+    s.adversary.spam_pools = 1 + static_cast<uint32_t>(rng.NextBounded(2));
+    s.adversary.spam_complaints_per_scan =
+        1 + static_cast<uint32_t>(rng.NextBounded(4));
+    s.adversary.spam_start_at = util::Millis(1500);
+  }
+  // Forged replies need real command bytes to diverge application state.
+  s.kv_workload = any_forged;
+
+  Phase warmup;
+  warmup.name = "warmup";
+  warmup.duration = util::Millis(1500);
+  s.phases.push_back(warmup);
+
+  Phase attack;
+  attack.name = "attack";
+  attack.duration = util::Millis(3500);
+  s.phases.push_back(attack);
+
+  Phase settle;
+  settle.name = "settle";
+  settle.duration = util::Millis(2000);
+  s.phases.push_back(settle);
+  return s;
+}
+
+}  // namespace harness
+}  // namespace prestige
+
+#endif  // PRESTIGE_HARNESS_ADVERSARY_H_

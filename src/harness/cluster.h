@@ -23,6 +23,7 @@
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "workload/client_pool.h"
+#include "types/adversary.h"
 #include "types/fault_spec.h"
 
 namespace prestige {
@@ -133,6 +134,15 @@ class Cluster {
   void InstallServices(
       const std::function<std::unique_ptr<app::Service>()>& factory) {
     for (auto& replica : replicas_) replica->SetService(factory());
+  }
+
+  /// Installs an active-adversary policy on every replica and client pool
+  /// (the policy decides per node id whether and how to misbehave). The
+  /// caller keeps ownership; call before Start() and keep `adversary`
+  /// alive for the cluster's lifetime.
+  void SetAdversary(const types::AdversaryPolicy* adversary) {
+    for (auto& replica : replicas_) replica->SetAdversary(adversary);
+    for (auto& pool : pools_) pool->SetAdversary(adversary);
   }
 
   // ---------------------------------------------- client/execution metrics

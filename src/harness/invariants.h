@@ -16,10 +16,14 @@
 //     suppressed equals the transactions in its committed chain (nothing
 //     double-executed, nothing skipped).
 //
-// Byzantine replicas (per their FaultSpec) are excluded: an equivocator's
-// local bookkeeping carries no safety obligation. Crashed replicas are
-// honest — they simply stopped early, and their (shorter) prefix must
-// still agree.
+// Byzantine replicas are excluded: an equivocator's or forger's local
+// bookkeeping carries no safety obligation. The exclusion set is the
+// union of the FaultSpec cast (crash excluded — crashed replicas are
+// honest, they simply stopped early, and their shorter prefix must still
+// agree) and any scripted active adversaries the caller passes in
+// (BuildByzantineSet in harness/adversary.h composes both). A scripted
+// forged-reply replica genuinely diverges its application state, so
+// including it would turn check (3) into a false safety violation.
 
 #ifndef PRESTIGE_HARNESS_INVARIANTS_H_
 #define PRESTIGE_HARNESS_INVARIANTS_H_
@@ -47,9 +51,12 @@ struct SafetyReport {
 
 /// Checks chain agreement across every honest replica of `cluster`. Works
 /// for any Cluster<Replica, Config> whose Replica exposes store() and
-/// fault() (PrestigeBFT, HotStuff, and SBFT all do).
+/// fault() (PrestigeBFT, HotStuff, and SBFT all do). `byzantine` marks
+/// replicas excluded from every agreement check in addition to the
+/// FaultSpec-derived exclusions; indices beyond its size count as honest.
 template <typename Cluster>
-SafetyReport CheckSafety(const Cluster& cluster) {
+SafetyReport CheckSafety(const Cluster& cluster,
+                         const std::vector<bool>& byzantine) {
   SafetyReport report;
   // Reference chain per height: (digest, owner) of the first honest
   // replica seen holding that height.
@@ -75,6 +82,7 @@ SafetyReport CheckSafety(const Cluster& cluster) {
         replica.fault().type != types::FaultType::kCrash) {
       continue;
     }
+    if (i < byzantine.size() && byzantine[i]) continue;
     const auto& chain = replica.store().tx_chain();
     const types::SeqNum height = static_cast<types::SeqNum>(chain.size());
     if (first_honest || height < report.min_height) {
@@ -154,6 +162,13 @@ SafetyReport CheckSafety(const Cluster& cluster) {
     }
   }
   return report;
+}
+
+/// All-honest convenience overload: no scripted adversaries beyond the
+/// FaultSpec cast.
+template <typename Cluster>
+SafetyReport CheckSafety(const Cluster& cluster) {
+  return CheckSafety(cluster, std::vector<bool>());
 }
 
 }  // namespace harness

@@ -165,12 +165,193 @@ ScenarioSpec PartitionDuringViewChange() {
   return s;
 }
 
+// ------------------------------------------------- active-adversary suite
+//
+// Each scenario scripts one ByzantineSpec behaviour through a
+// warmup / attack / settle timeline. The attack window starts at 2s (after
+// warmup) so every protocol is in steady state when the misbehaviour
+// begins; the settle phase then shows whether the reputation engine keeps
+// the attacker suppressed (PrestigeBFT) or the rotation schedule hands the
+// view back (baselines).
+
+Phase AttackPhase(util::DurationMicros duration = util::Seconds(4)) {
+  Phase p;
+  p.name = "attack";
+  p.duration = duration;
+  return p;
+}
+
+Phase SettlePhase(util::DurationMicros duration = util::Seconds(3)) {
+  Phase p;
+  p.name = "settle";
+  p.duration = duration;
+  return p;
+}
+
+/// The one FaultSpec the leader-attack scenarios compose with: an S1
+/// campaigner that behaves honestly while leading (kNone — the scripted
+/// ByzantineSpec supplies the in-office misbehaviour). Re-campaigning is
+/// what makes the reputation engine's suppression observable: each failed
+/// reign stalls the attacker's log contribution, so every re-election
+/// ratchets its recorded penalty until the PoW prices it out of office.
+/// The collusion speed-up (§6.2 joint computation) lets it reliably win
+/// the first contested re-elections; the ratcheting difficulty still
+/// prices it out within a couple of reigns.
+types::FaultSpec RecampaignFault(util::TimeMicros at) {
+  types::FaultSpec f = types::FaultSpec::RepeatedVc(
+      types::AttackStrategy::kS1, types::LeaderMisbehaviour::kNone, 6.0);
+  f.start_at = at;
+  return f;
+}
+
+/// The genesis leader equivocates: conflicting block bodies per sequence
+/// number to disjoint follower halves. Neither body can gather a verified
+/// 2f+1 quorum, clients complain, and the view change both replaces and
+/// penalizes the attacker — who keeps campaigning to get back in.
+ScenarioSpec EquivocatingLeader() {
+  ScenarioSpec s;
+  s.name = "equivocating-leader";
+  s.description =
+      "n=4: replica 0 proposes conflicting bodies to follower halves from "
+      "2s and re-campaigns after every deposition";
+  s.n = 4;
+  types::ReplicaMisbehaviour m;
+  m.replica = 0;
+  m.kind = types::Misbehaviour::kEquivocatingLeader;
+  m.start_at = util::Seconds(2);
+  m.equivocation_groups = 2;
+  s.adversary.replicas.push_back(m);
+  s.byzantine.assign(s.n, types::FaultSpec::Honest());
+  s.byzantine[0] = RecampaignFault(util::Seconds(2));
+  s.phases.push_back(Warmup());
+  s.phases.push_back(AttackPhase());
+  s.phases.push_back(SettlePhase());
+  return s;
+}
+
+/// The genesis leader wedges: heartbeats keep flowing (no crash signal)
+/// but it never proposes or retransmits, so progress stalls until the
+/// client-complaint path forces it out of office.
+ScenarioSpec SlowLeader() {
+  ScenarioSpec s;
+  s.name = "slow-leader";
+  s.description =
+      "n=4: replica 0 wedged-but-heartbeat-alive from 2s, re-campaigning "
+      "after every deposition (liveness attack)";
+  s.n = 4;
+  types::ReplicaMisbehaviour m;
+  m.replica = 0;
+  m.kind = types::Misbehaviour::kSlowLeader;
+  m.start_at = util::Seconds(2);
+  s.adversary.replicas.push_back(m);
+  s.byzantine.assign(s.n, types::FaultSpec::Honest());
+  s.byzantine[0] = RecampaignFault(util::Seconds(2));
+  s.phases.push_back(Warmup());
+  s.phases.push_back(AttackPhase());
+  s.phases.push_back(SettlePhase());
+  return s;
+}
+
+/// Complaint-spamming clients: two pools broadcast bogus complaints about
+/// never-submitted transactions every retry scan. The failure-detection
+/// path must not let free complaints translate into free view changes.
+ScenarioSpec ComplaintSpam() {
+  ScenarioSpec s;
+  s.name = "complaint-spam";
+  s.description =
+      "n=4: pools 0-1 spam 4 bogus complaints per scan from 2s";
+  s.n = 4;
+  s.adversary.spam_pools = 2;
+  s.adversary.spam_complaints_per_scan = 4;
+  s.adversary.spam_start_at = util::Seconds(2);
+  s.phases.push_back(Warmup());
+  s.phases.push_back(AttackPhase());
+  s.phases.push_back(SettlePhase());
+  return s;
+}
+
+/// A vote-withholding clique: two replicas (f = 2 at n = 7) starve
+/// everyone of their ordering/commit replies and campaign votes. The
+/// remaining 2f+1 replicas must keep committing without them.
+ScenarioSpec VoteWithholding() {
+  ScenarioSpec s;
+  s.name = "vote-withholding";
+  s.description =
+      "n=7: replicas 5 and 6 withhold all votes and replies from 2s";
+  s.n = 7;
+  for (uint32_t attacker : {5u, 6u}) {
+    types::ReplicaMisbehaviour m;
+    m.replica = attacker;
+    m.kind = types::Misbehaviour::kVoteWithholding;
+    m.start_at = util::Seconds(2);
+    s.adversary.replicas.push_back(m);
+  }
+  s.phases.push_back(Warmup());
+  s.phases.push_back(AttackPhase());
+  s.phases.push_back(SettlePhase());
+  return s;
+}
+
+/// A forged-reply replica: executes tampered command bytes (its local KV
+/// state genuinely diverges) and reports the forged results. Clients must
+/// never complete a request on the forged digest (f+1 matching), and the
+/// safety sweep must exclude the self-corrupted replica rather than call
+/// its divergence a protocol violation.
+ScenarioSpec ForgedReplies() {
+  ScenarioSpec s;
+  s.name = "forged-replies";
+  s.description =
+      "n=4: replica 2 executes tampered commands and forges replies from 2s";
+  s.n = 4;
+  s.kv_workload = true;
+  types::ReplicaMisbehaviour m;
+  m.replica = 2;
+  m.kind = types::Misbehaviour::kForgedReply;
+  m.start_at = util::Seconds(2);
+  s.adversary.replicas.push_back(m);
+  s.phases.push_back(Warmup());
+  s.phases.push_back(AttackPhase());
+  s.phases.push_back(SettlePhase());
+  return s;
+}
+
+/// Everything at once, bounded by f: an equivocator and a withholder among
+/// the replicas plus complaint-spamming clients, at n = 7 (f = 2). The
+/// composite stress run behind the fig09-style "benign vs Byzantine"
+/// comparison.
+ScenarioSpec MixedAdversary() {
+  ScenarioSpec s;
+  s.name = "mixed-adversary";
+  s.description =
+      "n=7: equivocator + vote withholder + complaint spam from 2s";
+  s.n = 7;
+  types::ReplicaMisbehaviour equivocator;
+  equivocator.replica = 0;
+  equivocator.kind = types::Misbehaviour::kEquivocatingLeader;
+  equivocator.start_at = util::Seconds(2);
+  s.adversary.replicas.push_back(equivocator);
+  types::ReplicaMisbehaviour withholder;
+  withholder.replica = 6;
+  withholder.kind = types::Misbehaviour::kVoteWithholding;
+  withholder.start_at = util::Seconds(2);
+  s.adversary.replicas.push_back(withholder);
+  s.adversary.spam_pools = 1;
+  s.adversary.spam_complaints_per_scan = 2;
+  s.adversary.spam_start_at = util::Seconds(2);
+  s.phases.push_back(Warmup());
+  s.phases.push_back(AttackPhase());
+  s.phases.push_back(SettlePhase());
+  return s;
+}
+
 }  // namespace
 
 const std::vector<ScenarioSpec>& NamedScenarios() {
   static const std::vector<ScenarioSpec> kScenarios = {
       SteadyState(),        PartitionMinority(), PartitionLeader(),
       FlakyLinks(),         Churn(),             PartitionDuringViewChange(),
+      EquivocatingLeader(), SlowLeader(),        ComplaintSpam(),
+      VoteWithholding(),    ForgedReplies(),     MixedAdversary(),
   };
   return kScenarios;
 }
@@ -179,6 +360,9 @@ bool ThreadedCapable(const ScenarioSpec& spec) {
   for (const types::FaultSpec& fault : spec.byzantine) {
     if (fault.type != types::FaultType::kHonest) return false;
   }
+  // Scripted adversaries and the KV workload wiring are simulator-only
+  // harness machinery.
+  if (!spec.adversary.Empty() || spec.kv_workload) return false;
   for (const Phase& p : spec.phases) {
     if (p.set_partition || p.partition_leader || p.set_link_faults ||
         !p.crash.empty() || !p.recover.empty() || p.load < 1.0) {

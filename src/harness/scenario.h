@@ -21,6 +21,7 @@
 
 #include "sim/fault.h"
 #include "util/time.h"
+#include "types/byzantine_spec.h"
 #include "types/fault_spec.h"
 
 namespace prestige {
@@ -74,6 +75,14 @@ struct ScenarioSpec {
   uint32_t n = 4;
   /// Per-replica Byzantine behaviours (resized to n with Honest()).
   std::vector<types::FaultSpec> byzantine;
+  /// Active scripted adversaries (equivocation, wedging, withholding,
+  /// forged replies, complaint spam), enacted via an AdversaryPolicy the
+  /// runner installs on replicas and client pools. Empty = no adversary.
+  types::ByzantineSpec adversary;
+  /// Run the KV workload (real command bytes + KvService) instead of the
+  /// null service — forged-reply adversaries need genuine application
+  /// state to diverge.
+  bool kv_workload = false;
   std::vector<Phase> phases;
 
   /// Total scripted virtual time.
@@ -84,8 +93,10 @@ struct ScenarioSpec {
   }
 };
 
-/// The built-in scenario library (partition-minority, partition-leader,
-/// flaky-links, churn, partition-during-view-change).
+/// The built-in scenario library: fault scenarios (partition-minority,
+/// partition-leader, flaky-links, churn, partition-during-view-change) and
+/// the active-adversary suite (equivocating-leader, slow-leader,
+/// complaint-spam, vote-withholding, forged-replies, mixed-adversary).
 const std::vector<ScenarioSpec>& NamedScenarios();
 
 /// Looks up a built-in scenario by name; nullptr when unknown.

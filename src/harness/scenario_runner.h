@@ -29,6 +29,8 @@
 #include <thread>
 #include <vector>
 
+#include "app/kv_service.h"
+#include "harness/adversary.h"
 #include "harness/cluster.h"
 #include "harness/invariants.h"
 #include "harness/scenario.h"
@@ -78,6 +80,29 @@ struct ScenarioSeedResult {
   uint64_t messages_cut = 0;
   uint64_t messages_duplicated = 0;
   uint64_t messages_reordered = 0;
+
+  // Suppression metrics, filled only when the spec carries an adversary
+  // (adversary_present false ⇒ SeedResultJson omits the block, keeping
+  // honest-run JSON byte-identical to pre-adversary builds).
+  bool adversary_present = false;
+  int64_t byz_views_led = 0;     ///< Views held by scripted attackers.
+  int64_t honest_views_led = 0;  ///< Views held by everyone else.
+  /// Last virtual time an attacker assumed leadership (0 = never led);
+  /// "time to suppression" — after this point the reputation system kept
+  /// attackers out of office for the rest of the run.
+  util::TimeMicros last_byz_led_us = 0;
+  /// Final reputation penalty per replica (vcBlock series; 0 when the
+  /// protocol records no reputation, i.e. the baselines).
+  std::vector<types::Penalty> final_rp;
+  /// One point of an attacker's reputation-penalty trajectory (fig13).
+  struct RpPoint {
+    uint32_t replica = 0;
+    util::TimeMicros at = 0;
+    types::View view = 0;
+    types::Penalty rp = 0;
+  };
+  std::vector<RpPoint> byz_rp_trajectory;
+
   std::vector<PhaseOutcome> phases;
 };
 
@@ -203,12 +228,31 @@ ScenarioSeedResult RunScenarioSeed(const ScenarioSpec& spec, Config config,
   std::vector<types::FaultSpec> faults = spec.byzantine;
   faults.resize(spec.n, types::FaultSpec::Honest());
 
+  // Active adversaries: one scripted policy per run, installed on every
+  // replica and client pool before Start(). Honest specs skip the wiring
+  // entirely, so their runs stay byte-identical to pre-adversary builds.
+  const bool adversary_present = !spec.adversary.Empty();
+  const ScriptedAdversary adversary(spec.adversary);
+  const std::vector<bool> byzantine = BuildByzantineSet(spec);
+  if (spec.kv_workload) {
+    // Forged-reply adversaries need real command bytes: only a service
+    // that folds them into its state digest can genuinely diverge.
+    workload.command_kind = workload::CommandKind::kKvPut;
+  }
+
   Cluster<Replica, Config> cluster(config, workload, faults);
   cluster.network().fault_plane().Seed(workload.seed);
+  if (spec.kv_workload) {
+    cluster.InstallServices([&workload]() {
+      return std::make_unique<app::KvService>(workload.kv_key_space);
+    });
+  }
+  if (adversary_present) cluster.SetAdversary(&adversary);
   cluster.Start();
 
   ScenarioSeedResult result;
   result.seed = workload.seed;
+  result.adversary_present = adversary_present;
 
   int64_t committed_at_phase_start = 0;
   for (const Phase& phase : spec.phases) {
@@ -221,7 +265,7 @@ ScenarioSeedResult RunScenarioSeed(const ScenarioSpec& spec, Config config,
     const int64_t committed_now = cluster.ClientCommitted();
     outcome.committed = committed_now - committed_at_phase_start;
     committed_at_phase_start = committed_now;
-    outcome.safety = CheckSafety(cluster);
+    outcome.safety = CheckSafety(cluster, byzantine);
     if (!outcome.safety.ok && result.safety_ok) {
       result.safety_ok = false;
       result.violation = phase.name + ": " + outcome.safety.violation;
@@ -238,6 +282,25 @@ ScenarioSeedResult RunScenarioSeed(const ScenarioSpec& spec, Config config,
   for (uint32_t i = 0; i < cluster.num_replicas(); ++i) {
     result.view_changes += cluster.replica(i).metrics().view_changes_started;
     result.elections_won += cluster.replica(i).metrics().elections_won;
+  }
+  if (adversary_present) {
+    for (uint32_t i = 0; i < cluster.num_replicas(); ++i) {
+      const auto& m = cluster.replica(i).metrics();
+      const bool byz = i < byzantine.size() && byzantine[i];
+      if (byz) {
+        result.byz_views_led += m.views_led;
+        result.last_byz_led_us =
+            std::max(result.last_byz_led_us, m.last_led_at);
+        for (const core::RpSample& s : m.rp_history) {
+          result.byz_rp_trajectory.push_back(
+              ScenarioSeedResult::RpPoint{i, s.at, s.view, s.rp});
+        }
+      } else {
+        result.honest_views_led += m.views_led;
+      }
+      result.final_rp.push_back(
+          m.rp_history.empty() ? 0 : m.rp_history.back().rp);
+    }
   }
   result.replies = cluster.RepliesReceived();
   result.duplicate_suppressed = cluster.DuplicatesSuppressed();
@@ -272,17 +335,18 @@ ScenarioSeedResult RunScenarioSeed(const ScenarioSpec& spec, Config config,
 /// happens on the calling thread in ascending seed order, which keeps even
 /// the floating-point means byte-identical. Worker count is capped at
 /// num_seeds; jobs == 0 behaves as 1.
-template <typename Replica, typename Config>
-ScenarioAggregate RunScenarioSweep(const ScenarioSpec& spec, Config config,
-                                   WorkloadOptions workload,
-                                   uint64_t base_seed, uint32_t num_seeds,
-                                   uint32_t jobs = 1) {
+template <typename Replica, typename Config, typename SpecFn>
+ScenarioAggregate RunScenarioSweepGen(SpecFn spec_fn, Config config,
+                                      WorkloadOptions workload,
+                                      uint64_t base_seed, uint32_t num_seeds,
+                                      uint32_t jobs = 1) {
   std::vector<ScenarioSeedResult> results(num_seeds);
   const uint32_t workers = std::min(std::max<uint32_t>(jobs, 1), num_seeds);
   if (workers <= 1) {
     for (uint32_t i = 0; i < num_seeds; ++i) {
       WorkloadOptions w = workload;
       w.seed = base_seed + i;
+      const ScenarioSpec spec = spec_fn(w.seed);
       results[i] = RunScenarioSeed<Replica, Config>(spec, config, w);
     }
   } else {
@@ -297,6 +361,7 @@ ScenarioAggregate RunScenarioSweep(const ScenarioSpec& spec, Config config,
           if (i >= num_seeds) return;
           WorkloadOptions w = workload;
           w.seed = base_seed + i;
+          const ScenarioSpec spec = spec_fn(w.seed);
           results[i] = RunScenarioSeed<Replica, Config>(spec, config, w);
         }
       });
@@ -305,8 +370,9 @@ ScenarioAggregate RunScenarioSweep(const ScenarioSpec& spec, Config config,
   }
 
   ScenarioAggregate agg;
-  agg.scenario = spec.name;
-  agg.n = spec.n;
+  const ScenarioSpec first = spec_fn(base_seed);
+  agg.scenario = first.name;
+  agg.n = first.n;
   agg.base_seed = base_seed;
   agg.num_seeds = num_seeds;
   for (uint32_t i = 0; i < num_seeds; ++i) {
@@ -337,6 +403,19 @@ ScenarioAggregate RunScenarioSweep(const ScenarioSpec& spec, Config config,
   return agg;
 }
 
+/// Fixed-spec sweep: every seed runs the same ScenarioSpec. The seed-keyed
+/// generator overload above exists for schedule randomizers (byzantine-fuzz)
+/// whose spec is itself a deterministic function of the seed.
+template <typename Replica, typename Config>
+ScenarioAggregate RunScenarioSweep(const ScenarioSpec& spec, Config config,
+                                   WorkloadOptions workload,
+                                   uint64_t base_seed, uint32_t num_seeds,
+                                   uint32_t jobs = 1) {
+  return RunScenarioSweepGen<Replica, Config>(
+      [&spec](uint64_t) { return spec; }, config, workload, base_seed,
+      num_seeds, jobs);
+}
+
 /// Canonical JSON rendering of one seed's deterministic metrics (wall_ms is
 /// deliberately excluded). Two runs of the same (spec, seed) must produce
 /// byte-identical strings — regardless of sweep parallelism — asserted by
@@ -355,7 +434,7 @@ inline std::string SeedResultJson(const ScenarioSeedResult& r) {
                 "\"messages_sent\": %llu, \"messages_dropped\": %llu, "
                 "\"messages_cut\": %llu, \"messages_duplicated\": %llu, "
                 "\"messages_reordered\": %llu, \"events\": %llu, "
-                "\"hashes\": %llu, \"phases\": [",
+                "\"hashes\": %llu",
                 static_cast<unsigned long long>(r.seed),
                 r.safety_ok ? "true" : "false",
                 static_cast<long long>(r.committed), r.tps, r.p50_ms,
@@ -375,6 +454,37 @@ inline std::string SeedResultJson(const ScenarioSeedResult& r) {
                 static_cast<unsigned long long>(r.events),
                 static_cast<unsigned long long>(r.hashes));
   out += buf;
+  // Suppression metrics appear only for adversary runs, so honest-run JSON
+  // stays byte-identical to pre-adversary builds.
+  if (r.adversary_present) {
+    std::snprintf(buf, sizeof(buf),
+                  ", \"suppression\": {\"byz_views_led\": %lld, "
+                  "\"honest_views_led\": %lld, \"last_byz_led_us\": %lld, "
+                  "\"final_rp\": [",
+                  static_cast<long long>(r.byz_views_led),
+                  static_cast<long long>(r.honest_views_led),
+                  static_cast<long long>(r.last_byz_led_us));
+    out += buf;
+    for (size_t i = 0; i < r.final_rp.size(); ++i) {
+      std::snprintf(buf, sizeof(buf), "%s%lld", i == 0 ? "" : ", ",
+                    static_cast<long long>(r.final_rp[i]));
+      out += buf;
+    }
+    out += "], \"byz_rp_trajectory\": [";
+    for (size_t i = 0; i < r.byz_rp_trajectory.size(); ++i) {
+      const ScenarioSeedResult::RpPoint& p = r.byz_rp_trajectory[i];
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"replica\": %u, \"at_us\": %lld, \"view\": %lld, "
+                    "\"rp\": %lld}",
+                    i == 0 ? "" : ", ", p.replica,
+                    static_cast<long long>(p.at),
+                    static_cast<long long>(p.view),
+                    static_cast<long long>(p.rp));
+      out += buf;
+    }
+    out += "]}";
+  }
+  out += ", \"phases\": [";
   for (size_t i = 0; i < r.phases.size(); ++i) {
     const PhaseOutcome& p = r.phases[i];
     std::snprintf(buf, sizeof(buf),

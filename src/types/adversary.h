@@ -1,0 +1,100 @@
+// AdversaryPolicy: the interposer protocol code consults at its
+// send/propose/vote sites to enact scripted Byzantine behaviour.
+//
+// Protocol implementations (core/, baselines/, client/) hold at most a
+// `const AdversaryPolicy*` — nullptr in every production and honest-run
+// configuration — and ask it yes/no questions at the handful of points an
+// active attacker can deviate: "do I propose this round?", "which body
+// variant does this peer get?", "do I answer this peer's vote?", "do I
+// forge this reply?". Every default answer is the honest one, so honest
+// runs with a default-constructed policy are bit-identical to runs with
+// no policy installed.
+//
+// The only concrete implementation lives in harness/adversary.h
+// (ScriptedAdversary, driven by a types::ByzantineSpec). prestige_lint's
+// `adversary` rule enforces that protocol code never constructs or
+// subclasses a policy — it may only hold a pointer wired in by the
+// harness.
+
+#ifndef PRESTIGE_TYPES_ADVERSARY_H_
+#define PRESTIGE_TYPES_ADVERSARY_H_
+
+#include <cstdint>
+
+#include "util/time.h"
+
+namespace prestige {
+namespace types {
+
+/// Behaviour hooks consulted by replicas and clients. All hooks are const
+/// and must be pure functions of (arguments, construction-time spec) —
+/// policies run inside the deterministic simulator and byte-identical
+/// seed sweeps depend on them introducing no state or entropy of their
+/// own.
+class AdversaryPolicy {
+ public:
+  virtual ~AdversaryPolicy() = default;
+
+  /// Slow/selective leader: true while replica `self`, as leader, should
+  /// suppress proposals and retransmissions (heartbeats keep flowing, so
+  /// the replica looks alive to failure detectors that only watch pings).
+  virtual bool WedgeProposals(uint32_t self, util::TimeMicros now) const {
+    (void)self;
+    (void)now;
+    return false;
+  }
+
+  /// Equivocating leader: body variant replica `self` sends to follower
+  /// `dest` for its next proposal. 0 = the canonical body; any other value
+  /// selects a conflicting (but properly signed) body shared by all
+  /// followers mapped to the same variant.
+  virtual uint32_t ProposalVariant(uint32_t self, uint32_t dest,
+                                   util::TimeMicros now) const {
+    (void)self;
+    (void)dest;
+    (void)now;
+    return 0;
+  }
+
+  /// Vote withholding: true when replica `self` should withhold its
+  /// ordering/commit replies, prepare votes, and campaign votes from
+  /// replica `target`.
+  virtual bool WithholdVote(uint32_t self, uint32_t target,
+                            util::TimeMicros now) const {
+    (void)self;
+    (void)target;
+    (void)now;
+    return false;
+  }
+
+  /// Forged replies: true when replica `self` should execute a tampered
+  /// copy of the committed block (diverging its local application state)
+  /// and report the forged results to clients.
+  virtual bool TamperExecution(uint32_t self, util::TimeMicros now) const {
+    (void)self;
+    (void)now;
+    return false;
+  }
+
+  /// Complaint spam: number of complaints about never-submitted
+  /// transactions client pool `pool` should broadcast this retry scan.
+  virtual uint32_t ComplaintSpamBurst(uint32_t pool,
+                                      util::TimeMicros now) const {
+    (void)pool;
+    (void)now;
+    return 0;
+  }
+
+  /// True when replica `id` is scripted to misbehave at any point of the
+  /// run (activation windows ignored): such replicas carry no safety
+  /// obligation and are excluded from cross-replica agreement checks.
+  virtual bool IsByzantine(uint32_t id) const {
+    (void)id;
+    return false;
+  }
+};
+
+}  // namespace types
+}  // namespace prestige
+
+#endif  // PRESTIGE_TYPES_ADVERSARY_H_

@@ -1,0 +1,110 @@
+// Scripted active-adversary specifications.
+//
+// A ByzantineSpec describes *active* misbehaviour — attacks that send
+// well-formed, correctly signed protocol messages with adversarial content
+// or timing — as opposed to the omission-style FaultSpec profiles (F1-F4,
+// fault_spec.h) that the original attack suite models. The two planes
+// compose: a scenario may cast FaultSpec attackers and ByzantineSpec
+// attackers side by side.
+//
+// The spec is pure data. It is *enacted* by an AdversaryPolicy
+// implementation (types/adversary.h) that scenario harness code installs
+// on replicas and client pools; protocol code itself stays honest-path
+// only and merely consults the installed policy at its send/propose/vote
+// sites.
+//
+// Lives in types/ (beside fault_spec.h) for the same layering reason:
+// protocol layers may depend on types/, while harness/ — where the
+// concrete scripted policy lives — is out of bounds for them.
+
+#ifndef PRESTIGE_TYPES_BYZANTINE_SPEC_H_
+#define PRESTIGE_TYPES_BYZANTINE_SPEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/time.h"
+
+namespace prestige {
+namespace types {
+
+/// Active misbehaviour class of one replica.
+enum class Misbehaviour {
+  kNone,
+  /// Equivocating leader: while leading, proposes conflicting block bodies
+  /// for the same sequence number to disjoint follower groups (each body
+  /// properly signed, so followers accept their copy).
+  kEquivocatingLeader,
+  /// Slow/selective leader ("wedged but heartbeat-alive"): while leading,
+  /// keeps heartbeats flowing but never proposes or retransmits, so
+  /// liveness stalls without any crash signal.
+  kSlowLeader,
+  /// Vote withholding: never answers the listed targets' proposals or
+  /// campaigns (ordering/commit replies, prepare votes, campaign votes).
+  kVoteWithholding,
+  /// Forged replies: executes tampered commands (diverging its local
+  /// application state) and reports the forged results to clients.
+  kForgedReply,
+};
+
+/// One replica's scripted misbehaviour and its activation window.
+struct ReplicaMisbehaviour {
+  uint32_t replica = 0;
+  Misbehaviour kind = Misbehaviour::kNone;
+  /// Virtual-time window in which the behaviour is active.
+  util::TimeMicros start_at = 0;
+  util::TimeMicros stop_at = 0;  ///< 0 = never stops.
+  /// kEquivocatingLeader: number of disjoint follower groups fed
+  /// conflicting bodies (>= 2; group 0 receives the canonical body).
+  uint32_t equivocation_groups = 2;
+  /// kVoteWithholding: replica ids starved of this replica's votes and
+  /// replies. Empty = withhold from everyone.
+  std::vector<uint32_t> withhold_against;
+
+  bool ActiveAt(util::TimeMicros now) const {
+    return kind != Misbehaviour::kNone && now >= start_at &&
+           (stop_at == 0 || now < stop_at);
+  }
+};
+
+/// Complete adversary cast for one scenario: per-replica misbehaviours
+/// plus client-side complaint spam.
+struct ByzantineSpec {
+  std::vector<ReplicaMisbehaviour> replicas;
+
+  /// Complaint spam: client pools [0, spam_pools) broadcast
+  /// `spam_complaints_per_scan` complaints about transactions that were
+  /// never submitted, every retry-scan period, within the window below.
+  /// Spam targets the failure-detection path: each bogus complaint is an
+  /// invitation to start an inspection / view change.
+  uint32_t spam_pools = 0;
+  uint32_t spam_complaints_per_scan = 0;
+  util::TimeMicros spam_start_at = 0;
+  util::TimeMicros spam_stop_at = 0;  ///< 0 = never stops.
+
+  bool Empty() const {
+    for (const ReplicaMisbehaviour& m : replicas) {
+      if (m.kind != Misbehaviour::kNone) return false;
+    }
+    return spam_pools == 0 || spam_complaints_per_scan == 0;
+  }
+
+  /// The scripted misbehaviour of replica `id`, or nullptr when honest.
+  const ReplicaMisbehaviour* ForReplica(uint32_t id) const {
+    for (const ReplicaMisbehaviour& m : replicas) {
+      if (m.replica == id && m.kind != Misbehaviour::kNone) return &m;
+    }
+    return nullptr;
+  }
+
+  bool SpamActiveAt(util::TimeMicros now) const {
+    return spam_pools > 0 && spam_complaints_per_scan > 0 &&
+           now >= spam_start_at &&
+           (spam_stop_at == 0 || now < spam_stop_at);
+  }
+};
+
+}  // namespace types
+}  // namespace prestige
+
+#endif  // PRESTIGE_TYPES_BYZANTINE_SPEC_H_

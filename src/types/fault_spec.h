@@ -45,6 +45,10 @@ enum class AttackStrategy {
 enum class LeaderMisbehaviour {
   kQuiet,        ///< F4+F2.
   kEquivocate,   ///< F4+F3.
+  /// Honest while leading: the F-plane contributes only the campaigning.
+  /// Used to compose with a scripted ByzantineSpec behaviour
+  /// (types/byzantine_spec.h) that supplies the in-office misbehaviour.
+  kNone,
 };
 
 /// Complete per-replica fault configuration.

@@ -1,0 +1,460 @@
+// The active-adversary plane, end to end: per-behaviour unit tests of the
+// ScriptedAdversary hooks, scenario-level suppression runs (wedged and
+// equivocating leaders lose office and accumulate reputation penalty;
+// PrestigeBFT keeps them out while a rotation schedule hands the view
+// back), the Byzantine-aware safety sweep (a forged-reply replica must not
+// read as a protocol violation), honest-run byte-identity (an empty
+// ByzantineSpec leaves SeedResultJson byte-identical to a spec without
+// one), and byzantine-fuzz determinism (the seed-keyed schedule generator
+// sweeps byte-identically for any --jobs value, mirroring
+// parallel_sweep_test.cc).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "app/kv_service.h"
+#include "baselines/hotstuff/hotstuff_replica.h"
+#include "core/replica.h"
+#include "harness/adversary.h"
+#include "harness/cluster.h"
+#include "harness/invariants.h"
+#include "harness/scenario.h"
+#include "harness/scenario_runner.h"
+#include "types/byzantine_spec.h"
+#include "util/time.h"
+
+namespace prestige {
+namespace harness {
+namespace {
+
+using util::Millis;
+using util::Seconds;
+
+/// Small workload: adversary scenarios exercise the control plane, not
+/// saturation throughput.
+WorkloadOptions SmallWorkload() {
+  WorkloadOptions w;
+  w.num_pools = 2;
+  w.clients_per_pool = 25;
+  return w;
+}
+
+core::PrestigeConfig SmallConfig(uint32_t n = 4) {
+  core::PrestigeConfig config;
+  config.n = n;
+  config.batch_size = 100;
+  return config;
+}
+
+// ------------------------------------------------------- hook unit tests
+
+types::ByzantineSpec OneReplicaSpec(uint32_t replica, types::Misbehaviour kind,
+                                    util::TimeMicros start,
+                                    util::TimeMicros stop = 0) {
+  types::ByzantineSpec spec;
+  types::ReplicaMisbehaviour m;
+  m.replica = replica;
+  m.kind = kind;
+  m.start_at = start;
+  m.stop_at = stop;
+  spec.replicas.push_back(m);
+  return spec;
+}
+
+TEST(ScriptedAdversaryTest, WedgeRespectsActivationWindow) {
+  const ScriptedAdversary adversary(OneReplicaSpec(
+      0, types::Misbehaviour::kSlowLeader, Seconds(2), Seconds(5)));
+  EXPECT_FALSE(adversary.WedgeProposals(0, Seconds(1)));
+  EXPECT_TRUE(adversary.WedgeProposals(0, Seconds(2)));
+  EXPECT_TRUE(adversary.WedgeProposals(0, Seconds(4)));
+  EXPECT_FALSE(adversary.WedgeProposals(0, Seconds(5)));  // stop_at exclusive.
+  EXPECT_FALSE(adversary.WedgeProposals(1, Seconds(3)));  // Honest replica.
+}
+
+TEST(ScriptedAdversaryTest, ProposalVariantSplitsDestinationsIntoGroups) {
+  types::ByzantineSpec spec =
+      OneReplicaSpec(0, types::Misbehaviour::kEquivocatingLeader, Seconds(1));
+  spec.replicas[0].equivocation_groups = 2;
+  const ScriptedAdversary adversary(spec);
+  // Before activation: canonical body for everyone.
+  EXPECT_EQ(adversary.ProposalVariant(0, 1, Millis(500)), 0u);
+  // Active: destination parity picks the group; group 0 is canonical.
+  EXPECT_EQ(adversary.ProposalVariant(0, 2, Seconds(2)), 0u);
+  EXPECT_EQ(adversary.ProposalVariant(0, 1, Seconds(2)), 1u);
+  EXPECT_EQ(adversary.ProposalVariant(0, 3, Seconds(2)), 1u);
+  // Honest replicas never equivocate.
+  EXPECT_EQ(adversary.ProposalVariant(1, 3, Seconds(2)), 0u);
+}
+
+TEST(ScriptedAdversaryTest, WithholdVoteTargetsListedReplicasOrEveryone) {
+  types::ByzantineSpec spec =
+      OneReplicaSpec(2, types::Misbehaviour::kVoteWithholding, Seconds(1));
+  spec.replicas[0].withhold_against = {0};
+  const ScriptedAdversary targeted(spec);
+  EXPECT_TRUE(targeted.WithholdVote(2, 0, Seconds(2)));
+  EXPECT_FALSE(targeted.WithholdVote(2, 1, Seconds(2)));
+  EXPECT_FALSE(targeted.WithholdVote(2, 0, Millis(500)));  // Pre-window.
+
+  spec.replicas[0].withhold_against.clear();  // Empty = starve everyone.
+  const ScriptedAdversary blanket(spec);
+  EXPECT_TRUE(blanket.WithholdVote(2, 0, Seconds(2)));
+  EXPECT_TRUE(blanket.WithholdVote(2, 3, Seconds(2)));
+}
+
+TEST(ScriptedAdversaryTest, SpamBurstAppliesToScriptedPoolsInWindow) {
+  types::ByzantineSpec spec;
+  spec.spam_pools = 2;
+  spec.spam_complaints_per_scan = 3;
+  spec.spam_start_at = Seconds(2);
+  spec.spam_stop_at = Seconds(4);
+  const ScriptedAdversary adversary(spec);
+  EXPECT_EQ(adversary.ComplaintSpamBurst(0, Seconds(3)), 3u);
+  EXPECT_EQ(adversary.ComplaintSpamBurst(1, Seconds(3)), 3u);
+  EXPECT_EQ(adversary.ComplaintSpamBurst(2, Seconds(3)), 0u);  // Honest pool.
+  EXPECT_EQ(adversary.ComplaintSpamBurst(0, Seconds(1)), 0u);  // Pre-window.
+  EXPECT_EQ(adversary.ComplaintSpamBurst(0, Seconds(4)), 0u);  // Post-window.
+}
+
+TEST(ScriptedAdversaryTest, IsByzantineReflectsTheCast) {
+  const ScriptedAdversary adversary(
+      OneReplicaSpec(3, types::Misbehaviour::kForgedReply, 0));
+  EXPECT_TRUE(adversary.TamperExecution(3, Seconds(1)));
+  EXPECT_FALSE(adversary.TamperExecution(0, Seconds(1)));
+  EXPECT_TRUE(adversary.IsByzantine(3));
+  EXPECT_FALSE(adversary.IsByzantine(0));
+}
+
+TEST(BuildByzantineSetTest, ComposesFaultSpecAndAdversaryCasts) {
+  ScenarioSpec spec;
+  spec.n = 7;
+  spec.byzantine.assign(7, types::FaultSpec::Honest());
+  spec.byzantine[1] = types::FaultSpec::Crash(Seconds(1));
+  spec.byzantine[2] = types::FaultSpec::RepeatedVc(
+      types::AttackStrategy::kS1, types::LeaderMisbehaviour::kQuiet, 1.0);
+  spec.adversary =
+      OneReplicaSpec(5, types::Misbehaviour::kSlowLeader, Seconds(2));
+
+  const std::vector<bool> byzantine = BuildByzantineSet(spec);
+  ASSERT_EQ(byzantine.size(), 7u);
+  EXPECT_FALSE(byzantine[0]);
+  // Crashed replicas are honest: their shorter prefix must still agree.
+  EXPECT_FALSE(byzantine[1]);
+  EXPECT_TRUE(byzantine[2]);  // FaultSpec attacker.
+  EXPECT_TRUE(byzantine[5]);  // Scripted adversary.
+  EXPECT_FALSE(byzantine[6]);
+}
+
+// --------------------------------------------- fuzz-schedule determinism
+
+TEST(ByzantineFuzzSpecTest, SameSeedSameSchedule) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    const ScenarioSpec a = ByzantineFuzzSpec(seed);
+    const ScenarioSpec b = ByzantineFuzzSpec(seed);
+    EXPECT_EQ(a.n, b.n);
+    EXPECT_EQ(a.kv_workload, b.kv_workload);
+    ASSERT_EQ(a.adversary.replicas.size(), b.adversary.replicas.size());
+    for (size_t i = 0; i < a.adversary.replicas.size(); ++i) {
+      EXPECT_EQ(a.adversary.replicas[i].replica,
+                b.adversary.replicas[i].replica);
+      EXPECT_EQ(a.adversary.replicas[i].kind, b.adversary.replicas[i].kind);
+      EXPECT_EQ(a.adversary.replicas[i].start_at,
+                b.adversary.replicas[i].start_at);
+      EXPECT_EQ(a.adversary.replicas[i].stop_at,
+                b.adversary.replicas[i].stop_at);
+    }
+    EXPECT_EQ(a.adversary.spam_pools, b.adversary.spam_pools);
+    EXPECT_EQ(a.adversary.spam_complaints_per_scan,
+              b.adversary.spam_complaints_per_scan);
+  }
+}
+
+TEST(ByzantineFuzzSpecTest, SchedulesAreBoundedAndDiverse) {
+  bool saw_n4 = false;
+  bool saw_n7 = false;
+  bool saw_spam = false;
+  for (uint64_t seed = 0; seed < 32; ++seed) {
+    const ScenarioSpec spec = ByzantineFuzzSpec(seed);
+    ASSERT_TRUE(spec.n == 4 || spec.n == 7);
+    saw_n4 = saw_n4 || spec.n == 4;
+    saw_n7 = saw_n7 || spec.n == 7;
+    saw_spam = saw_spam || spec.adversary.spam_pools > 0;
+    const uint32_t f = (spec.n - 1) / 3;
+    ASSERT_GE(spec.adversary.replicas.size(), 1u);
+    ASSERT_LE(spec.adversary.replicas.size(), static_cast<size_t>(f));
+    bool any_forged = false;
+    std::vector<bool> cast(spec.n, false);
+    for (const types::ReplicaMisbehaviour& m : spec.adversary.replicas) {
+      ASSERT_LT(m.replica, spec.n);
+      EXPECT_FALSE(cast[m.replica]) << "duplicate attacker, seed " << seed;
+      cast[m.replica] = true;
+      EXPECT_NE(m.kind, types::Misbehaviour::kNone);
+      EXPECT_GE(m.start_at, Millis(1500));  // Inside the attack timeline.
+      any_forged = any_forged || m.kind == types::Misbehaviour::kForgedReply;
+    }
+    // Forged replies only diverge real application state.
+    EXPECT_EQ(spec.kv_workload, any_forged) << "seed " << seed;
+    ASSERT_EQ(spec.phases.size(), 3u);
+  }
+  EXPECT_TRUE(saw_n4);
+  EXPECT_TRUE(saw_n7);
+  EXPECT_TRUE(saw_spam);
+}
+
+TEST(ByzantineFuzzSweepTest, JobsMatchSerialByteForByte) {
+  constexpr uint32_t kSeeds = 3;
+  auto gen = [](uint64_t seed) { return ByzantineFuzzSpec(seed); };
+
+  const ScenarioAggregate serial =
+      RunScenarioSweepGen<core::PrestigeReplica, core::PrestigeConfig>(
+          gen, SmallConfig(), SmallWorkload(), /*base_seed=*/42, kSeeds,
+          /*jobs=*/1);
+  const ScenarioAggregate parallel =
+      RunScenarioSweepGen<core::PrestigeReplica, core::PrestigeConfig>(
+          gen, SmallConfig(), SmallWorkload(), /*base_seed=*/42, kSeeds,
+          /*jobs=*/3);
+
+  ASSERT_EQ(serial.seeds.size(), kSeeds);
+  ASSERT_EQ(parallel.seeds.size(), kSeeds);
+  for (uint32_t i = 0; i < kSeeds; ++i) {
+    EXPECT_EQ(SeedResultJson(serial.seeds[i]),
+              SeedResultJson(parallel.seeds[i]))
+        << "seed " << serial.seeds[i].seed;
+    EXPECT_TRUE(serial.seeds[i].safety_ok) << serial.seeds[i].violation;
+    EXPECT_TRUE(serial.seeds[i].adversary_present);
+  }
+  EXPECT_EQ(serial.all_safe, parallel.all_safe);
+  EXPECT_EQ(serial.events_total, parallel.events_total);
+  EXPECT_EQ(serial.hashes_total, parallel.hashes_total);
+  EXPECT_EQ(serial.tps_mean, parallel.tps_mean);
+  EXPECT_EQ(serial.committed_total, parallel.committed_total);
+}
+
+// ------------------------------------------------- honest byte-identity
+
+ScenarioSpec ShortHonestSpec() {
+  ScenarioSpec spec;
+  spec.name = "test-honest";
+  spec.n = 4;
+  Phase warmup;
+  warmup.name = "warmup";
+  warmup.duration = Millis(400);
+  spec.phases.push_back(warmup);
+  Phase steady;
+  steady.name = "steady";
+  steady.duration = Millis(400);
+  spec.phases.push_back(steady);
+  return spec;
+}
+
+TEST(HonestIdentityTest, EmptyAdversarySpecIsByteIdenticalAndUnreported) {
+  const ScenarioSpec plain = ShortHonestSpec();
+  // A spec whose ByzantineSpec is present but *empty* (kNone entries, spam
+  // with zero complaints) must not perturb the run: Empty() gates all
+  // adversary wiring, so the JSON stays byte-identical.
+  ScenarioSpec noop = ShortHonestSpec();
+  types::ReplicaMisbehaviour none;
+  none.replica = 1;
+  none.kind = types::Misbehaviour::kNone;
+  noop.adversary.replicas.push_back(none);
+  noop.adversary.spam_pools = 1;
+  noop.adversary.spam_complaints_per_scan = 0;
+  ASSERT_TRUE(noop.adversary.Empty());
+
+  const ScenarioSeedResult a = RunScenarioSeed<core::PrestigeReplica>(
+      plain, SmallConfig(), SmallWorkload());
+  const ScenarioSeedResult b = RunScenarioSeed<core::PrestigeReplica>(
+      noop, SmallConfig(), SmallWorkload());
+  const std::string json = SeedResultJson(a);
+  EXPECT_EQ(json, SeedResultJson(b));
+  EXPECT_EQ(json.find("suppression"), std::string::npos);
+  EXPECT_FALSE(a.adversary_present);
+  EXPECT_TRUE(a.safety_ok) << a.violation;
+}
+
+// ------------------------------------------------ suppression scenarios
+
+TEST(SuppressionTest, WedgedLeaderIsReplacedPenalizedAndKeptOut) {
+  const ScenarioSpec* spec = FindScenario("slow-leader");
+  ASSERT_NE(spec, nullptr);
+  const ScenarioSeedResult r = RunScenarioSeed<core::PrestigeReplica>(
+      *spec, SmallConfig(), SmallWorkload());
+
+  EXPECT_TRUE(r.safety_ok) << r.violation;
+  ASSERT_EQ(r.phases.size(), 3u);
+  // The wedge stalls progress, the complaint path forces a view change,
+  // and commits resume: the settle phase must make real progress.
+  EXPECT_GT(r.phases[2].committed, 0);
+  EXPECT_GE(r.view_changes, 1);
+  // The attacker contests every deposition (S1 + collusion speed-up) and
+  // wins the early contested re-elections while its puzzle is cheap — but
+  // each wedged reign adds +1 to its penalty (no commits => no
+  // compensation), so the ratcheting difficulty prices it out after a
+  // handful of reigns: views held stay bounded and leadership lands with
+  // honest replicas for good.
+  EXPECT_TRUE(r.adversary_present);
+  EXPECT_GE(r.byz_views_led, 2);  // Genesis plus at least one comeback.
+  EXPECT_LE(r.byz_views_led, 8);  // ...but priced out, not unbounded.
+  EXPECT_GE(r.honest_views_led, 1);
+  // Time to suppression: once priced out, the attacker never holds office
+  // again — the run's final second is honest-led (9s total).
+  EXPECT_LT(r.last_byz_led_us, Seconds(8));
+  // The reputation engine penalized it: the recorded penalty climbed with
+  // every re-election (the fig13-style trajectory), well above genesis
+  // rp=1.
+  ASSERT_EQ(r.final_rp.size(), 4u);
+  EXPECT_GE(r.final_rp[0], 2);
+  EXPECT_FALSE(r.byz_rp_trajectory.empty());
+  EXPECT_NE(SeedResultJson(r).find("\"suppression\""), std::string::npos);
+}
+
+TEST(SuppressionTest, RotationScheduleHandsViewBackToWedgedLeader) {
+  // The churn contrast: HotStuff's passive schedule re-elects the attacker
+  // after the attack begins, where PrestigeBFT's reputation engine keeps it
+  // out (previous test: last_byz_led_us < 6s).
+  const ScenarioSpec* spec = FindScenario("slow-leader");
+  ASSERT_NE(spec, nullptr);
+  baselines::hotstuff::HotStuffConfig config;
+  config.batch_size = 100;
+  config.rotation_period = Seconds(1);
+  const ScenarioSeedResult r =
+      RunScenarioSeed<baselines::hotstuff::HotStuffReplica>(
+          *spec, config, SmallWorkload());
+
+  EXPECT_TRUE(r.safety_ok) << r.violation;
+  EXPECT_TRUE(r.adversary_present);
+  EXPECT_GE(r.byz_views_led, 1);
+  // The schedule handed the view back after the wedge engaged at 2s.
+  EXPECT_GT(r.last_byz_led_us, Seconds(2));
+  // Baselines record no reputation: the penalty series stays empty.
+  ASSERT_EQ(r.final_rp.size(), 4u);
+  EXPECT_EQ(r.final_rp[0], 0);
+  EXPECT_TRUE(r.byz_rp_trajectory.empty());
+}
+
+TEST(SuppressionTest, EquivocatingLeaderIsPenalizedWithoutSafetyLoss) {
+  const ScenarioSpec* spec = FindScenario("equivocating-leader");
+  ASSERT_NE(spec, nullptr);
+  const ScenarioSeedResult r = RunScenarioSeed<core::PrestigeReplica>(
+      *spec, SmallConfig(), SmallWorkload());
+
+  // Conflicting bodies can never gather a verified 2f+1 quorum, so honest
+  // chains stay in agreement and clients never see conflicting results.
+  EXPECT_TRUE(r.safety_ok) << r.violation;
+  EXPECT_EQ(r.result_mismatches, 0);
+  ASSERT_EQ(r.phases.size(), 3u);
+  EXPECT_GT(r.phases[2].committed, 0);  // Commits resume once replaced.
+  EXPECT_GE(r.view_changes, 1);
+  EXPECT_LE(r.byz_views_led, 8);  // Bounded: priced out after a few reigns.
+  ASSERT_EQ(r.final_rp.size(), 4u);
+  EXPECT_GE(r.final_rp[0], 2);  // Penalized above the genesis rp=1.
+}
+
+TEST(SuppressionTest, VoteWithholdingCliqueCannotStallTheQuorum) {
+  const ScenarioSpec* spec = FindScenario("vote-withholding");
+  ASSERT_NE(spec, nullptr);
+  const ScenarioSeedResult r = RunScenarioSeed<core::PrestigeReplica>(
+      *spec, SmallConfig(7), SmallWorkload());
+
+  EXPECT_TRUE(r.safety_ok) << r.violation;
+  ASSERT_EQ(r.phases.size(), 3u);
+  // n=7 leaves exactly 2f+1 honest replicas: the cluster must keep
+  // committing straight through the withholding window.
+  EXPECT_GT(r.phases[1].committed, 0);
+  EXPECT_GT(r.phases[2].committed, 0);
+}
+
+// -------------------------------------- Byzantine-aware safety invariants
+
+TEST(ByzantineSafetyTest, ForgedReplyReplicaIsNoFalseSafetyViolation) {
+  const ScenarioSpec* spec = FindScenario("forged-replies");
+  ASSERT_NE(spec, nullptr);
+
+  // Manual wiring (mirroring RunScenarioSeed) so both CheckSafety overloads
+  // can sweep the same cluster.
+  core::PrestigeConfig config = SmallConfig(spec->n);
+  WorkloadOptions workload = SmallWorkload();
+  workload.command_kind = workload::CommandKind::kKvPut;
+  const ScriptedAdversary adversary(spec->adversary);
+  const std::vector<bool> byzantine = BuildByzantineSet(*spec);
+
+  Cluster<core::PrestigeReplica, core::PrestigeConfig> cluster(config,
+                                                               workload);
+  cluster.network().fault_plane().Seed(workload.seed);
+  cluster.InstallServices([&workload]() {
+    return std::make_unique<app::KvService>(workload.kv_key_space);
+  });
+  cluster.SetAdversary(&adversary);
+  cluster.Start();
+  cluster.RunFor(Seconds(6));  // Warmup 2s + 4s of tampered execution.
+  // Quiesce so every honest replica converges to the same chain height
+  // before the sweep compares per-height execution state.
+  for (uint32_t p = 0; p < cluster.num_pools(); ++p) {
+    cluster.pool(p).SetActive(false);
+  }
+  cluster.RunFor(Seconds(1));
+
+  // The tampering replica genuinely diverged its KV state, so the naive
+  // all-honest sweep reports divergent execution...
+  const SafetyReport naive = CheckSafety(cluster);
+  EXPECT_FALSE(naive.ok);
+  EXPECT_NE(naive.violation.find("divergent execution"), std::string::npos)
+      << naive.violation;
+  // ...while the Byzantine-aware sweep excludes it and passes: honest
+  // replicas still agree on chains and execution results.
+  const SafetyReport aware = CheckSafety(cluster, byzantine);
+  EXPECT_TRUE(aware.ok) << aware.violation;
+  // Clients saw the forged result digests but never completed on them.
+  EXPECT_GT(cluster.ResultMismatches(), 0);
+  EXPECT_GT(cluster.ClientCommitted(), 0);
+}
+
+TEST(ByzantineSafetyTest, ForgedRepliesScenarioRunsSafe) {
+  const ScenarioSpec* spec = FindScenario("forged-replies");
+  ASSERT_NE(spec, nullptr);
+  const ScenarioSeedResult r = RunScenarioSeed<core::PrestigeReplica>(
+      *spec, SmallConfig(), SmallWorkload());
+  EXPECT_TRUE(r.safety_ok) << r.violation;
+  EXPECT_GT(r.committed, 0);
+  EXPECT_GT(r.result_mismatches, 0);  // Forged digests reached clients.
+}
+
+// ----------------------------------------------------- complaint spam
+
+TEST(ComplaintSpamTest, SpamReachesReplicasWithoutStallingCommits) {
+  const ScenarioSpec* spec = FindScenario("complaint-spam");
+  ASSERT_NE(spec, nullptr);
+
+  auto complaints_received = [](bool spam, int64_t* committed) {
+    const ScenarioSpec* s = FindScenario("complaint-spam");
+    const ScriptedAdversary adversary(spam ? s->adversary
+                                           : types::ByzantineSpec());
+    Cluster<core::PrestigeReplica, core::PrestigeConfig> cluster(
+        SmallConfig(s->n), SmallWorkload());
+    cluster.network().fault_plane().Seed(1);
+    if (spam) cluster.SetAdversary(&adversary);
+    cluster.Start();
+    cluster.RunFor(Seconds(5));  // Spam window opens at 2s.
+    int64_t total = 0;
+    for (uint32_t i = 0; i < cluster.num_replicas(); ++i) {
+      total += cluster.replica(i).metrics().complaints_received;
+    }
+    *committed = cluster.ClientCommitted();
+    return total;
+  };
+
+  int64_t committed_spam = 0;
+  int64_t committed_quiet = 0;
+  const int64_t with_spam = complaints_received(true, &committed_spam);
+  const int64_t without = complaints_received(false, &committed_quiet);
+  // The bogus complaints actually flow...
+  EXPECT_GT(with_spam, without);
+  // ...and free complaints do not translate into a stalled cluster.
+  EXPECT_GT(committed_spam, 0);
+}
+
+}  // namespace
+}  // namespace harness
+}  // namespace prestige

@@ -322,6 +322,63 @@ TEST(TimerTagTest, SmallShiftsAndPureShiftsPass) {
   EXPECT_TRUE(RunLint(files, "timer-tag").empty());
 }
 
+// ---------------------------------------------------------------- adversary
+
+TEST(AdversaryTest, PointerOnlyUseInProtocolCodePasses) {
+  const std::vector<SourceFile> files = {
+      {"core/replica.h",
+       "const types::AdversaryPolicy* adversary_ = nullptr;\n"
+       "void SetAdversary(const types::AdversaryPolicy* a) { adversary_ = a; "
+       "}\n"},
+      {"client/client.h",
+       "const types::AdversaryPolicy  *adversary_ = nullptr;\n"},
+  };
+  EXPECT_TRUE(RunLint(files, "adversary").empty());
+}
+
+TEST(AdversaryTest, ScriptedAdversaryInProtocolCodeFails) {
+  const std::vector<SourceFile> files = {
+      {"core/replica.cc",
+       "harness::ScriptedAdversary adversary(spec);\n"},
+  };
+  EXPECT_TRUE(HasFinding(RunLint(files, "adversary"), "adversary",
+                         "core/replica.cc", 1));
+}
+
+TEST(AdversaryTest, NonPointerPolicyUseInProtocolCodeFails) {
+  const std::vector<SourceFile> files = {
+      {"baselines/hotstuff/hotstuff_replica.h",
+       "types::AdversaryPolicy policy;\n"},
+      {"client/client.cc",
+       "class Evil : public types::AdversaryPolicy {};\n"},
+      {"app/service.h",
+       "const types::AdversaryPolicy& policy_ref = *adversary_;\n"},
+  };
+  const auto findings = RunLint(files, "adversary");
+  EXPECT_TRUE(HasFinding(findings, "adversary",
+                         "baselines/hotstuff/hotstuff_replica.h", 1));
+  EXPECT_TRUE(HasFinding(findings, "adversary", "client/client.cc", 1));
+  EXPECT_TRUE(HasFinding(findings, "adversary", "app/service.h", 1));
+}
+
+TEST(AdversaryTest, HarnessAndTypesMayConstructPolicies) {
+  const std::vector<SourceFile> files = {
+      {"harness/adversary.h",
+       "class ScriptedAdversary : public types::AdversaryPolicy {};\n"},
+      {"types/adversary.h", "class AdversaryPolicy {};\n"},
+  };
+  EXPECT_TRUE(RunLint(files, "adversary").empty());
+}
+
+TEST(AdversaryTest, SuppressibleLikeEveryRule) {
+  const std::vector<SourceFile> files = {
+      {"core/replica.cc",
+       "// lint:allow(adversary: test double lives here deliberately)\n"
+       "harness::ScriptedAdversary adversary(spec);\n"},
+  };
+  EXPECT_TRUE(RunLint(files, "adversary").empty());
+}
+
 // ------------------------------------------------------------- suppressions
 
 TEST(SuppressionTest, SameLineAllowSuppresses) {

@@ -196,6 +196,94 @@ TEST_F(ReputationGoldenTest, AblationDisablingDeltaVc) {
   EXPECT_EQ(r->new_rp, 1);
 }
 
+// ----------------------------------------- Adversary-suppression pins
+//
+// The byzantine scenario suite (tests/byzantine_test.cc) asserts the
+// *direction* of reputation suppression end-to-end; these regressions pin
+// the underlying penalty/recovery arithmetic exactly, so a drift in the
+// engine shows up here first with small numbers.
+
+// An equivocating/wedged leader whose every view ends in a forced view
+// change (no replication credit, ti=1) accrues exactly +1 penalty per
+// failed view: the trajectory is 1 -> 2 -> 3 -> ... with no compensation.
+TEST_F(ReputationGoldenTest, FailedLeaderPenaltyTrajectoryPinned) {
+  std::vector<Penalty> history;
+  Penalty rp = 1;
+  types::View v = 1;
+  const Penalty kExpected[] = {2, 3, 4, 5, 6, 7};
+  for (int step = 0; step < 6; ++step) {
+    std::vector<Penalty> p;
+    p.push_back(rp);
+    p.insert(p.end(), history.rbegin(), history.rend());
+    auto r = engine_.CalcRp(v + 1, v, rp, /*ti=*/1, /*ci=*/1, p);
+    ASSERT_TRUE(r.ok());
+    EXPECT_DOUBLE_EQ(r->delta_tx, 0.0) << "step " << step;
+    EXPECT_EQ(r->new_rp, kExpected[step]) << "step " << step;
+    history.push_back(rp);
+    rp = r->new_rp;
+    ++v;
+  }
+}
+
+// Recovery arithmetic, exact: a suppressed replica (rp=9, all recorded
+// penalties equal so sigma=0 and delta_vc is exactly 0.5) that replicates
+// ti=20 against ci=1 earns delta_tx = 19/20 = 0.95 exactly, so
+// delta = 0.95 * 0.5 * rp_temp = 4.75 and floor() compensates 4:
+// new_rp = 10 - 4 = 6.
+TEST_F(ReputationGoldenTest, RecoveryCompensationPinnedExactly) {
+  auto r = engine_.CalcRp(/*v_new=*/11, /*v_cur=*/10, /*rp_cur=*/9,
+                          /*ti=*/20, /*ci=*/1, {9, 9, 9});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rp_temp, 10);
+  EXPECT_DOUBLE_EQ(r->delta_tx, 0.95);
+  EXPECT_DOUBLE_EQ(r->delta_vc, 0.5);
+  EXPECT_DOUBLE_EQ(r->delta, 4.75);
+  EXPECT_EQ(r->new_rp, 6);
+}
+
+// Complaint-spam shape: every spam-triggered view change an attacker wins
+// and fumbles skips views for it. Campaigning across a k-view gap pays k
+// (Eq. 1's anti-overflow rule), so three failed 2-view jumps compound
+// 1 -> 3 -> 5 -> 7 with no compensation at ti=1.
+TEST_F(ReputationGoldenTest, SpamDrivenViewSkipsCompound) {
+  std::vector<Penalty> history;
+  Penalty rp = 1;
+  types::View v = 1;
+  const Penalty kExpected[] = {3, 5, 7};
+  for (int step = 0; step < 3; ++step) {
+    std::vector<Penalty> p;
+    p.push_back(rp);
+    p.insert(p.end(), history.rbegin(), history.rend());
+    auto r = engine_.CalcRp(v + 2, v, rp, /*ti=*/1, /*ci=*/1, p);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->rp_temp, rp + 2) << "step " << step;
+    EXPECT_EQ(r->new_rp, kExpected[step]) << "step " << step;
+    history.push_back(rp);
+    rp = r->new_rp;
+    v += 2;
+  }
+}
+
+// Vote-withholding shape: a withholder sits out as a quiet follower, so
+// its penalty stays flat while honest views accumulate; when it finally
+// campaigns, the longer quiet tail has *raised* delta_vc (the engine
+// rewards indifference to leadership) — recovery is easier, not harder,
+// exactly as Appendix C example 5 prescribes. Pin the direction plus the
+// row-5 magnitude.
+TEST_F(ReputationGoldenTest, WithholderQuietTailRaisesDeltaVcPinned) {
+  std::vector<Penalty> p = {1, 2, 3, 4};
+  p.insert(p.end(), 10, 5);
+  auto late = engine_.CalcRp(15, 14, 5, /*ti=*/50, /*ci=*/20, p);
+  auto early = engine_.CalcRp(7, 6, 5, /*ti=*/50, /*ci=*/20,
+                              {1, 2, 3, 4, 5, 5});
+  ASSERT_TRUE(late.ok());
+  ASSERT_TRUE(early.ok());
+  EXPECT_NEAR(late->delta_vc, 0.36, 0.01);
+  EXPECT_NEAR(early->delta_vc, 0.25, 0.005);
+  EXPECT_GT(late->delta_vc, early->delta_vc);
+  EXPECT_LE(late->new_rp, early->new_rp);
+}
+
 TEST(SigmoidTest, StandardValues) {
   EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
   EXPECT_NEAR(Sigmoid(1.414), 0.804, 0.01);

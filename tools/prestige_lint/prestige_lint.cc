@@ -608,13 +608,52 @@ void RunTimerTag(LintCtx& ctx) {
   }
 }
 
+// ------------------------------------------------------------- adversary
+
+void RunAdversary(LintCtx& ctx) {
+  for (const FileCtx& f : ctx.files) {
+    if (ProtectedDirs().count(TopDir(f.file->path)) == 0) continue;
+    const std::string& code = f.scrubbed.code;
+
+    // The concrete scripted policy is harness wiring; naming it at all in
+    // protocol code means an attack could be enacted outside any scenario.
+    {
+      const std::string t = "ScriptedAdversary";
+      for (size_t pos = code.find(t); pos != std::string::npos;
+           pos = code.find(t, pos + 1)) {
+        if (!TokenAt(code, pos, t.size())) continue;
+        ctx.Report(f, f.scrubbed.LineOf(pos), "adversary",
+                   "ScriptedAdversary is harness-only; protocol code stays "
+                   "honest-path and consults the installed "
+                   "types::AdversaryPolicy through its pointer");
+      }
+    }
+
+    // The interface may be *held* (a const pointer, nullptr = honest) but
+    // never constructed, copied, or inherited from in protocol code.
+    {
+      const std::string t = "AdversaryPolicy";
+      for (size_t pos = code.find(t); pos != std::string::npos;
+           pos = code.find(t, pos + 1)) {
+        if (!TokenAt(code, pos, t.size())) continue;
+        const size_t after = SkipSpace(code, pos + t.size());
+        if (after < code.size() && code[after] == '*') continue;
+        ctx.Report(f, f.scrubbed.LineOf(pos), "adversary",
+                   "AdversaryPolicy may appear in protocol code only as a "
+                   "pointer ('AdversaryPolicy*'); constructing, copying, or "
+                   "deriving from a policy belongs to harness/sim wiring");
+      }
+    }
+  }
+}
+
 }  // namespace
 
 // ----------------------------------------------------------- public API
 
 const std::vector<std::string>& RuleNames() {
   static const std::vector<std::string> kRules = {
-      "layering", "determinism", "codec-tags", "timer-tag"};
+      "layering", "determinism", "codec-tags", "timer-tag", "adversary"};
   return kRules;
 }
 
@@ -640,6 +679,7 @@ std::vector<Finding> Lint(const std::vector<SourceFile>& files,
   if (enabled("determinism")) RunDeterminism(ctx);
   if (enabled("codec-tags")) RunCodecTags(ctx);
   if (enabled("timer-tag")) RunTimerTag(ctx);
+  if (enabled("adversary")) RunAdversary(ctx);
 
   std::sort(ctx.findings.begin(), ctx.findings.end(),
             [](const Finding& a, const Finding& b) {

@@ -1,7 +1,7 @@
 // prestige_lint — project-invariant static checker for the PrestigeBFT tree.
 //
 // A deliberately small analysis: a comment/string-aware token scanner plus a
-// quoted-include graph walker, no libclang. It machine-checks the four
+// quoted-include graph walker, no libclang. It machine-checks the five
 // invariants that reviews have historically had to defend by hand:
 //
 //   layering     — nothing under core/, baselines/, client/, or app/ may
@@ -21,6 +21,12 @@
 //                  src/types/codec.h).
 //   timer-tag    — no ad-hoc `(kind << N) | payload` bit packing outside
 //                  util/timer_tag.h (the PR 2 48-bit truncation bug class).
+//   adversary    — protocol code (core/, baselines/, client/, app/) may
+//                  hold the types::AdversaryPolicy interface only as a
+//                  pointer (nullptr = honest) and may never name the
+//                  concrete ScriptedAdversary: attacks are enacted solely
+//                  through harness/sim scenario wiring, keeping the
+//                  protocol honest-path-only.
 //
 // Suppressions: a finding on line L is suppressed when a comment on L — or
 // on an immediately preceding comment-only line — contains
