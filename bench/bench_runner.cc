@@ -33,7 +33,7 @@
 // latency dominates the virtual clock.
 //
 // Usage: bench_runner [--outdir DIR] [--seeds N] [--seed BASE] [--jobs N]
-//                     [--runtime sim|threaded] [scenario ...]
+//                     [--runtime sim|threaded] [--workers LIST] [scenario ...]
 //        bench_runner --scenario NAME [--scenario NAME ...]
 //        bench_runner --list
 // With no scenario arguments — or with the pseudo-name "all" — every
@@ -43,7 +43,11 @@
 // `--runtime=threaded` additionally executes each selected (fault-free)
 // declarative scenario on the real-time ThreadedRuntime backend and adds a
 // "threaded" JSON block with real wall-clock TPS/latency next to the
-// simulated numbers (docs/BENCHMARKS.md). `--list` prints scenarios,
+// simulated numbers (docs/BENCHMARKS.md). `--workers 0,2,4` (threaded only)
+// repeats each threaded run with that many OrderedRunner prologue workers
+// per node and records the sweep in "threaded.worker_sweep"; the flat
+// threaded fields always describe the classic workers=0 path, which is
+// included automatically. `--list` prints scenarios,
 // protocol configs, and runtime backends. Exit status is 2 on usage
 // errors (unknown scenarios, sim-only scenarios under --runtime=threaded),
 // 1 when any output failed to write OR any scenario — simulated or
@@ -52,6 +56,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <string>
@@ -110,6 +115,22 @@ uint32_t DefaultJobs() {
   return hc == 0 ? 1 : hc;
 }
 uint32_t g_jobs = 0;  // 0 = not set; resolved to DefaultJobs() in Main.
+
+/// Per-node prologue worker counts for the threaded backend (--workers).
+/// Comma-separated list; a single K>0 expands to {0, K} so every sweep
+/// carries the classic-path reference point. Empty = {0} (classic only).
+std::vector<uint32_t> g_worker_counts;
+
+/// Resolved sweep: always starts with 0 so the flat "threaded" fields (and
+/// the CI gates reading them) keep describing the classic path.
+std::vector<uint32_t> WorkerCounts() {
+  std::vector<uint32_t> counts = g_worker_counts;
+  if (counts.empty()) counts.push_back(0);
+  if (std::find(counts.begin(), counts.end(), 0u) == counts.end()) {
+    counts.insert(counts.begin(), 0);
+  }
+  return counts;
+}
 
 /// Runs `body` with wall-clock and hash-count accounting around it. The
 /// CryptoMeter credits hashing done on this thread outside any nested
@@ -386,34 +407,45 @@ ScenarioResult RunDeclarative(const harness::ScenarioSpec& spec) {
     }
   });
 
-  // Real-time comparison run: the same workload on the threaded backend
-  // (PrestigeBFT; wall-clock numbers, scheduler-dependent by design).
-  // Deliberately OUTSIDE the Instrumented window: wall_ms / events /
-  // events_per_sec track the simulator hot path across PRs, and a 6 s
-  // real-time sleep would corrupt that trajectory.
+  // Real-time comparison runs: the same workload on the threaded backend
+  // (PrestigeBFT; wall-clock numbers, scheduler-dependent by design), once
+  // per --workers count. The flat "threaded" fields always describe the
+  // workers=0 classic path — CI gates read them — and the full sweep rides
+  // in "worker_sweep". Deliberately OUTSIDE the Instrumented window:
+  // wall_ms / events / events_per_sec track the simulator hot path across
+  // PRs, and a 6 s real-time sleep per count would corrupt that trajectory.
   if (g_threaded) {
-    const harness::ThreadedRunResult rt =
-        harness::RunThreadedScenario<core::PrestigeReplica,
-                                     core::PrestigeConfig>(
-            spec, PaperPrestigeConfig(spec.n, 500),
-            ScenarioWorkload(g_sweep_base_seed));
-    if (!rt.ran) {
-      std::fprintf(stderr, "bench_runner: threaded run skipped: %s\n",
-                   rt.error.c_str());
-      result.safe = false;
-    } else {
+    std::vector<harness::ThreadedRunResult> sweep;
+    for (const uint32_t workers : WorkerCounts()) {
+      harness::WorkloadOptions workload = ScenarioWorkload(g_sweep_base_seed);
+      workload.workers_per_node = workers;
+      const harness::ThreadedRunResult rt =
+          harness::RunThreadedScenario<core::PrestigeReplica,
+                                       core::PrestigeConfig>(
+              spec, PaperPrestigeConfig(spec.n, 500), workload);
+      if (!rt.ran) {
+        std::fprintf(stderr, "bench_runner: threaded run skipped: %s\n",
+                     rt.error.c_str());
+        result.safe = false;
+        break;
+      }
       if (!rt.safety_ok) {
         std::fprintf(stderr,
-                     "bench_runner: SAFETY VIOLATION (threaded) %s: %s\n",
-                     spec.name.c_str(), rt.violation.c_str());
+                     "bench_runner: SAFETY VIOLATION (threaded, workers=%u) "
+                     "%s: %s\n",
+                     workers, spec.name.c_str(), rt.violation.c_str());
         result.safe = false;
       }
       std::printf(
-          "  threaded: committed=%lld tps=%.1f p50=%.2fms p99=%.2fms "
-          "msgs=%llu safe=%s   (sim tps=%.1f p50=%.2fms)\n",
-          static_cast<long long>(rt.committed), rt.tps, rt.p50_ms, rt.p99_ms,
-          static_cast<unsigned long long>(rt.messages_delivered),
+          "  threaded[workers=%u]: committed=%lld tps=%.1f p50=%.2fms "
+          "p99=%.2fms msgs=%llu safe=%s   (sim tps=%.1f p50=%.2fms)\n",
+          workers, static_cast<long long>(rt.committed), rt.tps, rt.p50_ms,
+          rt.p99_ms, static_cast<unsigned long long>(rt.messages_delivered),
           rt.safety_ok ? "yes" : "NO", result.tps, result.p50_ms);
+      sweep.push_back(rt);
+    }
+    if (!sweep.empty()) {
+      const harness::ThreadedRunResult& rt = sweep.front();  // workers=0.
       char tbuf[768];
       std::snprintf(
           tbuf, sizeof(tbuf),
@@ -433,8 +465,8 @@ ScenarioResult RunDeclarative(const harness::ScenarioSpec& spec) {
           "    \"messages_delivered\": %llu,\n"
           "    \"min_height\": %lld,\n"
           "    \"max_height\": %lld,\n"
-          "    \"safe\": %s\n"
-          "  },\n",
+          "    \"safe\": %s,\n"
+          "    \"worker_sweep\": [\n",
           rt.duration_seconds, static_cast<long long>(rt.committed), rt.tps,
           rt.p50_ms, rt.p99_ms, rt.mean_ms,
           static_cast<long long>(rt.view_changes),
@@ -447,6 +479,25 @@ ScenarioResult RunDeclarative(const harness::ScenarioSpec& spec) {
           static_cast<long long>(rt.max_height),
           rt.safety_ok ? "true" : "false");
       result.extra_json += tbuf;
+      for (size_t i = 0; i < sweep.size(); ++i) {
+        const harness::ThreadedRunResult& wr = sweep[i];
+        char wbuf[384];
+        std::snprintf(
+            wbuf, sizeof(wbuf),
+            "      {\"workers\": %u, \"duration_seconds\": %.3f, "
+            "\"committed\": %lld, \"throughput_tps\": %.1f, "
+            "\"p50_latency_ms\": %.4f, \"p99_latency_ms\": %.4f, "
+            "\"mean_latency_ms\": %.4f, \"messages_delivered\": %llu, "
+            "\"safe\": %s}%s\n",
+            wr.workers, wr.duration_seconds,
+            static_cast<long long>(wr.committed), wr.tps, wr.p50_ms,
+            wr.p99_ms, wr.mean_ms,
+            static_cast<unsigned long long>(wr.messages_delivered),
+            wr.safety_ok ? "true" : "false",
+            i + 1 < sweep.size() ? "," : "");
+        result.extra_json += wbuf;
+      }
+      result.extra_json += "    ]\n  },\n";
     }
   }
   return result;
@@ -710,6 +761,29 @@ int Main(int argc, char** argv) {
         return 2;
       }
       g_jobs = static_cast<uint32_t>(jobs);
+      continue;
+    }
+    if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      // Comma-separated per-node prologue worker counts for the threaded
+      // backend; 0 always joins the sweep as the classic-path reference.
+      const char* p = argv[++i];
+      g_worker_counts.clear();
+      while (*p != '\0') {
+        char* end = nullptr;
+        const unsigned long v = std::strtoul(p, &end, 10);
+        if (end == p || (*end != ',' && *end != '\0') || v > 256) {
+          std::fprintf(stderr,
+                       "bench_runner: --workers expects a comma-separated "
+                       "list of counts in [0,256]\n");
+          return 2;
+        }
+        g_worker_counts.push_back(static_cast<uint32_t>(v));
+        p = *end == ',' ? end + 1 : end;
+      }
+      if (g_worker_counts.empty()) {
+        std::fprintf(stderr, "bench_runner: --workers needs a value\n");
+        return 2;
+      }
       continue;
     }
     if (argv[i][0] == '-') {

@@ -231,9 +231,118 @@ void SbftReplica::ExecuteBlock(ledger::TxBlock block) {
   }
 }
 
+void SbftReplica::OnPrePrepare(runtime::NodeId from, const SbPrePrepareMsg& msg,
+                               const SbPrePrepareMsg::Verified* pre) {
+  if (msg.v != view_ || IsLeader()) return;
+  if (msg.block.n() <= store_.LatestTxSeq()) return;  // Stale.
+  const crypto::Sha256Digest digest =
+      pre != nullptr ? pre->block_digest : msg.block.Digest();
+  // Share binding: never back a second body at a sequence we already
+  // shared for (commit quorums need 2f+1 shares, so this keeps at most
+  // one certifiable body per sequence across view rotations).
+  auto bound = share_bound_.find(msg.block.n());
+  if (bound != share_bound_.end() && bound->second != digest) return;
+  const crypto::Sha256Digest stage_digest =
+      pre != nullptr ? pre->stage_digest
+                     : SbStageDigest(0, msg.v, msg.block.n(), digest);
+  const bool sig_ok =
+      pre != nullptr ? pre->sig_ok : keys_->Verify(msg.sig, stage_digest);
+  if (!sig_ok) {
+    ++metrics_.invalid_messages;
+    return;
+  }
+  share_bound_.emplace(msg.block.n(), digest);
+  pending_blocks_[msg.block.n()] = msg.block;
+  if (AdversaryWithholds(ReplicaIndexOf(from))) return;  // Starve shares.
+  auto share = std::make_shared<SbShareMsg>();
+  share->stage = SbShareMsg::Stage::kCommit;
+  share->v = msg.v;
+  share->n = msg.block.n();
+  share->partial = signer_.Sign(stage_digest);
+  Send(from, share);
+}
+
+void SbftReplica::OnProof(runtime::NodeId from, const SbProofMsg& msg,
+                          const SbProofMsg::Verified* pre) {
+  if (msg.v != view_ || IsLeader()) return;
+  const int stage = static_cast<int>(msg.stage);
+  const bool proof_ok =
+      pre != nullptr
+          ? pre->proof_ok
+          : crypto::VerifyQuorumCert(
+                *keys_, msg.proof,
+                SbStageDigest(stage, msg.v, msg.n, msg.block_digest),
+                config_.quorum())
+                .ok();
+  if (!proof_ok) {
+    ++metrics_.invalid_messages;
+    return;
+  }
+  auto it = pending_blocks_.find(msg.n);
+  if (it == pending_blocks_.end()) return;
+  if (it->second.Digest() != msg.block_digest) {
+    // Proof for a different body than the one we hold; never certify or
+    // execute a body under another body's proof.
+    ++metrics_.invalid_messages;
+    return;
+  }
+  if (msg.stage == SbProofMsg::Stage::kCommit) {
+    // Reply with an execution share.
+    it->second.commit_qc = msg.proof;
+    if (AdversaryWithholds(ReplicaIndexOf(from))) return;  // Starve exec.
+    const crypto::Sha256Digest exec_digest =
+        SbStageDigest(1, msg.v, msg.n, msg.block_digest);
+    auto share = std::make_shared<SbShareMsg>();
+    share->stage = SbShareMsg::Stage::kExecute;
+    share->v = msg.v;
+    share->n = msg.n;
+    share->partial = signer_.Sign(exec_digest);
+    Send(from, share);
+  } else {
+    ledger::TxBlock block = std::move(it->second);
+    pending_blocks_.erase(it);
+    ExecuteBlock(std::move(block));
+  }
+}
+
+bool SbftReplica::CrashedNow() const {
+  return fault_.type == types::FaultType::kCrash && fault_.start_at > 0 &&
+         Now() >= fault_.start_at;
+}
+
+runtime::Node::VerdictFn SbftReplica::PreVerify(
+    runtime::NodeId from, const runtime::MessagePtr& msg) {
+  if (auto m = std::dynamic_pointer_cast<const SbPrePrepareMsg>(msg)) {
+    auto pre = std::make_shared<SbPrePrepareMsg::Verified>();
+    pre->block_digest = m->block.Digest();
+    pre->stage_digest = SbStageDigest(0, m->v, m->block.n(),
+                                      pre->block_digest);
+    pre->sig_ok = keys_->Verify(m->sig, pre->stage_digest);
+    return [this, from, m, pre]() {
+      if (CrashedNow()) return;
+      OnPrePrepare(from, *m, pre.get());
+    };
+  }
+  if (auto m = std::dynamic_pointer_cast<const SbProofMsg>(msg)) {
+    auto pre = std::make_shared<SbProofMsg::Verified>();
+    pre->proof_ok =
+        crypto::VerifyQuorumCert(
+            *keys_, m->proof,
+            SbStageDigest(static_cast<int>(m->stage), m->v, m->n,
+                          m->block_digest),
+            config_.quorum())
+            .ok();
+    return [this, from, m, pre]() {
+      if (CrashedNow()) return;
+      OnProof(from, *m, pre.get());
+    };
+  }
+  (void)from;
+  return nullptr;  // Shares, client and sync traffic: no split.
+}
+
 void SbftReplica::OnMessage(runtime::NodeId from, const runtime::MessagePtr& msg) {
-  if (fault_.type == types::FaultType::kCrash && fault_.start_at > 0 &&
-      Now() >= fault_.start_at) {
+  if (CrashedNow()) {
     return;
   }
   if (auto* m = dynamic_cast<const types::ClientBatch*>(msg.get())) {
@@ -256,29 +365,7 @@ void SbftReplica::OnMessage(runtime::NodeId from, const runtime::MessagePtr& msg
     return;
   }
   if (auto* m = dynamic_cast<const SbPrePrepareMsg*>(msg.get())) {
-    if (m->v != view_ || IsLeader()) return;
-    if (m->block.n() <= store_.LatestTxSeq()) return;  // Stale.
-    const crypto::Sha256Digest digest = m->block.Digest();
-    // Share binding: never back a second body at a sequence we already
-    // shared for (commit quorums need 2f+1 shares, so this keeps at most
-    // one certifiable body per sequence across view rotations).
-    auto bound = share_bound_.find(m->block.n());
-    if (bound != share_bound_.end() && bound->second != digest) return;
-    const crypto::Sha256Digest stage_digest =
-        SbStageDigest(0, m->v, m->block.n(), digest);
-    if (!keys_->Verify(m->sig, stage_digest)) {
-      ++metrics_.invalid_messages;
-      return;
-    }
-    share_bound_.emplace(m->block.n(), digest);
-    pending_blocks_[m->block.n()] = m->block;
-    if (AdversaryWithholds(ReplicaIndexOf(from))) return;  // Starve shares.
-    auto share = std::make_shared<SbShareMsg>();
-    share->stage = SbShareMsg::Stage::kCommit;
-    share->v = m->v;
-    share->n = m->block.n();
-    share->partial = signer_.Sign(stage_digest);
-    Send(from, share);
+    OnPrePrepare(from, *m);
     return;
   }
   if (auto* m = dynamic_cast<const SbShareMsg*>(msg.get())) {
@@ -328,41 +415,8 @@ void SbftReplica::OnMessage(runtime::NodeId from, const runtime::MessagePtr& msg
     return;
   }
   if (auto* m = dynamic_cast<const SbProofMsg*>(msg.get())) {
-    if (m->v != view_ || IsLeader()) return;
-    const int stage = static_cast<int>(m->stage);
-    const crypto::Sha256Digest stage_digest =
-        SbStageDigest(stage, m->v, m->n, m->block_digest);
-    if (!crypto::VerifyQuorumCert(*keys_, m->proof, stage_digest,
-                                  config_.quorum())
-             .ok()) {
-      ++metrics_.invalid_messages;
-      return;
-    }
-    auto it = pending_blocks_.find(m->n);
-    if (it == pending_blocks_.end()) return;
-    if (it->second.Digest() != m->block_digest) {
-      // Proof for a different body than the one we hold; never certify or
-      // execute a body under another body's proof.
-      ++metrics_.invalid_messages;
-      return;
-    }
-    if (m->stage == SbProofMsg::Stage::kCommit) {
-      // Reply with an execution share.
-      it->second.commit_qc = m->proof;
-      if (AdversaryWithholds(ReplicaIndexOf(from))) return;  // Starve exec.
-      const crypto::Sha256Digest exec_digest =
-          SbStageDigest(1, m->v, m->n, m->block_digest);
-      auto share = std::make_shared<SbShareMsg>();
-      share->stage = SbShareMsg::Stage::kExecute;
-      share->v = m->v;
-      share->n = m->n;
-      share->partial = signer_.Sign(exec_digest);
-      Send(from, share);
-    } else {
-      ledger::TxBlock block = std::move(it->second);
-      pending_blocks_.erase(it);
-      ExecuteBlock(std::move(block));
-    }
+    OnProof(from, *m);
+    return;
   }
 }
 

@@ -195,9 +195,13 @@ void PrestigeReplica::OnStart() {
 
 // ------------------------------------------------------------- dispatch
 
+bool PrestigeReplica::CrashedNow() const {
+  return fault_.type == types::FaultType::kCrash && fault_.start_at > 0 &&
+         Now() >= fault_.start_at;
+}
+
 void PrestigeReplica::OnMessage(runtime::NodeId from, const runtime::MessagePtr& msg) {
-  if (fault_.type == types::FaultType::kCrash && Now() >= fault_.start_at &&
-      fault_.start_at > 0) {
+  if (CrashedNow()) {
     return;  // Crashed replicas process nothing.
   }
 
@@ -289,8 +293,7 @@ void PrestigeReplica::OnMessage(runtime::NodeId from, const runtime::MessagePtr&
 }
 
 void PrestigeReplica::OnTimer(uint64_t tag) {
-  if (fault_.type == types::FaultType::kCrash && Now() >= fault_.start_at &&
-      fault_.start_at > 0) {
+  if (CrashedNow()) {
     return;
   }
   switch (TagKind(tag)) {

@@ -75,6 +75,12 @@ class PrestigeReplica : public runtime::Node {
   void OnStart() override;
   void OnMessage(runtime::NodeId from, const runtime::MessagePtr& msg) override;
   void OnTimer(uint64_t tag) override;
+  /// Split verification for the threaded backend's worker pool: performs
+  /// the stateless prologue (digests, HMAC/QC checks, PoW) off the loop
+  /// thread for the hot message types and returns an epilogue that reruns
+  /// the handler with the precomputed verdicts. See pre_verify.cc.
+  runtime::Node::VerdictFn PreVerify(runtime::NodeId from,
+                                     const runtime::MessagePtr& msg) override;
 
   // Observability.
   Role role() const { return role_; }
@@ -202,6 +208,9 @@ class PrestigeReplica : public runtime::Node {
   bool QuietActive() const;
   bool EquivocateActive() const;
   bool ByzantineActive() const;
+  /// The OnMessage/OnTimer crash gate; PreVerify epilogues re-check it at
+  /// delivery time (the fault may activate between prologue and epilogue).
+  bool CrashedNow() const;
 
   // Active-adversary queries (all false/0 when no policy is installed).
   bool AdversaryWedged() const {
@@ -230,12 +239,18 @@ class PrestigeReplica : public runtime::Node {
   /// Broadcasts an Ord to all peers; with an equivocating adversary
   /// installed, follower groups receive conflicting signed variants.
   void BroadcastOrd(const std::shared_ptr<OrdMsg>& ord);
-  void OnOrd(runtime::NodeId from, const OrdMsg& ord);
+  /// Handlers with a `pre` parameter accept precomputed stateless verify
+  /// results from PreVerify (threaded backend); pre == nullptr (simulator
+  /// and workers=0 path) computes everything inline, byte-identically.
+  void OnOrd(runtime::NodeId from, const OrdMsg& ord,
+             OrdMsg::Verified* pre = nullptr);
   void OnOrdReply(runtime::NodeId from, const OrdReplyMsg& reply);
-  void OnCmt(runtime::NodeId from, const CmtMsg& cmt);
+  void OnCmt(runtime::NodeId from, const CmtMsg& cmt,
+             const CmtMsg::Verified* pre = nullptr);
   void OnCmtReply(runtime::NodeId from, const CmtReplyMsg& reply);
   void OnTxBlockMsg(runtime::NodeId from, const TxBlockMsg& msg);
-  void OnHeartbeat(runtime::NodeId from, const HeartbeatMsg& hb);
+  void OnHeartbeat(runtime::NodeId from, const HeartbeatMsg& hb,
+                   const HeartbeatMsg::Verified* pre = nullptr);
   /// Appends + applies a committed block, notifies clients, unblocks
   /// buffered successors.
   void CommitBlock(ledger::TxBlock block);
@@ -255,7 +270,8 @@ class PrestigeReplica : public runtime::Node {
   // ------------------------------------------------------- view change
   void OnClientComplaint(runtime::NodeId from,
                          const types::ClientComplaint& compt);
-  void OnComptRelay(runtime::NodeId from, const ComptRelayMsg& msg);
+  void OnComptRelay(runtime::NodeId from, const ComptRelayMsg& msg,
+                    const ComptRelayMsg::Verified* pre = nullptr);
   /// Arms a complaint-wait timer for the complaint keyed by `key`, filling
   /// `state`'s timer/probe fields. Timer tags carry only 48 payload bits,
   /// so the 64-bit key is mapped through a small probe-id table instead of
@@ -270,17 +286,22 @@ class PrestigeReplica : public runtime::Node {
                             it);
   void ResolveAllComplaints();
   void StartInspection(VcReason reason, const types::Transaction* tx);
-  void OnConfVc(runtime::NodeId from, const ConfVcMsg& msg);
-  void OnReVc(runtime::NodeId from, const ReVcMsg& msg);
+  void OnConfVc(runtime::NodeId from, const ConfVcMsg& msg,
+                const ConfVcMsg::Verified* pre = nullptr);
+  void OnReVc(runtime::NodeId from, const ReVcMsg& msg,
+              const ReVcMsg::Verified* pre = nullptr);
   void BecomeRedeemer(crypto::QuorumCert conf_qc, types::View confirmed_view,
                       types::View v_new);
   void OnPowSolved();
   void BecomeCandidate();
   /// Abandons any campaign and resumes normal follower operation.
   void ReturnToFollower();
-  void OnCamp(runtime::NodeId from, const CampMsg& camp);
-  bool VerifyCampaign(runtime::NodeId from, const CampMsg& camp);
-  void OnVoteCp(runtime::NodeId from, const VoteCpMsg& vote);
+  void OnCamp(runtime::NodeId from, const CampMsg& camp,
+              const CampMsg::Verified* pre = nullptr);
+  bool VerifyCampaign(runtime::NodeId from, const CampMsg& camp,
+                      const CampMsg::Verified* pre = nullptr);
+  void OnVoteCp(runtime::NodeId from, const VoteCpMsg& vote,
+                const VoteCpMsg::Verified* pre = nullptr);
   void BecomeLeaderOfView();
   void OnVcBlockMsg(runtime::NodeId from, const VcBlockMsg& msg);
   void OnVcYes(runtime::NodeId from, const VcYesMsg& msg);

@@ -41,6 +41,9 @@ struct WorkloadOptions {
   /// Command shape the virtual clients issue (opaque vs real KV puts).
   workload::CommandKind command_kind = workload::CommandKind::kOpaque;
   uint64_t kv_key_space = 1024;
+  /// Threaded backend only (ignored in simulation): size of each node's
+  /// OrderedRunner prologue pool. 0 = classic single-thread-per-node path.
+  uint32_t workers_per_node = 0;
 };
 
 /// A complete simulated deployment of one protocol.

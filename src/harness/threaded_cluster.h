@@ -42,7 +42,7 @@ class ThreadedCluster {
                   std::vector<types::FaultSpec> faults = {})
       : protocol_(protocol),
         workload_(workload),
-        runtime_(workload.seed),
+        runtime_(workload.seed, workload.workers_per_node),
         keys_(workload.seed ^ 0xc0ffee) {
     faults.resize(protocol_.n, types::FaultSpec::Honest());
 

@@ -42,6 +42,7 @@ struct ThreadedRunResult {
   int64_t result_mismatches = 0;     ///< Conflicting result digests seen.
   int64_t executed = 0;              ///< Exactly-once service executions.
   uint64_t messages_delivered = 0;
+  uint32_t workers = 0;  ///< Prologue workers per node (0 = classic path).
   bool safety_ok = true;
   std::string violation;
   types::SeqNum min_height = 0;
@@ -87,6 +88,7 @@ ThreadedRunResult RunThreadedScenario(const ScenarioSpec& spec, Config config,
   result.result_mismatches = cluster.ResultMismatches();
   result.executed = cluster.ExecutedTotal();
   result.messages_delivered = cluster.runtime().messages_delivered();
+  result.workers = cluster.runtime().workers_per_node();
 
   const SafetyReport safety = CheckSafety(cluster);
   result.safety_ok = safety.ok;

@@ -1,0 +1,122 @@
+#include "runtime/ordered_runner.h"
+
+#include <cassert>
+#include <utility>
+
+namespace prestige {
+namespace runtime {
+
+OrderedRunner::OrderedRunner(size_t num_workers, std::function<void()> wakeup)
+    : wakeup_(std::move(wakeup)) {
+  assert(num_workers >= 1 && "OrderedRunner needs at least one worker");
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this]() { WorkerMain(); });
+  }
+}
+
+OrderedRunner::~OrderedRunner() { Stop(); }
+
+void OrderedRunner::Submit(Prologue prologue) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    assert(!stop_ && "Submit after Stop()");
+    pending_.push_back(Task{next_seq_++, std::move(prologue)});
+  }
+  task_cv_.notify_one();
+}
+
+bool OrderedRunner::HasReady() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !completed_.empty() && completed_.begin()->first == head_seq_;
+}
+
+std::vector<OrderedRunner::Epilogue> OrderedRunner::TakeReadyLocked() {
+  std::vector<Epilogue> run;
+  auto it = completed_.begin();
+  while (it != completed_.end() && it->first == head_seq_) {
+    run.push_back(std::move(it->second));
+    it = completed_.erase(it);
+    ++head_seq_;
+  }
+  return run;
+}
+
+size_t OrderedRunner::RunReadyEpilogues() {
+  std::vector<Epilogue> run;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    run = TakeReadyLocked();
+  }
+  for (Epilogue& epilogue : run) {
+    if (epilogue) epilogue();
+  }
+  return run.size();
+}
+
+void OrderedRunner::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (head_seq_ != next_seq_) {
+    ready_cv_.wait(lock, [this]() {
+      return !completed_.empty() && completed_.begin()->first == head_seq_;
+    });
+    std::vector<Epilogue> run = TakeReadyLocked();
+    lock.unlock();
+    for (Epilogue& epilogue : run) {
+      if (epilogue) epilogue();
+    }
+    lock.lock();
+  }
+}
+
+void OrderedRunner::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  task_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+uint64_t OrderedRunner::submitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+uint64_t OrderedRunner::delivered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return head_seq_;
+}
+
+void OrderedRunner::WorkerMain() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_cv_.wait(lock, [this]() { return stop_ || !pending_.empty(); });
+      // On stop, finish whatever was already submitted before exiting —
+      // abandoning a stamped task would wedge every later epilogue.
+      if (pending_.empty()) return;
+      task = std::move(pending_.front());
+      pending_.pop_front();
+    }
+    Epilogue epilogue = task.work ? task.work() : Epilogue();
+    bool head_ready = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      completed_.emplace(task.seq, std::move(epilogue));
+      head_ready = (task.seq == head_seq_);
+      if (head_ready) ready_cv_.notify_all();
+    }
+    // Outside mu_: the wakeup typically takes the loop's mailbox mutex,
+    // and holding both would order runner-lock -> loop-lock against the
+    // loop thread's loop-lock -> runner-lock (HasReady in its predicate).
+    if (head_ready && wakeup_) wakeup_();
+  }
+}
+
+}  // namespace runtime
+}  // namespace prestige

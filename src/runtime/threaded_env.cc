@@ -5,8 +5,11 @@
 namespace prestige {
 namespace runtime {
 
-ThreadedRuntime::ThreadedRuntime(uint64_t seed)
-    : seed_(seed), root_rng_(seed), epoch_(std::chrono::steady_clock::now()) {}
+ThreadedRuntime::ThreadedRuntime(uint64_t seed, uint32_t workers_per_node)
+    : seed_(seed),
+      workers_per_node_(workers_per_node),
+      root_rng_(seed),
+      epoch_(std::chrono::steady_clock::now()) {}
 
 ThreadedRuntime::~ThreadedRuntime() { Stop(); }
 
@@ -31,6 +34,15 @@ void ThreadedRuntime::Start() {
   epoch_ = std::chrono::steady_clock::now();
   for (auto& state : nodes_) {
     NodeState* s = state.get();
+    if (workers_per_node_ > 0) {
+      // The wakeup must pass through the mailbox mutex: a bare notify
+      // could land between the loop's predicate check (which saw no ready
+      // epilogue) and its wait, and be lost.
+      s->runner = std::make_unique<OrderedRunner>(workers_per_node_, [s]() {
+        { std::lock_guard<std::mutex> lock(s->mu); }
+        s->cv.notify_one();
+      });
+    }
     s->thread = std::thread([this, s]() { RunLoop(s); });
   }
 }
@@ -54,15 +66,6 @@ util::TimeMicros ThreadedRuntime::Now() const {
   return std::chrono::duration_cast<std::chrono::microseconds>(
              std::chrono::steady_clock::now() - epoch_)
       .count();
-}
-
-uint64_t ThreadedRuntime::messages_delivered() const {
-  uint64_t total = 0;
-  for (const auto& state : nodes_) {
-    std::lock_guard<std::mutex> lock(state->mu);
-    total += state->delivered;
-  }
-  return total;
 }
 
 void ThreadedRuntime::Post(NodeId to, NodeId from, const MessagePtr& msg) {
@@ -91,15 +94,28 @@ util::TimeMicros ThreadedRuntime::FireDueTimers(NodeState* s) {
 
 void ThreadedRuntime::RunLoop(NodeState* s) {
   s->node->OnStart();
-  std::vector<Inbound> batch;
+  OrderedRunner* runner = s->runner.get();
+  std::deque<Inbound> batch;
   for (;;) {
     // Fire whatever is due, then learn how long we may sleep.
     const util::TimeMicros next_deadline = FireDueTimers(s);
     {
       std::unique_lock<std::mutex> lock(s->mu);
       for (;;) {
-        if (s->stop) return;
+        if (s->stop) {
+          lock.unlock();
+          if (runner != nullptr) {
+            // Messages already handed to the pool count as delivered:
+            // finish their prologues and apply their epilogues in order,
+            // then join the workers. Messages still in the inbox are
+            // discarded, as on the classic path.
+            runner->Drain();
+            runner->Stop();
+          }
+          return;
+        }
         if (!s->inbox.empty()) break;
+        if (runner != nullptr && runner->HasReady()) break;
         if (next_deadline >= 0) {
           if (Now() >= next_deadline) break;  // Due: fire on next pass.
           s->cv.wait_until(
@@ -108,15 +124,33 @@ void ThreadedRuntime::RunLoop(NodeState* s) {
         }
         s->cv.wait(lock);
       }
-      // Drain the whole mailbox in one lock acquisition.
-      while (!s->inbox.empty()) {
-        batch.push_back(std::move(s->inbox.front()));
-        s->inbox.pop_front();
-      }
-      s->delivered += batch.size();
+      // Swap the whole mailbox out — one lock hold, no per-message
+      // round-trips (batch is empty here, so this is O(1)).
+      batch.swap(s->inbox);
     }
-    for (Inbound& in : batch) {
-      s->node->OnMessage(in.from, in.msg);
+    delivered_.fetch_add(batch.size(), std::memory_order_relaxed);
+    if (runner == nullptr) {
+      for (Inbound& in : batch) {
+        s->node->OnMessage(in.from, in.msg);
+      }
+    } else {
+      // Parallel path: stamp each message into the pool in receive order;
+      // workers run the stateless prologue (Node::PreVerify), and the
+      // epilogues come back to this thread strictly in stamp order.
+      for (Inbound& in : batch) {
+        Node* node = s->node;
+        const NodeId from = in.from;
+        MessagePtr msg = std::move(in.msg);
+        runner->Submit(
+            [node, from, msg]() -> OrderedRunner::Epilogue {
+              OrderedRunner::Epilogue verdict = node->PreVerify(from, msg);
+              if (verdict) return verdict;
+              // Declined: the whole handler becomes the epilogue, exactly
+              // the classic single-thread delivery, just in-order later.
+              return [node, from, msg]() { node->OnMessage(from, msg); };
+            });
+      }
+      runner->RunReadyEpilogues();
     }
     batch.clear();
   }

@@ -16,7 +16,15 @@
 //   * a deterministically forked RNG per node (registration order), though
 //     thread scheduling makes whole-run behaviour nondeterministic — this
 //     backend measures real throughput/latency; reproducibility is the
-//     simulator's job.
+//     simulator's job;
+//   * optionally, a per-node OrderedRunner worker pool (`workers_per_node`
+//     > 0): the loop drains its mailbox into the pool, workers run each
+//     message's stateless prologue (Node::PreVerify) in parallel, and the
+//     loop thread applies the resulting epilogues in original receive
+//     order — state stays single-threaded-per-node while crypto
+//     verification scales across cores. With workers_per_node == 0 (the
+//     default) the loop calls OnMessage directly, byte-identical to the
+//     historical single-thread path.
 //
 // Delivery is reliable and per-sender FIFO (a std::deque per receiver);
 // cross-sender order is whatever the locks arbitrate, which is exactly the
@@ -30,6 +38,7 @@
 #ifndef PRESTIGE_RUNTIME_THREADED_ENV_H_
 #define PRESTIGE_RUNTIME_THREADED_ENV_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -42,6 +51,7 @@
 #include <vector>
 
 #include "runtime/env.h"
+#include "runtime/ordered_runner.h"
 
 namespace prestige {
 namespace runtime {
@@ -51,8 +61,10 @@ namespace runtime {
 class ThreadedRuntime {
  public:
   /// `seed` feeds the per-node RNG forks (registration order), mirroring
-  /// the simulator's seeding discipline.
-  explicit ThreadedRuntime(uint64_t seed);
+  /// the simulator's seeding discipline. `workers_per_node` > 0 gives each
+  /// node an OrderedRunner pool of that many threads for parallel message
+  /// prologues; 0 keeps the classic one-thread-per-node path.
+  explicit ThreadedRuntime(uint64_t seed, uint32_t workers_per_node = 0);
   ~ThreadedRuntime();
 
   ThreadedRuntime(const ThreadedRuntime&) = delete;
@@ -72,13 +84,16 @@ class ThreadedRuntime {
 
   bool started() const { return started_; }
   size_t num_nodes() const { return nodes_.size(); }
+  uint32_t workers_per_node() const { return workers_per_node_; }
 
   /// Microseconds of wall-clock time since Start().
   util::TimeMicros Now() const;
 
-  /// Total messages delivered across all mailboxes so far (approximate
-  /// while running; exact after Stop).
-  uint64_t messages_delivered() const;
+  /// Total messages taken off all mailboxes so far. Exact at any moment
+  /// (single atomic counter), monotone while running.
+  uint64_t messages_delivered() const {
+    return delivered_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct NodeState;
@@ -122,7 +137,10 @@ class ThreadedRuntime {
     std::condition_variable cv;
     std::deque<Inbound> inbox;
     bool stop = false;
-    uint64_t delivered = 0;
+
+    /// Prologue worker pool (null when workers_per_node == 0). Created in
+    /// Start(), drained and joined by the loop thread on shutdown.
+    std::unique_ptr<OrderedRunner> runner;
 
     // Timer service (loop-thread only).
     TimerId next_timer_id = 1;
@@ -141,10 +159,12 @@ class ThreadedRuntime {
   util::TimeMicros FireDueTimers(NodeState* state);
 
   uint64_t seed_;
+  uint32_t workers_per_node_;
   util::Rng root_rng_;
   bool started_ = false;
   bool stopped_ = false;
   std::chrono::steady_clock::time_point epoch_;
+  std::atomic<uint64_t> delivered_{0};
   std::vector<std::unique_ptr<NodeState>> nodes_;
 };
 

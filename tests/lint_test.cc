@@ -379,6 +379,64 @@ TEST(AdversaryTest, SuppressibleLikeEveryRule) {
   EXPECT_TRUE(RunLint(files, "adversary").empty());
 }
 
+// ---------------------------------------------------------------- threading
+
+TEST(ThreadingTest, ThreadHeadersInProtocolCodeFail) {
+  const std::vector<SourceFile> files = {
+      {"core/replica.cc",
+       "#include <mutex>\n"
+       "#include <thread>\n"
+       "#include <vector>\n"},
+      {"baselines/sbft/sbft_replica.cc",
+       "#include <atomic>\n"
+       "#include <condition_variable>\n"},
+  };
+  const auto findings = RunLint(files, "threading");
+  EXPECT_TRUE(HasFinding(findings, "threading", "core/replica.cc", 1));
+  EXPECT_TRUE(HasFinding(findings, "threading", "core/replica.cc", 2));
+  EXPECT_TRUE(
+      HasFinding(findings, "threading", "baselines/sbft/sbft_replica.cc", 1));
+  EXPECT_TRUE(
+      HasFinding(findings, "threading", "baselines/sbft/sbft_replica.cc", 2));
+  // <vector> is not a threading header.
+  EXPECT_EQ(findings.size(), 4u);
+}
+
+TEST(ThreadingTest, RuntimeAndInfrastructureMayThread) {
+  // runtime/ implements the worker pool; harness/sim drive it; client/'s
+  // blocking Call() API is cross-thread by contract; ledger's digest cache
+  // and util's logging are deliberately concurrent.
+  const std::vector<SourceFile> files = {
+      {"runtime/ordered_runner.h",
+       "#include <condition_variable>\n#include <mutex>\n#include <thread>\n"},
+      {"harness/threaded_cluster.h", "#include <thread>\n"},
+      {"sim/network.h", "#include <atomic>\n"},
+      {"client/client.cc", "#include <condition_variable>\n#include <mutex>\n"},
+      {"ledger/digest_cache.h", "#include <atomic>\n#include <thread>\n"},
+      {"util/logging.cc", "#include <atomic>\n"},
+  };
+  EXPECT_TRUE(RunLint(files, "threading").empty());
+}
+
+TEST(ThreadingTest, QuotedIncludesAndLookalikesDoNotTrigger) {
+  const std::vector<SourceFile> files = {
+      {"core/replica.h",
+       "#include \"runtime/env.h\"\n"          // quoted: layering's job.
+       "#include <threads_util.hpp>\n"         // not an exact header name.
+       "// discussing <thread> in a comment is fine\n"},
+  };
+  EXPECT_TRUE(RunLint(files, "threading").empty());
+}
+
+TEST(ThreadingTest, SuppressibleLikeEveryRule) {
+  const std::vector<SourceFile> files = {
+      {"core/replica.cc",
+       "// lint:allow(threading: measurement-only counter)\n"
+       "#include <atomic>\n"},
+  };
+  EXPECT_TRUE(RunLint(files, "threading").empty());
+}
+
 // ------------------------------------------------------------- suppressions
 
 TEST(SuppressionTest, SameLineAllowSuppresses) {

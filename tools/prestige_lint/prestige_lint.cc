@@ -253,11 +253,14 @@ bool IsMemberAccess(const std::string& code, size_t token_begin) {
 // ------------------------------------------------------------- includes
 
 struct IncludeEdge {
-  std::string target;  ///< The quoted include path, verbatim.
+  std::string target;  ///< The include path, verbatim (no delimiters).
   int line = 0;
+  bool system = false;  ///< True for <...> includes, false for "..." ones.
 };
 
-/// Quoted includes only — system includes cannot point back into src/.
+/// Both include forms. Quoted edges feed the layering graph (system
+/// includes cannot point back into src/); angle-bracket edges feed the
+/// threading rule.
 std::vector<IncludeEdge> ParseIncludes(const std::string& content) {
   std::vector<IncludeEdge> edges;
   int line = 1;
@@ -275,7 +278,14 @@ std::vector<IncludeEdge> ParseIncludes(const std::string& content) {
         if (j < eol && content[j] == '"') {
           const size_t close = content.find('"', j + 1);
           if (close != std::string::npos && close < eol) {
-            edges.push_back({content.substr(j + 1, close - j - 1), line});
+            edges.push_back({content.substr(j + 1, close - j - 1), line,
+                             /*system=*/false});
+          }
+        } else if (j < eol && content[j] == '<') {
+          const size_t close = content.find('>', j + 1);
+          if (close != std::string::npos && close < eol) {
+            edges.push_back({content.substr(j + 1, close - j - 1), line,
+                             /*system=*/true});
           }
         }
       }
@@ -338,6 +348,7 @@ bool ComputeTaint(LintCtx& ctx, size_t idx, std::vector<Taint>& taints) {
     t.witness = {f.file->path};
   } else {
     for (const IncludeEdge& e : f.includes) {
+      if (e.system) continue;
       const auto it = ctx.by_path.find(e.target);
       if (it != ctx.by_path.end()) {
         if (ComputeTaint(ctx, it->second, taints)) {
@@ -365,6 +376,7 @@ void RunLayering(LintCtx& ctx) {
     const FileCtx& f = ctx.files[i];
     if (ProtectedDirs().count(TopDir(f.file->path)) == 0) continue;
     for (const IncludeEdge& e : f.includes) {
+      if (e.system) continue;
       bool bad = false;
       std::vector<std::string> chain;
       const auto it = ctx.by_path.find(e.target);
@@ -608,6 +620,39 @@ void RunTimerTag(LintCtx& ctx) {
   }
 }
 
+// ------------------------------------------------------------- threading
+
+/// Directories whose code must stay single-threaded: protocol state is
+/// mutated only on the owning node's loop thread (or the simulator's one
+/// thread), and CPU-parallelism is expressed through the PreVerify prologue
+/// hook, never by spawning threads or sharing synchronized state. client/
+/// is deliberately NOT here: its blocking Call() API is cross-thread by
+/// contract. runtime/, harness/, and sim/ implement the threading.
+const std::set<std::string>& SingleThreadedDirs() {
+  static const std::set<std::string> kDirs = {"core", "baselines"};
+  return kDirs;
+}
+
+void RunThreading(LintCtx& ctx) {
+  static const std::set<std::string> kThreadHeaders = {
+      "thread",  "mutex",     "condition_variable", "shared_mutex",
+      "atomic",  "future",    "semaphore",          "latch",
+      "barrier", "stop_token"};
+  for (const FileCtx& f : ctx.files) {
+    if (SingleThreadedDirs().count(TopDir(f.file->path)) == 0) continue;
+    for (const IncludeEdge& e : f.includes) {
+      if (!e.system || kThreadHeaders.count(e.target) == 0) continue;
+      ctx.Report(f, e.line, "threading",
+                 "#include <" + e.target +
+                     "> in single-threaded protocol code; replica state is "
+                     "mutated only on its loop thread — off-thread CPU work "
+                     "goes through the Node::PreVerify prologue hook "
+                     "(runtime/ordered_runner.h), not ad-hoc threads or "
+                     "shared synchronized state");
+    }
+  }
+}
+
 // ------------------------------------------------------------- adversary
 
 void RunAdversary(LintCtx& ctx) {
@@ -653,7 +698,8 @@ void RunAdversary(LintCtx& ctx) {
 
 const std::vector<std::string>& RuleNames() {
   static const std::vector<std::string> kRules = {
-      "layering", "determinism", "codec-tags", "timer-tag", "adversary"};
+      "layering",  "determinism", "codec-tags",
+      "timer-tag", "adversary",   "threading"};
   return kRules;
 }
 
@@ -680,6 +726,7 @@ std::vector<Finding> Lint(const std::vector<SourceFile>& files,
   if (enabled("codec-tags")) RunCodecTags(ctx);
   if (enabled("timer-tag")) RunTimerTag(ctx);
   if (enabled("adversary")) RunAdversary(ctx);
+  if (enabled("threading")) RunThreading(ctx);
 
   std::sort(ctx.findings.begin(), ctx.findings.end(),
             [](const Finding& a, const Finding& b) {

@@ -1,7 +1,7 @@
 // prestige_lint — project-invariant static checker for the PrestigeBFT tree.
 //
 // A deliberately small analysis: a comment/string-aware token scanner plus a
-// quoted-include graph walker, no libclang. It machine-checks the five
+// quoted-include graph walker, no libclang. It machine-checks the six
 // invariants that reviews have historically had to defend by hand:
 //
 //   layering     — nothing under core/, baselines/, client/, or app/ may
@@ -27,6 +27,13 @@
 //                  concrete ScriptedAdversary: attacks are enacted solely
 //                  through harness/sim scenario wiring, keeping the
 //                  protocol honest-path-only.
+//   threading    — thread/synchronization system headers (<thread>, <mutex>,
+//                  <condition_variable>, <atomic>, ...) are banned in core/
+//                  and baselines/. Replica state is mutated only on its loop
+//                  thread; off-thread CPU work is expressed through the
+//                  Node::PreVerify prologue hook (runtime/ordered_runner.h,
+//                  PR 8), so protocol code never needs its own threads or
+//                  locks.
 //
 // Suppressions: a finding on line L is suppressed when a comment on L — or
 // on an immediately preceding comment-only line — contains
