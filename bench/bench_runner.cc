@@ -33,7 +33,9 @@
 // latency dominates the virtual clock.
 //
 // Usage: bench_runner [--outdir DIR] [--seeds N] [--seed BASE] [--jobs N]
-//                     [--runtime sim|threaded] [--workers LIST] [scenario ...]
+//                     [--runtime sim|threaded] [--workers LIST]
+//                     [--groups LIST] [--arrival-rate R] [--slo-ms MS]
+//                     [scenario ...]
 //        bench_runner --scenario NAME [--scenario NAME ...]
 //        bench_runner --list
 // With no scenario arguments — or with the pseudo-name "all" — every
@@ -47,7 +49,16 @@
 // repeats each threaded run with that many OrderedRunner prologue workers
 // per node and records the sweep in "threaded.worker_sweep"; the flat
 // threaded fields always describe the classic workers=0 path, which is
-// included automatically. `--list` prints scenarios,
+// included automatically. `--groups 1,2,4` (threaded only) additionally
+// runs one sharded OPEN-LOOP deployment per group count — G disjoint
+// consensus groups behind a shard::Router, Poisson arrivals at
+// `--arrival-rate` req/s per pool, zipfian keys, end-to-end latency held
+// to `--slo-ms` — and records the sweep in "threaded.group_sweep"
+// (groups=1 joins automatically as the unsharded reference; the flat
+// threaded fields still describe the classic closed-loop run). Every
+// sharded run passes through the full cross-group safety sweep
+// (per-group committed-prefix safety + router consistency + shard
+// exclusivity). `--list` prints scenarios,
 // protocol configs, and runtime backends. Exit status is 2 on usage
 // errors (unknown scenarios, sim-only scenarios under --runtime=threaded),
 // 1 when any output failed to write OR any scenario — simulated or
@@ -59,14 +70,17 @@
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "app/kv_service.h"
 #include "bench/bench_util.h"
 #include "crypto/sha256.h"
 #include "harness/scenario.h"
 #include "harness/scenario_runner.h"
+#include "harness/sharded_runner.h"
 #include "harness/threaded_runner.h"
 
 namespace prestige {
@@ -128,6 +142,25 @@ std::vector<uint32_t> WorkerCounts() {
   if (counts.empty()) counts.push_back(0);
   if (std::find(counts.begin(), counts.end(), 0u) == counts.end()) {
     counts.insert(counts.begin(), 0);
+  }
+  return counts;
+}
+
+/// Consensus-group counts for the sharded open-loop sweep (--groups,
+/// threaded backend only). Empty = no group sweep.
+std::vector<uint32_t> g_group_counts;
+/// Open-loop Poisson arrival rate, req/s per client pool (--arrival-rate).
+double g_arrival_rate = 2000.0;
+/// End-to-end latency SLO for the group sweep (--slo-ms).
+double g_slo_ms = 500.0;
+
+/// Resolved group sweep: groups=1 always leads so every sweep carries the
+/// unsharded reference point scaling claims are made against.
+std::vector<uint32_t> GroupCounts() {
+  std::vector<uint32_t> counts = g_group_counts;
+  if (counts.empty()) return counts;
+  if (std::find(counts.begin(), counts.end(), 1u) == counts.end()) {
+    counts.insert(counts.begin(), 1);
   }
   return counts;
 }
@@ -290,6 +323,28 @@ harness::WorkloadOptions ScenarioWorkload(uint64_t seed) {
   return w;
 }
 
+/// Open-loop sharded load for the --groups sweep: per-pool Poisson
+/// arrivals, zipfian keys, bounded admission. The per-pool rate is fixed
+/// (not divided by G), so offered load scales with the group count — the
+/// planet-scale question is whether committed throughput follows it.
+harness::WorkloadOptions GroupSweepWorkload(uint64_t seed, uint32_t groups) {
+  harness::WorkloadOptions w;
+  w.num_pools = 2;  // Per group.
+  w.payload_size = 32;
+  w.client_timeout = util::Seconds(1);
+  w.seed = seed;
+  w.kv_key_space = 1 << 16;
+  w.num_groups = groups;
+  w.open_loop = true;
+  w.arrival.kind = workload::ArrivalKind::kPoisson;
+  w.arrival.rate_per_sec = g_arrival_rate;
+  w.zipf_theta = 0.5;
+  w.max_outstanding = 1024;
+  w.max_backlog = 4096;
+  w.slo_ms = g_slo_ms;
+  return w;
+}
+
 /// One protocol's sweep rendered as a JSON object. events/hashes are
 /// deterministic sums over the seeds; run_wall_ms sums per-run CPU wall
 /// time (with --jobs > 1 it exceeds elapsed time by roughly the speedup).
@@ -444,6 +499,65 @@ ScenarioResult RunDeclarative(const harness::ScenarioSpec& spec) {
           rt.safety_ok ? "yes" : "NO", result.tps, result.p50_ms);
       sweep.push_back(rt);
     }
+    // Sharded open-loop group sweep (--groups): one wall-clock run per
+    // group count — G disjoint consensus groups of spec.n replicas each
+    // behind a shard::Router, open-loop Poisson load, and the full
+    // cross-group safety sweep. The flat threaded fields above are
+    // untouched: they keep describing the classic unsharded closed-loop
+    // run, so trajectory tooling reads every BENCH file uniformly.
+    std::string group_json;
+    const std::vector<uint32_t> group_counts = GroupCounts();
+    if (!sweep.empty()) {
+      for (size_t gi = 0; gi < group_counts.size(); ++gi) {
+        const uint32_t groups = group_counts[gi];
+        const harness::ShardedRunResult sr =
+            harness::RunShardedThreaded<core::PrestigeReplica,
+                                        core::PrestigeConfig>(
+                PaperPrestigeConfig(spec.n, 500),
+                GroupSweepWorkload(g_sweep_base_seed, groups),
+                spec.TotalDuration(),
+                [] { return std::make_unique<app::KvService>(1 << 16); });
+        if (!sr.safety_ok) {
+          std::fprintf(stderr,
+                       "bench_runner: SAFETY VIOLATION (threaded, "
+                       "groups=%u) %s: %s\n",
+                       groups, spec.name.c_str(), sr.violation.c_str());
+          result.safe = false;
+        }
+        std::printf(
+            "  threaded[groups=%u]: committed=%lld tps=%.1f "
+            "e2e_p50=%.2fms e2e_p99=%.2fms slo_frac=%.3f shed=%lld "
+            "keys=%lld safe=%s\n",
+            groups, static_cast<long long>(sr.committed), sr.tps,
+            sr.e2e_p50_ms, sr.e2e_p99_ms, sr.slo_fraction,
+            static_cast<long long>(sr.shed),
+            static_cast<long long>(sr.distinct_keys),
+            sr.safety_ok ? "yes" : "NO");
+        char gbuf[640];
+        std::snprintf(
+            gbuf, sizeof(gbuf),
+            "      {\"groups\": %u, \"duration_seconds\": %.3f, "
+            "\"committed\": %lld, \"throughput_tps\": %.1f, "
+            "\"p50_latency_ms\": %.4f, \"p99_latency_ms\": %.4f, "
+            "\"e2e_p50_ms\": %.4f, \"e2e_p99_ms\": %.4f, "
+            "\"e2e_p999_ms\": %.4f, \"slo_ms\": %.1f, "
+            "\"slo_fraction\": %.4f, \"arrivals\": %lld, "
+            "\"admitted\": %lld, \"shed\": %lld, \"routed_txs\": %lld, "
+            "\"distinct_keys\": %lld, \"safe\": %s}%s\n",
+            sr.groups, sr.duration_seconds,
+            static_cast<long long>(sr.committed), sr.tps, sr.p50_ms,
+            sr.p99_ms, sr.e2e_p50_ms, sr.e2e_p99_ms, sr.e2e_p999_ms,
+            sr.slo_ms, sr.slo_fraction,
+            static_cast<long long>(sr.arrivals),
+            static_cast<long long>(sr.admitted),
+            static_cast<long long>(sr.shed),
+            static_cast<long long>(sr.routed_txs),
+            static_cast<long long>(sr.distinct_keys),
+            sr.safety_ok ? "true" : "false",
+            gi + 1 < group_counts.size() ? "," : "");
+        group_json += gbuf;
+      }
+    }
     if (!sweep.empty()) {
       const harness::ThreadedRunResult& rt = sweep.front();  // workers=0.
       char tbuf[768];
@@ -497,7 +611,13 @@ ScenarioResult RunDeclarative(const harness::ScenarioSpec& spec) {
             i + 1 < sweep.size() ? "," : "");
         result.extra_json += wbuf;
       }
-      result.extra_json += "    ]\n  },\n";
+      result.extra_json += "    ]";
+      if (!group_json.empty()) {
+        result.extra_json += ",\n    \"group_sweep\": [\n";
+        result.extra_json += group_json;
+        result.extra_json += "    ]";
+      }
+      result.extra_json += "\n  },\n";
     }
   }
   return result;
@@ -782,6 +902,46 @@ int Main(int argc, char** argv) {
       }
       if (g_worker_counts.empty()) {
         std::fprintf(stderr, "bench_runner: --workers needs a value\n");
+        return 2;
+      }
+      continue;
+    }
+    if (std::strcmp(argv[i], "--groups") == 0 && i + 1 < argc) {
+      // Comma-separated consensus-group counts for the sharded open-loop
+      // sweep (threaded backend); 1 always joins as the unsharded
+      // reference.
+      const char* p = argv[++i];
+      g_group_counts.clear();
+      while (*p != '\0') {
+        char* end = nullptr;
+        const unsigned long v = std::strtoul(p, &end, 10);
+        if (end == p || (*end != ',' && *end != '\0') || v < 1 || v > 64) {
+          std::fprintf(stderr,
+                       "bench_runner: --groups expects a comma-separated "
+                       "list of counts in [1,64]\n");
+          return 2;
+        }
+        g_group_counts.push_back(static_cast<uint32_t>(v));
+        p = *end == ',' ? end + 1 : end;
+      }
+      if (g_group_counts.empty()) {
+        std::fprintf(stderr, "bench_runner: --groups needs a value\n");
+        return 2;
+      }
+      continue;
+    }
+    if (std::strcmp(argv[i], "--arrival-rate") == 0 && i + 1 < argc) {
+      g_arrival_rate = std::atof(argv[++i]);
+      if (g_arrival_rate <= 0.0) {
+        std::fprintf(stderr, "bench_runner: --arrival-rate must be > 0\n");
+        return 2;
+      }
+      continue;
+    }
+    if (std::strcmp(argv[i], "--slo-ms") == 0 && i + 1 < argc) {
+      g_slo_ms = std::atof(argv[++i]);
+      if (g_slo_ms <= 0.0) {
+        std::fprintf(stderr, "bench_runner: --slo-ms must be > 0\n");
         return 2;
       }
       continue;

@@ -32,6 +32,7 @@ uint64_t Client::Submit(std::vector<uint8_t> command, SubmitCallback done,
   types::Transaction tx;
   tx.pool = config_.client_id;
   tx.client_seq = next_seq_++;
+  tx.group = config_.group;
   tx.sent_at = Now();
   tx.payload_size = config_.payload_size;
   tx.fingerprint = rng()->NextUint64();
@@ -263,6 +264,7 @@ void Client::ScanRetries() {
       types::Transaction bogus;
       bogus.pool = config_.client_id;
       bogus.client_seq = (1ull << 40) + ++spam_seq_;
+      bogus.group = config_.group;
       bogus.sent_at = now - config_.request_timeout;  // Looks overdue.
       bogus.payload_size = config_.payload_size;
       bogus.fingerprint = bogus.client_seq * 0x9e3779b97f4a7c15ULL;

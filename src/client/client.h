@@ -50,6 +50,10 @@ namespace client {
 /// Client session parameters.
 struct ClientConfig {
   types::ClientPoolId client_id = 0;  ///< Session id (transaction `pool`).
+  /// Consensus group this session is bound to. A sharded embedder runs one
+  /// Client per group (SetReplicas with that group's replica set); every
+  /// transaction it submits is stamped with this id. 0 when unsharded.
+  types::GroupId group = 0;
   uint32_t f = 1;                     ///< Reply quorum is f+1 matching.
   uint32_t payload_size = 32;         ///< Modelled bytes per command.
   /// Rebroadcast an unanswered proposal after this long.

@@ -19,10 +19,12 @@
 #include "core/metrics.h"
 #include "crypto/keys.h"
 #include "runtime/sim_env.h"
+#include "shard/router.h"
 #include "sim/latency.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "workload/client_pool.h"
+#include "workload/open_loop_pool.h"
 #include "types/adversary.h"
 #include "types/fault_spec.h"
 
@@ -44,6 +46,33 @@ struct WorkloadOptions {
   /// Threaded backend only (ignored in simulation): size of each node's
   /// OrderedRunner prologue pool. 0 = classic single-thread-per-node path.
   uint32_t workers_per_node = 0;
+
+  // ---- Sharding ---------------------------------------------------------
+  /// Number of consensus groups. Each group is an independent replica set
+  /// of `protocol.n` replicas — its own leader, views, and reputation —
+  /// sharing one runtime backend; shard::Router hash-partitions the key
+  /// space across groups and `num_pools` client pools drive EACH group.
+  /// 1 = the classic unsharded deployment (wiring, ids, and RNG streams
+  /// are bit-for-bit the historical ones). With more than one group the
+  /// workload is forced to kKvPut: only real keys can be routed, opaque
+  /// fingerprints cannot be generated pre-targeted at a group.
+  uint32_t num_groups = 1;
+  /// Router salt; must match whatever checks routing later.
+  uint64_t router_salt = shard::Router::kDefaultSalt;
+
+  // ---- Open-loop workload engine ----------------------------------------
+  /// When true, pools are workload::OpenLoopPool arrival engines instead
+  /// of closed-loop ClientPools. clients_per_pool is then unused (load
+  /// comes from `arrival`, sessions from `logical_sessions`), and the
+  /// scenario SetActive machinery does not apply.
+  bool open_loop = false;
+  workload::ArrivalSpec arrival;        ///< Per-pool arrival trace.
+  uint64_t logical_sessions = 1000000;  ///< Sessions multiplexed per pool.
+  double zipf_theta = 0.0;              ///< Key skew (0 = uniform).
+  uint32_t max_outstanding = 2048;      ///< Per-pool in-flight budget.
+  uint32_t max_backlog = 4096;          ///< Per-pool admission queue bound.
+  double slo_ms = 500.0;                ///< End-to-end latency SLO.
+  util::TimeMicros open_loop_stop_at = 0;  ///< Stop arrivals (0 = never).
 };
 
 /// A complete simulated deployment of one protocol.
@@ -57,41 +86,51 @@ class Cluster {
         sim_(workload.seed),
         net_(&sim_, workload.latency, workload.cost),
         keys_(workload.seed ^ 0xc0ffee) {
-    faults.resize(protocol_.n, types::FaultSpec::Honest());
+    if (workload_.num_groups == 0) workload_.num_groups = 1;
+    const uint32_t groups = workload_.num_groups;
+    // Faults address replicas by global (group-major) index; the usual
+    // n-entry list targets group 0 and every other group runs honest.
+    faults.resize(static_cast<size_t>(protocol_.n) * groups,
+                  types::FaultSpec::Honest());
 
-    // Registration order (replicas first, then pools) fixes both the id
-    // layout and each node's forked RNG stream — identical to the
-    // pre-runtime-layer direct-actor wiring, so runs stay bit-for-bit
-    // reproducible across the refactor.
-    std::vector<sim::ActorId> replica_ids;
-    std::vector<sim::ActorId> pool_ids;
-    for (uint32_t i = 0; i < protocol_.n; ++i) {
-      replicas_.push_back(
-          std::make_unique<Replica>(protocol_, i, &keys_, faults[i]));
-      envs_.push_back(
-          std::make_unique<runtime::SimEnv>(replicas_.back().get()));
-      replica_ids.push_back(sim_.AddActor(envs_.back().get()));
-      envs_.back()->AttachNetwork(&net_);
+    // Registration order (replicas group-major, then pools group-major)
+    // fixes both the id layout and each node's forked RNG stream. With one
+    // group this is exactly the historical wiring — replicas 0..n-1, then
+    // pools 0..num_pools-1 — so unsharded runs stay bit-for-bit
+    // reproducible across the sharding refactor.
+    std::vector<std::vector<sim::ActorId>> group_replica_ids(groups);
+    std::vector<std::vector<sim::ActorId>> group_pool_ids(groups);
+    for (uint32_t g = 0; g < groups; ++g) {
+      for (uint32_t i = 0; i < protocol_.n; ++i) {
+        replicas_.push_back(std::make_unique<Replica>(
+            protocol_, i, &keys_,
+            faults[static_cast<size_t>(g) * protocol_.n + i]));
+        envs_.push_back(
+            std::make_unique<runtime::SimEnv>(replicas_.back().get()));
+        const sim::ActorId id = sim_.AddActor(envs_.back().get());
+        envs_.back()->AttachNetwork(&net_);
+        group_replica_ids[g].push_back(id);
+        replica_actor_ids_.push_back(id);
+      }
     }
-    for (uint32_t p = 0; p < workload_.num_pools; ++p) {
-      workload::ClientPoolConfig pool_config;
-      pool_config.pool_id = p;
-      pool_config.num_clients = workload_.clients_per_pool;
-      pool_config.payload_size = workload_.payload_size;
-      pool_config.f = protocol_.f();
-      pool_config.request_timeout = workload_.client_timeout;
-      pool_config.command_kind = workload_.command_kind;
-      pool_config.kv_key_space = workload_.kv_key_space;
-      pools_.push_back(std::make_unique<workload::ClientPool>(pool_config));
-      envs_.push_back(std::make_unique<runtime::SimEnv>(pools_.back().get()));
-      pool_ids.push_back(sim_.AddActor(envs_.back().get()));
-      envs_.back()->AttachNetwork(&net_);
-      pools_.back()->SetReplicas(replica_ids);
+    for (uint32_t g = 0; g < groups; ++g) {
+      for (uint32_t p = 0; p < workload_.num_pools; ++p) {
+        client::Client* client = MakePool(g, p);
+        envs_.push_back(std::make_unique<runtime::SimEnv>(client));
+        group_pool_ids[g].push_back(sim_.AddActor(envs_.back().get()));
+        envs_.back()->AttachNetwork(&net_);
+        client->SetReplicas(group_replica_ids[g]);
+      }
     }
-    for (auto& replica : replicas_) {
-      replica->SetTopology(replica_ids, pool_ids);
+    // Each group's topology is its own replica set: groups never
+    // intercommunicate, which is what makes per-group leaders, views, and
+    // reputation independent by construction.
+    for (uint32_t g = 0; g < groups; ++g) {
+      for (uint32_t i = 0; i < protocol_.n; ++i) {
+        replicas_[static_cast<size_t>(g) * protocol_.n + i]->SetTopology(
+            group_replica_ids[g], group_pool_ids[g]);
+      }
     }
-    replica_actor_ids_ = replica_ids;
     // All actors are registered; size the network's per-actor resource
     // tables once instead of growing them lazily inside Send/Deliver.
     net_.PresizeActors(sim_.num_actors());
@@ -106,6 +145,9 @@ class Cluster {
     for (auto& pool : pools_) {
       sim_.ScheduleAfter(0, [p = pool.get()]() { p->OnStart(); });
     }
+    for (auto& pool : open_pools_) {
+      sim_.ScheduleAfter(0, [p = pool.get()]() { p->OnStart(); });
+    }
   }
 
   void RunFor(util::DurationMicros duration) {
@@ -116,12 +158,26 @@ class Cluster {
   Replica& replica(uint32_t i) { return *replicas_[i]; }
   const Replica& replica(uint32_t i) const { return *replicas_[i]; }
   workload::ClientPool& pool(uint32_t p) { return *pools_[p]; }
+  workload::OpenLoopPool& open_pool(uint32_t p) { return *open_pools_[p]; }
   /// Actor id of replica i (for fault-plane partitions / link faults).
   sim::ActorId replica_actor_id(uint32_t i) const {
     return replica_actor_ids_[i];
   }
-  uint32_t num_replicas() const { return protocol_.n; }
-  uint32_t num_pools() const { return workload_.num_pools; }
+  /// Total replicas across groups (group-major: group g owns global
+  /// indices [g*n, (g+1)*n)). Equal to protocol n when unsharded.
+  uint32_t num_replicas() const {
+    return static_cast<uint32_t>(replicas_.size());
+  }
+  uint32_t num_pools() const { return static_cast<uint32_t>(pools_.size()); }
+  uint32_t num_open_pools() const {
+    return static_cast<uint32_t>(open_pools_.size());
+  }
+  uint32_t num_groups() const { return workload_.num_groups; }
+  uint32_t replicas_per_group() const { return protocol_.n; }
+  /// Replica i of group g (the group-local view of the global layout).
+  Replica& group_replica(uint32_t g, uint32_t i) {
+    return *replicas_[static_cast<size_t>(g) * protocol_.n + i];
+  }
   sim::Simulator& simulator() { return sim_; }
   sim::Network& network() { return net_; }
   const Config& protocol_config() const { return protocol_; }
@@ -146,6 +202,7 @@ class Cluster {
   void SetAdversary(const types::AdversaryPolicy* adversary) {
     for (auto& replica : replicas_) replica->SetAdversary(adversary);
     for (auto& pool : pools_) pool->SetAdversary(adversary);
+    for (auto& pool : open_pools_) pool->SetAdversary(adversary);
   }
 
   // ---------------------------------------------- client/execution metrics
@@ -154,6 +211,9 @@ class Cluster {
   int64_t RepliesReceived() const {
     int64_t total = 0;
     for (const auto& pool : pools_) total += pool->stats().replies_received;
+    for (const auto& pool : open_pools_) {
+      total += pool->stats().replies_received;
+    }
     return total;
   }
 
@@ -162,6 +222,9 @@ class Cluster {
   int64_t ResultMismatches() const {
     int64_t total = 0;
     for (const auto& pool : pools_) total += pool->stats().result_mismatches;
+    for (const auto& pool : open_pools_) {
+      total += pool->stats().result_mismatches;
+    }
     return total;
   }
 
@@ -187,6 +250,18 @@ class Cluster {
   int64_t ClientCommitted() const {
     int64_t total = 0;
     for (const auto& pool : pools_) total += pool->committed();
+    for (const auto& pool : open_pools_) total += pool->committed();
+    return total;
+  }
+
+  /// Transactions committed by group g's pools alone.
+  int64_t GroupCommitted(uint32_t g) const {
+    int64_t total = 0;
+    const uint32_t per = workload_.num_pools;
+    for (uint32_t p = g * per; p < (g + 1) * per; ++p) {
+      if (p < pools_.size()) total += pools_[p]->committed();
+      if (p < open_pools_.size()) total += open_pools_[p]->committed();
+    }
     return total;
   }
 
@@ -220,16 +295,117 @@ class Cluster {
                   static_cast<double>(pool->latencies().count());
       count += pool->latencies().count();
     }
+    for (auto& pool : open_pools_) {
+      weighted += pool->latencies().Mean() *
+                  static_cast<double>(pool->latencies().count());
+      count += pool->latencies().count();
+    }
     return count == 0 ? 0.0 : weighted / static_cast<double>(count);
   }
 
-  /// Latency percentile. Pools see statistically identical latency
-  /// distributions, so pool 0's histogram is a representative sample.
+  /// Latency percentile over the merged samples of EVERY pool. (This used
+  /// to read pool 0's histogram alone on the theory that pools are
+  /// statistically identical — no longer true once pools belong to
+  /// different shard groups or mix open- and closed-loop drivers, and the
+  /// merged percentile is exact either way.)
   double LatencyPercentileMs(double p) {
-    return pools_.empty() ? 0.0 : pools_[0]->latencies().Percentile(p);
+    util::Histogram merged;
+    for (auto& pool : pools_) merged.MergeFrom(pool->latencies());
+    for (auto& pool : open_pools_) merged.MergeFrom(pool->latencies());
+    return merged.Percentile(p);
+  }
+
+  // ------------------------------------------------- open-loop aggregates
+
+  /// End-to-end latency percentile (arrival → completion, including
+  /// admission queueing) merged across every open-loop pool.
+  double E2eLatencyPercentileMs(double p) {
+    util::Histogram merged;
+    for (auto& pool : open_pools_) merged.MergeFrom(pool->e2e_latencies());
+    return merged.Percentile(p);
+  }
+
+  /// Trace arrivals generated / admitted into consensus / shed at
+  /// admission, summed over open-loop pools.
+  int64_t TotalArrivals() const {
+    int64_t total = 0;
+    for (const auto& pool : open_pools_) total += pool->open_stats().arrivals;
+    return total;
+  }
+  int64_t TotalAdmitted() const {
+    int64_t total = 0;
+    for (const auto& pool : open_pools_) total += pool->open_stats().admitted;
+    return total;
+  }
+  int64_t TotalShed() const {
+    int64_t total = 0;
+    for (const auto& pool : open_pools_) total += pool->open_stats().shed;
+    return total;
+  }
+
+  /// Fraction of completions meeting the SLO across open-loop pools
+  /// (1.0 when nothing completed).
+  double SloFraction() const {
+    int64_t met = 0, completed = 0;
+    for (const auto& pool : open_pools_) {
+      met += pool->open_stats().slo_met;
+      completed += pool->stats().completed;
+    }
+    return completed == 0
+               ? 1.0
+               : static_cast<double>(met) / static_cast<double>(completed);
   }
 
  private:
+  /// Builds pool p of group g (closed- or open-loop per the workload) and
+  /// returns it as the common client::Client base.
+  client::Client* MakePool(uint32_t g, uint32_t p) {
+    const uint32_t groups = workload_.num_groups;
+    // Only real keys can be routed to a group, so sharded deployments
+    // always drive KV puts regardless of the requested command kind.
+    const workload::CommandKind kind = groups > 1
+                                           ? workload::CommandKind::kKvPut
+                                           : workload_.command_kind;
+    // Pool ids are group-local: replicas index their own group's client
+    // topology by pool id (clients_[reply->pool]), and cross-group
+    // transaction identity is carried by the digest-covered group field.
+    const types::ClientPoolId pool_id = p;
+    if (workload_.open_loop) {
+      workload::OpenLoopConfig pc;
+      pc.pool_id = pool_id;
+      pc.f = protocol_.f();
+      pc.payload_size = workload_.payload_size;
+      pc.request_timeout = workload_.client_timeout;
+      pc.arrival = workload_.arrival;
+      pc.logical_sessions = workload_.logical_sessions;
+      pc.command_kind = kind;
+      pc.kv_key_space = workload_.kv_key_space;
+      pc.zipf_theta = workload_.zipf_theta;
+      pc.max_outstanding = workload_.max_outstanding;
+      pc.max_backlog = workload_.max_backlog;
+      pc.slo_ms = workload_.slo_ms;
+      pc.stop_at = workload_.open_loop_stop_at;
+      pc.group = g;
+      pc.num_groups = groups;
+      pc.router_salt = workload_.router_salt;
+      open_pools_.push_back(std::make_unique<workload::OpenLoopPool>(pc));
+      return open_pools_.back().get();
+    }
+    workload::ClientPoolConfig pool_config;
+    pool_config.pool_id = pool_id;
+    pool_config.num_clients = workload_.clients_per_pool;
+    pool_config.payload_size = workload_.payload_size;
+    pool_config.f = protocol_.f();
+    pool_config.request_timeout = workload_.client_timeout;
+    pool_config.command_kind = kind;
+    pool_config.kv_key_space = workload_.kv_key_space;
+    pool_config.group = g;
+    pool_config.num_groups = groups;
+    pool_config.router_salt = workload_.router_salt;
+    pools_.push_back(std::make_unique<workload::ClientPool>(pool_config));
+    return pools_.back().get();
+  }
+
   Config protocol_;
   WorkloadOptions workload_;
   sim::Simulator sim_;
@@ -237,6 +413,7 @@ class Cluster {
   crypto::KeyStore keys_;
   std::vector<std::unique_ptr<Replica>> replicas_;
   std::vector<std::unique_ptr<workload::ClientPool>> pools_;
+  std::vector<std::unique_ptr<workload::OpenLoopPool>> open_pools_;
   /// One SimEnv per node, in registration order; must outlive the sim.
   std::vector<std::unique_ptr<runtime::SimEnv>> envs_;
   std::vector<sim::ActorId> replica_actor_ids_;

@@ -30,10 +30,13 @@
 
 #include <cstdio>
 #include <string>
+#include <type_traits>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "ledger/block_store.h"
+#include "shard/router.h"
 #include "util/hex.h"
 
 namespace prestige {
@@ -169,6 +172,117 @@ SafetyReport CheckSafety(const Cluster& cluster,
 template <typename Cluster>
 SafetyReport CheckSafety(const Cluster& cluster) {
   return CheckSafety(cluster, std::vector<bool>());
+}
+
+// ------------------------------------------------------- sharded clusters
+
+/// One group's slice of a sharded cluster, shaped like an unsharded
+/// cluster (num_replicas() / replica(i)) so CheckSafety runs on it
+/// verbatim. Group g owns global replica indices
+/// [g * replicas_per_group, (g + 1) * replicas_per_group).
+template <typename Cluster>
+class GroupView {
+ public:
+  GroupView(const Cluster& cluster, uint32_t group)
+      : cluster_(cluster), group_(group) {}
+
+  uint32_t num_replicas() const { return cluster_.replicas_per_group(); }
+  decltype(auto) replica(uint32_t i) const {
+    return cluster_.replica(group_ * cluster_.replicas_per_group() + i);
+  }
+
+ private:
+  const Cluster& cluster_;
+  uint32_t group_;
+};
+
+/// Outcome of one sharded safety sweep.
+struct ShardedSafetyReport {
+  bool ok = true;
+  std::string violation;  ///< Human-readable description when !ok.
+  /// Per-group chain/execution sweeps, in group order (truncated at the
+  /// first failing group).
+  std::vector<SafetyReport> groups;
+  int64_t routed_txs = 0;     ///< Committed txs checked against the router.
+  int64_t distinct_keys = 0;  ///< Distinct routing keys seen committed.
+};
+
+/// The sharded safety sweep:
+///  1. per-group committed-prefix + execution agreement — CheckSafety over
+///     each group's replica slice (groups never intercommunicate, so
+///     cross-group chains are unrelated by design and compared by nobody);
+///  2. router consistency — every committed transaction routes (by its
+///     routing key, under `router`) to the group that committed it, and
+///     carries that group's id in its digest-covered `group` field;
+///  3. shard exclusivity — no routing key appears in the committed chains
+///     of two different groups ("no key executes in two groups").
+///
+/// `router` must be the geometry the workload generated against (same
+/// num_groups and salt).
+template <typename Cluster>
+ShardedSafetyReport CheckShardedSafety(const Cluster& cluster,
+                                       const shard::Router& router) {
+  ShardedSafetyReport report;
+  const uint32_t groups = cluster.num_groups();
+  const uint32_t per_group = cluster.replicas_per_group();
+  for (uint32_t g = 0; g < groups; ++g) {
+    GroupView<Cluster> view(cluster, g);
+    SafetyReport group_report = CheckSafety(view);
+    const bool group_ok = group_report.ok;
+    if (!group_ok) {
+      report.ok = false;
+      report.violation =
+          "group " + std::to_string(g) + ": " + group_report.violation;
+    }
+    report.groups.push_back(std::move(group_report));
+    if (!group_ok) return report;
+  }
+
+  // Checks 2 and 3 over each group's longest honest chain: per-group
+  // agreement (check 1) makes every other honest chain in the group a
+  // prefix of it, so the longest chain covers everything the group
+  // committed.
+  std::unordered_map<uint64_t, uint32_t> key_owner;
+  for (uint32_t g = 0; g < groups; ++g) {
+    using Chain = std::decay_t<decltype(cluster.replica(0).store().tx_chain())>;
+    const Chain* chain = nullptr;
+    for (uint32_t i = 0; i < per_group; ++i) {
+      const auto& replica = cluster.replica(g * per_group + i);
+      if (replica.fault().IsByzantine() &&
+          replica.fault().type != types::FaultType::kCrash) {
+        continue;
+      }
+      const auto& candidate = replica.store().tx_chain();
+      if (chain == nullptr || candidate.size() > chain->size()) {
+        chain = &candidate;
+      }
+    }
+    if (chain == nullptr) continue;  // All-Byzantine group: nothing to owe.
+    for (const auto& block : *chain) {
+      for (const auto& tx : block.txs()) {
+        ++report.routed_txs;
+        std::string violation;
+        if (!shard::VerifyRoutingAssignment(router, g, tx, &violation)) {
+          report.ok = false;
+          report.violation = violation;
+          return report;
+        }
+        const uint64_t key = shard::Router::RoutingKey(tx);
+        const auto [it, inserted] = key_owner.emplace(key, g);
+        if (!inserted && it->second != g) {
+          char buf[160];
+          std::snprintf(buf, sizeof(buf),
+                        "routing key %llu executed in two groups: %u and %u",
+                        static_cast<unsigned long long>(key), it->second, g);
+          report.ok = false;
+          report.violation = buf;
+          return report;
+        }
+      }
+    }
+  }
+  report.distinct_keys = static_cast<int64_t>(key_owner.size());
+  return report;
 }
 
 }  // namespace harness

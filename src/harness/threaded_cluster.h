@@ -44,30 +44,41 @@ class ThreadedCluster {
         workload_(workload),
         runtime_(workload.seed, workload.workers_per_node),
         keys_(workload.seed ^ 0xc0ffee) {
-    faults.resize(protocol_.n, types::FaultSpec::Honest());
+    if (workload_.num_groups == 0) workload_.num_groups = 1;
+    const uint32_t groups = workload_.num_groups;
+    // Group-major fault addressing, mirroring Cluster: an n-entry list
+    // targets group 0, every other group runs honest.
+    faults.resize(static_cast<size_t>(protocol_.n) * groups,
+                  types::FaultSpec::Honest());
 
-    std::vector<runtime::NodeId> replica_ids;
-    std::vector<runtime::NodeId> pool_ids;
-    for (uint32_t i = 0; i < protocol_.n; ++i) {
-      replicas_.push_back(
-          std::make_unique<Replica>(protocol_, i, &keys_, faults[i]));
-      replica_ids.push_back(runtime_.AddNode(replicas_.back().get()));
+    // Node-id layout and RNG forking order mirror Cluster's (replicas
+    // group-major, then pools group-major); one group reproduces the
+    // historical wiring exactly.
+    std::vector<std::vector<runtime::NodeId>> group_replica_ids(groups);
+    std::vector<std::vector<runtime::NodeId>> group_pool_ids(groups);
+    for (uint32_t g = 0; g < groups; ++g) {
+      for (uint32_t i = 0; i < protocol_.n; ++i) {
+        replicas_.push_back(std::make_unique<Replica>(
+            protocol_, i, &keys_,
+            faults[static_cast<size_t>(g) * protocol_.n + i]));
+        group_replica_ids[g].push_back(
+            runtime_.AddNode(replicas_.back().get()));
+      }
     }
-    for (uint32_t p = 0; p < workload_.num_pools; ++p) {
-      workload::ClientPoolConfig pool_config;
-      pool_config.pool_id = p;
-      pool_config.num_clients = workload_.clients_per_pool;
-      pool_config.payload_size = workload_.payload_size;
-      pool_config.f = protocol_.f();
-      pool_config.request_timeout = workload_.client_timeout;
-      pool_config.command_kind = workload_.command_kind;
-      pool_config.kv_key_space = workload_.kv_key_space;
-      pools_.push_back(std::make_unique<workload::ClientPool>(pool_config));
-      pool_ids.push_back(runtime_.AddNode(pools_.back().get()));
-      pools_.back()->SetReplicas(replica_ids);
+    for (uint32_t g = 0; g < groups; ++g) {
+      for (uint32_t p = 0; p < workload_.num_pools; ++p) {
+        client::Client* client = MakePool(g, p);
+        group_pool_ids[g].push_back(runtime_.AddNode(client));
+        client->SetReplicas(group_replica_ids[g]);
+      }
     }
-    for (auto& replica : replicas_) {
-      replica->SetTopology(replica_ids, pool_ids);
+    // Per-group topologies: groups never intercommunicate, so each runs
+    // its own leaders, views, and reputation.
+    for (uint32_t g = 0; g < groups; ++g) {
+      for (uint32_t i = 0; i < protocol_.n; ++i) {
+        replicas_[static_cast<size_t>(g) * protocol_.n + i]->SetTopology(
+            group_replica_ids[g], group_pool_ids[g]);
+      }
     }
   }
 
@@ -92,8 +103,20 @@ class ThreadedCluster {
   Replica& replica(uint32_t i) { return *replicas_[i]; }
   const Replica& replica(uint32_t i) const { return *replicas_[i]; }
   workload::ClientPool& pool(uint32_t p) { return *pools_[p]; }
-  uint32_t num_replicas() const { return protocol_.n; }
-  uint32_t num_pools() const { return workload_.num_pools; }
+  workload::OpenLoopPool& open_pool(uint32_t p) { return *open_pools_[p]; }
+  /// Total replicas across groups (group-major; == protocol n unsharded).
+  uint32_t num_replicas() const {
+    return static_cast<uint32_t>(replicas_.size());
+  }
+  uint32_t num_pools() const { return static_cast<uint32_t>(pools_.size()); }
+  uint32_t num_open_pools() const {
+    return static_cast<uint32_t>(open_pools_.size());
+  }
+  uint32_t num_groups() const { return workload_.num_groups; }
+  uint32_t replicas_per_group() const { return protocol_.n; }
+  Replica& group_replica(uint32_t g, uint32_t i) {
+    return *replicas_[static_cast<size_t>(g) * protocol_.n + i];
+  }
   runtime::ThreadedRuntime& runtime() { return runtime_; }
   const Config& protocol_config() const { return protocol_; }
 
@@ -103,6 +126,18 @@ class ThreadedCluster {
   int64_t ClientCommitted() const {
     int64_t total = 0;
     for (const auto& pool : pools_) total += pool->committed();
+    for (const auto& pool : open_pools_) total += pool->committed();
+    return total;
+  }
+
+  /// Transactions committed by group g's pools alone (after Stop()).
+  int64_t GroupCommitted(uint32_t g) const {
+    int64_t total = 0;
+    const uint32_t per = workload_.num_pools;
+    for (uint32_t p = g * per; p < (g + 1) * per; ++p) {
+      if (p < pools_.size()) total += pools_[p]->committed();
+      if (p < open_pools_.size()) total += open_pools_[p]->committed();
+    }
     return total;
   }
 
@@ -115,12 +150,56 @@ class ThreadedCluster {
                   static_cast<double>(pool->latencies().count());
       count += pool->latencies().count();
     }
+    for (auto& pool : open_pools_) {
+      weighted += pool->latencies().Mean() *
+                  static_cast<double>(pool->latencies().count());
+      count += pool->latencies().count();
+    }
     return count == 0 ? 0.0 : weighted / static_cast<double>(count);
   }
 
-  /// Latency percentile over pool 0's histogram (after Stop()).
+  /// Latency percentile over the merged samples of EVERY pool (after
+  /// Stop()). Mirrors Cluster::LatencyPercentileMs — pool 0 alone stopped
+  /// being representative once pools can belong to different groups.
   double LatencyPercentileMs(double p) {
-    return pools_.empty() ? 0.0 : pools_[0]->latencies().Percentile(p);
+    util::Histogram merged;
+    for (auto& pool : pools_) merged.MergeFrom(pool->latencies());
+    for (auto& pool : open_pools_) merged.MergeFrom(pool->latencies());
+    return merged.Percentile(p);
+  }
+
+  /// End-to-end (arrival → completion) percentile across open-loop pools.
+  double E2eLatencyPercentileMs(double p) {
+    util::Histogram merged;
+    for (auto& pool : open_pools_) merged.MergeFrom(pool->e2e_latencies());
+    return merged.Percentile(p);
+  }
+
+  // Open-loop aggregates (after Stop(); see cluster.h counterparts).
+  int64_t TotalArrivals() const {
+    int64_t total = 0;
+    for (const auto& pool : open_pools_) total += pool->open_stats().arrivals;
+    return total;
+  }
+  int64_t TotalAdmitted() const {
+    int64_t total = 0;
+    for (const auto& pool : open_pools_) total += pool->open_stats().admitted;
+    return total;
+  }
+  int64_t TotalShed() const {
+    int64_t total = 0;
+    for (const auto& pool : open_pools_) total += pool->open_stats().shed;
+    return total;
+  }
+  double SloFraction() const {
+    int64_t met = 0, completed = 0;
+    for (const auto& pool : open_pools_) {
+      met += pool->open_stats().slo_met;
+      completed += pool->stats().completed;
+    }
+    return completed == 0
+               ? 1.0
+               : static_cast<double>(met) / static_cast<double>(completed);
   }
 
   /// Installs an application service on every replica (each gets its own
@@ -157,12 +236,59 @@ class ThreadedCluster {
   }
 
  private:
+  /// Builds pool p of group g; same policy as Cluster::MakePool (sharded
+  /// deployments force kKvPut so keys can be routed).
+  client::Client* MakePool(uint32_t g, uint32_t p) {
+    const uint32_t groups = workload_.num_groups;
+    const workload::CommandKind kind = groups > 1
+                                           ? workload::CommandKind::kKvPut
+                                           : workload_.command_kind;
+    // Group-local pool ids: replicas index their own group's client
+    // topology by pool id (see cluster.h).
+    const types::ClientPoolId pool_id = p;
+    if (workload_.open_loop) {
+      workload::OpenLoopConfig pc;
+      pc.pool_id = pool_id;
+      pc.f = protocol_.f();
+      pc.payload_size = workload_.payload_size;
+      pc.request_timeout = workload_.client_timeout;
+      pc.arrival = workload_.arrival;
+      pc.logical_sessions = workload_.logical_sessions;
+      pc.command_kind = kind;
+      pc.kv_key_space = workload_.kv_key_space;
+      pc.zipf_theta = workload_.zipf_theta;
+      pc.max_outstanding = workload_.max_outstanding;
+      pc.max_backlog = workload_.max_backlog;
+      pc.slo_ms = workload_.slo_ms;
+      pc.stop_at = workload_.open_loop_stop_at;
+      pc.group = g;
+      pc.num_groups = groups;
+      pc.router_salt = workload_.router_salt;
+      open_pools_.push_back(std::make_unique<workload::OpenLoopPool>(pc));
+      return open_pools_.back().get();
+    }
+    workload::ClientPoolConfig pool_config;
+    pool_config.pool_id = pool_id;
+    pool_config.num_clients = workload_.clients_per_pool;
+    pool_config.payload_size = workload_.payload_size;
+    pool_config.f = protocol_.f();
+    pool_config.request_timeout = workload_.client_timeout;
+    pool_config.command_kind = kind;
+    pool_config.kv_key_space = workload_.kv_key_space;
+    pool_config.group = g;
+    pool_config.num_groups = groups;
+    pool_config.router_salt = workload_.router_salt;
+    pools_.push_back(std::make_unique<workload::ClientPool>(pool_config));
+    return pools_.back().get();
+  }
+
   Config protocol_;
   WorkloadOptions workload_;
   runtime::ThreadedRuntime runtime_;
   crypto::KeyStore keys_;
   std::vector<std::unique_ptr<Replica>> replicas_;
   std::vector<std::unique_ptr<workload::ClientPool>> pools_;
+  std::vector<std::unique_ptr<workload::OpenLoopPool>> open_pools_;
 };
 
 }  // namespace harness

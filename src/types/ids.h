@@ -15,6 +15,10 @@ using ReplicaId = uint32_t;
 /// signer id space.
 using ClientPoolId = uint32_t;
 
+/// Consensus-group index in a sharded deployment. Group 0 is the only group
+/// of an unsharded cluster, so single-group code never has to mention it.
+using GroupId = uint32_t;
+
 /// Monotonically increasing view number. Views start at 1 (paper §3 Init).
 using View = int64_t;
 

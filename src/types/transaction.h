@@ -24,6 +24,10 @@ namespace types {
 struct Transaction {
   ClientPoolId pool = 0;          ///< Originating client pool / session.
   uint64_t client_seq = 0;        ///< Unique per-pool request number.
+  /// Consensus group the client routed this request to (sharded
+  /// deployments; 0 — the only group — when unsharded). Covered by the
+  /// digest so a relayed proposal cannot be silently re-homed.
+  GroupId group = 0;
   util::TimeMicros sent_at = 0;   ///< The client timestamp t.
   uint32_t payload_size = 32;     ///< m: modelled request payload bytes.
   uint64_t fingerprint = 0;       ///< Content stand-in when command is empty.
@@ -33,7 +37,8 @@ struct Transaction {
 
   bool operator==(const Transaction& other) const {
     return pool == other.pool && client_seq == other.client_seq &&
-           sent_at == other.sent_at && payload_size == other.payload_size &&
+           group == other.group && sent_at == other.sent_at &&
+           payload_size == other.payload_size &&
            fingerprint == other.fingerprint && command == other.command;
   }
 
@@ -42,6 +47,7 @@ struct Transaction {
     HashingEncoder enc("tx");
     enc.PutU32(pool)
         .PutU64(client_seq)
+        .PutU32(group)
         .PutI64(sent_at)
         .PutU32(payload_size)
         .PutU64(fingerprint)

@@ -86,6 +86,15 @@ class Histogram {
     return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
   }
 
+  /// Appends every sample of `other`. Percentiles over the merged set are
+  /// exact (raw samples, not bucket approximations) — this is how the
+  /// harness combines per-pool latency histograms into a cluster-wide view.
+  void MergeFrom(const Histogram& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+  }
+
   void Reset() {
     samples_.clear();
     sorted_ = false;

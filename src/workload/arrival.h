@@ -1,0 +1,74 @@
+// Open-loop arrival trace generators.
+//
+// A closed-loop client waits for its previous request before issuing the
+// next one, so offered load self-throttles to the system's capacity and
+// overload is unobservable. An open-loop workload decouples arrivals from
+// completions: requests arrive on a schedule drawn from a trace process,
+// whether or not the system has kept up — the regime where latency SLOs
+// and backpressure behaviour actually mean something.
+//
+// An ArrivalGenerator turns an ArrivalSpec + seed into a monotone stream
+// of absolute arrival timestamps (microseconds since the run began). The
+// stream is a pure function of (spec, seed, call index): no wall clock, no
+// ambient entropy — the same discipline as every other stochastic
+// component — so serial and fanned-out generation are byte-identical and
+// a threaded run's offered load is reproducible even though its service
+// times are not.
+//
+// Traces:
+//   kConstant — fixed inter-arrival 1/rate (paced load, no burstiness).
+//   kPoisson  — exponential inter-arrivals at `rate_per_sec` (memoryless
+//               arrivals; the standard open-system model).
+//   kRamp     — inhomogeneous Poisson whose rate ramps linearly from
+//               `rate_per_sec` to `end_rate_per_sec` over `ramp_duration`,
+//               then holds (capacity-probing and diurnal-edge shapes).
+
+#ifndef PRESTIGE_WORKLOAD_ARRIVAL_H_
+#define PRESTIGE_WORKLOAD_ARRIVAL_H_
+
+#include <cstdint>
+
+#include "util/random.h"
+#include "util/time.h"
+
+namespace prestige {
+namespace workload {
+
+enum class ArrivalKind {
+  kConstant,
+  kPoisson,
+  kRamp,
+};
+
+/// Shape of one arrival trace.
+struct ArrivalSpec {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  double rate_per_sec = 1000.0;  ///< Base rate (start rate for kRamp).
+  /// kRamp only: target rate reached after `ramp_duration`, held after.
+  double end_rate_per_sec = 0.0;
+  util::DurationMicros ramp_duration = util::Seconds(10);
+};
+
+/// Deterministic arrival-time stream for one spec + seed.
+class ArrivalGenerator {
+ public:
+  ArrivalGenerator(ArrivalSpec spec, uint64_t seed);
+
+  /// Absolute time of the next arrival, strictly after all previous ones.
+  /// Monotone; call indefinitely.
+  util::TimeMicros Next();
+
+  /// Instantaneous rate at absolute time `t` (kRamp interpolates; the
+  /// other kinds are flat). Exposed for tests and reporting.
+  double RateAt(util::TimeMicros t) const;
+
+ private:
+  ArrivalSpec spec_;
+  util::Rng rng_;
+  util::TimeMicros next_ = 0;
+};
+
+}  // namespace workload
+}  // namespace prestige
+
+#endif  // PRESTIGE_WORKLOAD_ARRIVAL_H_

@@ -17,11 +17,16 @@ client::ClientConfig ClientPool::ToClientConfig(
   cc.request_timeout = config.request_timeout;
   cc.aggregation_window = config.aggregation_window;
   cc.retry_scan_period = config.complaint_scan_period;
+  cc.group = config.group;
   return cc;
 }
 
 ClientPool::ClientPool(ClientPoolConfig config)
-    : client::Client(ToClientConfig(config)), pool_config_(config) {
+    : client::Client(ToClientConfig(config)),
+      pool_config_(config),
+      router_(config.num_groups == 0 ? 1 : config.num_groups,
+              config.router_salt == 0 ? shard::Router::kDefaultSalt
+                                      : config.router_salt) {
   // Same clamp app::KvService applies: key space 0 means one key, not a
   // divide-by-zero in the command generator.
   if (pool_config_.kv_key_space == 0) pool_config_.kv_key_space = 1;
@@ -48,10 +53,33 @@ void ClientPool::SetActive(bool active) {
 
 std::vector<uint8_t> ClientPool::MakeCommand() {
   switch (pool_config_.command_kind) {
-    case CommandKind::kKvPut:
-      return app::kv::EncodePut(
-          rng()->NextUint64() % pool_config_.kv_key_space,
-          rng()->NextUint64());
+    case CommandKind::kKvPut: {
+      uint64_t key = rng()->NextUint64() % pool_config_.kv_key_space;
+      if (pool_config_.num_groups > 1) {
+        // Sharded pool: only generate keys the router assigns to this
+        // pool's group. Rejection sampling terminates in num_groups
+        // expected draws; the linear probe only exists for degenerate
+        // geometries where this group owns almost no keys.
+        int attempt = 0;
+        while (router_.GroupForKey(key) != pool_config_.group &&
+               attempt < 64) {
+          key = rng()->NextUint64() % pool_config_.kv_key_space;
+          ++attempt;
+        }
+        if (router_.GroupForKey(key) != pool_config_.group) {
+          for (uint64_t probe = 0; probe < pool_config_.kv_key_space;
+               ++probe) {
+            if (router_.GroupForKey(probe) == pool_config_.group) {
+              key = probe;
+              break;
+            }
+          }
+        }
+      }
+      // Unsharded pools draw (key, value) exactly as before this field
+      // existed, keeping per-seed simulation runs byte-identical.
+      return app::kv::EncodePut(key, rng()->NextUint64());
+    }
     case CommandKind::kOpaque:
       break;
   }

@@ -18,6 +18,7 @@
 #define PRESTIGE_WORKLOAD_CLIENT_POOL_H_
 
 #include "client/client.h"
+#include "shard/router.h"
 #include "types/ids.h"
 #include "util/stats.h"
 
@@ -45,6 +46,14 @@ struct ClientPoolConfig {
   /// Workload shape (see CommandKind).
   CommandKind command_kind = CommandKind::kOpaque;
   uint64_t kv_key_space = 1024;  ///< Key range for kKvPut commands.
+  /// Sharded deployments: the consensus group this pool drives and the
+  /// shard::Router geometry (must match the harness's checker-side
+  /// Router). With num_groups > 1, kKvPut keys are rejection-sampled
+  /// until the router assigns them to `group`; defaults describe the
+  /// unsharded single-group world.
+  types::GroupId group = 0;
+  uint32_t num_groups = 1;
+  uint64_t router_salt = 0;  ///< 0 = shard::Router::kDefaultSalt.
 };
 
 /// The pool node: one client::Client session shared by num_clients
@@ -74,6 +83,7 @@ class ClientPool : public client::Client {
   std::vector<uint8_t> MakeCommand();
 
   ClientPoolConfig pool_config_;
+  shard::Router router_;
   bool active_ = true;
   uint32_t deferred_requests_ = 0;  ///< Clients idled while inactive.
 };

@@ -1,0 +1,45 @@
+#include "workload/key_dist.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace prestige {
+namespace workload {
+
+double ZipfianGenerator::Zeta(uint64_t n, double theta) {
+  // O(n) once per generator. Key spaces here are workload parameters
+  // (thousands to millions), not open-ended — the largest sweeps use
+  // ~1e6 keys, well under a millisecond of setup.
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+ZipfianGenerator::ZipfianGenerator(uint64_t num_keys, double theta)
+    : num_keys_(num_keys == 0 ? 1 : num_keys),
+      theta_(std::clamp(theta, 0.0, 0.9999)) {
+  zetan_ = Zeta(num_keys_, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  const double zeta2 = Zeta(2, theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(num_keys_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+  half_pow_theta_ = 1.0 + std::pow(0.5, theta_);
+}
+
+uint64_t ZipfianGenerator::Next(util::Rng* rng) const {
+  // Gray et al., "Quickly generating billion-record synthetic databases"
+  // (SIGMOD '94), as popularized by YCSB's ZipfianGenerator.
+  const double u = rng->NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < half_pow_theta_) return 1;
+  const auto rank = static_cast<uint64_t>(
+      static_cast<double>(num_keys_) *
+      std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return std::min(rank, num_keys_ - 1);
+}
+
+}  // namespace workload
+}  // namespace prestige

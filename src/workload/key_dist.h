@@ -1,0 +1,56 @@
+// Key-popularity distributions for workload generators.
+//
+// Real key-value traffic is skewed: a small set of hot keys absorbs most
+// operations. ZipfianGenerator samples ranks from the standard zipfian
+// distribution (P(rank i) ∝ 1/i^theta) using the Gray et al. constant-time
+// algorithm (the one YCSB uses), with the zeta normalization constant
+// precomputed at construction. theta = 0 degenerates to uniform;
+// theta = 0.99 is the YCSB default "hotspot" skew.
+//
+// Rank 0 is the hottest key. The rank space is NOT scrambled here: sharded
+// deployments route keys through shard::Router's avalanche hash, which
+// already spreads consecutive hot ranks across groups, and tests want the
+// "rank 0 is hottest" property observable.
+//
+// Sampling draws from a caller-supplied util::Rng, so the stream is
+// deterministic per seed and composes with the per-node RNG forking
+// discipline.
+
+#ifndef PRESTIGE_WORKLOAD_KEY_DIST_H_
+#define PRESTIGE_WORKLOAD_KEY_DIST_H_
+
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace prestige {
+namespace workload {
+
+/// Constant-time zipfian rank sampler over [0, num_keys).
+class ZipfianGenerator {
+ public:
+  /// `theta` in [0, 1): skew parameter; 0 = uniform, 0.99 = heavy YCSB
+  /// skew. Values outside [0, 1) are clamped into it.
+  ZipfianGenerator(uint64_t num_keys, double theta);
+
+  /// Samples a rank in [0, num_keys); rank 0 is the most popular.
+  uint64_t Next(util::Rng* rng) const;
+
+  uint64_t num_keys() const { return num_keys_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t num_keys_;
+  double theta_;
+  double zetan_;   ///< zeta(num_keys, theta).
+  double alpha_;   ///< 1 / (1 - theta).
+  double eta_;
+  double half_pow_theta_;  ///< (1/2)^theta aka 1 + 0.5^theta threshold term.
+};
+
+}  // namespace workload
+}  // namespace prestige
+
+#endif  // PRESTIGE_WORKLOAD_KEY_DIST_H_

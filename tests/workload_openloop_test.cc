@@ -1,0 +1,319 @@
+// Tests for the open-loop workload engine: arrival trace generators,
+// zipfian key skew, and the OpenLoopPool's backpressure / shedding / SLO
+// accounting on the deterministic simulator.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "app/service.h"
+#include "runtime/sim_env.h"
+#include "sim/actor.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "types/client_messages.h"
+#include "workload/arrival.h"
+#include "workload/key_dist.h"
+#include "workload/open_loop_pool.h"
+
+namespace prestige {
+namespace workload {
+namespace {
+
+using util::Millis;
+using util::Seconds;
+
+// ----------------------------------------------------- arrival generators
+
+TEST(ArrivalGeneratorTest, StreamIsDeterministicPerSeedAndMonotone) {
+  ArrivalSpec spec;
+  spec.kind = ArrivalKind::kPoisson;
+  spec.rate_per_sec = 5000.0;
+
+  ArrivalGenerator a(spec, 42), b(spec, 42), other(spec, 43);
+  util::TimeMicros prev = 0;
+  bool any_differs = false;
+  for (int i = 0; i < 1000; ++i) {
+    const util::TimeMicros ta = a.Next();
+    EXPECT_EQ(ta, b.Next()) << "same (spec, seed) diverged at index " << i;
+    EXPECT_GT(ta, prev) << "arrival stream must strictly advance";
+    prev = ta;
+    if (other.Next() != ta) any_differs = true;
+  }
+  EXPECT_TRUE(any_differs) << "different seeds produced the same stream";
+}
+
+TEST(ArrivalGeneratorTest, PoissonMatchesItsMeanRate) {
+  ArrivalSpec spec;
+  spec.kind = ArrivalKind::kPoisson;
+  spec.rate_per_sec = 1000.0;  // Mean gap 1000us.
+  ArrivalGenerator gen(spec, 7);
+  const int n = 20000;
+  util::TimeMicros last = 0;
+  for (int i = 0; i < n; ++i) last = gen.Next();
+  const double mean_gap = static_cast<double>(last) / n;
+  EXPECT_GT(mean_gap, 900.0);
+  EXPECT_LT(mean_gap, 1100.0);
+}
+
+TEST(ArrivalGeneratorTest, ConstantTraceIsExactlyPaced) {
+  ArrivalSpec spec;
+  spec.kind = ArrivalKind::kConstant;
+  spec.rate_per_sec = 1000.0;
+  ArrivalGenerator gen(spec, 1);
+  EXPECT_EQ(gen.Next(), 1000);
+  EXPECT_EQ(gen.Next(), 2000);
+  EXPECT_EQ(gen.Next(), 3000);
+}
+
+TEST(ArrivalGeneratorTest, RampInterpolatesRateThenHolds) {
+  ArrivalSpec spec;
+  spec.kind = ArrivalKind::kRamp;
+  spec.rate_per_sec = 100.0;
+  spec.end_rate_per_sec = 1000.0;
+  spec.ramp_duration = Seconds(1);
+  ArrivalGenerator gen(spec, 1);
+
+  EXPECT_DOUBLE_EQ(gen.RateAt(0), 100.0);
+  EXPECT_DOUBLE_EQ(gen.RateAt(Millis(500)), 550.0);
+  EXPECT_DOUBLE_EQ(gen.RateAt(Seconds(1)), 1000.0);
+  EXPECT_DOUBLE_EQ(gen.RateAt(Seconds(5)), 1000.0);  // Holds after ramp.
+}
+
+TEST(ArrivalGeneratorTest, RampTraceSpeedsUpOverTime) {
+  ArrivalSpec spec;
+  spec.kind = ArrivalKind::kRamp;
+  spec.rate_per_sec = 100.0;
+  spec.end_rate_per_sec = 1000.0;
+  spec.ramp_duration = Seconds(1);
+  ArrivalGenerator gen(spec, 11);
+
+  int early = 0, late = 0;
+  for (util::TimeMicros t = gen.Next(); t < Seconds(2); t = gen.Next()) {
+    if (t < Millis(500)) ++early;
+    if (t >= Millis(1500)) ++late;
+  }
+  // ~100-325/s over the first half second vs a held ~1000/s at the end:
+  // the late window must carry several times the early one.
+  EXPECT_GT(late, early * 2);
+  EXPECT_GT(early, 0);
+}
+
+// ------------------------------------------------------------ key skew
+
+TEST(ZipfianGeneratorTest, ThetaZeroIsUniformWithinBounds) {
+  const uint64_t keys = 1000;
+  ZipfianGenerator zipf(keys, 0.0);
+  util::Rng rng(3);
+  std::vector<int64_t> counts(keys, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) {
+    const uint64_t k = zipf.Next(&rng);
+    ASSERT_LT(k, keys);
+    ++counts[k];
+  }
+  const double mean = static_cast<double>(draws) / keys;
+  for (uint64_t k = 0; k < keys; ++k) {
+    EXPECT_LT(counts[k], mean * 2.0) << "key " << k << " is hot under theta=0";
+  }
+}
+
+TEST(ZipfianGeneratorTest, HighThetaConcentratesOnHeadRanks) {
+  const uint64_t keys = 1000;
+  ZipfianGenerator zipf(keys, 0.99);
+  util::Rng rng(4);
+  std::vector<int64_t> counts(keys, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) {
+    const uint64_t k = zipf.Next(&rng);
+    ASSERT_LT(k, keys);
+    ++counts[k];
+  }
+  // Rank 0 is the hottest key and carries a double-digit share (the
+  // zipfian head), while deep-tail ranks are orders of magnitude colder.
+  for (uint64_t k = 1; k < keys; ++k) {
+    EXPECT_GE(counts[0], counts[k]) << "rank 0 must be the hottest";
+  }
+  EXPECT_GT(counts[0], draws / 20);
+  EXPECT_LT(counts[900], counts[0] / 50);
+}
+
+TEST(ZipfianGeneratorTest, ClampsDegenerateParameters) {
+  ZipfianGenerator zipf(0, 2.0);  // 0 keys, theta beyond [0, 1).
+  EXPECT_EQ(zipf.num_keys(), 1u);
+  EXPECT_LT(zipf.theta(), 1.0);
+  util::Rng rng(1);
+  EXPECT_EQ(zipf.Next(&rng), 0u);
+}
+
+// ------------------------------------------------------- OpenLoopPool
+
+/// Scripted replica acking every batch entry (as in workload_test.cc):
+/// f+1 distinct ackers complete a request with matching result digests.
+class AckingReplica : public sim::Actor {
+ public:
+  explicit AckingReplica(types::ReplicaId id) : id_(id) {}
+
+  void OnMessage(sim::ActorId from, const sim::MessagePtr& msg) override {
+    if (auto* batch = dynamic_cast<const types::ClientBatch*>(msg.get())) {
+      received_ += static_cast<int64_t>(batch->txs.size());
+      ++batches_;
+      max_batch_ = std::max(max_batch_,
+                            static_cast<int64_t>(batch->txs.size()));
+      auto reply = std::make_shared<types::ClientReply>();
+      reply->replica = id_;
+      reply->n = ++seq_;
+      reply->pool = 0;
+      for (const types::Transaction& tx : batch->txs) {
+        types::ReplyEntry entry;
+        entry.client_seq = tx.client_seq;
+        entry.status = static_cast<uint8_t>(app::ExecStatus::kOk);
+        entry.result_digest = app::ResultDigest(app::Response{});
+        reply->entries.push_back(entry);
+      }
+      Send(from, reply);
+    }
+  }
+
+  int64_t received() const { return received_; }
+  int64_t batches() const { return batches_; }
+  int64_t max_batch() const { return max_batch_; }
+
+ private:
+  types::ReplicaId id_;
+  int64_t received_ = 0;
+  int64_t batches_ = 0;
+  int64_t max_batch_ = 0;
+  types::SeqNum seq_ = 0;
+};
+
+struct OpenLoopFixture {
+  explicit OpenLoopFixture(OpenLoopConfig config, uint64_t seed = 1)
+      : sim(seed),
+        net(&sim, sim::LatencyModel::Fixed(1.0), sim::CostModel{}),
+        pool(config) {
+    std::vector<runtime::NodeId> replica_ids;
+    for (int r = 0; r < 2; ++r) {
+      replicas.push_back(
+          std::make_unique<AckingReplica>(static_cast<types::ReplicaId>(r)));
+      replica_ids.push_back(sim.AddActor(replicas.back().get()));
+      replicas.back()->AttachNetwork(&net);
+    }
+    pool_env = std::make_unique<runtime::SimEnv>(&pool);
+    sim.AddActor(pool_env.get());
+    pool_env->AttachNetwork(&net);
+    pool.SetReplicas(replica_ids);
+  }
+
+  void Run(util::DurationMicros for_time) {
+    sim.ScheduleAfter(0, [this] { pool.OnStart(); });
+    sim.RunUntil(for_time);
+  }
+
+  sim::Simulator sim;
+  sim::Network net;
+  std::vector<std::unique_ptr<AckingReplica>> replicas;
+  OpenLoopPool pool;
+  std::unique_ptr<runtime::SimEnv> pool_env;
+};
+
+OpenLoopConfig BaseConfig() {
+  OpenLoopConfig config;
+  config.pool_id = 0;  // AckingReplica stamps replies for pool 0.
+  config.f = 1;
+  config.arrival.kind = ArrivalKind::kPoisson;
+  config.arrival.rate_per_sec = 500.0;
+  config.logical_sessions = 1000000;
+  config.kv_key_space = 4096;
+  config.max_outstanding = 64;
+  config.max_backlog = 128;
+  config.slo_ms = 500.0;
+  return config;
+}
+
+TEST(OpenLoopPoolTest, LightLoadCompletesEverythingInsideSlo) {
+  OpenLoopFixture fx(BaseConfig());
+  fx.Run(Seconds(1));
+
+  const OpenLoopStats& stats = fx.pool.open_stats();
+  EXPECT_GT(stats.arrivals, 300);
+  EXPECT_EQ(stats.shed, 0);
+  EXPECT_EQ(stats.admitted, stats.arrivals);
+  // Everything admitted either completed or is still in flight.
+  EXPECT_EQ(fx.pool.committed() +
+                static_cast<int64_t>(fx.pool.outstanding()),
+            stats.admitted);
+  EXPECT_GT(fx.pool.committed(), 0);
+  EXPECT_DOUBLE_EQ(fx.pool.slo_fraction(), 1.0);
+  EXPECT_GT(fx.pool.e2e_latencies().count(), 0u);
+}
+
+TEST(OpenLoopPoolTest, OverloadShedsInsteadOfQueueingUnboundedly) {
+  OpenLoopConfig config = BaseConfig();
+  config.arrival.rate_per_sec = 50000.0;
+  config.max_outstanding = 8;
+  config.max_backlog = 16;
+  OpenLoopFixture fx(config);
+  fx.Run(Millis(300));
+
+  const OpenLoopStats& stats = fx.pool.open_stats();
+  EXPECT_GT(stats.arrivals, 5000);
+  EXPECT_GT(stats.shed, 0) << "open loop at 50k/s must overload 8-deep";
+  EXPECT_LT(stats.admitted, stats.arrivals);
+  EXPECT_LE(stats.backlog_peak, 16);
+  EXPECT_LE(fx.pool.outstanding(), 8u);
+  // Bounded queues bound the tail: every e2e sample is capped by the
+  // (backlog + in-flight) pipeline depth times the ack round-trip, far
+  // under the SLO — overload degrades goodput, not admitted latency.
+  EXPECT_GT(stats.backlogged, 0);
+  EXPECT_DOUBLE_EQ(fx.pool.slo_fraction(), 1.0);
+}
+
+TEST(OpenLoopPoolTest, BacklogDrainsInAdaptiveBursts) {
+  OpenLoopConfig config = BaseConfig();
+  config.arrival.rate_per_sec = 20000.0;
+  config.max_outstanding = 32;
+  config.max_backlog = 512;
+  OpenLoopFixture fx(config);
+  fx.Run(Millis(300));
+
+  const OpenLoopStats& stats = fx.pool.open_stats();
+  EXPECT_GT(stats.drain_bursts, 0);
+  EXPECT_GT(stats.max_burst, 1) << "drains should batch, not trickle";
+  // The adaptive burst rides one ClientBatch: replicas must have seen at
+  // least one batch bigger than a single command.
+  EXPECT_GT(fx.replicas[0]->max_batch(), 1);
+}
+
+TEST(OpenLoopPoolTest, StopAtHaltsTheArrivalStream) {
+  OpenLoopConfig config = BaseConfig();
+  config.arrival.rate_per_sec = 2000.0;
+  config.stop_at = Millis(100);
+  OpenLoopFixture fx(config);
+  fx.Run(Millis(400));
+
+  const int64_t arrivals = fx.pool.open_stats().arrivals;
+  EXPECT_GT(arrivals, 100);
+  EXPECT_LT(arrivals, 300);  // ~200 expected by 100ms; none after.
+  // Everything admitted before the cutoff still completed (drain).
+  EXPECT_EQ(fx.pool.committed(), fx.pool.open_stats().admitted);
+  EXPECT_EQ(fx.pool.outstanding(), 0u);
+}
+
+TEST(OpenLoopPoolTest, RunsAreDeterministicPerSeed) {
+  OpenLoopConfig config = BaseConfig();
+  config.arrival.rate_per_sec = 5000.0;
+  OpenLoopFixture a(config), b(config);
+  a.Run(Millis(500));
+  b.Run(Millis(500));
+  EXPECT_EQ(a.pool.open_stats().arrivals, b.pool.open_stats().arrivals);
+  EXPECT_EQ(a.pool.open_stats().admitted, b.pool.open_stats().admitted);
+  EXPECT_EQ(a.pool.committed(), b.pool.committed());
+  EXPECT_EQ(a.replicas[0]->received(), b.replicas[0]->received());
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace prestige

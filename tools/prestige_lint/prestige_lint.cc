@@ -325,7 +325,10 @@ const std::set<std::string>& ProtectedDirs() {
 }
 
 const std::set<std::string>& ForbiddenDirs() {
-  static const std::set<std::string> kDirs = {"sim", "harness", "workload"};
+  // shard/ is harness-side routing (PR 9): protocol code must stay
+  // group-oblivious — a replica never knows which shard it serves.
+  static const std::set<std::string> kDirs = {"sim", "harness", "workload",
+                                              "shard"};
   return kDirs;
 }
 

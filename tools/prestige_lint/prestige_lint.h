@@ -5,9 +5,11 @@
 // invariants that reviews have historically had to defend by hand:
 //
 //   layering     — nothing under core/, baselines/, client/, or app/ may
-//                  include (directly or transitively) sim/, harness/, or
-//                  workload/. Protocol code talks to the outside world only
-//                  through runtime::Env (PR 4's decoupling).
+//                  include (directly or transitively) sim/, harness/,
+//                  workload/, or shard/. Protocol code talks to the outside
+//                  world only through runtime::Env (PR 4's decoupling);
+//                  sharding is a harness-side concern (PR 9) and replicas
+//                  stay group-oblivious.
 //   determinism  — wall-clock and ambient-randomness primitives
 //                  (std::chrono, ::time(), rand(), std::random_device,
 //                  this_thread::sleep_*, ...) are banned outside runtime/,
