@@ -33,7 +33,7 @@
 // latency dominates the virtual clock.
 //
 // Usage: bench_runner [--outdir DIR] [--seeds N] [--seed BASE] [--jobs N]
-//                     [--runtime sim|threaded] [--workers LIST]
+//                     [--runtime sim|threaded|socket] [--workers LIST]
 //                     [--groups LIST] [--arrival-rate R] [--slo-ms MS]
 //                     [scenario ...]
 //        bench_runner --scenario NAME [--scenario NAME ...]
@@ -58,11 +58,15 @@
 // threaded fields still describe the classic closed-loop run). Every
 // sharded run passes through the full cross-group safety sweep
 // (per-group committed-prefix safety + router consistency + shard
-// exclusivity). `--list` prints scenarios,
+// exclusivity). `--runtime=socket` instead runs each selected (fault-free)
+// declarative scenario on the socket runtime — real loopback UDP datagrams
+// through the hardened wire codec — and adds a "socket" JSON block with
+// wall-clock numbers plus frame/drop counters. `--list` prints scenarios,
 // protocol configs, and runtime backends. Exit status is 2 on usage
-// errors (unknown scenarios, sim-only scenarios under --runtime=threaded),
-// 1 when any output failed to write OR any scenario — simulated or
-// threaded — violated a safety invariant — CI keys off this.
+// errors (unknown scenarios, unknown --runtime values, sim-only scenarios
+// under a real-time backend), 1 when any output failed to write OR any
+// scenario — simulated, threaded, or socket — violated a safety invariant
+// — CI keys off this.
 
 #include <algorithm>
 #include <chrono>
@@ -81,6 +85,7 @@
 #include "harness/scenario.h"
 #include "harness/scenario_runner.h"
 #include "harness/sharded_runner.h"
+#include "harness/socket_runner.h"
 #include "harness/threaded_runner.h"
 
 namespace prestige {
@@ -121,6 +126,13 @@ uint64_t g_sweep_base_seed = 1;
 /// ThreadedRuntime (one thread per node, wall-clock timers, loopback
 /// queues) and reports real TPS/latency next to the simulated numbers.
 bool g_threaded = false;
+
+/// Third backend (--runtime=socket): the same workload over the socket
+/// runtime — every node still in-process but all replica/pool traffic
+/// crossing real loopback UDP sockets through the hardened wire codec.
+/// Adds a "socket" JSON block with wall-clock numbers plus frame/drop
+/// counters next to the simulated ones.
+bool g_socket = false;
 
 /// Worker threads for declarative seed sweeps (--jobs). Defaults to the
 /// machine's hardware concurrency so sweeps saturate it out of the box.
@@ -620,6 +632,97 @@ ScenarioResult RunDeclarative(const harness::ScenarioSpec& spec) {
       result.extra_json += "\n  },\n";
     }
   }
+
+  // Socket-backend comparison run: the same workload with every node's
+  // traffic crossing real loopback UDP datagrams through the wire codec
+  // and per-peer sequence framing. Like the threaded block this stays
+  // OUTSIDE the Instrumented window (real-time sleep would corrupt the
+  // simulator wall/event trajectory). The "socket" JSON block carries the
+  // frame/drop counters so CI can watch the decode-hardening surface.
+  if (g_socket) {
+    const harness::SocketRunResult sr =
+        harness::RunSocketScenario<core::PrestigeReplica,
+                                   core::PrestigeConfig>(
+            spec, PaperPrestigeConfig(spec.n, 500),
+            ScenarioWorkload(g_sweep_base_seed));
+    if (!sr.base.ran) {
+      std::fprintf(stderr, "bench_runner: socket run skipped: %s\n",
+                   sr.base.error.c_str());
+      result.safe = false;
+    } else {
+      if (!sr.base.safety_ok) {
+        std::fprintf(stderr,
+                     "bench_runner: SAFETY VIOLATION (socket) %s: %s\n",
+                     spec.name.c_str(), sr.base.violation.c_str());
+        result.safe = false;
+      }
+      std::printf(
+          "  socket: committed=%lld tps=%.1f p50=%.2fms p99=%.2fms "
+          "frames=%llu/%llu gaps=%llu drops=%llu safe=%s   (sim "
+          "tps=%.1f)\n",
+          static_cast<long long>(sr.base.committed), sr.base.tps,
+          sr.base.p50_ms, sr.base.p99_ms,
+          static_cast<unsigned long long>(sr.net.frames_sent),
+          static_cast<unsigned long long>(sr.net.frames_received),
+          static_cast<unsigned long long>(sr.net.seq_gaps),
+          static_cast<unsigned long long>(
+              sr.net.header_drops + sr.net.length_drops +
+              sr.net.checksum_drops + sr.net.frag_drops +
+              sr.net.decode_drops),
+          sr.base.safety_ok ? "yes" : "NO", result.tps);
+      char sbuf[1024];
+      std::snprintf(
+          sbuf, sizeof(sbuf),
+          "  \"socket\": {\n"
+          "    \"protocol\": \"prestigebft\",\n"
+          "    \"duration_seconds\": %.3f,\n"
+          "    \"committed\": %lld,\n"
+          "    \"throughput_tps\": %.1f,\n"
+          "    \"p50_latency_ms\": %.4f,\n"
+          "    \"p99_latency_ms\": %.4f,\n"
+          "    \"mean_latency_ms\": %.4f,\n"
+          "    \"view_changes\": %lld,\n"
+          "    \"replies\": %lld,\n"
+          "    \"duplicate_suppressed\": %lld,\n"
+          "    \"result_mismatches\": %lld,\n"
+          "    \"executed\": %lld,\n"
+          "    \"messages_delivered\": %llu,\n"
+          "    \"min_height\": %lld,\n"
+          "    \"max_height\": %lld,\n"
+          "    \"safe\": %s,\n"
+          "    \"net\": {\"frames_sent\": %llu, \"frames_received\": %llu,\n"
+          "      \"messages_assembled\": %llu, \"seq_gaps\": %llu,\n"
+          "      \"seq_out_of_order\": %llu, \"header_drops\": %llu,\n"
+          "      \"checksum_drops\": %llu, \"length_drops\": %llu,\n"
+          "      \"frag_drops\": %llu, \"decode_drops\": %llu,\n"
+          "      \"send_errors\": %llu, \"unserializable_drops\": %llu}\n"
+          "  },\n",
+          sr.base.duration_seconds, static_cast<long long>(sr.base.committed),
+          sr.base.tps, sr.base.p50_ms, sr.base.p99_ms, sr.base.mean_ms,
+          static_cast<long long>(sr.base.view_changes),
+          static_cast<long long>(sr.base.replies),
+          static_cast<long long>(sr.base.duplicate_suppressed),
+          static_cast<long long>(sr.base.result_mismatches),
+          static_cast<long long>(sr.base.executed),
+          static_cast<unsigned long long>(sr.base.messages_delivered),
+          static_cast<long long>(sr.base.min_height),
+          static_cast<long long>(sr.base.max_height),
+          sr.base.safety_ok ? "true" : "false",
+          static_cast<unsigned long long>(sr.net.frames_sent),
+          static_cast<unsigned long long>(sr.net.frames_received),
+          static_cast<unsigned long long>(sr.net.messages_assembled),
+          static_cast<unsigned long long>(sr.net.seq_gaps),
+          static_cast<unsigned long long>(sr.net.seq_out_of_order),
+          static_cast<unsigned long long>(sr.net.header_drops),
+          static_cast<unsigned long long>(sr.net.checksum_drops),
+          static_cast<unsigned long long>(sr.net.length_drops),
+          static_cast<unsigned long long>(sr.net.frag_drops),
+          static_cast<unsigned long long>(sr.net.decode_drops),
+          static_cast<unsigned long long>(sr.net.send_errors),
+          static_cast<unsigned long long>(sr.net.unserializable_drops));
+      result.extra_json += sbuf;
+    }
+  }
   return result;
 }
 
@@ -825,6 +928,11 @@ void PrintList() {
       "            queues, wall-clock timers; adds a \"threaded\" block "
       "with\n"
       "            real TPS/latency next to the simulated numbers\n"
+      "            (fault-free declarative scenarios only)\n"
+      "  socket    real loopback UDP: one event-loop thread + one datagram\n"
+      "            socket per node, hardened wire encode/decode, per-peer\n"
+      "            sequence framing; adds a \"socket\" block with wall-clock\n"
+      "            TPS/latency and frame/drop counters\n"
       "            (fault-free declarative scenarios only)\n");
 }
 
@@ -845,11 +953,18 @@ int Main(int argc, char** argv) {
       }
       if (value == "sim") {
         g_threaded = false;
+        g_socket = false;
       } else if (value == "threaded") {
         g_threaded = true;
+        g_socket = false;
+      } else if (value == "socket") {
+        g_socket = true;
+        g_threaded = false;
       } else {
         std::fprintf(stderr,
-                     "bench_runner: --runtime expects 'sim' or 'threaded'\n");
+                     "bench_runner: unknown runtime '%s'; valid backends: "
+                     "sim, threaded, socket\n",
+                     value.c_str());
         return 2;
       }
       continue;
@@ -972,13 +1087,15 @@ int Main(int argc, char** argv) {
     }
   }
 
-  // The threaded backend runs explicit, fault-free declarative scenarios;
-  // reject anything else up front rather than mid-run.
-  if (g_threaded) {
+  // The real-time backends run explicit, fault-free declarative
+  // scenarios; reject anything else up front rather than mid-run.
+  if (g_threaded || g_socket) {
+    const char* backend = g_threaded ? "threaded" : "socket";
     if (selected.empty()) {
       std::fprintf(stderr,
-                   "bench_runner: --runtime=threaded needs an explicit "
-                   "--scenario selection (try --scenario steady-state)\n");
+                   "bench_runner: --runtime=%s needs an explicit "
+                   "--scenario selection (try --scenario steady-state)\n",
+                   backend);
       return 2;
     }
     for (const std::string& name : selected) {
@@ -986,8 +1103,8 @@ int Main(int argc, char** argv) {
       if (spec == nullptr || !harness::ThreadedCapable(*spec)) {
         std::fprintf(stderr,
                      "bench_runner: scenario '%s' cannot run on the "
-                     "threaded backend (sim-only faults); see --list\n",
-                     name.c_str());
+                     "%s backend (sim-only faults); see --list\n",
+                     name.c_str(), backend);
         return 2;
       }
     }

@@ -1,0 +1,87 @@
+// Executes a (socket-capable) ScenarioSpec on the socket backend inside
+// one process.
+//
+// Same shape as threaded_runner.h, but every message crosses the kernel's
+// UDP stack through the net/ framing and wire codec — this measures what
+// the implementation sustains over a real (loopback) network, including
+// serialization cost and datagram loss under overload. Capability gating
+// is shared with the threaded backend (ThreadedCapable): fault-free,
+// full-load, single-group, closed-loop scenarios only.
+//
+// The result reuses ThreadedRunResult so bench/report plumbing treats the
+// backends uniformly; `workers` is always 0 here (no prologue pool) and
+// frame-level counters are exposed separately via `net`.
+
+#ifndef PRESTIGE_HARNESS_SOCKET_RUNNER_H_
+#define PRESTIGE_HARNESS_SOCKET_RUNNER_H_
+
+#include <string>
+
+#include "harness/invariants.h"
+#include "harness/scenario.h"
+#include "harness/socket_cluster.h"
+#include "harness/threaded_runner.h"
+
+namespace prestige {
+namespace harness {
+
+/// ThreadedRunResult plus the socket backend's frame-level counters.
+struct SocketRunResult {
+  ThreadedRunResult base;
+  net::FrameCounters net;
+};
+
+/// Runs `spec`'s workload on a fresh SocketCluster for its scripted
+/// duration of wall time, then checks safety. config.n is overridden by
+/// the spec's cluster size.
+template <typename Replica, typename Config>
+SocketRunResult RunSocketScenario(const ScenarioSpec& spec, Config config,
+                                  WorkloadOptions workload) {
+  SocketRunResult result;
+  if (!ThreadedCapable(spec)) {
+    result.base.error =
+        "scenario '" + spec.name +
+        "' uses simulator-only faults (partitions / link faults / crashes / "
+        "partial load); the socket backend runs fault-free workloads";
+    return result;
+  }
+
+  config.n = spec.n;
+  SocketCluster<Replica, Config> cluster(config, workload);
+  const util::DurationMicros duration = spec.TotalDuration();
+  cluster.Start();
+  cluster.RunFor(duration);
+  cluster.Stop();
+
+  result.base.ran = true;
+  result.base.duration_seconds = util::ToSeconds(duration);
+  result.base.committed = cluster.ClientCommitted();
+  result.base.tps = static_cast<double>(result.base.committed) /
+                    result.base.duration_seconds;
+  result.base.p50_ms = cluster.LatencyPercentileMs(50);
+  result.base.p99_ms = cluster.LatencyPercentileMs(99);
+  result.base.mean_ms = cluster.MeanLatencyMs();
+  for (uint32_t i = 0; i < cluster.num_replicas(); ++i) {
+    result.base.view_changes +=
+        cluster.replica(i).metrics().view_changes_started;
+    result.base.elections_won += cluster.replica(i).metrics().elections_won;
+  }
+  result.base.replies = cluster.RepliesReceived();
+  result.base.duplicate_suppressed = cluster.DuplicatesSuppressed();
+  result.base.result_mismatches = cluster.ResultMismatches();
+  result.base.executed = cluster.ExecutedTotal();
+  result.base.messages_delivered = cluster.runtime().messages_delivered();
+  result.net = cluster.runtime().net_stats();
+
+  const SafetyReport safety = CheckSafety(cluster);
+  result.base.safety_ok = safety.ok;
+  result.base.violation = safety.violation;
+  result.base.min_height = safety.min_height;
+  result.base.max_height = safety.max_height;
+  return result;
+}
+
+}  // namespace harness
+}  // namespace prestige
+
+#endif  // PRESTIGE_HARNESS_SOCKET_RUNNER_H_

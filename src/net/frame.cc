@@ -1,0 +1,225 @@
+#include "net/frame.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "net/wire.h"
+
+namespace prestige {
+namespace net {
+
+uint32_t Fnv1a32(const uint8_t* data, size_t len) {
+  uint32_t hash = 2166136261u;
+  for (size_t i = 0; i < len; ++i) {
+    hash ^= data[i];
+    hash *= 16777619u;
+  }
+  return hash;
+}
+
+std::vector<uint8_t> EncodeFrame(const FrameHeader& header,
+                                 const uint8_t* payload, size_t payload_len) {
+  Writer w;
+  w.PutU32(kFrameMagic);
+  w.PutU8(kFrameVersion);
+  w.PutU8(0);  // flags, reserved
+  w.PutU32(header.src);
+  w.PutU32(header.dst);
+  w.PutU64(header.seq);
+  w.PutU32(header.frame_id);
+  w.PutU16(header.frag_index);
+  w.PutU16(header.frag_count);
+  w.PutU32(static_cast<uint32_t>(payload_len));
+  w.PutU32(header.total_len);
+  w.PutU32(Fnv1a32(payload, payload_len));
+  std::vector<uint8_t> out = w.Take();
+  out.insert(out.end(), payload, payload + payload_len);
+  return out;
+}
+
+bool DecodeFrameHeader(const uint8_t* data, size_t len, FrameHeader* out) {
+  if (data == nullptr || len < kFrameHeaderBytes) return false;
+  Reader r(data, len);
+  if (r.U32() != kFrameMagic) return false;
+  if (r.U8() != kFrameVersion) return false;
+  r.U8();  // flags
+  out->src = r.U32();
+  out->dst = r.U32();
+  out->seq = r.U64();
+  out->frame_id = r.U32();
+  out->frag_index = r.U16();
+  out->frag_count = r.U16();
+  out->payload_len = r.U32();
+  out->total_len = r.U32();
+  out->checksum = r.U32();
+  return r.ok();
+}
+
+void FrameCounters::MergeFrom(const FrameCounters& other) {
+  frames_sent += other.frames_sent;
+  bytes_sent += other.bytes_sent;
+  send_errors += other.send_errors;
+  frames_received += other.frames_received;
+  bytes_received += other.bytes_received;
+  header_drops += other.header_drops;
+  wrong_dst_drops += other.wrong_dst_drops;
+  length_drops += other.length_drops;
+  checksum_drops += other.checksum_drops;
+  frag_drops += other.frag_drops;
+  decode_drops += other.decode_drops;
+  messages_assembled += other.messages_assembled;
+  seq_gaps += other.seq_gaps;
+  seq_out_of_order += other.seq_out_of_order;
+  unserializable_drops += other.unserializable_drops;
+}
+
+// -------------------------------------------------------------- FrameWriter
+
+std::vector<std::vector<uint8_t>> FrameWriter::Split(
+    uint32_t dst, const std::vector<uint8_t>& payload) {
+  std::vector<std::vector<uint8_t>> frames;
+  if (payload.empty() || payload.size() > kMaxMessageBytes) return frames;
+
+  const size_t frag_count =
+      (payload.size() + kMaxFragPayload - 1) / kMaxFragPayload;
+  const uint32_t frame_id = next_frame_id_++;
+  uint64_t& seq = next_seq_[dst];
+
+  FrameHeader h;
+  h.src = src_;
+  h.dst = dst;
+  h.frame_id = frame_id;
+  h.frag_count = static_cast<uint16_t>(frag_count);
+  h.total_len = static_cast<uint32_t>(payload.size());
+  for (size_t i = 0; i < frag_count; ++i) {
+    const size_t offset = i * kMaxFragPayload;
+    const size_t len = std::min(kMaxFragPayload, payload.size() - offset);
+    h.frag_index = static_cast<uint16_t>(i);
+    h.seq = ++seq;
+    frames.push_back(EncodeFrame(h, payload.data() + offset, len));
+  }
+  return frames;
+}
+
+// ----------------------------------------------------------- FrameAssembler
+
+void FrameAssembler::TrackSeq(const FrameHeader& h) {
+  uint64_t& last = last_seq_[h.src];
+  if (h.seq > last) {
+    counters_.seq_gaps += h.seq - last - 1;
+    last = h.seq;
+  } else {
+    ++counters_.seq_out_of_order;
+  }
+}
+
+FrameAssembler::Partial* FrameAssembler::FindOrCreate(const FrameHeader& h) {
+  for (Partial& p : partials_) {
+    if (p.src == h.src && p.frame_id == h.frame_id) return &p;
+  }
+  if (partials_.size() >= kMaxReassembly) {
+    // Evict the oldest partial — a flood of never-completed fragments must
+    // not pin memory.
+    size_t oldest = 0;
+    for (size_t i = 1; i < partials_.size(); ++i) {
+      if (partials_[i].tick < partials_[oldest].tick) oldest = i;
+    }
+    partials_.erase(partials_.begin() + static_cast<long>(oldest));
+    ++counters_.frag_drops;
+  }
+  Partial p;
+  p.src = h.src;
+  p.frame_id = h.frame_id;
+  p.total_len = h.total_len;
+  p.frag_count = h.frag_count;
+  p.tick = ++tick_;
+  p.buf.assign(h.total_len, 0);
+  p.have.assign(h.frag_count, false);
+  partials_.push_back(std::move(p));
+  return &partials_.back();
+}
+
+void FrameAssembler::Accept(const uint8_t* data, size_t len,
+                            std::vector<Complete>* out) {
+  FrameHeader h;
+  if (!DecodeFrameHeader(data, len, &h)) {
+    ++counters_.header_drops;
+    return;
+  }
+  ++counters_.frames_received;
+  counters_.bytes_received += len;
+  if (h.dst != local_id_) {
+    ++counters_.wrong_dst_drops;
+    return;
+  }
+  TrackSeq(h);
+
+  const uint8_t* payload = data + kFrameHeaderBytes;
+  const size_t payload_len = len - kFrameHeaderBytes;
+  // Every length claim is validated against reality before any indexing.
+  if (h.payload_len != payload_len || h.total_len > kMaxMessageBytes ||
+      h.frag_count == 0 || h.frag_index >= h.frag_count ||
+      h.total_len == 0 || payload_len > kMaxFragPayload) {
+    ++counters_.length_drops;
+    return;
+  }
+  const size_t offset = static_cast<size_t>(h.frag_index) * kMaxFragPayload;
+  if (offset + payload_len > h.total_len ||
+      (h.frag_index + 1 < h.frag_count && payload_len != kMaxFragPayload) ||
+      (h.frag_index + 1 == h.frag_count &&
+       offset + payload_len != h.total_len)) {
+    ++counters_.length_drops;
+    return;
+  }
+  if (Fnv1a32(payload, payload_len) != h.checksum) {
+    ++counters_.checksum_drops;
+    return;
+  }
+
+  // Single-fragment fast path: no reassembly state.
+  if (h.frag_count == 1) {
+    ++counters_.messages_assembled;
+    Complete c;
+    c.src = h.src;
+    c.payload.assign(payload, payload + payload_len);
+    out->push_back(std::move(c));
+    return;
+  }
+
+  Partial* p = FindOrCreate(h);
+  // A later fragment whose geometry disagrees with the partial's first
+  // fragment is hostile or corrupted: drop the whole partial.
+  if (p->total_len != h.total_len || p->frag_count != h.frag_count) {
+    for (size_t i = 0; i < partials_.size(); ++i) {
+      if (&partials_[i] == p) {
+        partials_.erase(partials_.begin() + static_cast<long>(i));
+        break;
+      }
+    }
+    ++counters_.frag_drops;
+    return;
+  }
+  if (p->have[h.frag_index]) {
+    ++counters_.seq_out_of_order;  // Duplicate fragment.
+    return;
+  }
+  std::memcpy(p->buf.data() + offset, payload, payload_len);
+  p->have[h.frag_index] = true;
+  ++p->received;
+  if (p->received < p->frag_count) return;
+
+  ++counters_.messages_assembled;
+  Complete c;
+  c.src = p->src;
+  c.payload = std::move(p->buf);
+  out->push_back(std::move(c));
+  for (size_t i = 0; i < partials_.size(); ++i) {
+    if (&partials_[i] == p) {
+      partials_.erase(partials_.begin() + static_cast<long>(i));
+      break;
+    }
+  }
+}
+
+}  // namespace net
+}  // namespace prestige

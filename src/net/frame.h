@@ -1,0 +1,151 @@
+// Datagram framing for the socket backend.
+//
+// Every UDP datagram carries one fixed 42-byte header followed by a payload
+// fragment. The header identifies the logical (src, dst) node pair, a
+// per-(src, dst) sequence number (loss/reorder observability — the protocol
+// layer above already retransmits, so frames are never re-sent by this
+// layer), and fragmentation coordinates: messages larger than one datagram
+// (big SyncResp bodies, large batches) are split into frag_count fragments
+// sharing a frame_id and reassembled on the receiver.
+//
+// The decode path is hostile-input safe: short datagrams, bad magic,
+// version/dst mismatches, length lies, checksum failures, and reassembly
+// floods all turn into counted drops (FrameCounters), never crashes or
+// unbounded memory. The reassembly table is bounded: at most
+// kMaxReassembly partial messages are held; the oldest is evicted first.
+
+#ifndef PRESTIGE_NET_FRAME_H_
+#define PRESTIGE_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace prestige {
+namespace net {
+
+constexpr uint32_t kFrameMagic = 0x54464250;  ///< "PBFT" little-endian.
+constexpr uint8_t kFrameVersion = 1;
+constexpr size_t kFrameHeaderBytes = 42;
+/// Datagram budget: below the 64 KiB UDP ceiling with headroom for the
+/// kernel's own headers.
+constexpr size_t kMaxDatagramBytes = 60000;
+constexpr size_t kMaxFragPayload = kMaxDatagramBytes - kFrameHeaderBytes;
+/// Whole-message ceiling across all fragments of one frame_id.
+constexpr size_t kMaxMessageBytes = 32u << 20;
+/// Concurrent partial reassemblies held per receiving socket.
+constexpr size_t kMaxReassembly = 64;
+
+/// One datagram's header, host-order.
+struct FrameHeader {
+  uint32_t src = 0;        ///< Sending node id (claimed; see socket_env.h).
+  uint32_t dst = 0;        ///< Intended receiving node id.
+  uint64_t seq = 0;        ///< Per-(src, dst) datagram counter, from 1.
+  uint32_t frame_id = 0;   ///< Per-src message counter (reassembly key).
+  uint16_t frag_index = 0;
+  uint16_t frag_count = 1;
+  uint32_t payload_len = 0;  ///< Payload bytes in THIS datagram.
+  uint32_t total_len = 0;    ///< Whole message bytes across all fragments.
+  uint32_t checksum = 0;     ///< FNV-1a over this datagram's payload.
+};
+
+/// FNV-1a 32-bit — integrity against truncation/corruption, not an
+/// authenticator (message-level MACs provide authentication).
+uint32_t Fnv1a32(const uint8_t* data, size_t len);
+
+/// Serializes `header` + `payload` into one datagram buffer.
+std::vector<uint8_t> EncodeFrame(const FrameHeader& header,
+                                 const uint8_t* payload, size_t payload_len);
+
+/// Parses a datagram's header. Returns false on short input, bad magic, or
+/// unsupported version; performs no payload validation (FrameAssembler's
+/// job).
+bool DecodeFrameHeader(const uint8_t* data, size_t len, FrameHeader* out);
+
+/// Frame-level observability counters (one set per socket direction).
+struct FrameCounters {
+  uint64_t frames_sent = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t send_errors = 0;       ///< sendto failures (incl. would-block).
+  uint64_t frames_received = 0;
+  uint64_t bytes_received = 0;
+  uint64_t header_drops = 0;      ///< Short datagram / magic / version.
+  uint64_t wrong_dst_drops = 0;   ///< dst field does not match this node.
+  uint64_t length_drops = 0;      ///< payload_len / total_len lies.
+  uint64_t checksum_drops = 0;
+  uint64_t frag_drops = 0;        ///< Inconsistent or evicted fragments.
+  uint64_t decode_drops = 0;      ///< Frame ok, wire decode failed.
+  uint64_t messages_assembled = 0;
+  uint64_t seq_gaps = 0;          ///< Missing datagrams inferred from seq.
+  uint64_t seq_out_of_order = 0;  ///< Duplicate or reordered datagrams.
+  uint64_t unserializable_drops = 0;  ///< Sends with no wire form, remote dst.
+
+  void MergeFrom(const FrameCounters& other);
+};
+
+/// Sender-side splitter: owns the per-destination sequence counters and the
+/// per-source frame_id counter for one local node.
+class FrameWriter {
+ public:
+  explicit FrameWriter(uint32_t src) : src_(src) {}
+
+  /// Splits `payload` into ready-to-send datagrams addressed to `dst`.
+  /// Returns an empty vector when payload is empty or over
+  /// kMaxMessageBytes.
+  std::vector<std::vector<uint8_t>> Split(uint32_t dst,
+                                          const std::vector<uint8_t>& payload);
+
+ private:
+  uint32_t src_;
+  uint32_t next_frame_id_ = 1;
+  std::map<uint32_t, uint64_t> next_seq_;  ///< Per destination, from 1.
+};
+
+/// Receiver-side reassembler for one local node's socket.
+class FrameAssembler {
+ public:
+  /// `local_id` is the node this socket belongs to; frames addressed to
+  /// anyone else are counted and dropped.
+  explicit FrameAssembler(uint32_t local_id) : local_id_(local_id) {}
+
+  /// A fully reassembled message payload and its claimed sender.
+  struct Complete {
+    uint32_t src = 0;
+    std::vector<uint8_t> payload;
+  };
+
+  /// Feeds one received datagram; appends any message it completes to
+  /// `out`. Malformed input is counted in counters() and dropped.
+  void Accept(const uint8_t* data, size_t len, std::vector<Complete>* out);
+
+  FrameCounters& counters() { return counters_; }
+  const FrameCounters& counters() const { return counters_; }
+  size_t pending_partials() const { return partials_.size(); }
+
+ private:
+  struct Partial {
+    uint32_t src = 0;
+    uint32_t frame_id = 0;
+    uint32_t total_len = 0;
+    uint16_t frag_count = 0;
+    uint16_t received = 0;
+    uint64_t tick = 0;  ///< Insertion order, for oldest-first eviction.
+    std::vector<uint8_t> buf;
+    std::vector<bool> have;
+  };
+
+  void TrackSeq(const FrameHeader& h);
+  Partial* FindOrCreate(const FrameHeader& h);
+
+  uint32_t local_id_;
+  uint64_t tick_ = 0;
+  std::vector<Partial> partials_;
+  std::map<uint32_t, uint64_t> last_seq_;  ///< Highest seq seen per src.
+  FrameCounters counters_;
+};
+
+}  // namespace net
+}  // namespace prestige
+
+#endif  // PRESTIGE_NET_FRAME_H_

@@ -1,0 +1,282 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace prestige {
+namespace net {
+namespace {
+
+sockaddr_in ToSockaddr(const SockAddr& addr) {
+  sockaddr_in sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(addr.ip);
+  sa.sin_port = htons(addr.port);
+  return sa;
+}
+
+SockAddr FromSockaddr(const sockaddr_in& sa) {
+  SockAddr addr;
+  addr.ip = ntohl(sa.sin_addr.s_addr);
+  addr.port = ntohs(sa.sin_port);
+  return addr;
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+SockAddr LocalAddrOf(int fd) {
+  sockaddr_in sa;
+  socklen_t len = sizeof(sa);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len) != 0) {
+    return SockAddr{};
+  }
+  return FromSockaddr(sa);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- UdpSocket
+
+UdpSocket::~UdpSocket() { Close(); }
+
+UdpSocket::UdpSocket(UdpSocket&& other) noexcept
+    : fd_(other.fd_), local_(other.local_) {
+  other.fd_ = -1;
+}
+
+UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    local_ = other.local_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+bool UdpSocket::Bind(const SockAddr& addr, std::string* error) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "socket: " + std::string(strerror(errno));
+    return false;
+  }
+  // Burst absorption: a leader broadcasting to n-1 peers plus client
+  // batches can outrun a default-sized kernel buffer during commit storms.
+  const int kBufBytes = 4 << 20;
+  setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &kBufBytes, sizeof(kBufBytes));
+  setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &kBufBytes, sizeof(kBufBytes));
+  sockaddr_in sa = ToSockaddr(addr);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    if (error != nullptr) {
+      *error = "bind " + addr.ToString() + ": " + strerror(errno);
+    }
+    Close();
+    return false;
+  }
+  if (!SetNonBlocking(fd_)) {
+    if (error != nullptr) *error = "fcntl: " + std::string(strerror(errno));
+    Close();
+    return false;
+  }
+  local_ = LocalAddrOf(fd_);
+  return true;
+}
+
+bool UdpSocket::SendTo(const SockAddr& to, const uint8_t* data, size_t len) {
+  if (fd_ < 0) return false;
+  sockaddr_in sa = ToSockaddr(to);
+  const ssize_t sent =
+      ::sendto(fd_, data, len, 0, reinterpret_cast<sockaddr*>(&sa),
+               sizeof(sa));
+  return sent == static_cast<ssize_t>(len);
+}
+
+long UdpSocket::RecvFrom(uint8_t* buf, size_t cap) {
+  if (fd_ < 0) return -1;
+  const ssize_t got = ::recvfrom(fd_, buf, cap, 0, nullptr, nullptr);
+  return got < 0 ? -1 : static_cast<long>(got);
+}
+
+void UdpSocket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// -------------------------------------------------------------- TcpListener
+
+TcpListener::~TcpListener() { Close(); }
+
+bool TcpListener::Listen(const SockAddr& addr, std::string* error) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "socket: " + std::string(strerror(errno));
+    return false;
+  }
+  const int one = 1;
+  setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in sa = ToSockaddr(addr);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0 ||
+      ::listen(fd_, 16) != 0) {
+    if (error != nullptr) {
+      *error = "listen " + addr.ToString() + ": " + strerror(errno);
+    }
+    Close();
+    return false;
+  }
+  local_ = LocalAddrOf(fd_);
+  return true;
+}
+
+int TcpListener::Accept(int timeout_ms) {
+  if (fd_ < 0) return -1;
+  pollfd pfd{fd_, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready <= 0 || (pfd.revents & POLLIN) == 0) return -1;
+  return ::accept(fd_, nullptr, nullptr);
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// ------------------------------------------------------------------ TcpConn
+
+TcpConn::~TcpConn() { Close(); }
+
+TcpConn::TcpConn(TcpConn&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+TcpConn& TcpConn::operator=(TcpConn&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+TcpConn TcpConn::Connect(const SockAddr& addr, int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return TcpConn();
+  if (!SetNonBlocking(fd)) {
+    ::close(fd);
+    return TcpConn();
+  }
+  sockaddr_in sa = ToSockaddr(addr);
+  const int rc =
+      ::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+  if (rc != 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    return TcpConn();
+  }
+  if (rc != 0) {
+    pollfd pfd{fd, POLLOUT, 0};
+    if (::poll(&pfd, 1, timeout_ms) <= 0) {
+      ::close(fd);
+      return TcpConn();
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      ::close(fd);
+      return TcpConn();
+    }
+  }
+  return TcpConn(fd);
+}
+
+bool TcpConn::SendLine(const std::string& line) {
+  if (fd_ < 0) return false;
+  std::string framed = line;
+  framed.push_back('\n');
+  size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n =
+        ::send(fd_, framed.data() + sent, framed.size() - sent, 0);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd_, POLLOUT, 0};
+      if (::poll(&pfd, 1, 5000) <= 0) return false;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+bool TcpConn::RecvLine(std::string* out, int timeout_ms) {
+  if (fd_ < 0) return false;
+  constexpr size_t kMaxLine = 16u << 20;
+  for (;;) {
+    const size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      out->assign(buffer_, 0, newline);
+      buffer_.erase(0, newline + 1);
+      return true;
+    }
+    if (buffer_.size() > kMaxLine) return false;
+    pollfd pfd{fd_, POLLIN, 0};
+    if (::poll(&pfd, 1, timeout_ms) <= 0) return false;
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
+      return false;
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+void TcpConn::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// -------------------------------------------------------------- PollSockets
+
+bool PollSockets(const int* fds, bool* readable, size_t count,
+                 int timeout_ms) {
+  pollfd pfds[8];
+  if (count > 8) count = 8;
+  for (size_t i = 0; i < count; ++i) {
+    pfds[i].fd = fds[i];
+    pfds[i].events = POLLIN;
+    pfds[i].revents = 0;
+    readable[i] = false;
+  }
+  const int ready = ::poll(pfds, static_cast<nfds_t>(count), timeout_ms);
+  if (ready < 0) return errno == EINTR;
+  for (size_t i = 0; i < count; ++i) {
+    readable[i] = (pfds[i].revents & (POLLIN | POLLERR | POLLHUP)) != 0;
+  }
+  return true;
+}
+
+}  // namespace net
+}  // namespace prestige

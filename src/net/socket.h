@@ -1,0 +1,119 @@
+// Thin non-blocking socket wrappers. The ONLY files that may touch raw OS
+// networking headers are src/net/* and src/runtime/* (enforced by
+// prestige_lint's `sockets` rule); everything above speaks these classes.
+//
+// UdpSocket carries replica/client datagrams; TcpListener/TcpConn implement
+// the daemon's line-oriented control protocol; PollSockets wraps poll(2)
+// for the socket runtime's event loop. All types are plain-int-fd based so
+// these headers stay free of <sys/socket.h> and friends.
+
+#ifndef PRESTIGE_NET_SOCKET_H_
+#define PRESTIGE_NET_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "net/address.h"
+
+namespace prestige {
+namespace net {
+
+/// A bound, non-blocking UDP socket.
+class UdpSocket {
+ public:
+  UdpSocket() = default;
+  ~UdpSocket();
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+  UdpSocket(UdpSocket&& other) noexcept;
+  UdpSocket& operator=(UdpSocket&& other) noexcept;
+
+  /// Creates, binds (port 0 = kernel-assigned), sets non-blocking, and
+  /// enlarges SO_RCVBUF/SO_SNDBUF. On failure returns false with `error`
+  /// describing the failing call.
+  bool Bind(const SockAddr& addr, std::string* error);
+
+  /// The actually bound endpoint (resolves port-0 binds).
+  SockAddr local_addr() const { return local_; }
+
+  /// Sends one datagram. Returns false on any error, including would-block
+  /// (UDP gives no delivery guarantee anyway; the caller counts it).
+  bool SendTo(const SockAddr& to, const uint8_t* data, size_t len);
+
+  /// Receives one datagram into `buf`. Returns the byte count, or -1 when
+  /// nothing is ready (or on error).
+  long RecvFrom(uint8_t* buf, size_t cap);
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+  SockAddr local_;
+};
+
+/// A listening TCP socket for the control plane.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  bool Listen(const SockAddr& addr, std::string* error);
+  SockAddr local_addr() const { return local_; }
+
+  /// Waits up to `timeout_ms` for a connection; returns an accepted fd or
+  /// -1 on timeout/error.
+  int Accept(int timeout_ms);
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+  SockAddr local_;
+};
+
+/// One blocking control-plane connection (line-oriented).
+class TcpConn {
+ public:
+  TcpConn() = default;
+  explicit TcpConn(int fd) : fd_(fd) {}
+  ~TcpConn();
+  TcpConn(const TcpConn&) = delete;
+  TcpConn& operator=(const TcpConn&) = delete;
+  TcpConn(TcpConn&& other) noexcept;
+  TcpConn& operator=(TcpConn&& other) noexcept;
+
+  /// Connects with a timeout. Returns an invalid conn on failure.
+  static TcpConn Connect(const SockAddr& addr, int timeout_ms);
+
+  bool valid() const { return fd_ >= 0; }
+
+  /// Writes `line` + '\n' fully. False on error.
+  bool SendLine(const std::string& line);
+
+  /// Reads until '\n' (stripped) or `timeout_ms` elapses. False on
+  /// timeout/EOF/error. Lines are capped at 16 MiB.
+  bool RecvLine(std::string* out, int timeout_ms);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< Bytes read past the last returned line.
+};
+
+/// poll(2) over up to `count` fds. Sets `readable[i]` for every fd with
+/// pending input; returns false on poll error. `timeout_ms` < 0 blocks.
+bool PollSockets(const int* fds, bool* readable, size_t count,
+                 int timeout_ms);
+
+}  // namespace net
+}  // namespace prestige
+
+#endif  // PRESTIGE_NET_SOCKET_H_

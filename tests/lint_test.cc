@@ -442,6 +442,71 @@ TEST(ThreadingTest, SuppressibleLikeEveryRule) {
   EXPECT_TRUE(RunLint(files, "threading").empty());
 }
 
+// ----------------------------------------------------------------- sockets
+
+TEST(SocketsTest, RawSocketHeadersOutsideNetAndRuntimeFail) {
+  const std::vector<SourceFile> files = {
+      {"core/replica.cc",
+       "#include <sys/socket.h>\n"
+       "#include <netinet/in.h>\n"
+       "#include <vector>\n"},
+      {"harness/process_cluster.cc",
+       "#include <arpa/inet.h>\n"
+       "#include <poll.h>\n"
+       "#include <sys/epoll.h>\n"},
+  };
+  const auto findings = RunLint(files, "sockets");
+  EXPECT_TRUE(HasFinding(findings, "sockets", "core/replica.cc", 1));
+  EXPECT_TRUE(HasFinding(findings, "sockets", "core/replica.cc", 2));
+  EXPECT_TRUE(
+      HasFinding(findings, "sockets", "harness/process_cluster.cc", 1));
+  EXPECT_TRUE(
+      HasFinding(findings, "sockets", "harness/process_cluster.cc", 2));
+  EXPECT_TRUE(
+      HasFinding(findings, "sockets", "harness/process_cluster.cc", 3));
+  // <vector> is not a networking header.
+  EXPECT_EQ(findings.size(), 5u);
+}
+
+TEST(SocketsTest, NetAndRuntimeMayUseRawSockets) {
+  const std::vector<SourceFile> files = {
+      {"net/socket.cc",
+       "#include <arpa/inet.h>\n#include <netinet/in.h>\n"
+       "#include <poll.h>\n#include <sys/socket.h>\n"},
+      {"runtime/socket_env.cc", "#include <poll.h>\n"},
+  };
+  EXPECT_TRUE(RunLint(files, "sockets").empty());
+}
+
+TEST(SocketsTest, NetinetPrefixMatchesEverySubHeader) {
+  const std::vector<SourceFile> files = {
+      {"workload/client_pool.cc",
+       "#include <netinet/tcp.h>\n#include <netinet/udp.h>\n"},
+  };
+  const auto findings = RunLint(files, "sockets");
+  EXPECT_TRUE(HasFinding(findings, "sockets", "workload/client_pool.cc", 1));
+  EXPECT_TRUE(HasFinding(findings, "sockets", "workload/client_pool.cc", 2));
+}
+
+TEST(SocketsTest, QuotedWrapperIncludesAndLookalikesDoNotTrigger) {
+  const std::vector<SourceFile> files = {
+      {"harness/socket_cluster.h",
+       "#include \"net/socket.h\"\n"          // the sanctioned wrapper.
+       "#include <sys/socket_stats.hpp>\n"    // not an exact header name.
+       "// discussing <sys/socket.h> in a comment is fine\n"},
+  };
+  EXPECT_TRUE(RunLint(files, "sockets").empty());
+}
+
+TEST(SocketsTest, SuppressibleLikeEveryRule) {
+  const std::vector<SourceFile> files = {
+      {"tools/capture.cc",
+       "// lint:allow(sockets: pcap shim)\n"
+       "#include <sys/socket.h>\n"},
+  };
+  EXPECT_TRUE(RunLint(files, "sockets").empty());
+}
+
 // ------------------------------------------------------------- suppressions
 
 TEST(SuppressionTest, SameLineAllowSuppresses) {

@@ -656,6 +656,40 @@ void RunThreading(LintCtx& ctx) {
   }
 }
 
+// --------------------------------------------------------------- sockets
+
+/// Raw OS networking headers are confined to src/net/ (the socket / poll /
+/// framing primitives) and src/runtime/ (the socket event loop). Everything
+/// else — protocol code, harnesses, tools — reaches the network through
+/// net::UdpSocket / net::TcpConn / net::PollSockets or, one level higher,
+/// through runtime::Env. This keeps every recv/poll/sockaddr call path
+/// behind the bounds-checked wrappers so hostile bytes can only enter
+/// through the hardened decode pipeline.
+const std::set<std::string>& SocketCapableDirs() {
+  static const std::set<std::string> kDirs = {"net", "runtime"};
+  return kDirs;
+}
+
+void RunSockets(LintCtx& ctx) {
+  static const std::set<std::string> kSocketHeaders = {
+      "sys/socket.h", "arpa/inet.h", "poll.h", "sys/epoll.h"};
+  for (const FileCtx& f : ctx.files) {
+    if (SocketCapableDirs().count(TopDir(f.file->path)) != 0) continue;
+    for (const IncludeEdge& e : f.includes) {
+      if (!e.system) continue;
+      const bool banned = kSocketHeaders.count(e.target) != 0 ||
+                          e.target.compare(0, 8, "netinet/") == 0;
+      if (!banned) continue;
+      ctx.Report(f, e.line, "sockets",
+                 "#include <" + e.target +
+                     "> outside net/ and runtime/; raw OS networking is "
+                     "confined to the bounds-checked wrappers in "
+                     "net/socket.h so hostile bytes can only enter through "
+                     "the hardened decode pipeline");
+    }
+  }
+}
+
 // ------------------------------------------------------------- adversary
 
 void RunAdversary(LintCtx& ctx) {
@@ -701,8 +735,8 @@ void RunAdversary(LintCtx& ctx) {
 
 const std::vector<std::string>& RuleNames() {
   static const std::vector<std::string> kRules = {
-      "layering",  "determinism", "codec-tags",
-      "timer-tag", "adversary",   "threading"};
+      "layering",  "determinism", "codec-tags", "timer-tag",
+      "adversary", "threading",   "sockets"};
   return kRules;
 }
 
@@ -730,6 +764,7 @@ std::vector<Finding> Lint(const std::vector<SourceFile>& files,
   if (enabled("timer-tag")) RunTimerTag(ctx);
   if (enabled("adversary")) RunAdversary(ctx);
   if (enabled("threading")) RunThreading(ctx);
+  if (enabled("sockets")) RunSockets(ctx);
 
   std::sort(ctx.findings.begin(), ctx.findings.end(),
             [](const Finding& a, const Finding& b) {

@@ -1,7 +1,7 @@
 // prestige_lint — project-invariant static checker for the PrestigeBFT tree.
 //
 // A deliberately small analysis: a comment/string-aware token scanner plus a
-// quoted-include graph walker, no libclang. It machine-checks the six
+// quoted-include graph walker, no libclang. It machine-checks the seven
 // invariants that reviews have historically had to defend by hand:
 //
 //   layering     — nothing under core/, baselines/, client/, or app/ may
@@ -36,6 +36,12 @@
 //                  Node::PreVerify prologue hook (runtime/ordered_runner.h,
 //                  PR 8), so protocol code never needs its own threads or
 //                  locks.
+//   sockets      — raw OS networking headers (<sys/socket.h>, <netinet/*>,
+//                  <arpa/inet.h>, <poll.h>, <sys/epoll.h>) are confined to
+//                  net/ and runtime/. Everything else reaches the network
+//                  through the bounds-checked net:: wrappers (or
+//                  runtime::Env one level higher), so hostile bytes can
+//                  only enter through the hardened decode pipeline.
 //
 // Suppressions: a finding on line L is suppressed when a comment on L — or
 // on an immediately preceding comment-only line — contains
